@@ -1,0 +1,221 @@
+// Command xmlac is the front-end of the access-control system: it loads a
+// schema, a policy and a document into a chosen backend, annotates, and then
+// executes a sequence of operations given as arguments.
+//
+// Usage:
+//
+//	xmlac [-dtd file] [-policy file] [-doc file] [-backend xquery|monetsql|postgres] op...
+//
+// With no -dtd/-policy/-doc, the paper's hospital example is used.
+//
+// Operations (executed left to right):
+//
+//	annotate            full annotation (implied before the first query)
+//	dump                print the annotated document
+//	policy              print the optimized policy
+//	coverage            print the accessible fraction
+//	query=<xpath>       all-or-nothing request
+//	filter=<xpath>      filtering request (accessible matches only)
+//	delete=<xpath>      delete update + partial re-annotation
+//	fullafter=<xpath>   delete update + full re-annotation (baseline)
+//	view=prune|promote  print the security view
+//	save=<file>         write the annotated document (with signs) to a file
+//
+// Example:
+//
+//	xmlac query=//patient delete=//patient/treatment query=//patient
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xmlac"
+)
+
+func main() {
+	var (
+		dtdFile    = flag.String("dtd", "", "DTD file (default: the bundled hospital schema)")
+		policyFile = flag.String("policy", "", "policy file (default: the bundled Table 1 policy)")
+		docFile    = flag.String("doc", "", "XML document file (default: the bundled Figure 2 document)")
+		backend    = flag.String("backend", "xquery", "backend: xquery, monetsql or postgres")
+		optimize   = flag.Bool("optimize", true, "run redundancy elimination on the policy")
+	)
+	flag.Parse()
+
+	schemaText := xmlac.HospitalDTD
+	policyText := xmlac.HospitalPolicyText
+	docText := xmlac.HospitalDocumentText
+	if *dtdFile != "" {
+		schemaText = readFile(*dtdFile)
+	}
+	if *policyFile != "" {
+		policyText = readFile(*policyFile)
+	}
+	if *docFile != "" {
+		docText = readFile(*docFile)
+	}
+
+	var be xmlac.Backend
+	switch *backend {
+	case "xquery":
+		be = xmlac.BackendNative
+	case "monetsql":
+		be = xmlac.BackendColumn
+	case "postgres":
+		be = xmlac.BackendRow
+	default:
+		fail(fmt.Errorf("unknown backend %q", *backend))
+	}
+
+	schema, err := xmlac.ParseDTD(schemaText)
+	if err != nil {
+		fail(err)
+	}
+	pol, err := xmlac.ParsePolicy(policyText)
+	if err != nil {
+		fail(err)
+	}
+	sys, err := xmlac.New(xmlac.Config{Schema: schema, Policy: pol, Backend: be, Optimize: *optimize})
+	if err != nil {
+		fail(err)
+	}
+	doc, err := xmlac.ParseXMLString(docText)
+	if err != nil {
+		fail(err)
+	}
+	if err := sys.Load(doc); err != nil {
+		fail(err)
+	}
+
+	ops := flag.Args()
+	if len(ops) == 0 {
+		ops = []string{"annotate", "dump"}
+	}
+	annotated := false
+	ensureAnnotated := func() {
+		if annotated {
+			return
+		}
+		stats, took, err := sys.Annotate()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("annotate: %d nodes set in %v\n", stats.Updated, took)
+		annotated = true
+	}
+
+	for _, op := range ops {
+		switch {
+		case op == "annotate":
+			annotated = false
+			ensureAnnotated()
+		case op == "dump":
+			ensureAnnotated()
+			fmt.Println(sys.Document().StringAnnotated())
+		case op == "policy":
+			fmt.Print(sys.Policy().String())
+			for _, r := range sys.RemovedRules() {
+				fmt.Printf("# removed as redundant: %s\n", r.String())
+			}
+		case op == "coverage":
+			ensureAnnotated()
+			cov, err := sys.Coverage()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("coverage: %.1f%%\n", cov*100)
+		case strings.HasPrefix(op, "query="):
+			ensureAnnotated()
+			q, err := xmlac.ParseXPath(strings.TrimPrefix(op, "query="))
+			if err != nil {
+				fail(err)
+			}
+			res, err := sys.Request(q)
+			switch {
+			case errors.Is(err, xmlac.ErrAccessDenied):
+				fmt.Printf("query %s: DENIED (%v)\n", q, err)
+			case err != nil:
+				fail(err)
+			default:
+				fmt.Printf("query %s: granted, %d nodes\n", q, res.Checked)
+			}
+		case strings.HasPrefix(op, "filter="):
+			ensureAnnotated()
+			q, err := xmlac.ParseXPath(strings.TrimPrefix(op, "filter="))
+			if err != nil {
+				fail(err)
+			}
+			res, dropped, err := sys.RequestFiltered(q)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("filter %s: %d accessible, %d hidden\n", q, len(res.Nodes), dropped)
+		case strings.HasPrefix(op, "view="):
+			ensureAnnotated()
+			var mode xmlac.ViewMode
+			switch strings.TrimPrefix(op, "view=") {
+			case "prune":
+				mode = xmlac.ViewPrune
+			case "promote":
+				mode = xmlac.ViewPromote
+			default:
+				fail(fmt.Errorf("view mode must be prune or promote"))
+			}
+			view, err := sys.ExportView(mode)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(view.StringAnnotated())
+		case strings.HasPrefix(op, "save="):
+			ensureAnnotated()
+			path := strings.TrimPrefix(op, "save=")
+			if err := os.WriteFile(path, []byte(sys.Document().StringAnnotated()), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("saved annotated document to %s\n", path)
+		case strings.HasPrefix(op, "delete="):
+			ensureAnnotated()
+			u, err := xmlac.ParseXPath(strings.TrimPrefix(op, "delete="))
+			if err != nil {
+				fail(err)
+			}
+			rep, err := sys.DeleteAndReannotate(u)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("delete %s: removed %d nodes, triggered %v, reannotated in %v\n",
+				u, rep.DeletedNodes, rep.Triggered, rep.PrepareTime+rep.ReannotateTime)
+		case strings.HasPrefix(op, "fullafter="):
+			ensureAnnotated()
+			u, err := xmlac.ParseXPath(strings.TrimPrefix(op, "fullafter="))
+			if err != nil {
+				fail(err)
+			}
+			rep, err := sys.DeleteAndFullAnnotate(u)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("delete %s: removed %d nodes, fully re-annotated in %v\n",
+				u, rep.DeletedNodes, rep.ReannotateTime)
+		default:
+			fail(fmt.Errorf("unknown operation %q", op))
+		}
+	}
+}
+
+func readFile(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	return string(data)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "xmlac:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command xmlgen generates XMark-like auction documents, reimplementing the
+// generator the paper's evaluation used (with recursion removed from the
+// schema, as the paper did). It can emit the XML text, the ShreX-style
+// shredded SQL script, or both sizes (the Table 5 measurement).
+//
+// Usage:
+//
+//	xmlgen -f 0.01 -seed 1 > doc.xml
+//	xmlgen -f 0.01 -sql > doc.sql
+//	xmlgen -f 0.01 -stats
+//	xmlgen -dtd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xmlac"
+	"xmlac/internal/shred"
+	"xmlac/internal/xmark"
+	"xmlac/internal/xmltree"
+)
+
+func main() {
+	var (
+		factor   = flag.Float64("f", 0.001, "xmlgen scale factor (f=1.0 ≈ 21750 items)")
+		seed     = flag.Uint64("seed", 1, "generation seed (same seed, same document)")
+		emitSQL  = flag.Bool("sql", false, "emit the shredded SQL INSERT script instead of XML")
+		stats    = flag.Bool("stats", false, "print sizes and entity counts instead of the document")
+		indent   = flag.Bool("indent", false, "pretty-print the XML output")
+		emitDTD  = flag.Bool("dtd", false, "print the (recursion-free) XMark DTD and exit")
+		validate = flag.Bool("validate", false, "validate the generated document against the DTD")
+	)
+	flag.Parse()
+
+	if *emitDTD {
+		fmt.Print(xmark.Schema().String())
+		return
+	}
+
+	doc := xmlac.GenerateXMark(xmlac.XMarkOptions{Factor: *factor, Seed: *seed})
+
+	if *validate {
+		if errs := xmark.Schema().Validate(doc); len(errs) > 0 {
+			fmt.Fprintf(os.Stderr, "xmlgen: document invalid: %v (and %d more)\n", errs[0], len(errs)-1)
+			os.Exit(1)
+		}
+	}
+
+	switch {
+	case *stats:
+		var xw countWriter
+		if err := doc.Write(&xw, xmltree.WriteOptions{}); err != nil {
+			fail(err)
+		}
+		m, err := shred.BuildMapping(xmark.Schema())
+		if err != nil {
+			fail(err)
+		}
+		var sw countWriter
+		if err := shred.NewShredder(m).ToSQL(&sw, doc); err != nil {
+			fail(err)
+		}
+		fmt.Printf("factor      %g\n", *factor)
+		fmt.Printf("nodes       %d (%d elements)\n", doc.Size(), doc.ElementCount())
+		fmt.Printf("xml bytes   %d\n", xw.n)
+		fmt.Printf("sql bytes   %d\n", sw.n)
+		for _, label := range []string{"item", "person", "open_auction", "closed_auction", "category"} {
+			fmt.Printf("%-11s %d\n", label+"s", len(doc.ElementsByLabel(label)))
+		}
+	case *emitSQL:
+		m, err := shred.BuildMapping(xmark.Schema())
+		if err != nil {
+			fail(err)
+		}
+		if err := shred.NewShredder(m).ToSQL(os.Stdout, doc); err != nil {
+			fail(err)
+		}
+	default:
+		opts := xmltree.WriteOptions{}
+		if *indent {
+			opts.Indent = "  "
+		}
+		if err := doc.Write(os.Stdout, opts); err != nil {
+			fail(err)
+		}
+		if !*indent {
+			fmt.Println()
+		}
+	}
+}
+
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "xmlgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+package xmlac
+
+import (
+	"xmlac/internal/hospital"
+)
+
+// The paper's motivating example (Section 1.1) ships with the library so
+// the quick-start examples and downstream experiments have a ready-made
+// schema, document and policy.
+
+// HospitalDTD is the hospital schema of the paper's Figure 1.
+const HospitalDTD = hospital.DTDText
+
+// HospitalDocumentText is the partial hospital instance of Figure 2,
+// completed to a schema-valid document.
+const HospitalDocumentText = hospital.DocumentText
+
+// HospitalPolicyText is the Table 1 policy in the textual policy format
+// (default semantics deny, conflict resolution deny-overrides).
+const HospitalPolicyText = `
+default deny
+conflict deny
+rule R1 allow //patient
+rule R2 allow //patient/name
+rule R3 deny //patient[treatment]
+rule R4 allow //patient[treatment]/name
+rule R5 deny //patient[.//experimental]
+rule R6 allow //regular
+rule R7 allow //regular[med = "celecoxib"]
+rule R8 allow //regular[bill > 1000]
+`
+
+// HospitalSchema returns the parsed hospital DTD.
+func HospitalSchema() *Schema { return hospital.Schema() }
+
+// HospitalDocument returns the Figure 2 document.
+func HospitalDocument() *Document { return hospital.Document() }
+
+// HospitalPolicy returns the parsed Table 1 policy.
+func HospitalPolicy() *Policy {
+	p, err := ParsePolicy(HospitalPolicyText)
+	if err != nil {
+		panic(err) // the fixture is a compile-time constant
+	}
+	return p
+}
+
+// HospitalGenOptions configures GenerateHospital.
+type HospitalGenOptions = hospital.GenOptions
+
+// GenerateHospital produces a larger schema-valid hospital document for
+// experiments, deterministically per seed.
+func GenerateHospital(opts HospitalGenOptions) *Document { return hospital.Generate(opts) }

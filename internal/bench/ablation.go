@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"xmlac/internal/cam"
+	"xmlac/internal/core"
+	"xmlac/internal/hospital"
+	"xmlac/internal/policy"
+	"xmlac/internal/xmark"
+)
+
+// Ablation experiments: quantify the design choices and extensions
+// DESIGN.md calls out, beyond the paper's own figures.
+
+// AblationReport carries the measured effects.
+type AblationReport struct {
+	// Optimizer effect on the hospital policy.
+	RulesBefore, RulesAfter  int
+	AnnotateRaw, AnnotateOpt time.Duration
+	// Schema-aware containment effect on the coverage dataset policies.
+	PlainRemoved, SchemaRemoved int
+	PlainEdges, SchemaEdges     int
+	// CAM compression across the coverage dataset (marks per 1000 elements,
+	// by policy name).
+	CamDensity map[string]float64
+	// Security-view visibility per coverage policy (fraction of elements).
+	ViewRatio map[string]float64
+}
+
+// Ablation measures everything on a mid-size generated document.
+func Ablation(factor float64, seed uint64) (*AblationReport, error) {
+	rep := &AblationReport{CamDensity: map[string]float64{}, ViewRatio: map[string]float64{}}
+
+	// Optimizer effect (paper Table 3 policy on a generated hospital doc).
+	hosPolicy := policy.MustParse(`
+default deny
+conflict deny
+rule R1 allow //patient
+rule R2 allow //patient/name
+rule R3 deny //patient[treatment]
+rule R4 allow //patient[treatment]/name
+rule R5 deny //patient[.//experimental]
+rule R6 allow //regular
+rule R7 allow //regular[med = "celecoxib"]
+rule R8 allow //regular[bill > 1000]
+`)
+	reduced, removed := core.RemoveRedundant(hosPolicy)
+	rep.RulesBefore = len(hosPolicy.Rules)
+	rep.RulesAfter = len(reduced.Rules)
+	_ = removed
+	hosDoc := hospital.Generate(hospital.GenOptions{Seed: seed, Departments: 4, PatientsPerDept: 300, StaffPerDept: 50})
+	for _, optimize := range []bool{false, true} {
+		sys, err := core.NewSystem(core.Config{
+			Schema: hospital.Schema(), Policy: hosPolicy.Clone(),
+			Backend: core.BackendNative, Optimize: optimize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Load(hosDoc.Clone()); err != nil {
+			return nil, err
+		}
+		best := time.Duration(0)
+		for i := 0; i < 3; i++ {
+			_, d, err := sys.Annotate()
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 || d < best {
+				best = d
+			}
+		}
+		if optimize {
+			rep.AnnotateOpt = best
+		} else {
+			rep.AnnotateRaw = best
+		}
+	}
+
+	// Schema-aware containment effect across the coverage dataset.
+	schema := xmark.Schema()
+	schemaContains := core.SchemaContainFunc(schema)
+	for _, np := range CoveragePolicies() {
+		_, plainGone := core.RemoveRedundant(np.Policy)
+		_, schemaGone := core.RemoveRedundantWith(np.Policy, schemaContains)
+		rep.PlainRemoved += len(plainGone)
+		rep.SchemaRemoved += len(schemaGone)
+		pg := core.BuildDependencyGraph(np.Policy)
+		sg := core.BuildDependencyGraphWith(np.Policy, schemaContains)
+		rep.PlainEdges += countEdges(pg)
+		rep.SchemaEdges += countEdges(sg)
+	}
+
+	// CAM density and view visibility per coverage policy.
+	doc := xmark.Generate(xmark.Options{Factor: factor, Seed: seed})
+	for _, np := range CoveragePolicies() {
+		acc, err := np.Policy.Semantics(doc)
+		if err != nil {
+			return nil, err
+		}
+		m := cam.Build(doc, acc, false)
+		rep.CamDensity[np.Name] = float64(m.Size()) * 1000 / float64(doc.ElementCount())
+		view := core.BuildView(doc, acc, core.ViewPromote)
+		rep.ViewRatio[np.Name] = float64(view.ElementCount()) / float64(doc.ElementCount())
+	}
+	return rep, nil
+}
+
+func countEdges(g *core.DependencyGraph) int {
+	n := 0
+	for _, nb := range g.Neighbors {
+		n += len(nb)
+	}
+	return n / 2
+}
+
+// PrintAblation renders the report.
+func PrintAblation(w io.Writer, r *AblationReport) {
+	fmt.Fprintln(w, "Ablation: design choices and extensions")
+	fmt.Fprintf(w, "  optimizer (hospital policy): %d → %d rules; full annotation %s → %s (%.1fx)\n",
+		r.RulesBefore, r.RulesAfter, fmtDur(r.AnnotateRaw), fmtDur(r.AnnotateOpt),
+		float64(r.AnnotateRaw)/float64(max64(1, int64(r.AnnotateOpt))))
+	fmt.Fprintf(w, "  schema-aware containment (coverage dataset): removed rules %d → %d; dependency edges %d → %d\n",
+		r.PlainRemoved, r.SchemaRemoved, r.PlainEdges, r.SchemaEdges)
+	fmt.Fprintln(w, "  compressed accessibility map density (marks per 1k elements) and promote-view visibility:")
+	for _, np := range CoveragePolicies() {
+		fmt.Fprintf(w, "    %-4s %8.1f marks/1k   view %5.1f%%\n",
+			np.Name, r.CamDensity[np.Name], r.ViewRatio[np.Name]*100)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

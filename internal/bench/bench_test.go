@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"xmlac/internal/core"
+	"xmlac/internal/xmark"
+)
+
+func TestValidateWorkload(t *testing.T) {
+	if err := ValidateWorkload(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoveragePoliciesParseAndGrow(t *testing.T) {
+	ps := CoveragePolicies()
+	if len(ps) != 5 {
+		t.Fatalf("policies = %d", len(ps))
+	}
+	// Each policy strictly extends the previous rule set.
+	for i := 1; i < len(ps); i++ {
+		if len(ps[i].Policy.Rules) <= len(ps[i-1].Policy.Rules) {
+			t.Fatalf("policy %s does not extend %s", ps[i].Name, ps[i-1].Name)
+		}
+	}
+}
+
+// TestCoverageIncreasesAcrossDataset: measured coverage grows monotonically
+// through the dataset and spans a wide range, as the paper's 25–70% x-axis
+// requires.
+func TestCoverageIncreasesAcrossDataset(t *testing.T) {
+	doc := xmark.Generate(xmark.Options{Factor: 0.003, Seed: 1})
+	prev := -1.0
+	var last float64
+	for _, np := range CoveragePolicies() {
+		sys, err := newSystem(core.BackendNative, np.Policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Load(doc.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := sys.Annotate(); err != nil {
+			t.Fatal(err)
+		}
+		cov, err := sys.Coverage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("policy %s: coverage %.1f%%", np.Name, cov*100)
+		if cov <= prev {
+			t.Fatalf("coverage not increasing at %s: %f after %f", np.Name, cov, prev)
+		}
+		prev = cov
+		last = cov
+	}
+	if last < 0.5 {
+		t.Fatalf("final coverage only %.1f%%; dataset too narrow", last*100)
+	}
+}
+
+func TestTable5RowsGrow(t *testing.T) {
+	rows, err := Table5([]float64{0.0001, 0.001}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].XMLBytes <= rows[0].XMLBytes || rows[1].SQLBytes <= rows[0].SQLBytes {
+		t.Fatalf("sizes do not grow: %+v", rows)
+	}
+	// The SQL representation is larger than the XML one, as in Table 5's
+	// small factors.
+	if rows[0].SQLBytes <= rows[0].XMLBytes {
+		t.Fatalf("SQL %d should exceed XML %d at small factors", rows[0].SQLBytes, rows[0].XMLBytes)
+	}
+	var sb strings.Builder
+	PrintTable5(&sb, rows)
+	if !strings.Contains(sb.String(), "Table 5") {
+		t.Fatal("print output missing title")
+	}
+}
+
+func TestFig9NativeLoadsFaster(t *testing.T) {
+	rows, err := Fig9([]float64{0.001}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	nat := r.Times[core.BackendNative.String()]
+	col := r.Times[core.BackendColumn.String()]
+	row := r.Times[core.BackendRow.String()]
+	if nat == 0 || col == 0 || row == 0 {
+		t.Fatalf("missing timings: %+v", r.Times)
+	}
+	// Paper: native loading is over an order of magnitude faster than
+	// running the INSERT stream. Require at least 3x here to avoid
+	// flakiness on tiny documents.
+	if float64(col)/float64(nat) < 3 || float64(row)/float64(nat) < 3 {
+		t.Fatalf("native load not clearly faster: nat=%v col=%v row=%v", nat, col, row)
+	}
+	var sb strings.Builder
+	PrintFig9(&sb, rows)
+	if !strings.Contains(sb.String(), "Figure 9") {
+		t.Fatal("print output missing title")
+	}
+}
+
+func TestFig10RunsWorkload(t *testing.T) {
+	rows, err := Fig10([]float64{0.0005}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	for _, b := range AllBackends {
+		if r.Avg[b.String()] == 0 {
+			t.Fatalf("no timing for %s", b)
+		}
+	}
+	// All backends grant the same number of requests (store equivalence).
+	g := r.Granted[core.BackendNative.String()]
+	if g == 0 || g == Queries55 {
+		t.Fatalf("degenerate workload: %d/%d granted", g, Queries55)
+	}
+	for _, b := range AllBackends {
+		if r.Granted[b.String()] != g {
+			t.Fatalf("grant counts differ: %v", r.Granted)
+		}
+	}
+}
+
+func TestFig11ProducesAllSeries(t *testing.T) {
+	rows, err := Fig11([]float64{0.0005}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(AllBackends)*1*5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var sb strings.Builder
+	PrintFig11(&sb, rows)
+	for _, b := range AllBackends {
+		if !strings.Contains(sb.String(), "("+b.String()+")") {
+			t.Fatalf("missing sub-figure for %s:\n%s", b, sb.String())
+		}
+	}
+}
+
+func TestFig12ReannotationWins(t *testing.T) {
+	rows, err := Fig12([]float64{0.002}, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(AllBackends) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Updates != 8 {
+			t.Fatalf("updates = %d", r.Updates)
+		}
+		if r.Speedup() <= 1 {
+			t.Fatalf("backend %s: reannotation (%v) not faster than full annotation (%v)",
+				r.Backend, r.Reannot, r.Fannot)
+		}
+	}
+	var sb strings.Builder
+	PrintFig12(&sb, rows)
+	if !strings.Contains(sb.String(), "speedup") {
+		t.Fatal("print output missing speedup column")
+	}
+}
+
+func TestAblationRuns(t *testing.T) {
+	rep, err := Ablation(0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RulesBefore != 8 || rep.RulesAfter != 5 {
+		t.Fatalf("optimizer: %d → %d", rep.RulesBefore, rep.RulesAfter)
+	}
+	if rep.AnnotateRaw <= rep.AnnotateOpt/2 {
+		t.Fatalf("optimized annotation should not be slower: raw %v opt %v", rep.AnnotateRaw, rep.AnnotateOpt)
+	}
+	if rep.SchemaEdges < rep.PlainEdges {
+		t.Fatalf("schema-aware graph lost edges: %d vs %d", rep.SchemaEdges, rep.PlainEdges)
+	}
+	for _, np := range CoveragePolicies() {
+		if rep.CamDensity[np.Name] <= 0 || rep.CamDensity[np.Name] >= 1000 {
+			t.Fatalf("cam density for %s = %f", np.Name, rep.CamDensity[np.Name])
+		}
+		if rep.ViewRatio[np.Name] <= 0 || rep.ViewRatio[np.Name] >= 1 {
+			t.Fatalf("view ratio for %s = %f", np.Name, rep.ViewRatio[np.Name])
+		}
+	}
+	var sb strings.Builder
+	PrintAblation(&sb, rep)
+	if !strings.Contains(sb.String(), "optimizer") {
+		t.Fatal("print output missing")
+	}
+}

@@ -1,0 +1,90 @@
+// Package bench implements the paper's evaluation harness (Section 7): the
+// coverage policy dataset, the 55-query workload, the delete-update
+// workload derived from it, and runners that regenerate every table and
+// figure of the evaluation as printed series — Table 5 (document sizes),
+// Figure 9 (loading time), Figure 10 (response time), Figure 11 (annotation
+// time vs coverage) and Figure 12 (re-annotation vs full annotation).
+package bench
+
+import (
+	"fmt"
+
+	"xmlac/internal/policy"
+)
+
+// NamedPolicy pairs a coverage policy with its dataset label.
+type NamedPolicy struct {
+	Name   string
+	Policy *policy.Policy
+}
+
+// CoveragePolicies returns the coverage policy dataset: hand-crafted
+// policies over the XMark schema that "force the system to annotate
+// increasingly larger portions of the data" (Section 7.1). Policies are
+// cumulative — each grants everything its predecessor grants plus one more
+// region of the site — and each includes deny rules that interact with the
+// grants, so dependency resolution and EXCEPT processing stay exercised.
+// The actual coverage percentage is measured after annotation, as in the
+// paper.
+func CoveragePolicies() []NamedPolicy {
+	groups := [][]string{
+		// c1: closed auctions, categories and the category graph.
+		{
+			"rule g1a allow //closed_auction",
+			"rule g1b allow //closed_auction//*",
+			"rule g1c allow //category",
+			"rule g1d allow //category//*",
+			"rule g1e allow //edge",
+			"rule d1 deny //closed_auction[price > 400]",
+		},
+		// c2: + open auctions without their bid histories.
+		{
+			"rule g2a allow //open_auction",
+			"rule g2b allow //open_auction/*",
+			"rule g2c allow //open_auction/annotation//*",
+			"rule g2d allow //interval/*",
+			"rule d2 deny //open_auction[privacy = \"Yes\"]",
+		},
+		// c3: + bid histories.
+		{
+			"rule g3a allow //bidder//*",
+			"rule d3 deny //bidder[increase > 20]",
+		},
+		// c4: + people.
+		{
+			"rule g4a allow //person",
+			"rule g4b allow //person//*",
+			"rule d4 deny //creditcard",
+			"rule d5 deny //person[creditcard]",
+		},
+		// c5: + item descriptions and identities (not mailboxes).
+		{
+			"rule g5a allow //item",
+			"rule g5b allow //item/name",
+			"rule g5c allow //item/location",
+			"rule g5d allow //item/quantity",
+			"rule g5e allow //item/description",
+			"rule g5f allow //item/description//*",
+			"rule d6 deny //mail",
+		},
+	}
+	var out []NamedPolicy
+	text := "default deny\nconflict deny\n"
+	for i, g := range groups {
+		for _, line := range g {
+			text += line + "\n"
+		}
+		out = append(out, NamedPolicy{
+			Name:   fmt.Sprintf("c%d", i+1),
+			Policy: policy.MustParse(text),
+		})
+	}
+	return out
+}
+
+// MidPolicy is the mid-coverage policy used by experiments that need one
+// fixed policy (response time, re-annotation).
+func MidPolicy() *policy.Policy {
+	ps := CoveragePolicies()
+	return ps[len(ps)/2].Policy
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"xmlac/internal/xpath"
+)
+
+// queryTexts is the 55-query workload of the evaluation ("we run 55
+// different queries (of the same complexity as the coverage policy
+// dataset)", Section 7.2). The mix mirrors the coverage rules: plain label
+// paths, child chains, descendant steps, wildcards, existence qualifiers
+// and value comparisons over the XMark schema.
+var queryTexts = [55]string{
+	// Plain descendant label queries.
+	"//item",
+	"//person",
+	"//open_auction",
+	"//closed_auction",
+	"//category",
+	"//bidder",
+	"//annotation",
+	"//description",
+	"//mailbox",
+	"//mail",
+	"//creditcard",
+	"//privacy",
+	"//reserve",
+	"//interval",
+	"//edge",
+	// Child chains.
+	"/site/regions",
+	"/site/people/person",
+	"/site/open_auctions/open_auction",
+	"/site/closed_auctions/closed_auction",
+	"/site/categories/category",
+	"/site/regions/europe/item",
+	"/site/regions/namerica/item",
+	"/site/regions/asia/item",
+	"//item/name",
+	"//person/name",
+	"//category/name",
+	"//open_auction/initial",
+	"//closed_auction/price",
+	"//bidder/increase",
+	"//person/address/city",
+	"//item/mailbox/mail",
+	"//annotation/happiness",
+	"//interval/start",
+	// Descendants and wildcards.
+	"//regions//item",
+	"//open_auction//increase",
+	"//person//zipcode",
+	"//item//keyword",
+	"//annotation//emph",
+	"//regions/*",
+	"//person/*",
+	"//open_auction/*",
+	"//item/*/text",
+	// Existence qualifiers.
+	"//person[creditcard]",
+	"//person[address]",
+	"//person[profile/age]",
+	"//open_auction[bidder]",
+	"//open_auction[reserve]",
+	"//item[mailbox/mail]",
+	"//person[.//watch]",
+	"//open_auction[.//personref]",
+	// Value comparisons.
+	`//item[payment = "Creditcard"]`,
+	`//open_auction[privacy = "Yes"]`,
+	"//closed_auction[price > 400]",
+	"//person[profile/age > 40]",
+	"//open_auction[bidder/increase > 10]",
+}
+
+// Queries returns the 55-query workload, parsed.
+func Queries() []*xpath.Path {
+	out := make([]*xpath.Path, len(queryTexts))
+	for i, q := range queryTexts {
+		out[i] = xpath.MustParse(q)
+	}
+	return out
+}
+
+// updateTexts is the delete-update workload of the re-annotation experiment
+// ("we run the same 55 queries (derived from the coverage dataset) as
+// delete updates", Section 7.2). It keeps the query mix but drops
+// expressions whose deletion would remove the site skeleton (the root or a
+// whole top-level section), which the system rejects and the paper's
+// updates avoided.
+var updateTexts = []string{
+	"//creditcard",
+	"//privacy",
+	"//reserve",
+	"//bidder",
+	"//annotation",
+	"//mail",
+	"//mailbox",
+	"//interval",
+	"//edge",
+	"//item/name",
+	"//category/name",
+	"//bidder/increase",
+	"//person/address/city",
+	"//annotation/happiness",
+	"//person//zipcode",
+	"//item//keyword",
+	"//annotation//emph",
+	"//person[creditcard]",
+	"//open_auction[bidder]",
+	"//item[mailbox/mail]",
+	"//person[.//watch]",
+	`//item[payment = "Creditcard"]`,
+	`//open_auction[privacy = "Yes"]`,
+	"//closed_auction[price > 400]",
+	"//person[profile/age > 40]",
+	"//open_auction[bidder/increase > 10]",
+	"//person/address",
+	"//person/profile",
+	"//item/description",
+	"//open_auction/annotation",
+	"//closed_auction/annotation",
+	"//category/description",
+	"//item/mailbox/mail",
+	"//open_auction/bidder",
+	"//person/watches",
+	"//person/phone",
+	"//item/incategory",
+	"//open_auction//personref",
+	"//person/profile/interest",
+	"//item/shipping",
+}
+
+// Updates returns the delete-update workload, parsed.
+func Updates() []*xpath.Path {
+	out := make([]*xpath.Path, len(updateTexts))
+	for i, u := range updateTexts {
+		out[i] = xpath.MustParse(u)
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+
+	"xmlac/internal/nativedb"
+	"xmlac/internal/policy"
+	"xmlac/internal/shred"
+	"xmlac/internal/sqldb"
+	"xmlac/internal/xmltree"
+)
+
+// AnnotationQuery is the output of algorithm Annotation-Queries (Figure 5):
+// the node-set expression designating the nodes whose sign must be flipped
+// away from the policy default, together with that sign. Implementing the
+// Table 2 semantics:
+//
+//	ds=− cr=− : update (grants EXCEPT denys) to '+'
+//	ds=− cr=+ : update grants to '+'
+//	ds=+ cr=− : update denys to '−'
+//	ds=+ cr=+ : update (denys EXCEPT grants) to '−'
+//
+// Everything outside the update set keeps the default sign, which the paper
+// materializes at load time ("initialized to the default semantics of the
+// policy") and the native store leaves unannotated.
+type AnnotationQuery struct {
+	// Expr selects the nodes to update; nil when the rule sets make the
+	// update set trivially empty.
+	Expr *nativedb.SetExpr
+	// Sign is the annotation to write on the selected nodes (the opposite
+	// of the policy default).
+	Sign xmltree.Sign
+	// Default is the policy's default sign, for the remaining nodes.
+	Default xmltree.Sign
+}
+
+// BuildAnnotationQuery implements Annotation-Queries for a policy (or for a
+// sub-policy of triggered rules during re-annotation).
+func BuildAnnotationQuery(p *policy.Policy) AnnotationQuery {
+	var grantPaths, denyPaths []*nativedb.SetExpr
+	for _, r := range p.Rules {
+		leaf := nativedb.PathLeaf(r.Resource)
+		if r.Effect == policy.Allow {
+			grantPaths = append(grantPaths, leaf)
+		} else {
+			denyPaths = append(denyPaths, leaf)
+		}
+	}
+	grants := nativedb.Combine(nativedb.OpUnion, grantPaths...)
+	denys := nativedb.Combine(nativedb.OpUnion, denyPaths...)
+	q := AnnotationQuery{}
+	if p.Default == policy.Deny {
+		q.Sign, q.Default = xmltree.SignPlus, xmltree.SignMinus
+		if p.Conflict == policy.Deny {
+			q.Expr = exceptOf(grants, denys)
+		} else {
+			q.Expr = grants
+		}
+	} else {
+		q.Sign, q.Default = xmltree.SignMinus, xmltree.SignPlus
+		if p.Conflict == policy.Deny {
+			q.Expr = denys
+		} else {
+			q.Expr = exceptOf(denys, grants)
+		}
+	}
+	return q
+}
+
+func exceptOf(a, b *nativedb.SetExpr) *nativedb.SetExpr {
+	if a == nil {
+		return nil
+	}
+	if b == nil {
+		return a
+	}
+	return &nativedb.SetExpr{Op: nativedb.OpExcept, Left: a, Right: b}
+}
+
+// XQueryText renders the annotation query as the mini-XQuery update the
+// native store executes, mirroring the paper's example
+//
+//	for $n := doc("xmlgen")((R1 union R2 union R6) except (R3 union R5))
+//	return xmlac:annotate($n, "+")
+func (q AnnotationQuery) XQueryText(docName string) string {
+	if q.Expr == nil {
+		return ""
+	}
+	return fmt.Sprintf(`for $n in doc(%q)(%s) return xmlac:annotate($n, %q)`,
+		docName, q.Expr, q.Sign.String())
+}
+
+// SQLText renders the annotation query as the compound SQL SELECT computing
+// the universal ids to update, e.g. the paper's
+//
+//	(Q1 UNION Q2 UNION Q6) EXCEPT (Q3 UNION Q5)
+func (q AnnotationQuery) SQLText(m *shred.Mapping) (string, error) {
+	if q.Expr == nil {
+		return "", nil
+	}
+	return setExprSQL(m, q.Expr)
+}
+
+func setExprSQL(m *shred.Mapping, e *nativedb.SetExpr) (string, error) {
+	if e.Path != nil {
+		return shred.Translate(m, e.Path)
+	}
+	l, err := setExprSQL(m, e.Left)
+	if err != nil {
+		return "", err
+	}
+	r, err := setExprSQL(m, e.Right)
+	if err != nil {
+		return "", err
+	}
+	var op string
+	switch e.Op {
+	case nativedb.OpUnion:
+		op = "UNION"
+	case nativedb.OpExcept:
+		op = "EXCEPT"
+	default:
+		op = "INTERSECT"
+	}
+	return "(" + l + ") " + op + " (" + r + ")", nil
+}
+
+// AnnotateStats reports what an annotation run did.
+type AnnotateStats struct {
+	// Updated is the number of nodes whose sign was set away from default.
+	Updated int
+	// Reset is the number of nodes whose sign was (re)set to the default
+	// (full annotation resets everything; re-annotation only the affected
+	// region).
+	Reset int
+}
+
+// AnnotateNative performs full annotation of a document in the native
+// store: clear all annotations (back to the materialized default), then run
+// the annotation query. Mirroring the paper's native-store choice, only the
+// nodes on the non-default side carry explicit signs afterwards.
+func AnnotateNative(store *nativedb.Store, docName string, p *policy.Policy) (AnnotateStats, error) {
+	doc := store.Doc(docName)
+	if doc == nil {
+		return AnnotateStats{}, fmt.Errorf("core: no document %q in native store", docName)
+	}
+	stats := AnnotateStats{Reset: doc.Size()}
+	doc.ClearSigns()
+	q := BuildAnnotationQuery(p)
+	if q.Expr == nil {
+		return stats, nil
+	}
+	res, err := store.Exec(q.XQueryText(docName))
+	if err != nil {
+		return stats, err
+	}
+	stats.Updated = res.Count
+	return stats, nil
+}
+
+// AnnotateRelational implements algorithm Annotate (Figure 6) as a full
+// annotation: reset every tuple's s column to the policy default, run the
+// annotation SQL to compute the id set S, then — exactly as the paper's
+// two-phase algorithm does — iterate over all tables, intersect each
+// table's ids with S, and issue one UPDATE per matching tuple.
+func AnnotateRelational(db *sqldb.Database, m *shred.Mapping, p *policy.Policy) (AnnotateStats, error) {
+	stats := AnnotateStats{}
+	q := BuildAnnotationQuery(p)
+	defSign := "'" + q.Default.String() + "'"
+	for _, ti := range m.Tables() {
+		res, err := db.Exec(fmt.Sprintf("UPDATE %s SET %s = %s", ti.Table, shred.SignColumn, defSign))
+		if err != nil {
+			return stats, err
+		}
+		stats.Reset += res.Affected
+	}
+	if q.Expr == nil {
+		return stats, nil
+	}
+	sqlText, err := q.SQLText(m)
+	if err != nil {
+		return stats, err
+	}
+	ids, err := queryIDs(db, sqlText)
+	if err != nil {
+		return stats, err
+	}
+	n, err := updateSigns(db, m, ids, q.Sign)
+	if err != nil {
+		return stats, err
+	}
+	stats.Updated = n
+	return stats, nil
+}
+
+// queryIDs runs a compound id query and returns the id set.
+func queryIDs(db *sqldb.Database, sqlText string) (map[int64]bool, error) {
+	res, err := db.Exec(sqlText)
+	if err != nil {
+		return nil, fmt.Errorf("core: annotation query failed: %w\nSQL: %s", err, truncateSQL(sqlText))
+	}
+	ids := make(map[int64]bool, len(res.Rows))
+	for _, row := range res.Rows {
+		ids[row[0].I] = true
+	}
+	return ids, nil
+}
+
+// updateSigns is the second phase of Figure 6: for each table, intersect
+// its ids with the computed set and update the matching tuples one by one.
+func updateSigns(db *sqldb.Database, m *shred.Mapping, ids map[int64]bool, sign xmltree.Sign) (int, error) {
+	total := 0
+	signLit := "'" + sign.String() + "'"
+	for _, ti := range m.Tables() {
+		res, err := db.Exec("SELECT id FROM " + ti.Table)
+		if err != nil {
+			return total, err
+		}
+		for _, row := range res.Rows {
+			id := row[0].I
+			if !ids[id] {
+				continue
+			}
+			if _, err := db.Exec(fmt.Sprintf(
+				"UPDATE %s SET %s = %s WHERE id = %d", ti.Table, shred.SignColumn, signLit, id)); err != nil {
+				return total, err
+			}
+			total++
+		}
+	}
+	return total, nil
+}
+
+func truncateSQL(s string) string {
+	if len(s) <= 400 {
+		return s
+	}
+	return s[:400] + " …"
+}
+
+// accessibleNative decides a node's accessibility in the native store:
+// explicit sign wins, absence means the policy default.
+func accessibleNative(n *xmltree.Node, def policy.Effect) bool {
+	switch n.Sign {
+	case xmltree.SignPlus:
+		return true
+	case xmltree.SignMinus:
+		return false
+	default:
+		return def == policy.Allow
+	}
+}
+
+// AccessibleIDsNative lists the accessible element ids of the annotated
+// native document under the given default.
+func AccessibleIDsNative(doc *xmltree.Document, def policy.Effect) map[int64]bool {
+	out := map[int64]bool{}
+	doc.Walk(func(n *xmltree.Node) bool {
+		if n.IsElement() && accessibleNative(n, def) {
+			out[n.ID] = true
+		}
+		return true
+	})
+	return out
+}
+
+// AccessibleIDsRelational lists the accessible tuple ids of the annotated
+// relational store (s = '+').
+func AccessibleIDsRelational(db *sqldb.Database, m *shred.Mapping) (map[int64]bool, error) {
+	out := map[int64]bool{}
+	for _, ti := range m.Tables() {
+		res, err := db.Exec(fmt.Sprintf("SELECT id FROM %s WHERE %s = '+'", ti.Table, shred.SignColumn))
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range res.Rows {
+			out[row[0].I] = true
+		}
+	}
+	return out, nil
+}
+
+// CoverageNative returns the fraction of element nodes annotated accessible
+// — the paper "evaluated the actual coverage percents with XQuery after
+// each document annotation".
+func CoverageNative(doc *xmltree.Document, def policy.Effect) float64 {
+	total := 0
+	acc := 0
+	doc.Walk(func(n *xmltree.Node) bool {
+		if n.IsElement() {
+			total++
+			if accessibleNative(n, def) {
+				acc++
+			}
+		}
+		return true
+	})
+	if total == 0 {
+		return 0
+	}
+	return float64(acc) / float64(total)
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlac/internal/nativedb"
+	"xmlac/internal/shred"
+	"xmlac/internal/sqldb"
+	"xmlac/internal/xmltree"
+	"xmlac/internal/xpath"
+)
+
+// Re-annotation (Section 5.3) runs in two phases around the document
+// update, because the affected region must be observed both before the
+// update (nodes that may *lose* their non-default sign) and after it
+// (nodes that may *gain* one):
+//
+//  1. Prepare: run Trigger on the update expression, build the triggered
+//     sub-policy, and record the pre-update scope of the triggered rules.
+//  2. Apply the update (outside this package's control).
+//  3. Complete: record the post-update scope, form the affected set N as
+//     the union of both scopes (restricted to surviving nodes), evaluate
+//     the sub-policy's annotation query, and rewrite signs only within N.
+//
+// The paper's full-annotation baseline instead clears everything and runs
+// the whole policy; Figure 12 compares the two.
+
+// NativeReannotation is a prepared native-store re-annotation.
+type NativeReannotation struct {
+	reann     *Reannotator
+	Triggered []int
+	query     AnnotationQuery
+	scopeExpr *nativedb.SetExpr
+	preIDs    map[int64]bool
+}
+
+// PrepareNativeReannotation runs phase 1 against the native document. Call
+// it before applying the update to the tree.
+func PrepareNativeReannotation(doc *xmltree.Document, r *Reannotator, us ...*xpath.Path) (*NativeReannotation, error) {
+	triggered := r.TriggerAll(us)
+	sub := r.TriggeredPolicy(triggered)
+	var scopeLeaves []*nativedb.SetExpr
+	for _, rule := range sub.Rules {
+		scopeLeaves = append(scopeLeaves, nativedb.PathLeaf(rule.Resource))
+	}
+	prep := &NativeReannotation{
+		reann:     r,
+		Triggered: triggered,
+		query:     BuildAnnotationQuery(sub),
+		scopeExpr: nativedb.Combine(nativedb.OpUnion, scopeLeaves...),
+		preIDs:    map[int64]bool{},
+	}
+	if prep.scopeExpr != nil {
+		nodes, err := nativedb.EvalSet(prep.scopeExpr, doc)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range nodes {
+			prep.preIDs[n.ID] = true
+		}
+	}
+	return prep, nil
+}
+
+// Complete runs phase 3 on the updated tree.
+func (p *NativeReannotation) Complete(doc *xmltree.Document) (AnnotateStats, error) {
+	stats := AnnotateStats{}
+	if len(p.Triggered) == 0 {
+		return stats, nil
+	}
+	// Post-update scope.
+	affected := map[int64]bool{}
+	for id := range p.preIDs {
+		if doc.NodeByID(id) != nil {
+			affected[id] = true
+		}
+	}
+	if p.scopeExpr != nil {
+		nodes, err := nativedb.EvalSet(p.scopeExpr, doc)
+		if err != nil {
+			return stats, err
+		}
+		for _, n := range nodes {
+			affected[n.ID] = true
+		}
+	}
+	// The sub-policy's update set.
+	updateSet := map[int64]bool{}
+	if p.query.Expr != nil {
+		nodes, err := nativedb.EvalSet(p.query.Expr, doc)
+		if err != nil {
+			return stats, err
+		}
+		for _, n := range nodes {
+			updateSet[n.ID] = true
+		}
+	}
+	for id := range affected {
+		n := doc.NodeByID(id)
+		if n == nil {
+			continue
+		}
+		if updateSet[id] {
+			nativedb.Annotate(n, p.query.Sign)
+			stats.Updated++
+		} else {
+			nativedb.Annotate(n, xmltree.SignNone) // back to the default
+			stats.Reset++
+		}
+	}
+	return stats, nil
+}
+
+// RelationalReannotation is a prepared relational re-annotation.
+type RelationalReannotation struct {
+	reann     *Reannotator
+	Triggered []int
+	query     AnnotationQuery
+	scopeSQL  string
+	preIDs    map[int64]bool
+}
+
+// PrepareRelationalReannotation runs phase 1 against the relational store.
+// Call it before deleting the affected tuples.
+func PrepareRelationalReannotation(db *sqldb.Database, m *shred.Mapping, r *Reannotator, us ...*xpath.Path) (*RelationalReannotation, error) {
+	triggered := r.TriggerAll(us)
+	sub := r.TriggeredPolicy(triggered)
+	prep := &RelationalReannotation{
+		reann:     r,
+		Triggered: triggered,
+		query:     BuildAnnotationQuery(sub),
+		preIDs:    map[int64]bool{},
+	}
+	var scopeParts []string
+	for _, rule := range sub.Rules {
+		q, err := shred.Translate(m, rule.Resource)
+		if err != nil {
+			return nil, err
+		}
+		scopeParts = append(scopeParts, "("+q+")")
+	}
+	if len(scopeParts) > 0 {
+		prep.scopeSQL = strings.Join(scopeParts, " UNION ")
+		ids, err := queryIDs(db, prep.scopeSQL)
+		if err != nil {
+			return nil, err
+		}
+		prep.preIDs = ids
+	}
+	return prep, nil
+}
+
+// Complete runs phase 3 on the updated database: it recomputes the scope,
+// forms the affected set, evaluates the sub-policy's annotation SQL, and —
+// following the two-phase discipline of Figure 6 — updates signs tuple by
+// tuple, but only within the affected set.
+func (p *RelationalReannotation) Complete(db *sqldb.Database, m *shred.Mapping) (AnnotateStats, error) {
+	stats := AnnotateStats{}
+	if len(p.Triggered) == 0 {
+		return stats, nil
+	}
+	affected := make(map[int64]bool, len(p.preIDs))
+	for id := range p.preIDs {
+		affected[id] = true // dead ids are skipped by the table iteration
+	}
+	if p.scopeSQL != "" {
+		post, err := queryIDs(db, p.scopeSQL)
+		if err != nil {
+			return stats, err
+		}
+		for id := range post {
+			affected[id] = true
+		}
+	}
+	updateSet := map[int64]bool{}
+	if p.query.Expr != nil {
+		sqlText, err := p.query.SQLText(m)
+		if err != nil {
+			return stats, err
+		}
+		updateSet, err = queryIDs(db, sqlText)
+		if err != nil {
+			return stats, err
+		}
+	}
+	signLit := "'" + p.query.Sign.String() + "'"
+	defLit := "'" + p.query.Default.String() + "'"
+	for _, ti := range m.Tables() {
+		res, err := db.Exec("SELECT id FROM " + ti.Table)
+		if err != nil {
+			return stats, err
+		}
+		for _, row := range res.Rows {
+			id := row[0].I
+			if !affected[id] {
+				continue
+			}
+			lit := defLit
+			if updateSet[id] {
+				lit = signLit
+				stats.Updated++
+			} else {
+				stats.Reset++
+			}
+			if _, err := db.Exec(fmt.Sprintf(
+				"UPDATE %s SET %s = %s WHERE id = %d", ti.Table, shred.SignColumn, lit, id)); err != nil {
+				return stats, err
+			}
+		}
+	}
+	return stats, nil
+}
+
+// ApplyDeleteTree applies a delete update to the document: every node
+// matched by u is removed with its subtree. It returns the deleted
+// *element* ids grouped by element label (the relational store needs them
+// grouped by table) and the total number of deleted nodes including text
+// nodes.
+func ApplyDeleteTree(doc *xmltree.Document, u *xpath.Path) (map[string][]int64, int, error) {
+	matches, err := xpath.Eval(u, doc)
+	if err != nil {
+		return nil, 0, err
+	}
+	byLabel := map[string][]int64{}
+	total := 0
+	for _, n := range matches {
+		if !doc.Contains(n) {
+			continue // already removed inside an earlier match's subtree
+		}
+		if n == doc.Root() {
+			return nil, 0, fmt.Errorf("core: update %q would delete the document root", u)
+		}
+		// Record the subtree's element ids before removal.
+		var stack []*xmltree.Node
+		stack = append(stack, n)
+		for len(stack) > 0 {
+			m := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if m.IsElement() {
+				byLabel[m.Label] = append(byLabel[m.Label], m.ID)
+			}
+			total++
+			stack = append(stack, m.Children()...)
+		}
+		if err := doc.DeleteSubtree(n); err != nil {
+			return nil, 0, err
+		}
+	}
+	return byLabel, total, nil
+}
+
+// DeleteRelationalRows removes the tuples of deleted nodes from the
+// relational store, batching ids per table.
+func DeleteRelationalRows(db *sqldb.Database, m *shred.Mapping, byLabel map[string][]int64) (int, error) {
+	const batch = 256
+	total := 0
+	for label, ids := range byLabel {
+		ti := m.TableFor(label)
+		if ti == nil {
+			return total, fmt.Errorf("core: no table for element %q", label)
+		}
+		for start := 0; start < len(ids); start += batch {
+			end := start + batch
+			if end > len(ids) {
+				end = len(ids)
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "DELETE FROM %s WHERE id IN (", ti.Table)
+			for i, id := range ids[start:end] {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%d", id)
+			}
+			b.WriteString(")")
+			res, err := db.Exec(b.String())
+			if err != nil {
+				return total, err
+			}
+			total += res.Affected
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,531 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"xmlac/internal/dtd"
+	"xmlac/internal/nativedb"
+	"xmlac/internal/pattern"
+	"xmlac/internal/policy"
+	"xmlac/internal/shred"
+	"xmlac/internal/sqldb"
+	"xmlac/internal/xmltree"
+	"xmlac/internal/xpath"
+)
+
+// Backend selects where a System materializes annotations.
+type Backend uint8
+
+const (
+	// BackendNative is the native XML store (the MonetDB/XQuery role).
+	BackendNative Backend = iota
+	// BackendRow is the relational row store (the PostgreSQL role).
+	BackendRow
+	// BackendColumn is the relational column store (the MonetDB/SQL role).
+	BackendColumn
+)
+
+// String names the backend as the evaluation figures label the series.
+func (b Backend) String() string {
+	switch b {
+	case BackendNative:
+		return "xquery"
+	case BackendColumn:
+		return "monetsql"
+	default:
+		return "postgres"
+	}
+}
+
+// Config assembles a System.
+type Config struct {
+	// Schema is the document schema; required.
+	Schema *dtd.Schema
+	// Policy is the access-control policy; required.
+	Policy *policy.Policy
+	// Backend selects the annotation store.
+	Backend Backend
+	// Optimize applies redundancy elimination to the policy (Section 5.1);
+	// the paper always runs it first.
+	Optimize bool
+	// SchemaAware switches the optimizer, the dependency graph and the
+	// Trigger algorithm to schema-aware containment (the optimization the
+	// paper's conclusion proposes): containments that only hold on
+	// schema-valid documents are recognized, removing more redundant rules
+	// and discovering more rule interdependencies.
+	SchemaAware bool
+	// EnforceWrite enables access control for update operations (the
+	// paper's future-work extension): before a delete or insert is applied,
+	// every targeted node (the deleted subtree roots, or the insertion
+	// parents) must be updatable under the policy's write rules, evaluated
+	// on the fly with the Table 2 semantics.
+	EnforceWrite bool
+	// DocName names the document inside the native store; defaults to "doc".
+	DocName string
+}
+
+// System is the assembled access-control system of Section 4: optimizer,
+// annotator, reannotator and requester wired over one backend. The XML
+// tree is always kept (it is the document being protected); relational
+// backends additionally maintain the shredded representation and run all
+// annotation and request processing through SQL.
+type System struct {
+	cfg     Config
+	policy  *policy.Policy // optimized read policy (drives annotation)
+	write   *policy.Policy // write rules (drive update checks)
+	removed []policy.Rule
+	reann   *Reannotator
+	mapping *shred.Mapping
+	store   *nativedb.Store
+	db      *sqldb.Database // nil for BackendNative
+	loaded  bool
+}
+
+// NewSystem validates the configuration and builds the system.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("core: Config.Schema is required")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("core: Config.Policy is required")
+	}
+	if err := cfg.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DocName == "" {
+		cfg.DocName = "doc"
+	}
+	s := &System{
+		cfg:    cfg,
+		policy: cfg.Policy.ForAction(policy.ActionRead),
+		write:  cfg.Policy.ForAction(policy.ActionWrite),
+		store:  nativedb.OpenStore(),
+	}
+	contains := ContainFunc(pattern.Contains)
+	if cfg.SchemaAware {
+		contains = SchemaContainFunc(cfg.Schema)
+	}
+	if cfg.Optimize {
+		s.policy, s.removed = RemoveRedundantWith(s.policy, contains)
+	}
+	reann, err := NewReannotatorWith(s.policy, cfg.Schema, contains)
+	if err != nil {
+		return nil, err
+	}
+	s.reann = reann
+	if cfg.Backend != BackendNative {
+		m, err := shred.BuildMapping(cfg.Schema)
+		if err != nil {
+			return nil, err
+		}
+		s.mapping = m
+		engine := sqldb.EngineRow
+		if cfg.Backend == BackendColumn {
+			engine = sqldb.EngineColumn
+		}
+		s.db = sqldb.Open(engine)
+	}
+	return s, nil
+}
+
+// Policy returns the (optimized) read policy in force.
+func (s *System) Policy() *policy.Policy { return s.policy }
+
+// WritePolicy returns the update-control rules in force (empty when the
+// policy has none).
+func (s *System) WritePolicy() *policy.Policy { return s.write }
+
+// ErrUpdateDenied is returned when EnforceWrite rejects an update.
+var ErrUpdateDenied = fmt.Errorf("core: update denied")
+
+// checkWriteAccess verifies every target node is updatable under the write
+// rules, evaluated on the fly (the materialized signs only cover reads).
+func (s *System) checkWriteAccess(targets []*xmltree.Node) error {
+	if !s.cfg.EnforceWrite {
+		return nil
+	}
+	sem, err := s.write.SemanticsAction(s.Document(), policy.ActionWrite)
+	if err != nil {
+		return err
+	}
+	// SemanticsAction folds the default semantics in, so sem is the
+	// complete updatable node set.
+	for _, n := range targets {
+		if !sem[n.ID] {
+			return fmt.Errorf("%w: node %d (%s) is not updatable", ErrUpdateDenied, n.ID, n.Label)
+		}
+	}
+	return nil
+}
+
+// RemovedRules returns the rules the optimizer eliminated.
+func (s *System) RemovedRules() []policy.Rule { return s.removed }
+
+// Backend returns the configured backend.
+func (s *System) Backend() Backend { return s.cfg.Backend }
+
+// Mapping returns the relational mapping (nil for the native backend).
+func (s *System) Mapping() *shred.Mapping { return s.mapping }
+
+// DB returns the relational database (nil for the native backend).
+func (s *System) DB() *sqldb.Database { return s.db }
+
+// Document returns the protected document tree.
+func (s *System) Document() *xmltree.Document { return s.store.Doc(s.cfg.DocName) }
+
+// Reannotator exposes the re-annotation machinery (for inspection and the
+// benchmark harness).
+func (s *System) Reannotator() *Reannotator { return s.reann }
+
+// Load installs the document: it is validated against the schema, stored in
+// the native store and — for relational backends — shredded into the
+// database with signs initialized to the policy default.
+func (s *System) Load(doc *xmltree.Document) error {
+	if errs := s.cfg.Schema.Validate(doc); len(errs) > 0 {
+		return fmt.Errorf("core: document does not conform to schema: %v (and %d more)", errs[0], len(errs)-1)
+	}
+	if err := s.store.Load(s.cfg.DocName, doc); err != nil {
+		return err
+	}
+	if s.db != nil {
+		sh := shred.NewShredder(s.mapping)
+		sh.DefaultSign = defaultSign(s.policy)
+		if err := sh.IntoDB(s.db, doc); err != nil {
+			return err
+		}
+	}
+	s.loaded = true
+	return nil
+}
+
+func defaultSign(p *policy.Policy) xmltree.Sign {
+	if p.Default == policy.Allow {
+		return xmltree.SignPlus
+	}
+	return xmltree.SignMinus
+}
+
+// Annotate performs full annotation on the configured backend and returns
+// its statistics and duration.
+func (s *System) Annotate() (AnnotateStats, time.Duration, error) {
+	if !s.loaded {
+		return AnnotateStats{}, 0, fmt.Errorf("core: no document loaded")
+	}
+	start := time.Now()
+	var stats AnnotateStats
+	var err error
+	if s.db != nil {
+		stats, err = AnnotateRelational(s.db, s.mapping, s.policy)
+	} else {
+		stats, err = AnnotateNative(s.store, s.cfg.DocName, s.policy)
+	}
+	return stats, time.Since(start), err
+}
+
+// UpdateReport describes one delete-update round trip.
+type UpdateReport struct {
+	// Triggered names the rules the Trigger algorithm selected.
+	Triggered []string
+	// DeletedNodes counts removed tree nodes (elements and text).
+	DeletedNodes int
+	// Stats are the re-annotation statistics.
+	Stats AnnotateStats
+	// PrepareTime, UpdateTime and ReannotateTime split the round trip.
+	PrepareTime, UpdateTime, ReannotateTime time.Duration
+}
+
+// DeleteAndReannotate applies a delete update (an XPath expression locating
+// the subtrees to remove) and re-annotates only the affected region, per
+// Section 5.3. This is the optimized path Figure 12 benchmarks as
+// "reannot".
+func (s *System) DeleteAndReannotate(u *xpath.Path) (*UpdateReport, error) {
+	if !s.loaded {
+		return nil, fmt.Errorf("core: no document loaded")
+	}
+	doc := s.Document()
+	if err := s.checkWriteDelete(u); err != nil {
+		return nil, err
+	}
+	rep := &UpdateReport{}
+
+	start := time.Now()
+	var prepN *NativeReannotation
+	var prepR *RelationalReannotation
+	var err error
+	if s.db != nil {
+		prepR, err = PrepareRelationalReannotation(s.db, s.mapping, s.reann, u)
+		if err != nil {
+			return nil, err
+		}
+		rep.Triggered = s.reann.RuleNames(prepR.Triggered)
+	} else {
+		prepN, err = PrepareNativeReannotation(doc, s.reann, u)
+		if err != nil {
+			return nil, err
+		}
+		rep.Triggered = s.reann.RuleNames(prepN.Triggered)
+	}
+	rep.PrepareTime = time.Since(start)
+
+	// The relational tuple deletions and per-tuple sign updates form one
+	// atomic unit: a failure mid-way must not leave the store half-updated.
+	if s.db != nil {
+		if err := s.db.Begin(); err != nil {
+			return nil, err
+		}
+	}
+	start = time.Now()
+	_, total, err := s.applyDelete(u)
+	if err != nil {
+		return nil, s.abortRelational(err)
+	}
+	rep.DeletedNodes = total
+	rep.UpdateTime = time.Since(start)
+
+	start = time.Now()
+	if s.db != nil {
+		rep.Stats, err = prepR.Complete(s.db, s.mapping)
+	} else {
+		rep.Stats, err = prepN.Complete(doc)
+	}
+	rep.ReannotateTime = time.Since(start)
+	if err != nil {
+		return nil, s.abortRelational(err)
+	}
+	if s.db != nil {
+		if err := s.db.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// abortRelational rolls the relational store back after a mid-update
+// failure; the error is returned enriched if the rollback itself fails.
+func (s *System) abortRelational(err error) error {
+	if s.db == nil || !s.db.InTransaction() {
+		return err
+	}
+	if rbErr := s.db.Rollback(); rbErr != nil {
+		return fmt.Errorf("%w (relational rollback also failed: %v)", err, rbErr)
+	}
+	return err
+}
+
+// DeleteAndFullAnnotate is the baseline Figure 12 compares against: apply
+// the delete, then annotate the whole document from scratch ("fannot").
+func (s *System) DeleteAndFullAnnotate(u *xpath.Path) (*UpdateReport, error) {
+	if !s.loaded {
+		return nil, fmt.Errorf("core: no document loaded")
+	}
+	if err := s.checkWriteDelete(u); err != nil {
+		return nil, err
+	}
+	if s.db != nil {
+		if err := s.db.Begin(); err != nil {
+			return nil, err
+		}
+	}
+	rep := &UpdateReport{}
+	start := time.Now()
+	_, total, err := s.applyDelete(u)
+	if err != nil {
+		return nil, s.abortRelational(err)
+	}
+	rep.DeletedNodes = total
+	rep.UpdateTime = time.Since(start)
+
+	stats, d, err := s.Annotate()
+	rep.Stats = stats
+	rep.ReannotateTime = d
+	if err != nil {
+		return nil, s.abortRelational(err)
+	}
+	if s.db != nil {
+		if err := s.db.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// checkWriteDelete verifies write access to the subtree roots a delete
+// update would remove. Deleting a node carries its subtree with it; the
+// check is on the targeted roots, matching the granularity of the update
+// expression.
+func (s *System) checkWriteDelete(u *xpath.Path) error {
+	if !s.cfg.EnforceWrite {
+		return nil
+	}
+	targets, err := xpath.Eval(u, s.Document())
+	if err != nil {
+		return err
+	}
+	return s.checkWriteAccess(targets)
+}
+
+// applyDelete removes the matched subtrees from the tree and, for
+// relational backends, the corresponding tuples.
+func (s *System) applyDelete(u *xpath.Path) (map[string][]int64, int, error) {
+	byLabel, total, err := ApplyDeleteTree(s.Document(), u)
+	if err != nil {
+		return nil, 0, err
+	}
+	if s.db != nil {
+		if _, err := DeleteRelationalRows(s.db, s.mapping, byLabel); err != nil {
+			return nil, 0, err
+		}
+	}
+	return byLabel, total, nil
+}
+
+// InsertAndReannotate grafts a subtree under every node matched by
+// parentPath and re-annotates the affected region. The update expression
+// used for triggering is parentPath/<child label>, locating the inserted
+// nodes — the insert counterpart the paper lists as future work, supported
+// here by the same Trigger machinery.
+func (s *System) InsertAndReannotate(parentPath *xpath.Path, tmpl *xmltree.Node) (*UpdateReport, error) {
+	if !s.loaded {
+		return nil, fmt.Errorf("core: no document loaded")
+	}
+	if tmpl == nil || !tmpl.IsElement() {
+		return nil, fmt.Errorf("core: insert template must be an element")
+	}
+	doc := s.Document()
+	us := insertLocators(parentPath, tmpl)
+	rep := &UpdateReport{}
+
+	start := time.Now()
+	var prepN *NativeReannotation
+	var prepR *RelationalReannotation
+	var err error
+	if s.db != nil {
+		prepR, err = PrepareRelationalReannotation(s.db, s.mapping, s.reann, us...)
+	} else {
+		prepN, err = PrepareNativeReannotation(doc, s.reann, us...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if prepR != nil {
+		rep.Triggered = s.reann.RuleNames(prepR.Triggered)
+	} else {
+		rep.Triggered = s.reann.RuleNames(prepN.Triggered)
+	}
+	rep.PrepareTime = time.Since(start)
+
+	start = time.Now()
+	parents, err := xpath.Eval(parentPath, doc)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.checkWriteAccess(parents); err != nil {
+		return nil, err
+	}
+	if s.db != nil {
+		if err := s.db.Begin(); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range parents {
+		n, err := doc.InsertSubtree(p, tmpl)
+		if err != nil {
+			return nil, s.abortRelational(err)
+		}
+		if s.db != nil {
+			if err := insertRelationalSubtree(s.db, s.mapping, n, defaultSign(s.policy)); err != nil {
+				return nil, s.abortRelational(err)
+			}
+		}
+	}
+	rep.UpdateTime = time.Since(start)
+
+	start = time.Now()
+	if s.db != nil {
+		rep.Stats, err = prepR.Complete(s.db, s.mapping)
+	} else {
+		rep.Stats, err = prepN.Complete(doc)
+	}
+	rep.ReannotateTime = time.Since(start)
+	if err != nil {
+		return nil, s.abortRelational(err)
+	}
+	if s.db != nil {
+		if err := s.db.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// insertLocators builds one update expression per element of the inserted
+// subtree: parentPath followed by the template-internal label chain. Every
+// inserted node may change rule scopes (inserted descendants need their own
+// annotations, unlike deleted ones, which simply vanish), so each locator
+// participates in triggering.
+func insertLocators(parentPath *xpath.Path, tmpl *xmltree.Node) []*xpath.Path {
+	var out []*xpath.Path
+	var walk func(n *xmltree.Node, chain []string)
+	walk = func(n *xmltree.Node, chain []string) {
+		if !n.IsElement() {
+			return
+		}
+		chain = append(chain, n.Label)
+		u := parentPath.Clone()
+		for _, l := range chain {
+			u.Steps = append(u.Steps, &xpath.Step{Axis: xpath.Child, Test: l})
+		}
+		out = append(out, u)
+		for _, c := range n.Children() {
+			walk(c, chain)
+		}
+	}
+	walk(tmpl, nil)
+	return out
+}
+
+// insertRelationalSubtree mirrors a freshly inserted subtree into the
+// relational store.
+func insertRelationalSubtree(db *sqldb.Database, m *shred.Mapping, n *xmltree.Node, def xmltree.Sign) error {
+	sh := &shred.Shredder{Mapping: m, DefaultSign: def}
+	return sh.InsertSubtree(db, n)
+}
+
+// Request evaluates a user query with all-or-nothing access checking on the
+// configured backend.
+func (s *System) Request(q *xpath.Path) (*RequestResult, error) {
+	if !s.loaded {
+		return nil, fmt.Errorf("core: no document loaded")
+	}
+	if s.db != nil {
+		return RequestRelational(s.db, s.mapping, q)
+	}
+	return RequestNative(s.Document(), q, s.policy.Default)
+}
+
+// AccessibleIDs returns the currently accessible universal ids on the
+// configured backend — used by the equivalence tests and the coverage
+// measurements.
+func (s *System) AccessibleIDs() (map[int64]bool, error) {
+	if !s.loaded {
+		return nil, fmt.Errorf("core: no document loaded")
+	}
+	if s.db != nil {
+		return AccessibleIDsRelational(s.db, s.mapping)
+	}
+	return AccessibleIDsNative(s.Document(), s.policy.Default), nil
+}
+
+// Coverage returns the accessible fraction of element nodes.
+func (s *System) Coverage() (float64, error) {
+	ids, err := s.AccessibleIDs()
+	if err != nil {
+		return 0, err
+	}
+	total := s.Document().ElementCount()
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(len(ids)) / float64(total), nil
+}

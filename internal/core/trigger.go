@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"xmlac/internal/dtd"
+	"xmlac/internal/pattern"
+	"xmlac/internal/policy"
+	"xmlac/internal/xpath"
+)
+
+// Reannotator holds the precomputed machinery of Section 5.3: the
+// dependency graph of the policy and the schema-aware expansion of every
+// rule, ready for the Trigger algorithm to consult when updates arrive.
+// Building it is a one-time cost per (policy, schema); Trigger itself runs
+// in O(n·h) containment tests, n the number of rules and h the schema
+// height, as the paper reports.
+type Reannotator struct {
+	Policy *policy.Policy
+	Schema *dtd.Schema
+	Graph  *DependencyGraph
+	// Expansions[i] are the linearizations of rule i's resource.
+	Expansions [][]*xpath.Path
+	// contains is the containment test used by Trigger.
+	contains ContainFunc
+}
+
+// NewReannotator precomputes the dependency graph and the rule expansions
+// using the plain containment test.
+func NewReannotator(p *policy.Policy, schema *dtd.Schema) (*Reannotator, error) {
+	return NewReannotatorWith(p, schema, pattern.Contains)
+}
+
+// NewReannotatorWith precomputes the machinery under a custom containment
+// test; SchemaContainFunc makes both the dependency graph and the Trigger
+// containment checks schema-aware, capturing rule interactions (and hence
+// re-annotation correctness) that only hold modulo the schema.
+func NewReannotatorWith(p *policy.Policy, schema *dtd.Schema, contains ContainFunc) (*Reannotator, error) {
+	r := &Reannotator{
+		Policy:     p,
+		Schema:     schema,
+		Graph:      BuildDependencyGraphWith(p, contains),
+		Expansions: make([][]*xpath.Path, len(p.Rules)),
+		contains:   contains,
+	}
+	for i, rule := range p.Rules {
+		x, err := pattern.Expand(rule.Resource, schema)
+		if err != nil {
+			return nil, fmt.Errorf("core: expanding rule %s: %w", rule.Name, err)
+		}
+		r.Expansions[i] = x
+	}
+	return r, nil
+}
+
+// Trigger implements the algorithm of Figure 8: it returns the indices of
+// the rules that must be considered for re-annotation after the update u
+// (an XPath expression locating the inserted or deleted nodes). A rule
+// triggers when some linearization x of its expansion satisfies
+// x ⊑ u ∨ u ⊑ x ∨ x ≡ u; the dependency closure of every triggered rule is
+// then added.
+func (r *Reannotator) Trigger(u *xpath.Path) []int {
+	triggered := map[int]bool{}
+	for i := range r.Policy.Rules {
+		for _, x := range r.Expansions[i] {
+			if r.contains(x, u) || r.contains(u, x) {
+				triggered[i] = true
+				break
+			}
+		}
+	}
+	for i := range r.Policy.Rules {
+		if triggered[i] {
+			for _, dep := range r.Graph.Depends[i] {
+				triggered[dep] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(triggered))
+	for i := range triggered {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TriggerAll unions Trigger over several update expressions. Insert updates
+// use it with one locator per node of the inserted subtree: unlike a
+// delete, where removed descendants need no annotation, inserted
+// descendants must be annotated, so every inserted label participates in
+// triggering.
+func (r *Reannotator) TriggerAll(us []*xpath.Path) []int {
+	set := map[int]bool{}
+	for _, u := range us {
+		for _, i := range r.Trigger(u) {
+			set[i] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TriggeredPolicy builds the sub-policy containing exactly the triggered
+// rules (same default semantics and conflict resolution); its annotation
+// query drives the partial re-annotation.
+func (r *Reannotator) TriggeredPolicy(triggered []int) *policy.Policy {
+	sub := &policy.Policy{Default: r.Policy.Default, Conflict: r.Policy.Conflict}
+	for _, i := range triggered {
+		sub.Rules = append(sub.Rules, r.Policy.Rules[i])
+	}
+	return sub
+}
+
+// RuleNames maps triggered indices to rule names for reporting.
+func (r *Reannotator) RuleNames(triggered []int) []string {
+	out := make([]string, len(triggered))
+	for k, i := range triggered {
+		name := r.Policy.Rules[i].Name
+		if name == "" {
+			name = fmt.Sprintf("#%d", i)
+		}
+		out[k] = name
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"xmlac/internal/xmltree"
+	"xmlac/internal/xpath"
+)
+
+// Security views. The paper contrasts its materialized annotations with
+// security views (Fan et al. [10], Kuper et al. [16]): a view "contains
+// just the information a user is allowed to read". This file derives such a
+// view from the materialized annotations — the natural bridge between the
+// two approaches — and adds a filtering request mode alongside the paper's
+// all-or-nothing semantics.
+
+// ViewMode controls what happens to the accessible descendants of an
+// inaccessible node when exporting a view.
+type ViewMode uint8
+
+const (
+	// ViewPrune removes every inaccessible node together with its whole
+	// subtree: descendants are only visible when the full ancestor chain is
+	// accessible. This leaks no structural information.
+	ViewPrune ViewMode = iota
+	// ViewPromote splices inaccessible nodes out, attaching their
+	// accessible children to the nearest accessible ancestor — the behavior
+	// of Fan et al.'s security views, preserving all accessible data at the
+	// cost of revealing that *something* sat between a node and its
+	// promoted descendants.
+	ViewPromote
+)
+
+// String names the mode.
+func (m ViewMode) String() string {
+	if m == ViewPromote {
+		return "promote"
+	}
+	return "prune"
+}
+
+// ExportView materializes the security view of the annotated document: a
+// new document containing only accessible nodes. The root element is always
+// kept (a view must remain a rooted tree); if the root itself is
+// inaccessible the view is just an empty root element in ViewPrune mode, or
+// the root with its promoted accessible descendants in ViewPromote mode.
+// Node ids are freshly assigned; text content travels with its parent
+// element.
+func (s *System) ExportView(mode ViewMode) (*xmltree.Document, error) {
+	if !s.loaded {
+		return nil, fmt.Errorf("core: no document loaded")
+	}
+	accessible, err := s.AccessibleIDs()
+	if err != nil {
+		return nil, err
+	}
+	return BuildView(s.Document(), accessible, mode), nil
+}
+
+// BuildView constructs the security view of any annotated document given
+// its accessible element-id set.
+func BuildView(doc *xmltree.Document, accessible map[int64]bool, mode ViewMode) *xmltree.Document {
+	out := xmltree.NewDocument(doc.Root().Label)
+	copyAttrs(out, out.Root(), doc.Root())
+	var walk func(src *xmltree.Node, dst *xmltree.Node)
+	walk = func(src *xmltree.Node, dst *xmltree.Node) {
+		for _, c := range src.Children() {
+			if c.IsText() {
+				// Text belongs to its element: visible iff the element made
+				// it into the view (dst is that element's copy).
+				out.AddText(dst, c.Value)
+				continue
+			}
+			switch {
+			case accessible[c.ID]:
+				n := out.AddElement(dst, c.Label)
+				copyAttrs(out, n, c)
+				walk(c, n)
+			case mode == ViewPromote:
+				// Splice the inaccessible element out but descend: its
+				// accessible descendants attach here. Its immediate text is
+				// NOT copied — text is data of the hidden element.
+				walkElementsOnly(out, c, dst, accessible)
+			default:
+				// ViewPrune: drop the subtree.
+			}
+		}
+	}
+	walk(doc.Root(), out.Root())
+	return out
+}
+
+// walkElementsOnly continues a promote-mode descent below a hidden element:
+// hidden elements' text is dropped, accessible elements resume full copying.
+func walkElementsOnly(out *xmltree.Document, src *xmltree.Node, dst *xmltree.Node, accessible map[int64]bool) {
+	for _, c := range src.Children() {
+		if c.IsText() {
+			continue
+		}
+		if accessible[c.ID] {
+			n := out.AddElement(dst, c.Label)
+			copyAttrs(out, n, c)
+			// Back to the normal copy for this subtree.
+			var walk func(s *xmltree.Node, d *xmltree.Node)
+			walk = func(s *xmltree.Node, d *xmltree.Node) {
+				for _, cc := range s.Children() {
+					if cc.IsText() {
+						out.AddText(d, cc.Value)
+						continue
+					}
+					if accessible[cc.ID] {
+						nn := out.AddElement(d, cc.Label)
+						copyAttrs(out, nn, cc)
+						walk(cc, nn)
+					} else {
+						walkElementsOnly(out, cc, d, accessible)
+					}
+				}
+			}
+			walk(c, n)
+		} else {
+			walkElementsOnly(out, c, dst, accessible)
+		}
+	}
+}
+
+func copyAttrs(out *xmltree.Document, dst, src *xmltree.Node) {
+	keys := make([]string, 0, len(src.Attrs))
+	for k := range src.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		// The sign attribute is reserved and never present in Attrs.
+		_ = out.SetAttr(dst, k, src.Attrs[k])
+	}
+}
+
+// RequestFiltered evaluates a query and, instead of the paper's
+// all-or-nothing semantics, returns only the accessible matched nodes (the
+// filtering semantics common in the security-view literature). It never
+// returns ErrAccessDenied; inaccessible matches are silently dropped and
+// counted.
+func (s *System) RequestFiltered(q *xpath.Path) (*RequestResult, int, error) {
+	if !s.loaded {
+		return nil, 0, fmt.Errorf("core: no document loaded")
+	}
+	accessible, err := s.AccessibleIDs()
+	if err != nil {
+		return nil, 0, err
+	}
+	nodes, err := xpath.Eval(q, s.Document())
+	if err != nil {
+		return nil, 0, err
+	}
+	res := &RequestResult{Checked: len(nodes)}
+	dropped := 0
+	for _, n := range nodes {
+		if accessible[n.ID] {
+			res.Nodes = append(res.Nodes, n)
+			res.IDs = append(res.IDs, n.ID)
+		} else {
+			dropped++
+		}
+	}
+	return res, dropped, nil
+}
+
+// ViewStats summarizes a view against its source.
+type ViewStats struct {
+	SourceElements int
+	ViewElements   int
+	Mode           ViewMode
+}
+
+// Ratio is the fraction of elements visible in the view.
+func (v ViewStats) Ratio() float64 {
+	if v.SourceElements == 0 {
+		return 0
+	}
+	return float64(v.ViewElements) / float64(v.SourceElements)
+}
+
+// ViewStatsOf measures a view built by BuildView/ExportView.
+func ViewStatsOf(src, view *xmltree.Document, mode ViewMode) ViewStats {
+	return ViewStats{SourceElements: src.ElementCount(), ViewElements: view.ElementCount(), Mode: mode}
+}

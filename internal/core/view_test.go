@@ -1,0 +1,245 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"xmlac/internal/hospital"
+	"xmlac/internal/policy"
+	"xmlac/internal/xmltree"
+	"xmlac/internal/xpath"
+)
+
+func annotatedHospitalSystem(t *testing.T) *System {
+	t.Helper()
+	sys := newHospitalSystem(t, BackendNative, hospital.Document())
+	if _, _, err := sys.Annotate(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestExportViewPrune: with the Table 1 policy, pruning keeps nothing below
+// the root — the root itself is inaccessible, so the whole chain to every
+// accessible node is severed.
+func TestExportViewPrune(t *testing.T) {
+	sys := annotatedHospitalSystem(t)
+	view, err := sys.ExportView(ViewPrune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.ElementCount() != 1 || view.Root().Label != "hospital" {
+		t.Fatalf("prune view = %s", view)
+	}
+}
+
+// TestExportViewPromote: promoting splices out the inaccessible skeleton;
+// the accessible patient, names and regular treatment surface under the
+// root.
+func TestExportViewPromote(t *testing.T) {
+	sys := annotatedHospitalSystem(t)
+	view, err := sys.ExportView(ViewPromote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accessible: 1 patient, 3 names, 1 regular (+ kept root) = 6 elements.
+	if got := view.ElementCount(); got != 6 {
+		t.Fatalf("promote view has %d elements:\n%s", got, view.StringAnnotated())
+	}
+	s := view.String()
+	// The accessible patient keeps its accessible name child.
+	if !strings.Contains(s, "<name>joy smith</name>") {
+		t.Fatalf("joy smith missing: %s", s)
+	}
+	// Hidden psn values must not leak.
+	if strings.Contains(s, "033") || strings.Contains(s, "099") {
+		t.Fatalf("inaccessible psn text leaked: %s", s)
+	}
+	// Hidden med/bill values below the (accessible) regular must not leak,
+	// but the regular element itself is present.
+	if !strings.Contains(s, "<regular") || strings.Contains(s, "enoxaparin") {
+		t.Fatalf("regular handling wrong: %s", s)
+	}
+}
+
+// TestViewContainsExactlyAccessibleData: promote-mode views contain an
+// element occurrence per accessible node and no text of hidden nodes.
+func TestViewContainsExactlyAccessibleData(t *testing.T) {
+	doc := hospital.Generate(hospital.GenOptions{Seed: 3, Departments: 2, PatientsPerDept: 10, StaffPerDept: 4})
+	sys := newHospitalSystem(t, BackendNative, doc)
+	if _, _, err := sys.Annotate(); err != nil {
+		t.Fatal(err)
+	}
+	accessible, err := sys.AccessibleIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := sys.ExportView(ViewPromote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count per label in view vs accessible set (+1 for the kept root).
+	wantCount := map[string]int{sys.Document().Root().Label: 1}
+	for id := range accessible {
+		n := sys.Document().NodeByID(id)
+		if n != nil {
+			wantCount[n.Label]++
+		}
+	}
+	gotCount := map[string]int{}
+	for _, n := range view.Elements() {
+		gotCount[n.Label]++
+	}
+	for label, want := range wantCount {
+		if gotCount[label] != want {
+			t.Fatalf("label %s: view has %d, accessible %d", label, gotCount[label], want)
+		}
+	}
+}
+
+func TestBuildViewRootAccessible(t *testing.T) {
+	doc, _ := xmltree.ParseString(`<a><b>x</b><c>y</c></a>`)
+	els := doc.Elements()
+	acc := map[int64]bool{els[0].ID: true, els[1].ID: true} // a, b
+	view := BuildView(doc, acc, ViewPrune)
+	if view.String() != `<a><b>x</b></a>` {
+		t.Fatalf("view = %s", view)
+	}
+	// Root text is kept (it belongs to the accessible root).
+	doc2, _ := xmltree.ParseString(`<a>t<b/></a>`)
+	acc2 := map[int64]bool{doc2.Root().ID: true}
+	view2 := BuildView(doc2, acc2, ViewPrune)
+	if view2.String() != `<a>t</a>` {
+		t.Fatalf("view2 = %s", view2)
+	}
+}
+
+func TestBuildViewPromoteDeepChain(t *testing.T) {
+	doc, _ := xmltree.ParseString(`<a><b><c><d>v</d></c></b></a>`)
+	// Only a and d accessible: promote splices b and c out.
+	var acc = map[int64]bool{}
+	for _, n := range doc.Elements() {
+		if n.Label == "a" || n.Label == "d" {
+			acc[n.ID] = true
+		}
+	}
+	view := BuildView(doc, acc, ViewPromote)
+	if view.String() != `<a><d>v</d></a>` {
+		t.Fatalf("promote view = %s", view)
+	}
+	// Prune mode drops everything below a.
+	view = BuildView(doc, acc, ViewPrune)
+	if view.String() != `<a/>` {
+		t.Fatalf("prune view = %s", view)
+	}
+}
+
+func TestBuildViewAttributesKept(t *testing.T) {
+	doc, _ := xmltree.ParseString(`<a k="1"><b l="2"/></a>`)
+	acc := map[int64]bool{}
+	for _, n := range doc.Elements() {
+		acc[n.ID] = true
+	}
+	view := BuildView(doc, acc, ViewPrune)
+	if view.String() != `<a k="1"><b l="2"/></a>` {
+		t.Fatalf("view = %s", view)
+	}
+}
+
+func TestRequestFiltered(t *testing.T) {
+	sys := annotatedHospitalSystem(t)
+	// //patient matches 3, one accessible.
+	res, dropped, err := sys.RequestFiltered(xpath.MustParse("//patient"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 1 || dropped != 2 || res.Checked != 3 {
+		t.Fatalf("filtered: %d nodes, %d dropped, %d checked", len(res.Nodes), dropped, res.Checked)
+	}
+	// The all-or-nothing mode would deny the same query.
+	if _, err := sys.Request(xpath.MustParse("//patient")); err == nil {
+		t.Fatal("all-or-nothing unexpectedly granted")
+	}
+	// Fully accessible query: nothing dropped.
+	res, dropped, err = sys.RequestFiltered(xpath.MustParse("//patient/name"))
+	if err != nil || dropped != 0 || len(res.Nodes) != 3 {
+		t.Fatalf("names: %v %d %d", err, dropped, len(res.Nodes))
+	}
+}
+
+func TestViewStats(t *testing.T) {
+	sys := annotatedHospitalSystem(t)
+	view, err := sys.ExportView(ViewPromote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ViewStatsOf(sys.Document(), view, ViewPromote)
+	if st.ViewElements != 6 || st.SourceElements != sys.Document().ElementCount() {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Ratio() <= 0 || st.Ratio() >= 1 {
+		t.Fatalf("ratio = %f", st.Ratio())
+	}
+	if ViewPrune.String() != "prune" || ViewPromote.String() != "promote" {
+		t.Fatal("mode names")
+	}
+}
+
+// TestViewAgainstFilteredRequests: querying the promote view natively gives
+// the same label multiset as filtered requests on the protected document
+// for label-only queries.
+func TestViewAgainstFilteredRequests(t *testing.T) {
+	doc := hospital.Generate(hospital.GenOptions{Seed: 8, Departments: 1, PatientsPerDept: 12})
+	sys := newHospitalSystem(t, BackendNative, doc)
+	if _, _, err := sys.Annotate(); err != nil {
+		t.Fatal(err)
+	}
+	view, err := sys.ExportView(ViewPromote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"//patient", "//name", "//regular", "//psn"} {
+		res, _, err := sys.RequestFiltered(xpath.MustParse(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		viewNodes, err := xpath.Eval(xpath.MustParse(q), view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(viewNodes) != len(res.Nodes) {
+			t.Fatalf("%s: view %d, filtered %d", q, len(viewNodes), len(res.Nodes))
+		}
+	}
+}
+
+// TestViewDefaultAllow: under an allow-default policy most of the document
+// survives the view.
+func TestViewDefaultAllow(t *testing.T) {
+	pol := policy.MustParse(`
+default allow
+conflict deny
+rule D1 deny //treatment
+`)
+	sys, err := NewSystem(Config{Schema: hospital.Schema(), Policy: pol, Backend: BackendNative, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Load(hospital.Document()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Annotate(); err != nil {
+		t.Fatal(err)
+	}
+	view, err := sys.ExportView(ViewPrune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := view.String()
+	if strings.Contains(s, "treatment") || strings.Contains(s, "enoxaparin") {
+		t.Fatalf("denied subtree leaked: %s", s)
+	}
+	if !strings.Contains(s, "joy smith") {
+		t.Fatalf("allowed data missing: %s", s)
+	}
+}

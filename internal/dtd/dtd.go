@@ -1,0 +1,403 @@
+// Package dtd implements the XML schema substrate of the reproduction: a
+// parser and model for Document Type Definitions, the node-and-edge-labeled
+// schema graph the paper builds over them (Figure 1), document validation,
+// and the finite child-axis path enumeration that powers two central pieces
+// of the system — schema-aware expansion of descendant axes in access-control
+// rules (Section 5.3) and the XPath-to-SQL translation of the ShreX-style
+// shredder.
+//
+// Only non-recursive schemas admit finite path enumeration; the paper
+// likewise modified xmlgen's schema "to eliminate all recursive paths". The
+// package detects recursion and reports it.
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Occurrence is a DTD occurrence indicator.
+type Occurrence uint8
+
+const (
+	// One is the default occurrence (exactly once).
+	One Occurrence = iota
+	// Optional is "?": zero or one.
+	Optional
+	// ZeroOrMore is "*".
+	ZeroOrMore
+	// OneOrMore is "+".
+	OneOrMore
+)
+
+// String renders the indicator as in DTD syntax ("" for One).
+func (o Occurrence) String() string {
+	switch o {
+	case Optional:
+		return "?"
+	case ZeroOrMore:
+		return "*"
+	case OneOrMore:
+		return "+"
+	default:
+		return ""
+	}
+}
+
+// ContentKind discriminates the node types of a content-model expression.
+type ContentKind uint8
+
+const (
+	// Empty is the EMPTY content model.
+	Empty ContentKind = iota
+	// Any is the ANY content model.
+	Any
+	// PCData is #PCDATA (text content).
+	PCData
+	// Name is a reference to a child element type.
+	Name
+	// Sequence is (a, b, ...).
+	Sequence
+	// Choice is (a | b | ...).
+	Choice
+)
+
+// Content is a node of a content-model expression tree.
+type Content struct {
+	Kind     ContentKind
+	Name     string // element name, for Kind == Name
+	Occ      Occurrence
+	Children []*Content // for Sequence and Choice
+}
+
+// String renders the content model in DTD syntax.
+func (c *Content) String() string {
+	if c == nil {
+		return "EMPTY"
+	}
+	var body string
+	switch c.Kind {
+	case Empty:
+		return "EMPTY"
+	case Any:
+		return "ANY"
+	case PCData:
+		body = "#PCDATA"
+		if c.Occ != One {
+			return "(" + body + ")" + c.Occ.String()
+		}
+		return "(" + body + ")"
+	case Name:
+		return c.Name + c.Occ.String()
+	case Sequence, Choice:
+		sep := ", "
+		if c.Kind == Choice {
+			sep = " | "
+		}
+		parts := make([]string, len(c.Children))
+		for i, ch := range c.Children {
+			parts[i] = ch.String()
+		}
+		body = strings.Join(parts, sep)
+		return "(" + body + ")" + c.Occ.String()
+	}
+	return body
+}
+
+// Attr describes one attribute from an ATTLIST declaration.
+type Attr struct {
+	Name string
+	// Type is the declared attribute type (CDATA, ID, IDREF, NMTOKEN, or an
+	// enumeration rendered as (a|b)).
+	Type string
+	// Required reports #REQUIRED.
+	Required bool
+	// Default is the declared default value, if any.
+	Default string
+}
+
+// Element is one element-type declaration.
+type Element struct {
+	Name    string
+	Content *Content
+	Attrs   []Attr
+}
+
+// HasText reports whether the element's content model admits character data.
+func (e *Element) HasText() bool {
+	var scan func(c *Content) bool
+	scan = func(c *Content) bool {
+		if c == nil {
+			return false
+		}
+		switch c.Kind {
+		case PCData, Any:
+			return true
+		case Sequence, Choice:
+			for _, ch := range c.Children {
+				if scan(ch) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return scan(e.Content)
+}
+
+// ChildNames returns the element names that may appear as children, sorted.
+func (e *Element) ChildNames() []string {
+	set := map[string]bool{}
+	var scan func(c *Content)
+	scan = func(c *Content) {
+		if c == nil {
+			return
+		}
+		switch c.Kind {
+		case Name:
+			set[c.Name] = true
+		case Sequence, Choice:
+			for _, ch := range c.Children {
+				scan(ch)
+			}
+		}
+	}
+	scan(e.Content)
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Bounds is the (min, max) multiplicity of a child label within its parent's
+// content model; Max < 0 means unbounded.
+type Bounds struct {
+	Min, Max int
+}
+
+// Schema is a parsed DTD: a set of element-type declarations plus the root
+// element type (the DOCTYPE name, or the first declared element when the DTD
+// is given bare).
+type Schema struct {
+	Root     string
+	Elements map[string]*Element
+
+	// order preserves declaration order for deterministic String output.
+	order []string
+}
+
+// Element returns the declaration of the named element type, or nil.
+func (s *Schema) Element(name string) *Element { return s.Elements[name] }
+
+// Names returns all declared element type names in declaration order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// String renders the schema back to DTD syntax.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for _, name := range s.order {
+		e := s.Elements[name]
+		content := e.Content.String()
+		// DTD children syntax requires a parenthesized group; a bare name
+		// particle such as dept+ must be printed as (dept+).
+		if e.Content != nil && e.Content.Kind == Name {
+			content = "(" + content + ")"
+		}
+		fmt.Fprintf(&b, "<!ELEMENT %s %s>\n", e.Name, content)
+		for _, a := range e.Attrs {
+			dflt := "#IMPLIED"
+			if a.Required {
+				dflt = "#REQUIRED"
+			} else if a.Default != "" {
+				dflt = quoteDefault(a.Default)
+			}
+			fmt.Fprintf(&b, "<!ATTLIST %s %s %s %s>\n", e.Name, a.Name, a.Type, dflt)
+		}
+	}
+	return b.String()
+}
+
+// quoteDefault renders an attribute default as a DTD string literal. The
+// parser reads raw bytes up to the closing quote (there is no escape
+// syntax), so the quote character is chosen to avoid the value's own
+// quotes; a value containing both kinds is not expressible and its double
+// quotes are replaced to keep String total.
+func quoteDefault(v string) string {
+	switch {
+	case !strings.Contains(v, `"`):
+		return `"` + v + `"`
+	case !strings.Contains(v, "'"):
+		return "'" + v + "'"
+	default:
+		return `"` + strings.ReplaceAll(v, `"`, "'") + `"`
+	}
+}
+
+// ChildBounds computes, for every child label of element name, the (min,max)
+// multiplicity implied by the content model. The computation treats the
+// content model exactly: sequences add bounds, choices take the min of mins
+// and max of maxes (with min 0 for labels absent from a branch), and
+// occurrence indicators scale them. Max < 0 encodes unbounded.
+func (s *Schema) ChildBounds(name string) map[string]Bounds {
+	e := s.Elements[name]
+	if e == nil {
+		return nil
+	}
+	var eval func(c *Content) map[string]Bounds
+	eval = func(c *Content) map[string]Bounds {
+		out := map[string]Bounds{}
+		if c == nil {
+			return out
+		}
+		switch c.Kind {
+		case Name:
+			out[c.Name] = Bounds{1, 1}
+		case Sequence:
+			for _, ch := range c.Children {
+				for l, b := range eval(ch) {
+					cur := out[l]
+					out[l] = Bounds{cur.Min + b.Min, addMax(cur.Max, b.Max)}
+				}
+			}
+		case Choice:
+			// A label absent from a branch contributes (0,0) for that branch.
+			branches := make([]map[string]Bounds, len(c.Children))
+			all := map[string]bool{}
+			for i, ch := range c.Children {
+				branches[i] = eval(ch)
+				for l := range branches[i] {
+					all[l] = true
+				}
+			}
+			for l := range all {
+				minv, maxv := -1, 0
+				for _, br := range branches {
+					b, ok := br[l]
+					if !ok {
+						b = Bounds{0, 0}
+					}
+					if minv < 0 || b.Min < minv {
+						minv = b.Min
+					}
+					maxv = maxOf(maxv, b.Max)
+				}
+				out[l] = Bounds{minv, maxv}
+			}
+		}
+		// Apply the occurrence indicator of this content node.
+		switch c.Occ {
+		case Optional:
+			for l, b := range out {
+				out[l] = Bounds{0, b.Max}
+			}
+		case ZeroOrMore:
+			for l, b := range out {
+				if b.Max != 0 {
+					out[l] = Bounds{0, -1}
+				} else {
+					out[l] = Bounds{0, 0}
+				}
+			}
+		case OneOrMore:
+			for l, b := range out {
+				if b.Max != 0 {
+					out[l] = Bounds{b.Min, -1}
+				}
+			}
+		}
+		return out
+	}
+	return eval(e.Content)
+}
+
+func addMax(a, b int) int {
+	if a < 0 || b < 0 {
+		return -1
+	}
+	return a + b
+}
+
+func maxOf(a, b int) int {
+	if a < 0 || b < 0 {
+		return -1
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// IsRecursive reports whether the schema graph contains a cycle, and if so
+// returns one witness cycle as a label path. Non-recursiveness is a
+// precondition for finite descendant-axis expansion; the paper de-recursed
+// XMark for the same reason.
+func (s *Schema) IsRecursive() (bool, []string) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var stack []string
+	var cycle []string
+	var visit func(name string) bool
+	visit = func(name string) bool {
+		color[name] = gray
+		stack = append(stack, name)
+		e := s.Elements[name]
+		if e != nil {
+			for _, c := range e.ChildNames() {
+				switch color[c] {
+				case white:
+					if visit(c) {
+						return true
+					}
+				case gray:
+					// Found a back edge; extract the cycle from the stack.
+					for i, l := range stack {
+						if l == c {
+							cycle = append(append([]string{}, stack[i:]...), c)
+							break
+						}
+					}
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[name] = black
+		return false
+	}
+	for _, name := range s.order {
+		if color[name] == white {
+			if visit(name) {
+				return true, cycle
+			}
+		}
+	}
+	return false, nil
+}
+
+// Undeclared returns child element names referenced by content models but
+// never declared; a well-formed schema has none.
+func (s *Schema) Undeclared() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, name := range s.order {
+		for _, c := range s.Elements[name].ChildNames() {
+			if s.Elements[c] == nil && !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

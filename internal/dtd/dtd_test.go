@@ -1,0 +1,366 @@
+package dtd
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const hospitalDTD = `
+<!ELEMENT hospital (dept+)>
+<!ELEMENT dept (patients, staffinfo)>
+<!ELEMENT patients (patient*)>
+<!ELEMENT staffinfo (staff*)>
+<!ELEMENT patient (psn, name, treatment?)>
+<!ELEMENT treatment ((regular | experimental)?)>
+<!ELEMENT regular (med, bill)>
+<!ELEMENT experimental (test, bill)>
+<!ELEMENT staff (nurse | doctor)>
+<!ELEMENT nurse (sid, name, phone)>
+<!ELEMENT doctor (sid, name, phone)>
+<!ELEMENT psn (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT med (#PCDATA)>
+<!ELEMENT bill (#PCDATA)>
+<!ELEMENT test (#PCDATA)>
+<!ELEMENT sid (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+`
+
+func hospital(t *testing.T) *Schema {
+	t.Helper()
+	s, err := Parse(hospitalDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseHospital(t *testing.T) {
+	s := hospital(t)
+	if s.Root != "hospital" {
+		t.Fatalf("root = %q", s.Root)
+	}
+	if len(s.Elements) != 18 {
+		t.Fatalf("elements = %d, want 18", len(s.Elements))
+	}
+	pat := s.Element("patient")
+	if got := pat.ChildNames(); !reflect.DeepEqual(got, []string{"name", "psn", "treatment"}) {
+		t.Fatalf("patient children = %v", got)
+	}
+	if !s.Element("psn").HasText() {
+		t.Fatal("psn should allow text")
+	}
+	if s.Element("patient").HasText() {
+		t.Fatal("patient should not allow text")
+	}
+}
+
+func TestParseDoctypeWrapper(t *testing.T) {
+	s, err := Parse(`<!DOCTYPE b [ <!ELEMENT a (#PCDATA)> <!ELEMENT b (a*)> ]>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Root != "b" {
+		t.Fatalf("root = %q, want b (DOCTYPE name)", s.Root)
+	}
+}
+
+func TestParseAttlist(t *testing.T) {
+	s, err := Parse(`
+<!ELEMENT item (#PCDATA)>
+<!ATTLIST item id ID #REQUIRED
+               featured CDATA #IMPLIED
+               kind (gold|silver) "silver">
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := s.Element("item").Attrs
+	if len(attrs) != 3 {
+		t.Fatalf("attrs = %d", len(attrs))
+	}
+	if !attrs[0].Required || attrs[0].Type != "ID" {
+		t.Fatalf("id attr = %+v", attrs[0])
+	}
+	if attrs[2].Type != "(gold|silver)" || attrs[2].Default != "silver" {
+		t.Fatalf("kind attr = %+v", attrs[2])
+	}
+}
+
+func TestParseMixedContent(t *testing.T) {
+	s, err := Parse(`
+<!ELEMENT text (#PCDATA | bold | emph)*>
+<!ELEMENT bold (#PCDATA)>
+<!ELEMENT emph (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.Element("text")
+	if !e.HasText() {
+		t.Fatal("mixed content should allow text")
+	}
+	if got := e.ChildNames(); !reflect.DeepEqual(got, []string{"bold", "emph"}) {
+		t.Fatalf("children = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,                 // no declarations
+		`<!ELEMENT a (b)>`, // undeclared b
+		`<!ELEMENT a (#PCDATA)> <!ELEMENT a (b)>`,  // duplicate
+		`<!ELEMENT a (b, c | d)> <!ELEMENT b ANY>`, // mixed separators
+		`<!ELEMENT a (#PCDATA | b)>`,               // mixed content without *
+		`<!ATTLIST a x CDATA #IMPLIED>`,            // ATTLIST before ELEMENT
+		`<!DOCTYPE z [ <!ELEMENT a EMPTY> ]>`,      // DOCTYPE root undeclared
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q): expected error", c)
+		}
+	}
+}
+
+func TestParseSkipsEntitiesAndComments(t *testing.T) {
+	s, err := Parse(`
+<!-- a comment -->
+<!ENTITY amp "&#38;">
+<!ELEMENT a EMPTY>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Root != "a" {
+		t.Fatalf("root = %q", s.Root)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	s := hospital(t)
+	s2, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, s.String())
+	}
+	if s2.String() != s.String() {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", s.String(), s2.String())
+	}
+}
+
+func TestChildBounds(t *testing.T) {
+	s := hospital(t)
+	b := s.ChildBounds("patient")
+	want := map[string]Bounds{
+		"psn":       {1, 1},
+		"name":      {1, 1},
+		"treatment": {0, 1},
+	}
+	if !reflect.DeepEqual(b, want) {
+		t.Fatalf("patient bounds = %v", b)
+	}
+	b = s.ChildBounds("hospital")
+	if b["dept"] != (Bounds{1, -1}) {
+		t.Fatalf("hospital/dept bounds = %v", b["dept"])
+	}
+	b = s.ChildBounds("treatment")
+	if b["regular"] != (Bounds{0, 1}) || b["experimental"] != (Bounds{0, 1}) {
+		t.Fatalf("treatment bounds = %v", b)
+	}
+	b = s.ChildBounds("staff")
+	if b["nurse"] != (Bounds{0, 1}) || b["doctor"] != (Bounds{0, 1}) {
+		t.Fatalf("staff bounds = %v", b)
+	}
+}
+
+func TestChoiceOfSequencesBounds(t *testing.T) {
+	s, err := Parse(`
+<!ELEMENT a ((b, b) | c)>
+<!ELEMENT b EMPTY>
+<!ELEMENT c EMPTY>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.ChildBounds("a")
+	if b["b"] != (Bounds{0, 2}) {
+		t.Fatalf("b bounds = %v", b["b"])
+	}
+	if b["c"] != (Bounds{0, 1}) {
+		t.Fatalf("c bounds = %v", b["c"])
+	}
+}
+
+func TestIsRecursive(t *testing.T) {
+	s := hospital(t)
+	if rec, _ := s.IsRecursive(); rec {
+		t.Fatal("hospital schema wrongly reported recursive")
+	}
+	r, err := Parse(`
+<!ELEMENT list (item*)>
+<!ELEMENT item (#PCDATA | list)*>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, cycle := r.IsRecursive()
+	if !rec {
+		t.Fatal("recursive schema not detected")
+	}
+	if len(cycle) < 2 {
+		t.Fatalf("cycle = %v", cycle)
+	}
+}
+
+func TestPaths(t *testing.T) {
+	s := hospital(t)
+	paths, err := s.Paths("patient", "experimental")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"patient", "treatment", "experimental"}}
+	if !reflect.DeepEqual(paths, want) {
+		t.Fatalf("paths = %v", paths)
+	}
+	// name is reachable from dept along two different branches (patients and
+	// both staff roles).
+	paths, err = s.Paths("dept", "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("dept→name paths = %v", paths)
+	}
+	// Trivial path.
+	paths, err = s.Paths("bill", "bill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(paths, [][]string{{"bill"}}) {
+		t.Fatalf("trivial path = %v", paths)
+	}
+	// Unreachable target yields no paths.
+	paths, err = s.Paths("psn", "bill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 0 {
+		t.Fatalf("unreachable paths = %v", paths)
+	}
+}
+
+func TestPathsFromRoot(t *testing.T) {
+	s := hospital(t)
+	paths, err := s.PathsFromRoot("bill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("root→bill paths = %v", paths)
+	}
+	for _, p := range paths {
+		if p[0] != "hospital" || p[len(p)-1] != "bill" {
+			t.Fatalf("bad path %v", p)
+		}
+	}
+}
+
+func TestPathsRejectRecursive(t *testing.T) {
+	r := MustParse(`
+<!ELEMENT a (b?)>
+<!ELEMENT b (a?)>
+`)
+	if _, err := r.Paths("a", "b"); err == nil {
+		t.Fatal("expected recursion error")
+	}
+}
+
+func TestPathsToAny(t *testing.T) {
+	s := hospital(t)
+	paths, err := s.PathsToAny("regular")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// regular, regular/med, regular/bill
+	if len(paths) != 3 {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestReachableAndParents(t *testing.T) {
+	s := hospital(t)
+	r := s.Reachable("treatment")
+	for _, want := range []string{"regular", "experimental", "med", "bill", "test"} {
+		if !r[want] {
+			t.Errorf("%s not reachable from treatment", want)
+		}
+	}
+	if r["psn"] {
+		t.Error("psn should not be reachable from treatment")
+	}
+	if got := s.Parents("bill"); !reflect.DeepEqual(got, []string{"experimental", "regular"}) {
+		t.Fatalf("parents(bill) = %v", got)
+	}
+	if got := s.Parents("name"); !reflect.DeepEqual(got, []string{"doctor", "nurse", "patient"}) {
+		t.Fatalf("parents(name) = %v", got)
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	s := hospital(t)
+	d, err := s.MaxDepth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hospital/dept/patients/patient/treatment/regular/med = 7 nodes.
+	if d != 7 {
+		t.Fatalf("max depth = %d, want 7", d)
+	}
+}
+
+func TestContentString(t *testing.T) {
+	s := hospital(t)
+	got := s.Element("treatment").Content.String()
+	if got != "(regular | experimental)?" {
+		t.Fatalf("treatment content = %q", got)
+	}
+	if got := s.Element("hospital").Content.String(); got != "dept+" {
+		t.Fatalf("hospital content = %q", got)
+	}
+	if got := s.Element("psn").Content.String(); got != "(#PCDATA)" {
+		t.Fatalf("psn content = %q", got)
+	}
+}
+
+func TestUndeclaredDetection(t *testing.T) {
+	// Build schema text referencing an undeclared element; Parse rejects it,
+	// so exercise Undeclared directly on a hand-built schema.
+	s := &Schema{Elements: map[string]*Element{
+		"a": {Name: "a", Content: &Content{Kind: Name, Name: "ghost"}},
+	}, order: []string{"a"}}
+	if got := s.Undeclared(); !reflect.DeepEqual(got, []string{"ghost"}) {
+		t.Fatalf("undeclared = %v", got)
+	}
+}
+
+func TestOccurrenceString(t *testing.T) {
+	if One.String() != "" || Optional.String() != "?" || ZeroOrMore.String() != "*" || OneOrMore.String() != "+" {
+		t.Fatal("occurrence rendering wrong")
+	}
+}
+
+func TestEmptyAndAny(t *testing.T) {
+	s, err := Parse(`<!ELEMENT a EMPTY> <!ELEMENT b ANY>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Element("a").HasText() {
+		t.Fatal("EMPTY should not allow text")
+	}
+	if !s.Element("b").HasText() {
+		t.Fatal("ANY should allow text")
+	}
+	if !strings.Contains(s.String(), "EMPTY") || !strings.Contains(s.String(), "ANY") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}

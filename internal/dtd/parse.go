@@ -1,0 +1,422 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a DTD from its textual form. Both bare declaration lists
+// (`<!ELEMENT …> …`) and full DOCTYPE wrappers
+// (`<!DOCTYPE root [ … ]>`) are accepted. Supported declarations are
+// ELEMENT (with EMPTY, ANY, #PCDATA, mixed content, sequence/choice groups
+// and occurrence indicators) and ATTLIST (CDATA, ID, IDREF(S), NMTOKEN(S),
+// enumerations; #REQUIRED/#IMPLIED/#FIXED/default). ENTITY and NOTATION
+// declarations and comments are skipped.
+func Parse(input string) (*Schema, error) {
+	p := &parser{src: input}
+	return p.parse()
+}
+
+// MustParse is Parse but panics on error; for fixtures in tests and
+// generators whose schemas are compile-time constants.
+func MustParse(input string) *Schema {
+	s, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) parse() (*Schema, error) {
+	s := &Schema{Elements: map[string]*Element{}}
+	doctypeRoot := ""
+	for {
+		p.skipSpaceAndComments()
+		if p.eof() {
+			break
+		}
+		if !p.consume("<!") {
+			if doctypeRoot != "" && p.consume("]") {
+				p.skipSpaceAndComments()
+				if !p.consume(">") {
+					return nil, p.errf("expected '>' after ']' closing DOCTYPE")
+				}
+				continue
+			}
+			return nil, p.errf("expected declaration")
+		}
+		kw := p.ident()
+		switch kw {
+		case "DOCTYPE":
+			p.skipSpace()
+			doctypeRoot = p.ident()
+			if doctypeRoot == "" {
+				return nil, p.errf("DOCTYPE requires a root name")
+			}
+			p.skipSpace()
+			if p.consume("[") {
+				continue // declarations follow inside the internal subset
+			}
+			if !p.consume(">") {
+				return nil, p.errf("expected '[' or '>' after DOCTYPE name")
+			}
+		case "ELEMENT":
+			if err := p.parseElement(s); err != nil {
+				return nil, err
+			}
+		case "ATTLIST":
+			if err := p.parseAttlist(s); err != nil {
+				return nil, err
+			}
+		case "ENTITY", "NOTATION":
+			if err := p.skipDeclaration(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unsupported declaration <!%s", kw)
+		}
+	}
+	if len(s.order) == 0 {
+		return nil, fmt.Errorf("dtd: no element declarations")
+	}
+	if doctypeRoot != "" {
+		if s.Elements[doctypeRoot] == nil {
+			return nil, fmt.Errorf("dtd: DOCTYPE root %q is not declared", doctypeRoot)
+		}
+		s.Root = doctypeRoot
+	} else {
+		s.Root = s.order[0]
+	}
+	if und := s.Undeclared(); len(und) > 0 {
+		return nil, fmt.Errorf("dtd: undeclared element types referenced: %s", strings.Join(und, ", "))
+	}
+	return s, nil
+}
+
+func (p *parser) parseElement(s *Schema) error {
+	p.skipSpace()
+	name := p.ident()
+	if name == "" {
+		return p.errf("ELEMENT requires a name")
+	}
+	if s.Elements[name] != nil {
+		return p.errf("duplicate declaration of element %q", name)
+	}
+	p.skipSpace()
+	c, err := p.parseContent()
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	if !p.consume(">") {
+		return p.errf("expected '>' at end of ELEMENT %s", name)
+	}
+	e := &Element{Name: name, Content: c}
+	s.Elements[name] = e
+	s.order = append(s.order, name)
+	return nil
+}
+
+func (p *parser) parseContent() (*Content, error) {
+	p.skipSpace()
+	switch {
+	case p.consume("EMPTY"):
+		return &Content{Kind: Empty}, nil
+	case p.consume("ANY"):
+		return &Content{Kind: Any}, nil
+	case p.peekIs("("):
+		return p.parseGroup()
+	default:
+		return nil, p.errf("expected content model")
+	}
+}
+
+// parseGroup parses a parenthesized group: (#PCDATA), (#PCDATA | a | b)*,
+// (a, b?, (c | d)*), etc.
+func (p *parser) parseGroup() (*Content, error) {
+	if !p.consume("(") {
+		return nil, p.errf("expected '('")
+	}
+	p.skipSpace()
+	if p.consume("#PCDATA") {
+		// Pure text or mixed content.
+		pc := &Content{Kind: PCData}
+		p.skipSpace()
+		if p.consume(")") {
+			pc.Occ = p.occurrence()
+			return pc, nil
+		}
+		// Mixed content: (#PCDATA | a | b)*
+		children := []*Content{pc}
+		for {
+			p.skipSpace()
+			if !p.consume("|") {
+				break
+			}
+			p.skipSpace()
+			n := p.ident()
+			if n == "" {
+				return nil, p.errf("expected name in mixed content")
+			}
+			children = append(children, &Content{Kind: Name, Name: n})
+		}
+		p.skipSpace()
+		if !p.consume(")") {
+			return nil, p.errf("expected ')' closing mixed content")
+		}
+		occ := p.occurrence()
+		if occ != ZeroOrMore {
+			return nil, p.errf("mixed content must end with '*'")
+		}
+		return &Content{Kind: Choice, Occ: ZeroOrMore, Children: children}, nil
+	}
+	var children []*Content
+	sep := byte(0) // ',' for sequence, '|' for choice
+	for {
+		item, err := p.parseCP()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, item)
+		p.skipSpace()
+		if p.consume(")") {
+			break
+		}
+		var got byte
+		switch {
+		case p.consume(","):
+			got = ','
+		case p.consume("|"):
+			got = '|'
+		default:
+			return nil, p.errf("expected ',', '|' or ')' in content group")
+		}
+		if sep == 0 {
+			sep = got
+		} else if sep != got {
+			return nil, p.errf("cannot mix ',' and '|' in one group")
+		}
+	}
+	kind := Sequence
+	if sep == '|' {
+		kind = Choice
+	}
+	g := &Content{Kind: kind, Children: children}
+	g.Occ = p.occurrence()
+	if len(children) == 1 && kind == Sequence {
+		// Collapse singleton groups: (a)? behaves as a?.
+		c := children[0]
+		if c.Occ == One {
+			c.Occ = g.Occ
+			return c, nil
+		}
+		if g.Occ == One {
+			return c, nil
+		}
+	}
+	return g, nil
+}
+
+// parseCP parses a content particle: name, name with indicator, or a group.
+func (p *parser) parseCP() (*Content, error) {
+	p.skipSpace()
+	if p.peekIs("(") {
+		return p.parseGroup()
+	}
+	n := p.ident()
+	if n == "" {
+		return nil, p.errf("expected element name")
+	}
+	return &Content{Kind: Name, Name: n, Occ: p.occurrence()}, nil
+}
+
+func (p *parser) occurrence() Occurrence {
+	switch {
+	case p.consume("?"):
+		return Optional
+	case p.consume("*"):
+		return ZeroOrMore
+	case p.consume("+"):
+		return OneOrMore
+	default:
+		return One
+	}
+}
+
+func (p *parser) parseAttlist(s *Schema) error {
+	p.skipSpace()
+	elName := p.ident()
+	if elName == "" {
+		return p.errf("ATTLIST requires an element name")
+	}
+	e := s.Elements[elName]
+	if e == nil {
+		return p.errf("ATTLIST for undeclared element %q", elName)
+	}
+	for {
+		p.skipSpace()
+		if p.consume(">") {
+			return nil
+		}
+		a := Attr{}
+		a.Name = p.ident()
+		if a.Name == "" {
+			return p.errf("expected attribute name in ATTLIST %s", elName)
+		}
+		p.skipSpace()
+		if p.peekIs("(") {
+			// Enumerated type.
+			var vals []string
+			p.consume("(")
+			for {
+				p.skipSpace()
+				v := p.ident()
+				if v == "" {
+					return p.errf("expected enumeration value")
+				}
+				vals = append(vals, v)
+				p.skipSpace()
+				if p.consume(")") {
+					break
+				}
+				if !p.consume("|") {
+					return p.errf("expected '|' or ')' in enumeration")
+				}
+			}
+			a.Type = "(" + strings.Join(vals, "|") + ")"
+		} else {
+			a.Type = p.ident()
+			switch a.Type {
+			case "CDATA", "ID", "IDREF", "IDREFS", "NMTOKEN", "NMTOKENS", "ENTITY", "ENTITIES":
+			default:
+				return p.errf("unsupported attribute type %q", a.Type)
+			}
+		}
+		p.skipSpace()
+		switch {
+		case p.consume("#REQUIRED"):
+			a.Required = true
+		case p.consume("#IMPLIED"):
+		case p.consume("#FIXED"):
+			p.skipSpace()
+			v, err := p.quoted()
+			if err != nil {
+				return err
+			}
+			a.Default = v
+		default:
+			v, err := p.quoted()
+			if err != nil {
+				return err
+			}
+			a.Default = v
+		}
+		e.Attrs = append(e.Attrs, a)
+	}
+}
+
+// skipDeclaration consumes tokens until the matching '>' of a declaration we
+// do not model (ENTITY, NOTATION), honoring quoted strings.
+func (p *parser) skipDeclaration() error {
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c == '"' || c == '\'' {
+			if _, err := p.quoted(); err != nil {
+				return err
+			}
+			continue
+		}
+		p.pos++
+		if c == '>' {
+			return nil
+		}
+	}
+	return p.errf("unterminated declaration")
+}
+
+func (p *parser) quoted() (string, error) {
+	if p.eof() {
+		return "", p.errf("expected quoted string")
+	}
+	q := p.src[p.pos]
+	if q != '"' && q != '\'' {
+		return "", p.errf("expected quoted string")
+	}
+	p.pos++
+	start := p.pos
+	for !p.eof() && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.eof() {
+		return "", p.errf("unterminated string")
+	}
+	v := p.src[start:p.pos]
+	p.pos++
+	return v, nil
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) skipSpaceAndComments() {
+	for {
+		p.skipSpace()
+		if strings.HasPrefix(p.src[p.pos:], "<!--") {
+			end := strings.Index(p.src[p.pos+4:], "-->")
+			if end < 0 {
+				p.pos = len(p.src)
+				return
+			}
+			p.pos += 4 + end + 3
+			continue
+		}
+		return
+	}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peekIs(s string) bool { return strings.HasPrefix(p.src[p.pos:], s) }
+
+func (p *parser) consume(s string) bool {
+	if p.peekIs(s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() string {
+	start := p.pos
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c == '_' || c == '-' || c == '.' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:min(p.pos, len(p.src))], "\n")
+	return fmt.Errorf("dtd: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

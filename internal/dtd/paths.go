@@ -1,0 +1,160 @@
+package dtd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Paths enumerates every child-axis label path from element type `from` to
+// element type `to` in the schema graph, inclusive of both endpoints. This is
+// the primitive behind the paper's schema-aware rule expansion: "we need to
+// replace all descendant axes that occur inside a predicate of an access
+// control rule with relative paths using only the child axis. With the
+// schema information these replacements are finite."
+//
+// A path of length one ({from}) is returned when from == to. The schema must
+// be non-recursive; Paths returns an error otherwise.
+func (s *Schema) Paths(from, to string) ([][]string, error) {
+	if rec, cyc := s.IsRecursive(); rec {
+		return nil, fmt.Errorf("dtd: schema is recursive (cycle %v); descendant expansion is not finite", cyc)
+	}
+	if s.Elements[from] == nil {
+		return nil, fmt.Errorf("dtd: unknown element type %q", from)
+	}
+	var out [][]string
+	var walk func(cur string, path []string)
+	walk = func(cur string, path []string) {
+		path = append(path, cur)
+		if cur == to {
+			cp := make([]string, len(path))
+			copy(cp, path)
+			out = append(out, cp)
+			// Non-recursive schemas cannot reach `to` again below itself
+			// through a cycle, but a different element with the same name is
+			// impossible too (names are types); stop here.
+			return
+		}
+		e := s.Elements[cur]
+		if e == nil {
+			return
+		}
+		for _, c := range e.ChildNames() {
+			walk(c, path)
+		}
+	}
+	walk(from, nil)
+	sortPaths(out)
+	return out, nil
+}
+
+// PathsToAny enumerates every child-axis label path from `from` to every
+// element type reachable from it (including the trivial path {from}). Used
+// to expand a descendant step with a wildcard node test.
+func (s *Schema) PathsToAny(from string) ([][]string, error) {
+	if rec, cyc := s.IsRecursive(); rec {
+		return nil, fmt.Errorf("dtd: schema is recursive (cycle %v); descendant expansion is not finite", cyc)
+	}
+	if s.Elements[from] == nil {
+		return nil, fmt.Errorf("dtd: unknown element type %q", from)
+	}
+	var out [][]string
+	var walk func(cur string, path []string)
+	walk = func(cur string, path []string) {
+		path = append(path, cur)
+		cp := make([]string, len(path))
+		copy(cp, path)
+		out = append(out, cp)
+		e := s.Elements[cur]
+		if e == nil {
+			return
+		}
+		for _, c := range e.ChildNames() {
+			walk(c, path)
+		}
+	}
+	walk(from, nil)
+	sortPaths(out)
+	return out, nil
+}
+
+// PathsFromRoot enumerates every child-axis label path from the schema root
+// to element type `to` (inclusive). This resolves a leading descendant step
+// such as //patient against the schema.
+func (s *Schema) PathsFromRoot(to string) ([][]string, error) {
+	return s.Paths(s.Root, to)
+}
+
+// Reachable returns the set of element type names reachable from `from`
+// (excluding `from` itself unless it is reachable through a child chain,
+// which cannot happen in a non-recursive schema).
+func (s *Schema) Reachable(from string) map[string]bool {
+	out := map[string]bool{}
+	var walk func(cur string)
+	walk = func(cur string) {
+		e := s.Elements[cur]
+		if e == nil {
+			return
+		}
+		for _, c := range e.ChildNames() {
+			if !out[c] {
+				out[c] = true
+				walk(c)
+			}
+		}
+	}
+	walk(from)
+	return out
+}
+
+// Parents returns the element types whose content models reference `name`,
+// sorted. (The schema graph's reverse edges.)
+func (s *Schema) Parents(name string) []string {
+	var out []string
+	for _, p := range s.order {
+		for _, c := range s.Elements[p].ChildNames() {
+			if c == name {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MaxDepth returns the length (in nodes) of the longest root-to-leaf label
+// path in a non-recursive schema; it bounds the height h that appears in the
+// paper's O(n·h) complexity of the Trigger algorithm.
+func (s *Schema) MaxDepth() (int, error) {
+	if rec, cyc := s.IsRecursive(); rec {
+		return 0, fmt.Errorf("dtd: schema is recursive (cycle %v)", cyc)
+	}
+	memo := map[string]int{}
+	var depth func(name string) int
+	depth = func(name string) int {
+		if d, ok := memo[name]; ok {
+			return d
+		}
+		best := 1
+		for _, c := range s.Elements[name].ChildNames() {
+			if d := 1 + depth(c); d > best {
+				best = d
+			}
+		}
+		memo[name] = best
+		return best
+	}
+	return depth(s.Root), nil
+}
+
+func sortPaths(paths [][]string) {
+	sort.Slice(paths, func(i, j int) bool {
+		a, b := paths[i], paths[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

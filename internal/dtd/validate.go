@@ -1,0 +1,102 @@
+package dtd
+
+import (
+	"fmt"
+
+	"xmlac/internal/xmltree"
+)
+
+// ValidationError describes one violation found while validating a document
+// against a schema.
+type ValidationError struct {
+	// NodeID is the universal identifier of the offending node.
+	NodeID int64
+	// Path is the node's location for human consumption.
+	Path string
+	// Msg explains the violation.
+	Msg string
+}
+
+func (e ValidationError) Error() string {
+	return fmt.Sprintf("dtd: node %d at %s: %s", e.NodeID, e.Path, e.Msg)
+}
+
+// Validate checks the document against the schema. Because the model treats
+// trees as unordered (Section 2.1 of the paper), validation checks the
+// multiplicity bounds implied by each content model rather than sibling
+// order: every element must be declared, each child label must be admitted
+// by its parent's content model with a count inside the (min, max) bounds,
+// and text content must only appear where #PCDATA (or ANY) is allowed.
+// All violations found are returned, not just the first.
+func (s *Schema) Validate(doc *xmltree.Document) []ValidationError {
+	var errs []ValidationError
+	add := func(n *xmltree.Node, format string, args ...any) {
+		errs = append(errs, ValidationError{NodeID: n.ID, Path: n.Path(), Msg: fmt.Sprintf(format, args...)})
+	}
+	root := doc.Root()
+	if root.Label != s.Root {
+		add(root, "root element is %q, schema expects %q", root.Label, s.Root)
+	}
+	doc.Walk(func(n *xmltree.Node) bool {
+		if n.Kind != xmltree.Element {
+			return true
+		}
+		e := s.Elements[n.Label]
+		if e == nil {
+			add(n, "element type %q is not declared", n.Label)
+			return true
+		}
+		anyContent := e.Content != nil && e.Content.Kind == Any
+		if !anyContent {
+			// Text placement.
+			if !e.HasText() {
+				for _, c := range n.Children() {
+					if c.Kind == xmltree.Text {
+						add(n, "element %q does not allow text content", n.Label)
+						break
+					}
+				}
+			}
+			// Child multiplicities.
+			bounds := s.ChildBounds(n.Label)
+			counts := map[string]int{}
+			for _, c := range n.ChildElements() {
+				counts[c.Label]++
+			}
+			for label, cnt := range counts {
+				b, ok := bounds[label]
+				if !ok {
+					add(n, "child %q not allowed under %q", label, n.Label)
+					continue
+				}
+				if b.Max >= 0 && cnt > b.Max {
+					add(n, "child %q occurs %d times, at most %d allowed", label, cnt, b.Max)
+				}
+			}
+			for label, b := range bounds {
+				if b.Min > counts[label] {
+					add(n, "child %q occurs %d times, at least %d required", label, counts[label], b.Min)
+				}
+			}
+		}
+		// Attributes.
+		declared := map[string]Attr{}
+		for _, a := range e.Attrs {
+			declared[a.Name] = a
+		}
+		for k := range n.Attrs {
+			if _, ok := declared[k]; !ok {
+				add(n, "attribute %q not declared for element %q", k, n.Label)
+			}
+		}
+		for _, a := range e.Attrs {
+			if a.Required {
+				if _, ok := n.Attrs[a.Name]; !ok {
+					add(n, "required attribute %q missing on element %q", a.Name, n.Label)
+				}
+			}
+		}
+		return true
+	})
+	return errs
+}

@@ -1,0 +1,143 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+
+	"xmlac/internal/xmltree"
+)
+
+func mustDoc(t *testing.T, s string) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestValidateValidHospital(t *testing.T) {
+	s := hospital(t)
+	doc := mustDoc(t, `<hospital><dept><patients>`+
+		`<patient><psn>033</psn><name>john doe</name></patient>`+
+		`</patients><staffinfo><staff><nurse><sid>s1</sid><name>n</name><phone>555</phone></nurse></staff></staffinfo></dept></hospital>`)
+	if errs := s.Validate(doc); len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+}
+
+func TestValidateWrongRoot(t *testing.T) {
+	s := hospital(t)
+	doc := mustDoc(t, `<dept/>`)
+	errs := s.Validate(doc)
+	if len(errs) == 0 || !strings.Contains(errs[0].Msg, "root element") {
+		t.Fatalf("errors = %v", errs)
+	}
+}
+
+func TestValidateUndeclaredElement(t *testing.T) {
+	s := hospital(t)
+	doc := mustDoc(t, `<hospital><dept><patients/><staffinfo/><bogus/></dept></hospital>`)
+	errs := s.Validate(doc)
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Msg, `"bogus"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bogus element not reported: %v", errs)
+	}
+}
+
+func TestValidateMissingRequiredChild(t *testing.T) {
+	s := hospital(t)
+	// patient without psn and name.
+	doc := mustDoc(t, `<hospital><dept><patients><patient/></patients><staffinfo/></dept></hospital>`)
+	errs := s.Validate(doc)
+	if len(errs) < 2 {
+		t.Fatalf("expected ≥2 errors (psn, name missing), got %v", errs)
+	}
+}
+
+func TestValidateTooManyChildren(t *testing.T) {
+	s := hospital(t)
+	doc := mustDoc(t, `<hospital><dept><patients><patient>`+
+		`<psn>1</psn><psn>2</psn><name>x</name></patient></patients><staffinfo/></dept></hospital>`)
+	errs := s.Validate(doc)
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Msg, "at most 1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("multiplicity violation not reported: %v", errs)
+	}
+}
+
+func TestValidateTextWhereForbidden(t *testing.T) {
+	s := hospital(t)
+	doc := mustDoc(t, `<hospital><dept><patients>stray text</patients><staffinfo/></dept></hospital>`)
+	errs := s.Validate(doc)
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Msg, "text content") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("text violation not reported: %v", errs)
+	}
+}
+
+func TestValidateChoiceExclusivity(t *testing.T) {
+	s := hospital(t)
+	// A treatment with both regular and experimental exceeds the choice's
+	// per-label (0,1) bounds only if both appear twice; one of each violates
+	// nothing label-wise — unordered-tree validation is deliberately
+	// multiplicity-based. Both appearing once is accepted.
+	doc := mustDoc(t, `<hospital><dept><patients><patient><psn>1</psn><name>x</name>`+
+		`<treatment><regular><med>m</med><bill>1</bill></regular>`+
+		`<experimental><test>t</test><bill>2</bill></experimental></treatment>`+
+		`</patient></patients><staffinfo/></dept></hospital>`)
+	if errs := s.Validate(doc); len(errs) != 0 {
+		t.Fatalf("unordered validation should accept this: %v", errs)
+	}
+}
+
+func TestValidateAttributes(t *testing.T) {
+	s := MustParse(`
+<!ELEMENT item (#PCDATA)>
+<!ATTLIST item id ID #REQUIRED>
+`)
+	doc := mustDoc(t, `<item foo="x">v</item>`)
+	errs := s.Validate(doc)
+	var missingReq, undeclAttr bool
+	for _, e := range errs {
+		if strings.Contains(e.Msg, "required attribute") {
+			missingReq = true
+		}
+		if strings.Contains(e.Msg, `attribute "foo"`) {
+			undeclAttr = true
+		}
+	}
+	if !missingReq || !undeclAttr {
+		t.Fatalf("attribute violations not reported: %v", errs)
+	}
+}
+
+func TestValidationErrorString(t *testing.T) {
+	e := ValidationError{NodeID: 7, Path: "/a/b", Msg: "boom"}
+	if !strings.Contains(e.Error(), "node 7") || !strings.Contains(e.Error(), "/a/b") {
+		t.Fatalf("error = %q", e.Error())
+	}
+}
+
+func TestValidateAnyContent(t *testing.T) {
+	s := MustParse(`<!ELEMENT a ANY> <!ELEMENT b EMPTY>`)
+	doc := mustDoc(t, `<a>text<b/><b/></a>`)
+	if errs := s.Validate(doc); len(errs) != 0 {
+		t.Fatalf("ANY content should accept anything declared: %v", errs)
+	}
+}

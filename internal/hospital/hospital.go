@@ -1,0 +1,170 @@
+// Package hospital provides the paper's motivating example (Section 1.1) as
+// reusable fixtures: the hospital DTD of Figure 1, the partial document of
+// Figure 2, the access-control rules of Table 1, and a deterministic,
+// scalable generator of valid hospital documents for tests and examples.
+package hospital
+
+import (
+	"fmt"
+
+	"xmlac/internal/dtd"
+	"xmlac/internal/xmltree"
+)
+
+// DTDText is the hospital schema of Figure 1 in DTD syntax. The treatment
+// element may hold a regular or an experimental treatment, or be empty; staff
+// members are doctors or nurses.
+const DTDText = `
+<!ELEMENT hospital (dept+)>
+<!ELEMENT dept (patients, staffinfo)>
+<!ELEMENT patients (patient*)>
+<!ELEMENT staffinfo (staff*)>
+<!ELEMENT patient (psn, name, treatment?)>
+<!ELEMENT treatment ((regular | experimental)?)>
+<!ELEMENT regular (med, bill)>
+<!ELEMENT experimental (test, bill)>
+<!ELEMENT staff (nurse | doctor)>
+<!ELEMENT nurse (sid, name, phone)>
+<!ELEMENT doctor (sid, name, phone)>
+<!ELEMENT psn (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT med (#PCDATA)>
+<!ELEMENT bill (#PCDATA)>
+<!ELEMENT test (#PCDATA)>
+<!ELEMENT sid (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+`
+
+// Schema returns the parsed hospital DTD.
+func Schema() *dtd.Schema { return dtd.MustParse(DTDText) }
+
+// Rules are the access-control rules of Table 1, in the textual rule format
+// of the policy package: "resource effect" per line. Default semantics and
+// conflict resolution in the paper's running example are both deny.
+var Rules = []struct {
+	Name     string
+	Resource string
+	Allow    bool
+}{
+	{"R1", "//patient", true},
+	{"R2", "//patient/name", true},
+	{"R3", "//patient[treatment]", false},
+	{"R4", "//patient[treatment]/name", true},
+	{"R5", "//patient[.//experimental]", false},
+	{"R6", "//regular", true},
+	{"R7", `//regular[med = "celecoxib"]`, true},
+	{"R8", "//regular[bill > 1000]", true},
+}
+
+// DocumentText is the partial hospital instance of Figure 2 completed to a
+// valid document (one department with an empty staff roster).
+const DocumentText = `<hospital><dept><patients>` +
+	`<patient><psn>033</psn><name>john doe</name><treatment><regular><med>enoxaparin</med><bill>700</bill></regular></treatment></patient>` +
+	`<patient><psn>042</psn><name>jane doe</name><treatment><experimental><test>regression hypnosis</test><bill>1600</bill></experimental></treatment></patient>` +
+	`<patient><psn>099</psn><name>joy smith</name></patient>` +
+	`</patients><staffinfo></staffinfo></dept></hospital>`
+
+// Document parses and returns the Figure 2 document.
+func Document() *xmltree.Document {
+	d, err := xmltree.ParseString(DocumentText)
+	if err != nil {
+		panic(err) // the fixture is a compile-time constant
+	}
+	return d
+}
+
+// GenOptions configures the scalable hospital generator.
+type GenOptions struct {
+	// Seed makes generation deterministic.
+	Seed uint64
+	// Departments is the number of dept elements (minimum 1).
+	Departments int
+	// PatientsPerDept is the number of patients in each department.
+	PatientsPerDept int
+	// StaffPerDept is the number of staff members in each department.
+	StaffPerDept int
+}
+
+var meds = []string{"enoxaparin", "celecoxib", "ibuprofen", "metformin", "amoxicillin", "lisinopril"}
+
+var tests = []string{"regression hypnosis", "gene therapy", "plasma exchange", "deep stimulation"}
+
+var firstNames = []string{"john", "jane", "joy", "alice", "bob", "carol", "dan", "eve", "frank", "grace"}
+
+var lastNames = []string{"doe", "smith", "jones", "brown", "adams", "clark", "davis", "evans"}
+
+// Generate builds a valid hospital document of the requested shape. Roughly
+// half the patients have a treatment; of those, one in four is experimental.
+// One in six regular treatments prescribes celecoxib (exercising rule R7) and
+// bills are drawn from [100, 2100) so that rule R8's bill > 1000 predicate
+// selects about half of them.
+func Generate(opts GenOptions) *xmltree.Document {
+	if opts.Departments < 1 {
+		opts.Departments = 1
+	}
+	rng := splitmix64{state: opts.Seed ^ 0x9e3779b97f4a7c15}
+	doc := xmltree.NewDocument("hospital")
+	psn := 0
+	sid := 0
+	for d := 0; d < opts.Departments; d++ {
+		dept := doc.AddElement(doc.Root(), "dept")
+		patients := doc.AddElement(dept, "patients")
+		for p := 0; p < opts.PatientsPerDept; p++ {
+			psn++
+			pat := doc.AddElement(patients, "patient")
+			doc.AddText(doc.AddElement(pat, "psn"), fmt.Sprintf("%03d", psn))
+			doc.AddText(doc.AddElement(pat, "name"), rng.pick(firstNames)+" "+rng.pick(lastNames))
+			switch rng.intn(4) {
+			case 0, 1: // no treatment element at all
+			case 2: // regular treatment
+				tr := doc.AddElement(pat, "treatment")
+				reg := doc.AddElement(tr, "regular")
+				med := rng.pick(meds)
+				if rng.intn(6) == 0 {
+					med = "celecoxib"
+				}
+				doc.AddText(doc.AddElement(reg, "med"), med)
+				doc.AddText(doc.AddElement(reg, "bill"), fmt.Sprint(100+rng.intn(2000)))
+			case 3:
+				tr := doc.AddElement(pat, "treatment")
+				if rng.intn(4) == 0 {
+					exp := doc.AddElement(tr, "experimental")
+					doc.AddText(doc.AddElement(exp, "test"), rng.pick(tests))
+					doc.AddText(doc.AddElement(exp, "bill"), fmt.Sprint(100+rng.intn(2000)))
+				}
+				// Otherwise the treatment stays unspecified (empty element),
+				// which the schema allows.
+			}
+		}
+		staffinfo := doc.AddElement(dept, "staffinfo")
+		for s := 0; s < opts.StaffPerDept; s++ {
+			sid++
+			st := doc.AddElement(staffinfo, "staff")
+			role := "nurse"
+			if rng.intn(2) == 0 {
+				role = "doctor"
+			}
+			m := doc.AddElement(st, role)
+			doc.AddText(doc.AddElement(m, "sid"), fmt.Sprintf("s%04d", sid))
+			doc.AddText(doc.AddElement(m, "name"), rng.pick(firstNames)+" "+rng.pick(lastNames))
+			doc.AddText(doc.AddElement(m, "phone"), fmt.Sprintf("555-%04d", rng.intn(10000)))
+		}
+	}
+	return doc
+}
+
+// splitmix64 is a tiny deterministic PRNG (stdlib-only, stable across Go
+// versions, unlike math/rand's unspecified stream for some methods).
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) intn(n int) int { return int(s.next() % uint64(n)) }
+
+func (s *splitmix64) pick(xs []string) string { return xs[s.intn(len(xs))] }

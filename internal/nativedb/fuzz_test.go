@@ -1,0 +1,53 @@
+package nativedb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickXQueryParseNeverPanics: arbitrary input never panics the
+// mini-XQuery parser; successful parses round trip.
+func TestQuickXQueryParseNeverPanics(t *testing.T) {
+	seeds := []string{
+		`for $n in doc("d")((//a union //b) except //c) return xmlac:annotate($n, "+")`,
+		`count(doc("d")(//a[b = "x"]))`,
+		`doc("d")//a/b`,
+		`xmlac:clear(doc("d"))`,
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var in string
+		if r.Intn(3) == 0 {
+			raw := make([]byte, r.Intn(80))
+			for i := range raw {
+				raw[i] = byte(r.Intn(256))
+			}
+			in = string(raw)
+		} else {
+			b := []byte(seeds[r.Intn(len(seeds))])
+			for i := 0; i < 1+r.Intn(4) && len(b) > 0; i++ {
+				switch r.Intn(3) {
+				case 0:
+					b[r.Intn(len(b))] = byte(r.Intn(128))
+				case 1:
+					pos := r.Intn(len(b) + 1)
+					b = append(b[:pos], append([]byte{byte(r.Intn(128))}, b[pos:]...)...)
+				case 2:
+					pos := r.Intn(len(b))
+					b = append(b[:pos], b[pos+1:]...)
+				}
+			}
+			in = string(b)
+		}
+		q, err := ParseXQuery(in)
+		if err != nil {
+			return true
+		}
+		q2, err := ParseXQuery(q.String())
+		return err == nil && q2.String() == q.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

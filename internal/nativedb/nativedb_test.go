@@ -1,0 +1,273 @@
+package nativedb
+
+import (
+	"strings"
+	"testing"
+
+	"xmlac/internal/xmltree"
+	"xmlac/internal/xpath"
+)
+
+const hospitalDoc = `<hospital><dept><patients>` +
+	`<patient><psn>033</psn><name>john doe</name><treatment><regular><med>enoxaparin</med><bill>700</bill></regular></treatment></patient>` +
+	`<patient><psn>042</psn><name>jane doe</name><treatment><experimental><test>regression hypnosis</test><bill>1600</bill></experimental></treatment></patient>` +
+	`<patient><psn>099</psn><name>joy smith</name></patient>` +
+	`</patients><staffinfo/></dept></hospital>`
+
+func openHospital(t *testing.T) *Store {
+	t.Helper()
+	s := OpenStore()
+	if err := s.LoadXML("hosp", strings.NewReader(hospitalDoc)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := openHospital(t)
+	if s.Doc("hosp") == nil {
+		t.Fatal("document missing")
+	}
+	if s.Doc("nope") != nil {
+		t.Fatal("ghost document")
+	}
+	if got := s.Names(); len(got) != 1 || got[0] != "hosp" {
+		t.Fatalf("names = %v", got)
+	}
+	s.Remove("hosp")
+	if s.Doc("hosp") != nil {
+		t.Fatal("remove failed")
+	}
+	if err := s.Load("x", nil); err == nil {
+		t.Fatal("nil document accepted")
+	}
+	if err := s.LoadXML("bad", strings.NewReader("<a>")); err == nil {
+		t.Fatal("malformed XML accepted")
+	}
+}
+
+func TestEvalSetAlgebra(t *testing.T) {
+	s := openHospital(t)
+	doc := s.Doc("hosp")
+	pat := PathLeaf(xpath.MustParse("//patient"))
+	withTr := PathLeaf(xpath.MustParse("//patient[treatment]"))
+	union := &SetExpr{Op: OpUnion, Left: pat, Right: withTr}
+	except := &SetExpr{Op: OpExcept, Left: pat, Right: withTr}
+	intersect := &SetExpr{Op: OpIntersect, Left: pat, Right: withTr}
+	for _, c := range []struct {
+		e *SetExpr
+		n int
+	}{{pat, 3}, {withTr, 2}, {union, 3}, {except, 1}, {intersect, 2}} {
+		nodes, err := EvalSet(c.e, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nodes) != c.n {
+			t.Errorf("%s: %d nodes, want %d", c.e, len(nodes), c.n)
+		}
+	}
+	// Document order.
+	nodes, _ := EvalSet(union, doc)
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].ID >= nodes[i].ID {
+			t.Fatal("not in document order")
+		}
+	}
+}
+
+func TestCombine(t *testing.T) {
+	a := PathLeaf(xpath.MustParse("//a"))
+	b := PathLeaf(xpath.MustParse("//b"))
+	c := PathLeaf(xpath.MustParse("//c"))
+	e := Combine(OpUnion, a, b, c)
+	if e.String() != "((//a union //b) union //c)" {
+		t.Fatalf("combined = %s", e.String())
+	}
+	if Combine(OpUnion) != nil {
+		t.Fatal("empty combine should be nil")
+	}
+	if Combine(OpUnion, a) != a {
+		t.Fatal("singleton combine should be identity")
+	}
+	if Combine(OpUnion, nil, a, nil) != a {
+		t.Fatal("nil entries should be skipped")
+	}
+}
+
+// TestExecAnnotatePaperQuery runs the paper's own example annotation query
+// (Section 5.2) and checks the resulting signs against Figure 2.
+func TestExecAnnotatePaperQuery(t *testing.T) {
+	s := openHospital(t)
+	q := `for $n in doc("hosp")(((//patient union //patient/name union //regular) except (//patient[treatment] union //patient[.//experimental]))) return xmlac:annotate($n, "+")`
+	res, err := s.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accessible: patient 3, three names, one regular = 5 nodes.
+	if res.Count != 5 {
+		t.Fatalf("annotated %d nodes, want 5", res.Count)
+	}
+	doc := s.Doc("hosp")
+	plus, _, _ := doc.SignCounts()
+	if plus != 5 {
+		t.Fatalf("plus signs = %d", plus)
+	}
+	// Specifically: joy smith's patient node is accessible, john doe's not.
+	pats, _ := xpath.Eval(xpath.MustParse("//patient"), doc)
+	if pats[0].Sign == xmltree.SignPlus || pats[2].Sign != xmltree.SignPlus {
+		t.Fatalf("signs = %v %v %v", pats[0].Sign, pats[1].Sign, pats[2].Sign)
+	}
+}
+
+func TestExecSelectAndCount(t *testing.T) {
+	s := openHospital(t)
+	res, err := s.Exec(`doc("hosp")//patient`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 3 {
+		t.Fatalf("nodes = %d", len(res.Nodes))
+	}
+	res, err = s.Exec(`count(doc("hosp")(//patient union //regular))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 4 {
+		t.Fatalf("count = %d", res.Count)
+	}
+	res, err = s.Exec(`doc("hosp")(//patient except //patient[treatment])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 1 {
+		t.Fatalf("except nodes = %d", len(res.Nodes))
+	}
+}
+
+func TestExecClear(t *testing.T) {
+	s := openHospital(t)
+	if _, err := s.Exec(`for $n in doc("hosp")(//patient) return xmlac:annotate($n, "-")`); err != nil {
+		t.Fatal(err)
+	}
+	_, minus, _ := s.Doc("hosp").SignCounts()
+	if minus != 3 {
+		t.Fatalf("minus = %d", minus)
+	}
+	if _, err := s.Exec(`xmlac:clear(doc("hosp"))`); err != nil {
+		t.Fatal(err)
+	}
+	p, m, _ := s.Doc("hosp").SignCounts()
+	if p != 0 || m != 0 {
+		t.Fatalf("signs remain after clear: %d %d", p, m)
+	}
+}
+
+func TestAnnotateReplacesExistingSign(t *testing.T) {
+	s := openHospital(t)
+	if _, err := s.Exec(`for $n in doc("hosp")(//patient) return xmlac:annotate($n, "-")`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`for $n in doc("hosp")(//patient[treatment]) return xmlac:annotate($n, "+")`); err != nil {
+		t.Fatal(err)
+	}
+	doc := s.Doc("hosp")
+	pats, _ := xpath.Eval(xpath.MustParse("//patient"), doc)
+	if pats[0].Sign != xmltree.SignPlus || pats[1].Sign != xmltree.SignPlus || pats[2].Sign != xmltree.SignMinus {
+		t.Fatalf("signs = %v %v %v", pats[0].Sign, pats[1].Sign, pats[2].Sign)
+	}
+}
+
+func TestParseXQueryRoundTrip(t *testing.T) {
+	cases := []string{
+		`doc("d")(//a)`,
+		`doc("d")((//a union //b) except //c)`,
+		`count(doc("d")(//a))`,
+		`for $n in doc("d")(//a[b = "x"]) return xmlac:annotate($n, "+")`,
+		`xmlac:clear(doc("d"))`,
+	}
+	for _, c := range cases {
+		q, err := ParseXQuery(c)
+		if err != nil {
+			t.Errorf("ParseXQuery(%q): %v", c, err)
+			continue
+		}
+		q2, err := ParseXQuery(q.String())
+		if err != nil {
+			t.Errorf("reparse of %q (from %q): %v", q.String(), c, err)
+			continue
+		}
+		if q2.String() != q.String() {
+			t.Errorf("round trip: %q vs %q", q.String(), q2.String())
+		}
+	}
+}
+
+func TestParseXQueryErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`doc()`,
+		`doc("d")`,
+		`doc("d")(`,
+		`doc("d")()`,
+		`doc("d")(//a`,
+		`doc("d")(a)`, // relative path
+		`doc("d")(//a uniom //b)`,
+		`for $n in doc("d")(//a) return xmlac:annotate($m, "+")`, // var mismatch
+		`for $n in doc("d")(//a) return xmlac:annotate($n, "?")`,
+		`for $n in doc("d")(//a) return other:fn($n)`,
+		`for in doc("d")(//a) return xmlac:annotate($n, "+")`,
+		`count(doc("d")(//a)`,
+		`xmlac:clear(doc("d")`,
+		`doc("d")(//a) trailing`,
+	}
+	for _, c := range cases {
+		if _, err := ParseXQuery(c); err == nil {
+			t.Errorf("ParseXQuery(%q): expected error", c)
+		}
+	}
+}
+
+func TestParseSetExprPrecedence(t *testing.T) {
+	e, err := ParseSetExpr(`//a union //b except //c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left-associative: ((a ∪ b) − c).
+	if e.Op != OpExcept || e.Left.Op != OpUnion {
+		t.Fatalf("tree = %s", e)
+	}
+	e, err = ParseSetExpr(`//a union (//b except //c)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Op != OpUnion || e.Right.Op != OpExcept {
+		t.Fatalf("tree = %s", e)
+	}
+}
+
+func TestParseSetExprWithStringsContainingKeywords(t *testing.T) {
+	// The word "union" inside a string literal must not split the path.
+	e, err := ParseSetExpr(`//a[b = "union"] union //c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Op != OpUnion {
+		t.Fatalf("tree = %s", e)
+	}
+	if e.Left.Path.String() != `//a[b = "union"]` {
+		t.Fatalf("left = %s", e.Left.Path)
+	}
+}
+
+func TestRunMissingDocument(t *testing.T) {
+	s := OpenStore()
+	if _, err := s.Exec(`doc("ghost")(//a)`); err == nil {
+		t.Fatal("expected missing-document error")
+	}
+}
+
+func TestXQKindString(t *testing.T) {
+	if OpUnion.String() != "union" || OpExcept.String() != "except" || OpIntersect.String() != "intersect" {
+		t.Fatal("op rendering")
+	}
+}

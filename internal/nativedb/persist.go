@@ -1,0 +1,107 @@
+package nativedb
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xmlac/internal/xmltree"
+)
+
+// Persistence. The store can checkpoint itself to a directory — one XML
+// file per document, with accessibility annotations serialized as sign
+// attributes exactly as the paper stores them — and reopen from it. This
+// gives the native backend the same durability story as a file-backed
+// database: annotations survive restarts and do not need recomputing.
+
+// docExt is the file extension of persisted documents.
+const docExt = ".xml"
+
+// Save writes every document to dir (created if missing), one file per
+// document named after the (escaped) document name. Existing files for
+// documents no longer in the store are removed, so a directory mirrors one
+// store.
+func (s *Store) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("nativedb: save: %w", err)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	want := map[string]bool{}
+	for name, doc := range s.docs {
+		file := encodeDocName(name) + docExt
+		want[file] = true
+		f, err := os.CreateTemp(dir, "tmp-*.xml")
+		if err != nil {
+			return fmt.Errorf("nativedb: save %q: %w", name, err)
+		}
+		err = doc.Write(f, xmltree.WriteOptions{Signs: true})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			os.Remove(f.Name())
+			return fmt.Errorf("nativedb: save %q: %w", name, err)
+		}
+		if err := os.Rename(f.Name(), filepath.Join(dir, file)); err != nil {
+			os.Remove(f.Name())
+			return fmt.Errorf("nativedb: save %q: %w", name, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("nativedb: save: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), docExt) {
+			continue
+		}
+		if !want[e.Name()] {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return fmt.Errorf("nativedb: save: pruning %q: %w", e.Name(), err)
+			}
+		}
+	}
+	return nil
+}
+
+// OpenDir loads a store previously written by Save.
+func OpenDir(dir string) (*Store, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("nativedb: open %q: %w", dir, err)
+	}
+	s := OpenStore()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), docExt) {
+			continue
+		}
+		name, err := decodeDocName(strings.TrimSuffix(e.Name(), docExt))
+		if err != nil {
+			return nil, fmt.Errorf("nativedb: open %q: bad document file name %q: %w", dir, e.Name(), err)
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("nativedb: open %q: %w", dir, err)
+		}
+		err = s.LoadXML(name, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("nativedb: open %q: document %q: %w", dir, name, err)
+		}
+	}
+	return s, nil
+}
+
+// encodeDocName makes an arbitrary document name filesystem-safe.
+func encodeDocName(name string) string {
+	return url.PathEscape(name)
+}
+
+func decodeDocName(file string) (string, error) {
+	return url.PathUnescape(file)
+}

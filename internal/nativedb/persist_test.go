@@ -1,0 +1,104 @@
+package nativedb
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xmlac/internal/xmltree"
+)
+
+func TestSaveAndOpenDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openHospital(t)
+	// Annotate so signs must survive the round trip.
+	if _, err := s.Exec(`for $n in doc("hosp")(//patient except //patient[treatment]) return xmlac:annotate($n, "+")`); err != nil {
+		t.Fatal(err)
+	}
+	doc2, _ := xmltree.ParseString(`<a><b>x</b></a>`)
+	if err := s.Load("other doc/with slash", doc2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Names(); len(got) != 2 {
+		t.Fatalf("names = %v", got)
+	}
+	if re.Doc("other doc/with slash") == nil {
+		t.Fatal("escaped name lost")
+	}
+	// Signs survived.
+	orig := s.Doc("hosp")
+	loaded := re.Doc("hosp")
+	if loaded == nil {
+		t.Fatal("hosp missing")
+	}
+	op, om, _ := orig.SignCounts()
+	lp, lm, _ := loaded.SignCounts()
+	if op != lp || om != lm {
+		t.Fatalf("sign counts differ: (%d,%d) vs (%d,%d)", op, om, lp, lm)
+	}
+	if loaded.String() != orig.String() {
+		t.Fatalf("content differs")
+	}
+}
+
+func TestSavePrunesRemovedDocuments(t *testing.T) {
+	dir := t.TempDir()
+	s := openHospital(t)
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	s.Remove("hosp")
+	doc, _ := xmltree.ParseString(`<x/>`)
+	if err := s.Load("fresh", doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Names(); len(got) != 1 || got[0] != "fresh" {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestSaveIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openHospital(t)
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README.txt")); err != nil {
+		t.Fatal("non-document file was pruned")
+	}
+	if _, err := OpenDir(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenDirErrors(t *testing.T) {
+	if _, err := OpenDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.xml"), []byte("<a>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDir(dir); err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("malformed document accepted: %v", err)
+	}
+}

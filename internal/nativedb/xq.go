@@ -1,0 +1,506 @@
+package nativedb
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlac/internal/xmltree"
+	"xmlac/internal/xpath"
+)
+
+// XQuery is a parsed query of the store's mini-XQuery surface. Supported
+// forms:
+//
+//	doc("name")(setexpr)                         — node-set query
+//	doc("name")//a/b[...]                        — node-set query, bare path
+//	count(doc("name")(setexpr))                  — count query
+//	for $v in doc("name")(setexpr)
+//	  return xmlac:annotate($v, "+")             — annotation update
+//	xmlac:clear(doc("name"))                     — drop all annotations
+type XQuery struct {
+	// DocName is the target document.
+	DocName string
+	// Expr is the node-set expression (nil for xmlac:clear).
+	Expr *SetExpr
+	// Kind discriminates the query form.
+	Kind XQKind
+	// Sign is the annotation value for annotate queries.
+	Sign xmltree.Sign
+	// Var is the bound variable name of a FLWOR annotate query.
+	Var string
+}
+
+// XQKind is the form of a mini-XQuery.
+type XQKind uint8
+
+const (
+	// XQSelect returns the node set.
+	XQSelect XQKind = iota
+	// XQCount returns the node count.
+	XQCount
+	// XQAnnotate updates sign annotations over the node set.
+	XQAnnotate
+	// XQClear drops every annotation in the document.
+	XQClear
+)
+
+// Result is the outcome of running a query.
+type Result struct {
+	// Nodes is the node set of a select query.
+	Nodes []*xmltree.Node
+	// Count is the node count for count queries, or the number of nodes
+	// annotated/cleared for update queries.
+	Count int
+}
+
+// Exec parses and runs a query.
+func (s *Store) Exec(text string) (*Result, error) {
+	q, err := ParseXQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(q)
+}
+
+// Run executes a parsed query.
+func (s *Store) Run(q *XQuery) (*Result, error) {
+	doc := s.Doc(q.DocName)
+	if doc == nil {
+		return nil, fmt.Errorf("nativedb: no document %q", q.DocName)
+	}
+	switch q.Kind {
+	case XQClear:
+		n := doc.Size()
+		doc.ClearSigns()
+		return &Result{Count: n}, nil
+	case XQSelect, XQCount, XQAnnotate:
+		nodes, err := EvalSet(q.Expr, doc)
+		if err != nil {
+			return nil, err
+		}
+		switch q.Kind {
+		case XQSelect:
+			return &Result{Nodes: nodes, Count: len(nodes)}, nil
+		case XQCount:
+			return &Result{Count: len(nodes)}, nil
+		default:
+			for _, n := range nodes {
+				Annotate(n, q.Sign)
+			}
+			return &Result{Count: len(nodes)}, nil
+		}
+	}
+	return nil, fmt.Errorf("nativedb: unknown query kind")
+}
+
+// String renders the query back to mini-XQuery syntax.
+func (q *XQuery) String() string {
+	doc := "doc(" + quoteName(q.DocName) + ")"
+	switch q.Kind {
+	case XQClear:
+		return "xmlac:clear(" + doc + ")"
+	case XQCount:
+		return fmt.Sprintf(`count(%s(%s))`, doc, q.Expr)
+	case XQAnnotate:
+		v := q.Var
+		if v == "" {
+			v = "n"
+		}
+		return fmt.Sprintf(`for $%s in %s(%s) return xmlac:annotate($%s, "%s")`,
+			v, doc, q.Expr, v, q.Sign.String())
+	default:
+		return fmt.Sprintf(`%s(%s)`, doc, q.Expr)
+	}
+}
+
+// quoteName renders a document name as a string literal the query parser
+// accepts: the parser reads raw bytes up to the closing quote (there is no
+// escape syntax), so the quote character is chosen to avoid the name's own
+// quotes. Names containing both quote characters are not expressible; the
+// offending quotes are replaced to keep String total.
+func quoteName(name string) string {
+	if !strings.Contains(name, `"`) {
+		return `"` + name + `"`
+	}
+	if !strings.Contains(name, "'") {
+		return "'" + name + "'"
+	}
+	return `"` + strings.ReplaceAll(name, `"`, "'") + `"`
+}
+
+// ParseXQuery parses the mini-XQuery surface.
+func ParseXQuery(text string) (*XQuery, error) {
+	p := &xqParser{src: text}
+	q, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// ParseSetExpr parses a standalone node-set expression (XPath leaves
+// combined with union/except/intersect and parentheses).
+func ParseSetExpr(text string) (*SetExpr, error) {
+	p := &xqParser{src: text}
+	e, err := p.parseSetExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, p.errf("trailing input after expression")
+	}
+	return e, nil
+}
+
+type xqParser struct {
+	src string
+	pos int
+}
+
+func (p *xqParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *xqParser) skipSpace() {
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		return
+	}
+}
+
+func (p *xqParser) errf(format string, args ...any) error {
+	return fmt.Errorf("nativedb: offset %d in %q: %s", p.pos, p.src, fmt.Sprintf(format, args...))
+}
+
+func (p *xqParser) consume(s string) bool {
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+// consumeWord consumes a keyword followed by a non-word boundary.
+func (p *xqParser) consumeWord(w string) bool {
+	if !strings.HasPrefix(p.src[p.pos:], w) {
+		return false
+	}
+	end := p.pos + len(w)
+	if end < len(p.src) && isWordChar(p.src[end]) {
+		return false
+	}
+	p.pos = end
+	return true
+}
+
+func isWordChar(c byte) bool {
+	return c == '_' || c == '-' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func (p *xqParser) quoted() (string, error) {
+	p.skipSpace()
+	if p.eof() || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+		return "", p.errf("expected string literal")
+	}
+	q := p.src[p.pos]
+	p.pos++
+	start := p.pos
+	for !p.eof() && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.eof() {
+		return "", p.errf("unterminated string literal")
+	}
+	out := p.src[start:p.pos]
+	p.pos++
+	return out, nil
+}
+
+func (p *xqParser) parse() (*XQuery, error) {
+	p.skipSpace()
+	switch {
+	case p.consumeWord("for"):
+		return p.parseFLWOR()
+	case p.consumeWord("count"):
+		p.skipSpace()
+		if !p.consume("(") {
+			return nil, p.errf("expected '(' after count")
+		}
+		name, expr, err := p.parseDocExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if !p.consume(")") {
+			return nil, p.errf("expected ')' closing count")
+		}
+		p.skipSpace()
+		if !p.eof() {
+			return nil, p.errf("trailing input")
+		}
+		return &XQuery{DocName: name, Expr: expr, Kind: XQCount}, nil
+	case p.consumeWord("xmlac:clear"):
+		p.skipSpace()
+		if !p.consume("(") {
+			return nil, p.errf("expected '(' after xmlac:clear")
+		}
+		name, err := p.parseDocCall()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if !p.consume(")") {
+			return nil, p.errf("expected ')' closing xmlac:clear")
+		}
+		p.skipSpace()
+		if !p.eof() {
+			return nil, p.errf("trailing input")
+		}
+		return &XQuery{DocName: name, Kind: XQClear}, nil
+	default:
+		name, expr, err := p.parseDocExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if !p.eof() {
+			return nil, p.errf("trailing input")
+		}
+		return &XQuery{DocName: name, Expr: expr, Kind: XQSelect}, nil
+	}
+}
+
+// parseFLWOR parses: $v in doc("x")(expr) return xmlac:annotate($v, "+")
+func (p *xqParser) parseFLWOR() (*XQuery, error) {
+	p.skipSpace()
+	v, err := p.variable()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.consumeWord("in") {
+		return nil, p.errf("expected 'in'")
+	}
+	name, expr, err := p.parseDocExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.consumeWord("return") {
+		return nil, p.errf("expected 'return'")
+	}
+	p.skipSpace()
+	if !p.consumeWord("xmlac:annotate") {
+		return nil, p.errf("expected xmlac:annotate call")
+	}
+	p.skipSpace()
+	if !p.consume("(") {
+		return nil, p.errf("expected '('")
+	}
+	p.skipSpace()
+	v2, err := p.variable()
+	if err != nil {
+		return nil, err
+	}
+	if v2 != v {
+		return nil, p.errf("annotate argument $%s does not match bound variable $%s", v2, v)
+	}
+	p.skipSpace()
+	if !p.consume(",") {
+		return nil, p.errf("expected ','")
+	}
+	val, err := p.quoted()
+	if err != nil {
+		return nil, err
+	}
+	sign, err := xmltree.ParseSign(val)
+	if err != nil || sign == xmltree.SignNone {
+		return nil, p.errf("annotation value must be \"+\" or \"-\", got %q", val)
+	}
+	p.skipSpace()
+	if !p.consume(")") {
+		return nil, p.errf("expected ')'")
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, p.errf("trailing input")
+	}
+	return &XQuery{DocName: name, Expr: expr, Kind: XQAnnotate, Sign: sign, Var: v}, nil
+}
+
+func (p *xqParser) variable() (string, error) {
+	if p.eof() || p.src[p.pos] != '$' {
+		return "", p.errf("expected variable")
+	}
+	p.pos++
+	start := p.pos
+	for !p.eof() && isWordChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("empty variable name")
+	}
+	return p.src[start:p.pos], nil
+}
+
+// parseDocCall parses doc("name") and returns the name.
+func (p *xqParser) parseDocCall() (string, error) {
+	p.skipSpace()
+	if !p.consumeWord("doc") {
+		return "", p.errf("expected doc(...)")
+	}
+	p.skipSpace()
+	if !p.consume("(") {
+		return "", p.errf("expected '(' after doc")
+	}
+	name, err := p.quoted()
+	if err != nil {
+		return "", err
+	}
+	p.skipSpace()
+	if !p.consume(")") {
+		return "", p.errf("expected ')' after document name")
+	}
+	return name, nil
+}
+
+// parseDocExpr parses doc("name") followed by either (setexpr) or a bare
+// absolute path.
+func (p *xqParser) parseDocExpr() (string, *SetExpr, error) {
+	name, err := p.parseDocCall()
+	if err != nil {
+		return "", nil, err
+	}
+	p.skipSpace()
+	if p.consume("(") {
+		expr, err := p.parseSetExpr()
+		if err != nil {
+			return "", nil, err
+		}
+		p.skipSpace()
+		if !p.consume(")") {
+			return "", nil, p.errf("expected ')' closing node-set expression")
+		}
+		return name, expr, nil
+	}
+	// Bare path: the rest up to whitespace+keyword or end.
+	path, err := p.parsePathLeaf()
+	if err != nil {
+		return "", nil, err
+	}
+	return name, path, nil
+}
+
+// parseSetExpr parses term (op term)* left-associatively.
+func (p *xqParser) parseSetExpr() (*SetExpr, error) {
+	left, err := p.parseSetTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		var op SetOp
+		switch {
+		case p.consumeWord("union"):
+			op = OpUnion
+		case p.consumeWord("except"):
+			op = OpExcept
+		case p.consumeWord("intersect"):
+			op = OpIntersect
+		default:
+			return left, nil
+		}
+		right, err := p.parseSetTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &SetExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *xqParser) parseSetTerm() (*SetExpr, error) {
+	p.skipSpace()
+	if p.consume("(") {
+		e, err := p.parseSetExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if !p.consume(")") {
+			return nil, p.errf("expected ')'")
+		}
+		return e, nil
+	}
+	return p.parsePathLeaf()
+}
+
+// parsePathLeaf slices out one XPath expression: it scans forward honoring
+// brackets and string literals, stopping at a top-level ')' or ',' or at the
+// keywords union/except/intersect/return at bracket depth zero.
+func (p *xqParser) parsePathLeaf() (*SetExpr, error) {
+	p.skipSpace()
+	start := p.pos
+	depth := 0
+	for !p.eof() {
+		c := p.src[p.pos]
+		switch c {
+		case '[':
+			depth++
+			p.pos++
+		case ']':
+			depth--
+			p.pos++
+		case '"', '\'':
+			if _, err := p.quoted(); err != nil {
+				return nil, err
+			}
+		case ')', ',', '(':
+			if depth == 0 {
+				goto done
+			}
+			p.pos++
+		case ' ', '\t', '\n', '\r':
+			if depth == 0 {
+				// Keyword boundary?
+				save := p.pos
+				p.skipSpace()
+				if p.peekKeyword() {
+					p.pos = save
+					goto done
+				}
+				continue
+			}
+			p.pos++
+		default:
+			p.pos++
+		}
+	}
+done:
+	text := strings.TrimSpace(p.src[start:p.pos])
+	if text == "" {
+		return nil, p.errf("expected XPath expression")
+	}
+	path, err := xpath.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if !path.Absolute {
+		return nil, p.errf("node-set paths must be absolute, got %q", text)
+	}
+	return PathLeaf(path), nil
+}
+
+func (p *xqParser) peekKeyword() bool {
+	for _, w := range []string{"union", "except", "intersect", "return"} {
+		if strings.HasPrefix(p.src[p.pos:], w) {
+			end := p.pos + len(w)
+			if end >= len(p.src) || !isWordChar(p.src[end]) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,283 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+
+	"xmlac/internal/dtd"
+	"xmlac/internal/xpath"
+)
+
+// Expand implements the rule expansion of Section 5.3: given an
+// access-control rule's resource expression, it produces the finite set of
+// *linear* absolute XPath expressions (no qualifiers) whose scope the rule's
+// annotation depends on. The Trigger algorithm tests each of these against
+// the update query by containment.
+//
+// The expansion enumerates, for every node of the rule's tree pattern, the
+// root-to-node path, with two refinements from the paper:
+//
+//  1. Descendant axes that occur *inside qualifiers* are replaced with
+//     child-axis paths derived from the schema (finitely many in a
+//     non-recursive schema), e.g. with the hospital DTD
+//     //patient[.//experimental] expands through
+//     //patient//experimental → //patient/treatment/experimental.
+//  2. Every proper prefix of each linearization is included as well, so
+//     intermediate nodes introduced by schema expansion (such as
+//     //patient/treatment above) participate in triggering.
+//
+// Descendant axes on the main path are left in place — containment handles
+// them directly. The result is deduplicated and sorted by string form.
+func Expand(p *xpath.Path, schema *dtd.Schema) ([]*xpath.Path, error) {
+	if !p.Absolute {
+		return nil, fmt.Errorf("pattern: Expand requires an absolute path, got %q", p)
+	}
+	seen := map[string]*xpath.Path{}
+	add := func(lin *xpath.Path) {
+		seen[lin.String()] = lin
+	}
+
+	// prefix is the linear main path accumulated so far.
+	prefix := &xpath.Path{Absolute: true}
+	for _, s := range p.Steps {
+		prefix = appendStep(prefix, s.Axis, s.Test)
+		add(prefix)
+		ctxLabels, err := candidateLabelsAt(prefix, schema)
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range s.Preds {
+			if err := expandPred(prefix, ctxLabels, q, schema, add); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*xpath.Path, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out, nil
+}
+
+// expandPred linearizes one qualifier relative to the given prefix.
+func expandPred(prefix *xpath.Path, ctxLabels []string, q *xpath.Pred, schema *dtd.Schema, add func(*xpath.Path)) error {
+	switch q.Kind {
+	case xpath.And, xpath.Or:
+		// For linearization purposes a disjunction contributes the paths of
+		// both branches, exactly like a conjunction: the rule's scope can
+		// depend on any of them.
+		if err := expandPred(prefix, ctxLabels, q.Left, schema, add); err != nil {
+			return err
+		}
+		return expandPred(prefix, ctxLabels, q.Right, schema, add)
+	case xpath.Exists, xpath.Cmp:
+		return expandPredPath(prefix, ctxLabels, q.Path, schema, add)
+	}
+	return nil
+}
+
+// expandPredPath walks a qualifier path, forking on schema expansion of
+// descendant steps and recursing into nested qualifiers.
+func expandPredPath(prefix *xpath.Path, ctxLabels []string, p *xpath.Path, schema *dtd.Schema, add func(*xpath.Path)) error {
+	type state struct {
+		prefix *xpath.Path
+		labels []string // candidate schema labels of the prefix's last node
+	}
+	cur := []state{{prefix: prefix, labels: ctxLabels}}
+	for _, s := range p.Steps {
+		var next []state
+		for _, st := range cur {
+			if s.Axis == xpath.Child {
+				np := appendStep(st.prefix, xpath.Child, s.Test)
+				add(np)
+				nl := childLabels(st.labels, s.Test, schema)
+				next = append(next, state{prefix: np, labels: nl})
+				continue
+			}
+			// Descendant inside a qualifier: replace with every child-axis
+			// label path the schema admits from any candidate context label
+			// to the step's target.
+			chains, err := descendantChains(st.labels, s.Test, schema)
+			if err != nil {
+				return err
+			}
+			if len(chains) == 0 {
+				// The schema admits no such descendant; fall back to the
+				// unexpanded descendant step so triggering stays sound even
+				// for documents that do not conform to the schema.
+				np := appendStep(st.prefix, xpath.Descendant, s.Test)
+				add(np)
+				next = append(next, state{prefix: np, labels: []string{s.Test}})
+				continue
+			}
+			for _, chain := range chains {
+				np := st.prefix
+				for _, lbl := range chain {
+					np = appendStep(np, xpath.Child, lbl)
+					add(np) // include intermediate prefixes
+				}
+				next = append(next, state{prefix: np, labels: []string{chain[len(chain)-1]}})
+			}
+		}
+		// Nested qualifiers expand relative to each forked prefix.
+		for _, st := range next {
+			for _, nq := range s.Preds {
+				if err := expandPred(st.prefix, st.labels, nq, schema, add); err != nil {
+					return err
+				}
+			}
+		}
+		cur = next
+	}
+	return nil
+}
+
+// descendantChains returns every strictly-descending label chain (excluding
+// the context label itself) from any context label to an element matching
+// the test. Chains are deduplicated across context labels.
+func descendantChains(ctxLabels []string, test string, schema *dtd.Schema) ([][]string, error) {
+	seen := map[string][]string{}
+	for _, ctx := range ctxLabels {
+		if schema.Element(ctx) == nil {
+			continue
+		}
+		var paths [][]string
+		var err error
+		if test == xpath.Wildcard {
+			paths, err = schema.PathsToAny(ctx)
+		} else {
+			paths, err = schema.Paths(ctx, test)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range paths {
+			if len(p) < 2 {
+				continue // the trivial path is not a *descendant*
+			}
+			chain := p[1:] // drop the context label
+			key := fmt.Sprint(chain)
+			seen[key] = chain
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]string, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out, nil
+}
+
+// childLabels simulates one child step over the schema from a set of
+// candidate labels.
+func childLabels(ctxLabels []string, test string, schema *dtd.Schema) []string {
+	set := map[string]bool{}
+	for _, ctx := range ctxLabels {
+		e := schema.Element(ctx)
+		if e == nil {
+			continue
+		}
+		for _, c := range e.ChildNames() {
+			if test == xpath.Wildcard || c == test {
+				set[c] = true
+			}
+		}
+	}
+	if len(set) == 0 && test != xpath.Wildcard {
+		// Keep the step's own label so expansion can continue for
+		// schema-nonconforming paths.
+		return []string{test}
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CandidateLabels resolves which element types of the schema the final step
+// of an absolute, qualifier-free main path can select, by simulating the
+// path over the schema graph.
+func CandidateLabels(p *xpath.Path, schema *dtd.Schema) ([]string, error) {
+	if !p.Absolute {
+		return nil, fmt.Errorf("pattern: CandidateLabels requires an absolute path")
+	}
+	return candidateLabelsAt(p, schema)
+}
+
+func candidateLabelsAt(p *xpath.Path, schema *dtd.Schema) ([]string, error) {
+	// Simulate over the schema: the virtual document node has the schema
+	// root as its only child.
+	cur := map[string]bool{}
+	for i, s := range p.Steps {
+		next := map[string]bool{}
+		if i == 0 {
+			switch s.Axis {
+			case xpath.Child:
+				if s.Test == xpath.Wildcard || s.Test == schema.Root {
+					next[schema.Root] = true
+				}
+			case xpath.Descendant:
+				addMatching(next, schema.Root, s.Test, schema)
+				for l := range schema.Reachable(schema.Root) {
+					if s.Test == xpath.Wildcard || l == s.Test {
+						next[l] = true
+					}
+				}
+			}
+		} else {
+			for ctx := range cur {
+				e := schema.Element(ctx)
+				if e == nil {
+					continue
+				}
+				switch s.Axis {
+				case xpath.Child:
+					for _, c := range e.ChildNames() {
+						if s.Test == xpath.Wildcard || c == s.Test {
+							next[c] = true
+						}
+					}
+				case xpath.Descendant:
+					for l := range schema.Reachable(ctx) {
+						if s.Test == xpath.Wildcard || l == s.Test {
+							next[l] = true
+						}
+					}
+				}
+			}
+		}
+		cur = next
+	}
+	out := make([]string, 0, len(cur))
+	for l := range cur {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func addMatching(set map[string]bool, label, test string, schema *dtd.Schema) {
+	if test == xpath.Wildcard || label == test {
+		set[label] = true
+	}
+}
+
+// appendStep returns a copy of p with one more qualifier-free step.
+func appendStep(p *xpath.Path, axis xpath.Axis, test string) *xpath.Path {
+	out := &xpath.Path{Absolute: p.Absolute, Steps: make([]*xpath.Step, 0, len(p.Steps)+1)}
+	out.Steps = append(out.Steps, p.Steps...)
+	out.Steps = append(out.Steps, &xpath.Step{Axis: axis, Test: test})
+	return out
+}

@@ -1,0 +1,221 @@
+package pattern
+
+import (
+	"reflect"
+	"testing"
+
+	"xmlac/internal/dtd"
+	"xmlac/internal/xpath"
+)
+
+const hospitalDTD = `
+<!ELEMENT hospital (dept+)>
+<!ELEMENT dept (patients, staffinfo)>
+<!ELEMENT patients (patient*)>
+<!ELEMENT staffinfo (staff*)>
+<!ELEMENT patient (psn, name, treatment?)>
+<!ELEMENT treatment ((regular | experimental)?)>
+<!ELEMENT regular (med, bill)>
+<!ELEMENT experimental (test, bill)>
+<!ELEMENT staff (nurse | doctor)>
+<!ELEMENT nurse (sid, name, phone)>
+<!ELEMENT doctor (sid, name, phone)>
+<!ELEMENT psn (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT med (#PCDATA)>
+<!ELEMENT bill (#PCDATA)>
+<!ELEMENT test (#PCDATA)>
+<!ELEMENT sid (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+`
+
+func expandStrings(t *testing.T, expr string, s *dtd.Schema) []string {
+	t.Helper()
+	paths, err := Expand(xpath.MustParse(expr), s)
+	if err != nil {
+		t.Fatalf("Expand(%s): %v", expr, err)
+	}
+	out := make([]string, len(paths))
+	for i, p := range paths {
+		out[i] = p.String()
+	}
+	return out
+}
+
+// TestExpandPaperR3 reproduces the paper's first expansion example:
+// //patient[treatment] → //patient, //patient/treatment.
+func TestExpandPaperR3(t *testing.T) {
+	s := dtd.MustParse(hospitalDTD)
+	got := expandStrings(t, "//patient[treatment]", s)
+	want := []string{"//patient", "//patient/treatment"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Expand = %v, want %v", got, want)
+	}
+}
+
+// TestExpandPaperR5 reproduces the schema-aware expansion of
+// //patient[.//experimental] from Section 5.3: the descendant axis inside
+// the qualifier is replaced by the child path through treatment, and the
+// intermediate //patient/treatment linearization is included.
+func TestExpandPaperR5(t *testing.T) {
+	s := dtd.MustParse(hospitalDTD)
+	got := expandStrings(t, "//patient[.//experimental]", s)
+	want := []string{"//patient", "//patient/treatment", "//patient/treatment/experimental"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Expand = %v, want %v", got, want)
+	}
+}
+
+func TestExpandMainPathPrefixes(t *testing.T) {
+	s := dtd.MustParse(hospitalDTD)
+	got := expandStrings(t, "//patient/name", s)
+	want := []string{"//patient", "//patient/name"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Expand = %v, want %v", got, want)
+	}
+}
+
+func TestExpandValueQualifier(t *testing.T) {
+	s := dtd.MustParse(hospitalDTD)
+	got := expandStrings(t, "//regular[bill > 1000]", s)
+	want := []string{"//regular", "//regular/bill"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Expand = %v, want %v", got, want)
+	}
+}
+
+func TestExpandAndQualifier(t *testing.T) {
+	s := dtd.MustParse(hospitalDTD)
+	got := expandStrings(t, `//regular[med = "celecoxib" and bill]`, s)
+	want := []string{"//regular", "//regular/bill", "//regular/med"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Expand = %v, want %v", got, want)
+	}
+}
+
+func TestExpandNestedQualifier(t *testing.T) {
+	s := dtd.MustParse(hospitalDTD)
+	got := expandStrings(t, "//patient[treatment[regular]]", s)
+	want := []string{"//patient", "//patient/treatment", "//patient/treatment/regular"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Expand = %v, want %v", got, want)
+	}
+}
+
+func TestExpandMultiStepQualifierPath(t *testing.T) {
+	s := dtd.MustParse(hospitalDTD)
+	got := expandStrings(t, "//patient[treatment/regular/med]", s)
+	want := []string{"//patient", "//patient/treatment", "//patient/treatment/regular", "//patient/treatment/regular/med"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Expand = %v, want %v", got, want)
+	}
+}
+
+// TestExpandDescendantFork: a qualifier descendant with several schema
+// chains forks into all of them. //dept[.//bill] reaches bill through both
+// regular and experimental treatments.
+func TestExpandDescendantFork(t *testing.T) {
+	s := dtd.MustParse(hospitalDTD)
+	got := expandStrings(t, "//dept[.//bill]", s)
+	want := []string{
+		"//dept",
+		"//dept/patients",
+		"//dept/patients/patient",
+		"//dept/patients/patient/treatment",
+		"//dept/patients/patient/treatment/experimental",
+		"//dept/patients/patient/treatment/experimental/bill",
+		"//dept/patients/patient/treatment/regular",
+		"//dept/patients/patient/treatment/regular/bill",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Expand = %v, want %v", got, want)
+	}
+}
+
+// TestExpandUnknownDescendantFallsBack: when the schema admits no chain, the
+// descendant step is kept unexpanded so triggering stays sound.
+func TestExpandUnknownDescendantFallsBack(t *testing.T) {
+	s := dtd.MustParse(hospitalDTD)
+	got := expandStrings(t, "//psn[.//bogus]", s)
+	want := []string{"//psn", "//psn//bogus"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Expand = %v, want %v", got, want)
+	}
+}
+
+func TestExpandRejectsRelative(t *testing.T) {
+	s := dtd.MustParse(hospitalDTD)
+	if _, err := Expand(xpath.MustParse("patient"), s); err == nil {
+		t.Fatal("expected error for relative path")
+	}
+}
+
+func TestExpandNoPredicatesIsPrefixClosure(t *testing.T) {
+	s := dtd.MustParse(hospitalDTD)
+	got := expandStrings(t, "/hospital/dept/patients", s)
+	want := []string{"/hospital", "/hospital/dept", "/hospital/dept/patients"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Expand = %v, want %v", got, want)
+	}
+}
+
+func TestCandidateLabels(t *testing.T) {
+	s := dtd.MustParse(hospitalDTD)
+	cases := []struct {
+		expr string
+		want []string
+	}{
+		{"//patient", []string{"patient"}},
+		{"/hospital", []string{"hospital"}},
+		{"/dept", []string{}}, // dept is not the root
+		{"//name", []string{"name"}},
+		{"//patient/*", []string{"name", "psn", "treatment"}},
+		{"//treatment/*", []string{"experimental", "regular"}},
+		{"//staff/*/name", []string{"name"}},
+		{"//*", []string{"bill", "dept", "doctor", "experimental", "hospital", "med", "name", "nurse", "patient", "patients", "phone", "psn", "regular", "sid", "staff", "staffinfo", "test", "treatment"}},
+	}
+	for _, c := range cases {
+		got, err := CandidateLabels(xpath.MustParse(c.expr), s)
+		if err != nil {
+			t.Errorf("CandidateLabels(%s): %v", c.expr, err)
+			continue
+		}
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("CandidateLabels(%s) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+// TestExpandLinearizationsContainRule: every linearization's scope includes
+// the nodes the rule's main path selects or passes through — concretely, the
+// rule's qualifier-free main path must be among the linearizations.
+func TestExpandLinearizationsContainRule(t *testing.T) {
+	s := dtd.MustParse(hospitalDTD)
+	rules := []string{
+		"//patient",
+		"//patient/name",
+		"//patient[treatment]",
+		"//patient[treatment]/name",
+		"//patient[.//experimental]",
+		"//regular",
+		`//regular[med = "celecoxib"]`,
+		"//regular[bill > 1000]",
+	}
+	for _, r := range rules {
+		p := xpath.MustParse(r)
+		main := p.StripPredicates().String()
+		found := false
+		for _, lin := range expandStrings(t, r, s) {
+			if lin == main {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Expand(%s) misses its own main path %s", r, main)
+		}
+	}
+}

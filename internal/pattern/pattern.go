@@ -1,0 +1,341 @@
+// Package pattern implements tree patterns for the paper's XPath fragment
+// and the homomorphism-based containment test used by the optimizer
+// (Section 5.1), the dependency-graph construction and the Trigger algorithm
+// (Section 5.3). It corresponds to the external XPath-containment checker
+// the paper's implementation shelled out to [13], following the classical
+// construction of Miklau and Suciu [18].
+//
+// An XPath expression p compiles to a boolean tree pattern: nodes labeled
+// with element names or the wildcard, edges labeled child or descendant, a
+// distinguished root (the virtual document node) and a distinguished output
+// node. p ⊑ q holds whenever there is a homomorphism from q's pattern into
+// p's pattern that maps root to root and output to output, preserves labels
+// (a wildcard in q matches anything), maps child edges onto child edges, and
+// descendant edges onto downward paths of length ≥ 1.
+//
+// The homomorphism test is sound for the whole fragment: if Contains(p, q)
+// reports true then [[p]](T) ⊆ [[q]](T) on every tree T. It is complete on
+// the wildcard-free and the predicate-free subfragments but — like every
+// polynomial-time test, since containment for XP(/,//,*,[]) is
+// coNP-complete — may answer false on some contained pairs that combine
+// wildcards, descendants and qualifiers. The access-control algorithms only
+// rely on soundness.
+package pattern
+
+import (
+	"xmlac/internal/xpath"
+)
+
+// rootLabel is the reserved label of the virtual document node; it can never
+// clash with an element name because element names cannot contain '#'.
+const rootLabel = "#root"
+
+// outputMarker is the reserved label of the synthetic child attached to each
+// pattern's output node. Requiring the homomorphism to map marker to marker
+// forces it to map output to output.
+const outputMarker = "#output"
+
+// valueConstraint is a comparison attached to a pattern node: the node's
+// string value must satisfy (op, lit).
+type valueConstraint struct {
+	op  xpath.CmpOp
+	lit xpath.Literal
+}
+
+// pnode is a tree-pattern node.
+type pnode struct {
+	label string
+	// descendant reports the label of the edge from the parent: false for a
+	// child edge, true for a descendant edge. Unused on the root.
+	descendant bool
+	children   []*pnode
+	// cons are the value constraints that apply directly to this node.
+	cons []valueConstraint
+}
+
+// compile builds the boolean tree pattern of an absolute path, with the
+// output marker attached to the node the path selects.
+func compile(p *xpath.Path) *pnode {
+	root := &pnode{label: rootLabel}
+	cur := root
+	for _, s := range p.Steps {
+		n := &pnode{label: s.Test, descendant: s.Axis == xpath.Descendant}
+		cur.children = append(cur.children, n)
+		for _, q := range s.Preds {
+			attachPred(n, q)
+		}
+		cur = n
+	}
+	cur.children = append(cur.children, &pnode{label: outputMarker})
+	return root
+}
+
+// attachPred grafts a qualifier onto pattern node n. Or qualifiers never
+// reach here (Contains rewrites them away first); treating one as a
+// conjunction would be unsound for the left side of a containment, so the
+// case is deliberately absent and compile is only called on or-free input.
+func attachPred(n *pnode, q *xpath.Pred) {
+	switch q.Kind {
+	case xpath.And:
+		attachPred(n, q.Left)
+		attachPred(n, q.Right)
+	case xpath.Exists:
+		attachPath(n, q.Path, nil)
+	case xpath.Cmp:
+		attachPath(n, q.Path, &valueConstraint{op: q.Op, lit: q.Value})
+	}
+}
+
+// attachPath grafts a relative qualifier path under n, putting the optional
+// value constraint on the path's final node. A bare "." path (zero steps)
+// attaches the constraint to n itself.
+func attachPath(n *pnode, p *xpath.Path, con *valueConstraint) {
+	cur := n
+	for _, s := range p.Steps {
+		c := &pnode{label: s.Test, descendant: s.Axis == xpath.Descendant}
+		cur.children = append(cur.children, c)
+		for _, q := range s.Preds {
+			attachPred(c, q)
+		}
+		cur = c
+	}
+	if con != nil {
+		cur.cons = append(cur.cons, *con)
+	}
+}
+
+// Contains reports whether p ⊑ q, i.e. [[p]](T) ⊆ [[q]](T) for every tree T.
+// Both paths must be absolute. The test is sound; see the package comment
+// for the completeness boundary.
+func Contains(p, q *xpath.Path) bool {
+	if !p.Absolute || !q.Absolute {
+		return false
+	}
+	// Disjunctive qualifiers (the Or extension) leave the tree-pattern
+	// formalism; rewrite to DNF and require every left disjunct to be
+	// contained in some right disjunct. (Sound: each right disjunct is
+	// contained in q.)
+	if p.HasOr() || q.HasOr() {
+		pd, ok1 := p.DNF()
+		qd, ok2 := q.DNF()
+		if !ok1 || !ok2 {
+			return false // DNF blow-up: stay conservative
+		}
+		for _, pi := range pd {
+			found := false
+			for _, qi := range qd {
+				if Contains(pi, qi) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	P := compile(p)
+	Q := compile(q)
+	h := &homChecker{embed: map[[2]*pnode]int8{}, below: map[[2]*pnode]int8{}}
+	return h.canEmbed(Q, P)
+}
+
+// Equivalent reports whether the two expressions are contained in each other
+// (hence select the same node set on every tree, up to the soundness caveat).
+func Equivalent(p, q *xpath.Path) bool {
+	return Contains(p, q) && Contains(q, p)
+}
+
+// DisjointByLabel reports a *sound* syntactic disjointness: when both paths
+// end in distinct concrete labels, every node selected by p has a different
+// label from every node selected by q, so [[p]](T) ∩ [[q]](T) = ∅ on every
+// tree. Returning false means "possibly overlapping".
+func DisjointByLabel(p, q *xpath.Path) bool {
+	lp, lq := p.LastLabel(), q.LastLabel()
+	return lp != xpath.Wildcard && lq != xpath.Wildcard && lp != lq
+}
+
+// homChecker memoizes the two dynamic-programming tables of the classical
+// containment test: embed[q][p] — the pattern subtree rooted at q embeds
+// with h(q) = p — and below[q][p] — q embeds at some node strictly below p.
+type homChecker struct {
+	embed map[[2]*pnode]int8 // 0 unknown, 1 true, 2 false
+	below map[[2]*pnode]int8
+}
+
+func (h *homChecker) canEmbed(q, p *pnode) bool {
+	key := [2]*pnode{q, p}
+	if v := h.embed[key]; v != 0 {
+		return v == 1
+	}
+	// Optimistically mark false to terminate; patterns are trees (acyclic),
+	// so no recursive self-dependency actually occurs.
+	h.embed[key] = 2
+	ok := h.labelOK(q, p) && h.consOK(q, p)
+	if ok {
+		for _, qc := range q.children {
+			if qc.descendant {
+				if !h.canEmbedBelow(qc, p) {
+					ok = false
+					break
+				}
+			} else {
+				found := false
+				for _, pc := range p.children {
+					if !pc.descendant && h.canEmbed(qc, pc) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					ok = false
+					break
+				}
+			}
+		}
+	}
+	if ok {
+		h.embed[key] = 1
+	}
+	return ok
+}
+
+// canEmbedBelow reports whether q embeds at some pattern node reachable from
+// p by one or more edges. Any edge of P guarantees at least one tree level,
+// so walking one or more P edges witnesses "strictly below".
+func (h *homChecker) canEmbedBelow(q, p *pnode) bool {
+	key := [2]*pnode{q, p}
+	if v := h.below[key]; v != 0 {
+		return v == 1
+	}
+	h.below[key] = 2
+	for _, pc := range p.children {
+		if h.canEmbed(q, pc) || h.canEmbedBelow(q, pc) {
+			h.below[key] = 1
+			return true
+		}
+	}
+	return false
+}
+
+// labelOK: the q node's test admits the p node's label. The reserved root
+// and output-marker labels only match themselves; the wildcard does not
+// match them, since they stand for positions, not elements.
+func (h *homChecker) labelOK(q, p *pnode) bool {
+	if q.label == rootLabel || q.label == outputMarker || p.label == rootLabel || p.label == outputMarker {
+		return q.label == p.label
+	}
+	if q.label == xpath.Wildcard {
+		return true
+	}
+	if p.label == xpath.Wildcard {
+		// A concrete q label cannot be guaranteed by a wildcard p node.
+		return false
+	}
+	return q.label == p.label
+}
+
+// consOK: every value constraint required by q is implied by some constraint
+// p places on the node.
+func (h *homChecker) consOK(q, p *pnode) bool {
+	for _, qc := range q.cons {
+		ok := false
+		for _, pc := range p.cons {
+			if implies(pc, qc) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// implies reports whether every value satisfying constraint a also satisfies
+// constraint b. The check is conservative: implications are only derived
+// between two numeric or two string constraints; anything uncertain returns
+// false, preserving soundness of the containment test.
+func implies(a, b valueConstraint) bool {
+	if a.lit.IsNum != b.lit.IsNum {
+		return false
+	}
+	if !a.lit.IsNum {
+		// String constraints support only = and !=.
+		switch {
+		case a.op == xpath.Eq && b.op == xpath.Eq:
+			return a.lit.Str == b.lit.Str
+		case a.op == xpath.Eq && b.op == xpath.Ne:
+			return a.lit.Str != b.lit.Str
+		case a.op == xpath.Ne && b.op == xpath.Ne:
+			return a.lit.Str == b.lit.Str
+		default:
+			return false
+		}
+	}
+	va, vb := a.lit.Num, b.lit.Num
+	switch a.op {
+	case xpath.Eq:
+		// x = va implies b(x) iff va itself satisfies b.
+		return satisfiesNum(va, b.op, vb)
+	case xpath.Ne:
+		return b.op == xpath.Ne && va == vb
+	case xpath.Gt: // x > va
+		switch b.op {
+		case xpath.Gt:
+			return vb <= va
+		case xpath.Ge:
+			return vb <= va
+		case xpath.Ne:
+			return vb <= va
+		}
+	case xpath.Ge: // x >= va
+		switch b.op {
+		case xpath.Gt:
+			return vb < va
+		case xpath.Ge:
+			return vb <= va
+		case xpath.Ne:
+			return vb < va
+		}
+	case xpath.Lt: // x < va
+		switch b.op {
+		case xpath.Lt:
+			return vb >= va
+		case xpath.Le:
+			return vb >= va
+		case xpath.Ne:
+			return vb >= va
+		}
+	case xpath.Le: // x <= va
+		switch b.op {
+		case xpath.Lt:
+			return vb > va
+		case xpath.Le:
+			return vb >= va
+		case xpath.Ne:
+			return vb > va
+		}
+	}
+	return false
+}
+
+func satisfiesNum(x float64, op xpath.CmpOp, v float64) bool {
+	switch op {
+	case xpath.Eq:
+		return x == v
+	case xpath.Ne:
+		return x != v
+	case xpath.Lt:
+		return x < v
+	case xpath.Le:
+		return x <= v
+	case xpath.Gt:
+		return x > v
+	case xpath.Ge:
+		return x >= v
+	}
+	return false
+}

@@ -1,0 +1,319 @@
+package pattern
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"xmlac/internal/dtd"
+	"xmlac/internal/hospital"
+	"xmlac/internal/xmltree"
+	"xmlac/internal/xpath"
+)
+
+func hospitalSchema() *dtd.Schema { return dtd.MustParse(hospitalDTD) }
+
+func instStrings(t *testing.T, expr string) []string {
+	t.Helper()
+	paths, err := Instantiate(xpath.MustParse(expr), hospitalSchema())
+	if err != nil {
+		t.Fatalf("Instantiate(%s): %v", expr, err)
+	}
+	out := make([]string, len(paths))
+	for i, p := range paths {
+		out[i] = p.String()
+	}
+	return out
+}
+
+func TestInstantiateLinear(t *testing.T) {
+	got := instStrings(t, "//patient")
+	want := []string{"/hospital/dept/patients/patient"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestInstantiateForks(t *testing.T) {
+	got := instStrings(t, "//bill")
+	want := []string{
+		"/hospital/dept/patients/patient/treatment/experimental/bill",
+		"/hospital/dept/patients/patient/treatment/regular/bill",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestInstantiateQualifierDescendant(t *testing.T) {
+	got := instStrings(t, "//patient[.//experimental]")
+	want := []string{"/hospital/dept/patients/patient[treatment/experimental]"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestInstantiateValueQualifier(t *testing.T) {
+	got := instStrings(t, "//regular[bill > 1000]")
+	want := []string{"/hospital/dept/patients/patient/treatment/regular[bill > 1000]"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestInstantiateWildcard(t *testing.T) {
+	got := instStrings(t, "//treatment/*")
+	want := []string{
+		"/hospital/dept/patients/patient/treatment/experimental",
+		"/hospital/dept/patients/patient/treatment/regular",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestInstantiateUnsatisfiable(t *testing.T) {
+	for _, expr := range []string{
+		"//psn/bill", // bill never under psn
+		"/dept",      // dept is not the root
+		"//bogus",    // undeclared label
+		"//patient[psn/psn]",
+		"//patient[treatment > 5]", // treatment has no text content
+	} {
+		if got := instStrings(t, expr); len(got) != 0 {
+			t.Errorf("Instantiate(%s) = %v, want empty", expr, got)
+		}
+	}
+}
+
+func TestSatisfiableUnderSchema(t *testing.T) {
+	s := hospitalSchema()
+	ok, err := SatisfiableUnderSchema(xpath.MustParse("//regular"), s)
+	if err != nil || !ok {
+		t.Fatalf("regular: %v %v", ok, err)
+	}
+	ok, err = SatisfiableUnderSchema(xpath.MustParse("//psn/bill"), s)
+	if err != nil || ok {
+		t.Fatalf("psn/bill: %v %v", ok, err)
+	}
+}
+
+// TestContainsUnderSchemaBeatsPlain: cases where the schema proves a
+// containment the plain homomorphism test cannot.
+func TestContainsUnderSchemaBeatsPlain(t *testing.T) {
+	s := hospitalSchema()
+	cases := []struct {
+		p, q string
+		want bool
+	}{
+		// Every treatment sits under a patient in a valid document.
+		{"//treatment", "//patient/treatment", true},
+		// Every bill sits below a treatment.
+		{"//bill", "//treatment//bill", true},
+		{"//bill", "//patient//bill", true},
+		// A med is always inside a regular treatment.
+		{"//med", "//regular/med", true},
+		// But a name is NOT always under a patient (staff have names too).
+		{"//name", "//patient/name", false},
+		// Directions still matter.
+		{"//patient/treatment", "//treatment", true}, // plain already holds
+		{"//patient", "//treatment", false},
+		// The schema proves every patient with any treatment content has a
+		// treatment child.
+		{"//patient[.//bill]", "//patient[treatment]", true},
+		// Qualifier with value constraint preserved through instantiation.
+		{"//regular[bill > 1000]", "//regular[bill > 500]", true},
+		{"//regular[bill > 500]", "//regular[bill > 1000]", false},
+	}
+	for _, c := range cases {
+		if got := ContainsUnderSchema(xpath.MustParse(c.p), xpath.MustParse(c.q), s); got != c.want {
+			t.Errorf("ContainsUnderSchema(%s, %s) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+	// Confirm the interesting ones are invisible to the plain test.
+	if Contains(xpath.MustParse("//treatment"), xpath.MustParse("//patient/treatment")) {
+		t.Error("plain Contains unexpectedly proves the schema case")
+	}
+}
+
+func TestContainsUnderSchemaVacuous(t *testing.T) {
+	s := hospitalSchema()
+	// An unsatisfiable left side is contained in anything.
+	if !ContainsUnderSchema(xpath.MustParse("//psn/bill"), xpath.MustParse("//name"), s) {
+		t.Error("vacuous containment not recognized")
+	}
+}
+
+func TestDisjointUnderSchema(t *testing.T) {
+	s := hospitalSchema()
+	cases := []struct {
+		p, q string
+		want bool
+	}{
+		{"//psn", "//bill", true},
+		{"//patient/name", "//nurse/name", false}, // same label: conservative
+		{"//treatment/*", "//staff/*", true},      // {regular,experimental} vs {nurse,doctor}
+		{"//patient", "//patient[treatment]", false},
+	}
+	for _, c := range cases {
+		if got := DisjointUnderSchema(xpath.MustParse(c.p), xpath.MustParse(c.q), s); got != c.want {
+			t.Errorf("DisjointUnderSchema(%s, %s) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+// TestQuickInstantiationCoversEval: on schema-valid random hospital
+// documents, the union of an expression's instantiations selects exactly
+// the nodes the expression selects.
+func TestQuickInstantiationCoversEval(t *testing.T) {
+	s := hospitalSchema()
+	exprs := []*xpath.Path{
+		xpath.MustParse("//patient"),
+		xpath.MustParse("//patient[treatment]"),
+		xpath.MustParse("//patient[.//experimental]"),
+		xpath.MustParse("//bill"),
+		xpath.MustParse("//regular[bill > 1000]"),
+		xpath.MustParse("//treatment/*"),
+		xpath.MustParse("//staff/*/name"),
+		xpath.MustParse("//dept[.//bill]"),
+	}
+	insts := make([][]*xpath.Path, len(exprs))
+	for i, e := range exprs {
+		var err error
+		insts[i], err = Instantiate(e, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := hospital.Generate(hospital.GenOptions{
+			Seed:            uint64(seed),
+			Departments:     1 + r.Intn(3),
+			PatientsPerDept: r.Intn(10),
+			StaffPerDept:    r.Intn(5),
+		})
+		for i, e := range exprs {
+			want, err := xpath.Eval(e, doc)
+			if err != nil {
+				return false
+			}
+			got := map[*xmltree.Node]bool{}
+			for _, pi := range insts[i] {
+				nodes, err := xpath.Eval(pi, doc)
+				if err != nil {
+					return false
+				}
+				for _, n := range nodes {
+					got[n] = true
+				}
+			}
+			if len(got) != len(want) {
+				t.Logf("expr %s: instantiations select %d, original %d", e, len(got), len(want))
+				return false
+			}
+			for _, n := range want {
+				if !got[n] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickContainsUnderSchemaSound: a positive schema-aware containment
+// answer is honored by every valid generated document.
+func TestQuickContainsUnderSchemaSound(t *testing.T) {
+	s := hospitalSchema()
+	pairs := [][2]string{
+		{"//treatment", "//patient/treatment"},
+		{"//bill", "//treatment//bill"},
+		{"//med", "//regular/med"},
+		{"//patient[.//bill]", "//patient[treatment]"},
+		{"//experimental", "//patient//experimental"},
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := hospital.Generate(hospital.GenOptions{
+			Seed:            uint64(seed),
+			Departments:     1 + r.Intn(2),
+			PatientsPerDept: r.Intn(12),
+			StaffPerDept:    r.Intn(4),
+		})
+		for _, pair := range pairs {
+			p, q := xpath.MustParse(pair[0]), xpath.MustParse(pair[1])
+			if !ContainsUnderSchema(p, q, s) {
+				t.Logf("expected schema containment %s ⊑ %s", p, q)
+				return false
+			}
+			resP, err1 := xpath.Eval(p, doc)
+			resQ, err2 := xpath.Eval(q, doc)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			in := map[*xmltree.Node]bool{}
+			for _, n := range resQ {
+				in[n] = true
+			}
+			for _, n := range resP {
+				if !in[n] {
+					t.Logf("violation of %s ⊑_S %s on valid doc", p, q)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstantiateErrors(t *testing.T) {
+	if _, err := Instantiate(xpath.MustParse("patient"), hospitalSchema()); err == nil {
+		t.Error("relative path accepted")
+	}
+	rec := dtd.MustParse(`<!ELEMENT a (b?)> <!ELEMENT b (a?)>`)
+	if _, err := Instantiate(xpath.MustParse("//a"), rec); err == nil {
+		t.Error("recursive schema accepted")
+	}
+}
+
+// TestInstantiateNestedQualifiers covers qualifier paths that themselves
+// carry qualifiers, including descendant resolution inside them.
+func TestInstantiateNestedQualifiers(t *testing.T) {
+	got := instStrings(t, "//patient[treatment[regular[med]]]")
+	want := []string{"/hospital/dept/patients/patient[treatment[regular[med]]]"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+	got = instStrings(t, "//dept[.//regular[bill > 10]]")
+	want = []string{"/hospital/dept[patients/patient/treatment/regular[bill > 10]]"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+	// Self qualifier on the context resolves vacuously.
+	got = instStrings(t, "//patient[.]")
+	want = []string{"/hospital/dept/patients/patient[.]"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestInstantiateWildcardQualifier: wildcard child steps in qualifiers fork
+// per schema label.
+func TestInstantiateWildcardQualifier(t *testing.T) {
+	got := instStrings(t, "//treatment[*]")
+	want := []string{
+		"/hospital/dept/patients/patient/treatment[experimental]",
+		"/hospital/dept/patients/patient/treatment[regular]",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,145 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlac/internal/xpath"
+)
+
+// Parse reads a policy from the textual policy format:
+//
+//	# comments and blank lines are ignored
+//	default deny            # or: default allow
+//	conflict deny           # the effect that overrides; or: conflict allow
+//	rule R1 allow //patient
+//	rule R3 deny //patient[treatment]
+//	rule _ allow //regular[bill > 1000]   # "_" means unnamed
+//	rule W1 deny write //treatment        # update (write) rule
+//
+// An optional action keyword ("read" or "write") may follow the effect;
+// it defaults to read, the paper's fixed action. The default and conflict
+// directives may appear at most once each and default to deny/deny — the
+// combination the paper notes "occurs most often in practice".
+func Parse(input string) (*Policy, error) {
+	p := &Policy{Default: Deny, Conflict: Deny}
+	seenDefault, seenConflict := false, false
+	for lineNo, raw := range strings.Split(input, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "default", "conflict":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("policy: line %d: %s requires exactly one of allow/deny", lineNo+1, fields[0])
+			}
+			e, err := parseEffect(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("policy: line %d: %w", lineNo+1, err)
+			}
+			if fields[0] == "default" {
+				if seenDefault {
+					return nil, fmt.Errorf("policy: line %d: duplicate default directive", lineNo+1)
+				}
+				seenDefault = true
+				p.Default = e
+			} else {
+				if seenConflict {
+					return nil, fmt.Errorf("policy: line %d: duplicate conflict directive", lineNo+1)
+				}
+				seenConflict = true
+				p.Conflict = e
+			}
+		case "rule":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("policy: line %d: rule requires: rule <name> <allow|deny> <xpath>", lineNo+1)
+			}
+			name := fields[1]
+			if name == "_" {
+				name = ""
+			}
+			e, err := parseEffect(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("policy: line %d: %w", lineNo+1, err)
+			}
+			action := ActionRead
+			skip := 3
+			if len(fields) > 4 && (fields[3] == "read" || fields[3] == "write") {
+				if fields[3] == "write" {
+					action = ActionWrite
+				}
+				skip = 4
+			}
+			exprText := strings.TrimSpace(restAfterFields(line, skip))
+			expr, err := xpath.Parse(exprText)
+			if err != nil {
+				return nil, fmt.Errorf("policy: line %d: %w", lineNo+1, err)
+			}
+			p.Rules = append(p.Rules, Rule{Name: name, Resource: expr, Effect: e, Action: action})
+		default:
+			return nil, fmt.Errorf("policy: line %d: unknown directive %q", lineNo+1, fields[0])
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustParse is Parse but panics on error; for fixtures.
+func MustParse(input string) *Policy {
+	p, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// stripComment removes a trailing # comment, ignoring '#' characters inside
+// single- or double-quoted XPath string literals.
+func stripComment(line string) string {
+	var quote byte
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '#':
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// restAfterFields returns the remainder of line after skipping n
+// whitespace-separated fields, so an XPath expression containing spaces (or
+// even the words "allow"/"deny" in quoted literals) survives intact.
+func restAfterFields(line string, n int) string {
+	i := 0
+	for f := 0; f < n; f++ {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			i++
+		}
+	}
+	return line[i:]
+}
+
+func parseEffect(s string) (Effect, error) {
+	switch s {
+	case "allow", "+", "grant":
+		return Allow, nil
+	case "deny", "-", "−":
+		return Deny, nil
+	}
+	return Deny, fmt.Errorf("invalid effect %q (want allow or deny)", s)
+}

@@ -1,0 +1,271 @@
+// Package policy implements the access-control model of Section 3: rules
+// R = (resource, effect) with XPath resources, policies
+// P = (ds, cr, A, D) with default semantics and conflict resolution, and the
+// policy semantics [[P]](T) of Table 2 — the set of accessible nodes of a
+// tree under the policy.
+//
+// The requester and action components of the general model are fixed, as in
+// the paper; rule scope is the node itself (explicit rules, no accessibility
+// inheritance).
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlac/internal/xmltree"
+	"xmlac/internal/xpath"
+)
+
+// Effect is the sign of a rule, a default semantics, or a conflict
+// resolution: grant ("+") or deny ("−").
+type Effect uint8
+
+const (
+	// Deny is the "−" sign.
+	Deny Effect = iota
+	// Allow is the "+" sign.
+	Allow
+)
+
+// String renders the effect as the paper's sign.
+func (e Effect) String() string {
+	if e == Allow {
+		return "+"
+	}
+	return "-"
+}
+
+// Word renders the effect as the keyword used in the textual policy format.
+func (e Effect) Word() string {
+	if e == Allow {
+		return "allow"
+	}
+	return "deny"
+}
+
+// Action is the operation a rule governs. The paper fixes the action to
+// read and lists access control for update operations as future work; this
+// implementation supports both: read rules drive the materialized
+// annotations, write rules are checked on the fly when updates arrive.
+type Action uint8
+
+const (
+	// ActionRead governs read (query) access — the paper's setting.
+	ActionRead Action = iota
+	// ActionWrite governs update access (inserts and deletes).
+	ActionWrite
+)
+
+// String renders the action keyword of the textual policy format.
+func (a Action) String() string {
+	if a == ActionWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// Rule is an access-control rule (resource, effect) for one action. Name is
+// optional documentation (the paper's R1…R8).
+type Rule struct {
+	Name     string
+	Resource *xpath.Path
+	Effect   Effect
+	// Action defaults to ActionRead, the paper's fixed action.
+	Action Action
+}
+
+// String renders the rule as a line of the textual policy format. The
+// action keyword is included only for write rules, keeping the paper's
+// read-only policies round-trip stable.
+func (r Rule) String() string {
+	name := r.Name
+	if name == "" {
+		name = "_"
+	}
+	if r.Action == ActionWrite {
+		return fmt.Sprintf("rule %s %s write %s", name, r.Effect.Word(), r.Resource)
+	}
+	return fmt.Sprintf("rule %s %s %s", name, r.Effect.Word(), r.Resource)
+}
+
+// Policy is an access-control policy P = (ds, cr, A, D). Rules holds both
+// positive and negative rules; A and D are the partitions by effect.
+type Policy struct {
+	// Default is the default semantics ds: the accessibility of nodes not in
+	// the scope of any rule.
+	Default Effect
+	// Conflict is the conflict resolution cr: the effect that wins when a
+	// node is in the scope of rules with opposite signs.
+	Conflict Effect
+	// Rules are the access-control rules in declaration order.
+	Rules []Rule
+}
+
+// Allows returns the positive read rule set A.
+func (p *Policy) Allows() []Rule { return p.byEffect(Allow, ActionRead) }
+
+// Denies returns the negative read rule set D.
+func (p *Policy) Denies() []Rule { return p.byEffect(Deny, ActionRead) }
+
+func (p *Policy) byEffect(e Effect, a Action) []Rule {
+	var out []Rule
+	for _, r := range p.Rules {
+		if r.Effect == e && r.Action == a {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ForAction projects the policy onto one action, keeping the default
+// semantics and conflict resolution. Read rules drive annotation; write
+// rules drive update checks.
+func (p *Policy) ForAction(a Action) *Policy {
+	out := &Policy{Default: p.Default, Conflict: p.Conflict}
+	for _, r := range p.Rules {
+		if r.Action == a {
+			out.Rules = append(out.Rules, r)
+		}
+	}
+	return out
+}
+
+// SemanticsAction computes the Table 2 semantics over the rules of one
+// action: for ActionRead the readable nodes, for ActionWrite the updatable
+// ones.
+func (p *Policy) SemanticsAction(doc *xmltree.Document, a Action) (map[int64]bool, error) {
+	return p.semantics(doc, a)
+}
+
+// HasWriteRules reports whether any rule governs updates.
+func (p *Policy) HasWriteRules() bool {
+	for _, r := range p.Rules {
+		if r.Action == ActionWrite {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks that the policy is well-formed: every resource parseable,
+// absolute, and non-empty, and rule names unique when present.
+func (p *Policy) Validate() error {
+	names := map[string]bool{}
+	for i, r := range p.Rules {
+		if r.Resource == nil || len(r.Resource.Steps) == 0 {
+			return fmt.Errorf("policy: rule %d has an empty resource", i)
+		}
+		if !r.Resource.Absolute {
+			return fmt.Errorf("policy: rule %d resource %q is not absolute", i, r.Resource)
+		}
+		if r.Name != "" {
+			if names[r.Name] {
+				return fmt.Errorf("policy: duplicate rule name %q", r.Name)
+			}
+			names[r.Name] = true
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the policy.
+func (p *Policy) Clone() *Policy {
+	out := &Policy{Default: p.Default, Conflict: p.Conflict, Rules: make([]Rule, len(p.Rules))}
+	for i, r := range p.Rules {
+		out.Rules[i] = Rule{Name: r.Name, Resource: r.Resource.Clone(), Effect: r.Effect, Action: r.Action}
+	}
+	return out
+}
+
+// String renders the policy in the textual policy format parsed by Parse.
+func (p *Policy) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "default %s\n", p.Default.Word())
+	fmt.Fprintf(&b, "conflict %s\n", p.Conflict.Word())
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Semantics computes [[P]](T) per Table 2 by direct evaluation of every
+// read rule: the set of accessible element nodes, keyed by universal
+// identifier. Write rules do not participate; use SemanticsAction for the
+// write semantics.
+// This is the reference (brute-force) implementation the annotation queries
+// must agree with; the stores implement the same algebra with UNION/EXCEPT.
+//
+//	[[(+, +, A, D)]](T) = U(T) − ([[D]](T) − [[A]](T))
+//	[[(−, +, A, D)]](T) = [[A]](T)
+//	[[(+, −, A, D)]](T) = U(T) − [[D]](T)
+//	[[(−, −, A, D)]](T) = [[A]](T) − [[D]](T)
+func (p *Policy) Semantics(doc *xmltree.Document) (map[int64]bool, error) {
+	return p.semantics(doc, ActionRead)
+}
+
+func (p *Policy) semantics(doc *xmltree.Document, action Action) (map[int64]bool, error) {
+	a, err := p.scopeUnion(doc, Allow, action)
+	if err != nil {
+		return nil, err
+	}
+	d, err := p.scopeUnion(doc, Deny, action)
+	if err != nil {
+		return nil, err
+	}
+	out := map[int64]bool{}
+	switch {
+	case p.Default == Allow && p.Conflict == Allow:
+		// U − (D − A)
+		for _, n := range doc.Elements() {
+			if d[n.ID] && !a[n.ID] {
+				continue
+			}
+			out[n.ID] = true
+		}
+	case p.Default == Deny && p.Conflict == Allow:
+		// A
+		out = a
+	case p.Default == Allow && p.Conflict == Deny:
+		// U − D
+		for _, n := range doc.Elements() {
+			if !d[n.ID] {
+				out[n.ID] = true
+			}
+		}
+	default: // Deny, Deny — the common case
+		// A − D
+		for id := range a {
+			if !d[id] {
+				out[id] = true
+			}
+		}
+	}
+	return out, nil
+}
+
+// scopeUnion evaluates the union of the scopes of all rules with the given
+// effect and action.
+func (p *Policy) scopeUnion(doc *xmltree.Document, e Effect, action Action) (map[int64]bool, error) {
+	out := map[int64]bool{}
+	for _, r := range p.Rules {
+		if r.Effect != e || r.Action != action {
+			continue
+		}
+		nodes, err := xpath.Eval(r.Resource, doc)
+		if err != nil {
+			return nil, fmt.Errorf("policy: rule %s: %w", r.Name, err)
+		}
+		for _, n := range nodes {
+			out[n.ID] = true
+		}
+	}
+	return out, nil
+}
+
+// InScope reports whether node n is in the scope of rule r on doc
+// (n ∈ [[resource]](T), Section 3).
+func InScope(r Rule, doc *xmltree.Document, n *xmltree.Node) (bool, error) {
+	return xpath.Matches(r.Resource, doc, n)
+}

@@ -1,0 +1,343 @@
+package policy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xmlac/internal/xmltree"
+	"xmlac/internal/xpath"
+)
+
+// hospitalPolicy is the paper's Table 1 policy in the textual format.
+const hospitalPolicy = `
+# Table 1 — Hospital policy rules
+default deny
+conflict deny
+rule R1 allow //patient
+rule R2 allow //patient/name
+rule R3 deny //patient[treatment]
+rule R4 allow //patient[treatment]/name
+rule R5 deny //patient[.//experimental]
+rule R6 allow //regular
+rule R7 allow //regular[med = "celecoxib"]
+rule R8 allow //regular[bill > 1000]
+`
+
+const hospitalDoc = `<hospital><dept><patients>` +
+	`<patient><psn>033</psn><name>john doe</name><treatment><regular><med>enoxaparin</med><bill>700</bill></regular></treatment></patient>` +
+	`<patient><psn>042</psn><name>jane doe</name><treatment><experimental><test>regression hypnosis</test><bill>1600</bill></experimental></treatment></patient>` +
+	`<patient><psn>099</psn><name>joy smith</name></patient>` +
+	`</patients><staffinfo/></dept></hospital>`
+
+func mustDoc(t *testing.T, s string) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestParseHospitalPolicy(t *testing.T) {
+	p, err := Parse(hospitalPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Default != Deny || p.Conflict != Deny {
+		t.Fatalf("ds/cr = %v/%v", p.Default, p.Conflict)
+	}
+	if len(p.Rules) != 8 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	if len(p.Allows()) != 6 || len(p.Denies()) != 2 {
+		t.Fatalf("A=%d D=%d", len(p.Allows()), len(p.Denies()))
+	}
+	if p.Rules[2].Name != "R3" || p.Rules[2].Effect != Deny {
+		t.Fatalf("R3 = %+v", p.Rules[2])
+	}
+	if p.Rules[6].Resource.String() != `//regular[med = "celecoxib"]` {
+		t.Fatalf("R7 resource = %s", p.Rules[6].Resource)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus //x",
+		"default maybe",
+		"default allow\ndefault deny",
+		"conflict allow\nconflict deny",
+		"rule R1 allow",
+		"rule R1 allow not-an-xpath[",
+		"rule R1 allow patient",               // relative resource
+		"rule R1 allow //a\nrule R1 deny //b", // duplicate name
+		"default",
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q): expected error", c)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	p := MustParse(hospitalPolicy)
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, p.String())
+	}
+	if p2.String() != p.String() {
+		t.Fatalf("round trip:\n%s\nvs\n%s", p.String(), p2.String())
+	}
+}
+
+func TestParseUnnamedRule(t *testing.T) {
+	p := MustParse("rule _ allow //a")
+	if p.Rules[0].Name != "" {
+		t.Fatalf("name = %q", p.Rules[0].Name)
+	}
+	if !strings.HasPrefix(p.Rules[0].String(), "rule _ allow") {
+		t.Fatalf("render = %q", p.Rules[0].String())
+	}
+}
+
+// TestSemanticsHospital checks the running example end to end: with the
+// Table 1 policy under (deny, deny overrides), the accessible nodes of the
+// Figure 2 document are exactly the third patient, all three patient names,
+// and the regular node of the first patient — matching the annotated
+// document of Figure 2.
+func TestSemanticsHospital(t *testing.T) {
+	p := MustParse(hospitalPolicy)
+	doc := mustDoc(t, hospitalDoc)
+	acc, err := p.Semantics(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accessible []string
+	for _, n := range doc.Elements() {
+		if acc[n.ID] {
+			accessible = append(accessible, n.Label+":"+n.TextContent())
+		}
+	}
+	want := map[string]bool{
+		"name:john doe":         true,
+		"name:jane doe":         true,
+		"name:joy smith":        true,
+		"regular:enoxaparin700": true,
+		"patient:099joy smith":  true,
+	}
+	if len(accessible) != len(want) {
+		t.Fatalf("accessible = %v", accessible)
+	}
+	for _, a := range accessible {
+		if !want[a] {
+			t.Fatalf("unexpected accessible node %q (all: %v)", a, accessible)
+		}
+	}
+}
+
+// TestSemanticsTable2 checks all four (ds, cr) combinations on a small
+// document against hand-computed sets.
+func TestSemanticsTable2(t *testing.T) {
+	doc := mustDoc(t, `<r><a/><b/><c/></r>`)
+	// A = {//a, //b}, D = {//b, //c}.
+	rules := []Rule{
+		{Resource: xpath.MustParse("//a"), Effect: Allow},
+		{Resource: xpath.MustParse("//b"), Effect: Allow},
+		{Resource: xpath.MustParse("//b"), Effect: Deny},
+		{Resource: xpath.MustParse("//c"), Effect: Deny},
+	}
+	byLabel := func(acc map[int64]bool) string {
+		var out []string
+		for _, n := range doc.Elements() {
+			if acc[n.ID] {
+				out = append(out, n.Label)
+			}
+		}
+		return strings.Join(out, ",")
+	}
+	cases := []struct {
+		ds, cr Effect
+		want   string
+	}{
+		// U = {r,a,b,c}; A = {a,b}; D = {b,c}.
+		{Allow, Allow, "r,a,b"}, // U − (D − A) = U − {c}
+		{Deny, Allow, "a,b"},    // A
+		{Allow, Deny, "r,a"},    // U − D
+		{Deny, Deny, "a"},       // A − D
+	}
+	for _, c := range cases {
+		p := &Policy{Default: c.ds, Conflict: c.cr, Rules: rules}
+		acc, err := p.Semantics(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := byLabel(acc); got != c.want {
+			t.Errorf("semantics(ds=%v cr=%v) = %q, want %q", c.ds, c.cr, got, c.want)
+		}
+	}
+}
+
+func TestSemanticsEmptyPolicy(t *testing.T) {
+	doc := mustDoc(t, `<r><a/></r>`)
+	p := &Policy{Default: Deny, Conflict: Deny}
+	acc, err := p.Semantics(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acc) != 0 {
+		t.Fatalf("deny-default empty policy should make nothing accessible, got %d", len(acc))
+	}
+	p = &Policy{Default: Allow, Conflict: Deny}
+	acc, err = p.Semantics(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acc) != 2 {
+		t.Fatalf("allow-default empty policy should make everything accessible, got %d", len(acc))
+	}
+}
+
+func TestInScope(t *testing.T) {
+	doc := mustDoc(t, hospitalDoc)
+	p := MustParse(hospitalPolicy)
+	patients, _ := xpath.Eval(xpath.MustParse("//patient"), doc)
+	r3 := p.Rules[2]
+	ok, err := InScope(r3, doc, patients[0])
+	if err != nil || !ok {
+		t.Fatalf("patient 1 should be in scope of R3: %v %v", ok, err)
+	}
+	ok, err = InScope(r3, doc, patients[2])
+	if err != nil || ok {
+		t.Fatalf("patient 3 should not be in scope of R3: %v %v", ok, err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := MustParse(hospitalPolicy)
+	c := p.Clone()
+	c.Rules[0].Resource.Steps[0].Test = "zap"
+	if p.Rules[0].Resource.String() != "//patient" {
+		t.Fatal("clone mutation leaked")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := &Policy{Rules: []Rule{{Resource: &xpath.Path{Absolute: true}}}}
+	if err := p.Validate(); err == nil {
+		t.Error("empty resource accepted")
+	}
+	p = &Policy{Rules: []Rule{{Resource: xpath.MustParse("a")}}}
+	if err := p.Validate(); err == nil {
+		t.Error("relative resource accepted")
+	}
+}
+
+func TestEffectStrings(t *testing.T) {
+	if Allow.String() != "+" || Deny.String() != "-" {
+		t.Fatal("sign rendering")
+	}
+	if Allow.Word() != "allow" || Deny.Word() != "deny" {
+		t.Fatal("word rendering")
+	}
+}
+
+// --- property tests ---
+
+func randomTree(r *rand.Rand) *xmltree.Document {
+	labels := []string{"a", "b", "c"}
+	d := xmltree.NewDocument(labels[r.Intn(len(labels))])
+	nodes := []*xmltree.Node{d.Root()}
+	n := r.Intn(25)
+	for i := 0; i < n; i++ {
+		p := nodes[r.Intn(len(nodes))]
+		nodes = append(nodes, d.AddElement(p, labels[r.Intn(len(labels))]))
+	}
+	return d
+}
+
+func randomPolicy(r *rand.Rand) *Policy {
+	labels := []string{"a", "b", "c", "*"}
+	p := &Policy{Default: Effect(r.Intn(2)), Conflict: Effect(r.Intn(2))}
+	n := 1 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		path := &xpath.Path{Absolute: true}
+		m := 1 + r.Intn(2)
+		for j := 0; j < m; j++ {
+			axis := xpath.Child
+			if r.Intn(2) == 0 {
+				axis = xpath.Descendant
+			}
+			path.Steps = append(path.Steps, &xpath.Step{Axis: axis, Test: labels[r.Intn(len(labels))]})
+		}
+		p.Rules = append(p.Rules, Rule{Resource: path, Effect: Effect(r.Intn(2))})
+	}
+	return p
+}
+
+// TestQuickTable2Identities: the four Table 2 semantics satisfy their
+// set-algebra definitions computed independently from per-rule evaluation.
+func TestQuickTable2Identities(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := randomTree(r)
+		p := randomPolicy(r)
+		acc, err := p.Semantics(doc)
+		if err != nil {
+			return false
+		}
+		// Recompute per-node from first principles.
+		for _, n := range doc.Elements() {
+			inA, inD := false, false
+			for _, rule := range p.Rules {
+				ok, err := InScope(rule, doc, n)
+				if err != nil {
+					return false
+				}
+				if ok {
+					if rule.Effect == Allow {
+						inA = true
+					} else {
+						inD = true
+					}
+				}
+			}
+			var want bool
+			switch {
+			case inA && inD:
+				want = p.Conflict == Allow
+			case inA:
+				want = true
+			case inD:
+				want = false
+			default:
+				want = p.Default == Allow
+			}
+			if acc[n.ID] != want {
+				t.Logf("node %d (inA=%v inD=%v ds=%v cr=%v): got %v want %v",
+					n.ID, inA, inD, p.Default, p.Conflict, acc[n.ID], want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseHashInsideLiteral(t *testing.T) {
+	p, err := Parse(`rule R1 allow //a[b = "#tag"]  # trailing comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Rules[0].Resource.String(); got != `//a[b = "#tag"]` {
+		t.Fatalf("resource = %s", got)
+	}
+	// Round trip.
+	p2, err := Parse(p.String())
+	if err != nil || p2.String() != p.String() {
+		t.Fatalf("round trip: %v\n%s", err, p.String())
+	}
+}

@@ -1,0 +1,310 @@
+package shred
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"xmlac/internal/sqldb"
+	"xmlac/internal/xmltree"
+)
+
+// Shredder turns XML documents into their relational representation under a
+// mapping.
+type Shredder struct {
+	Mapping *Mapping
+	// DefaultSign initializes the s column; the paper initializes tuples to
+	// the policy's default semantics. Zero value means '-'.
+	DefaultSign xmltree.Sign
+}
+
+// NewShredder builds a shredder with deny ('-') default sign.
+func NewShredder(m *Mapping) *Shredder {
+	return &Shredder{Mapping: m, DefaultSign: xmltree.SignMinus}
+}
+
+func (s *Shredder) signText(n *xmltree.Node) string {
+	sign := n.Sign
+	if sign == xmltree.SignNone {
+		sign = s.DefaultSign
+		if sign == xmltree.SignNone {
+			sign = xmltree.SignMinus
+		}
+	}
+	return sign.String()
+}
+
+// tupleOf builds the column values of one element node, in the mapping's
+// column order (id, pid, attrs..., [v,] s).
+func (s *Shredder) tupleOf(n *xmltree.Node, ti *TableInfo) []sqldb.Value {
+	vals := make([]sqldb.Value, 0, 4+len(ti.Attrs))
+	vals = append(vals, sqldb.NewInt(n.ID))
+	if n.Parent() == nil {
+		vals = append(vals, sqldb.Null)
+	} else {
+		vals = append(vals, sqldb.NewInt(n.Parent().ID))
+	}
+	for _, a := range ti.Attrs {
+		if v, ok := n.Attrs[a]; ok {
+			vals = append(vals, sqldb.NewText(v))
+		} else {
+			vals = append(vals, sqldb.Null)
+		}
+	}
+	if ti.HasValue {
+		vals = append(vals, sqldb.NewText(directText(n)))
+	}
+	vals = append(vals, sqldb.NewText(s.signText(n)))
+	return vals
+}
+
+// directText concatenates the node's immediate text children, which is what
+// the v column stores (ShreX keeps each element's own character data; nested
+// elements have their own tuples).
+func directText(n *xmltree.Node) string {
+	var b strings.Builder
+	for _, c := range n.Children() {
+		if c.IsText() {
+			b.WriteString(c.Value)
+		}
+	}
+	return b.String()
+}
+
+// IntoDB creates the mapping's tables in db and loads the document. This is
+// the fast path used by tests and the annotation engine; the loading
+// experiment uses ToSQL + ExecScript to model the paper's INSERT stream.
+func (s *Shredder) IntoDB(db *sqldb.Database, doc *xmltree.Document) error {
+	if _, err := db.ExecScript(s.Mapping.DDL()); err != nil {
+		return fmt.Errorf("shred: creating tables: %w", err)
+	}
+	return s.LoadInto(db, doc)
+}
+
+// LoadInto shreds the document into an already-created schema.
+func (s *Shredder) LoadInto(db *sqldb.Database, doc *xmltree.Document) error {
+	var err error
+	doc.Walk(func(n *xmltree.Node) bool {
+		if err != nil || !n.IsElement() {
+			return err == nil
+		}
+		ti := s.Mapping.TableFor(n.Label)
+		if ti == nil {
+			err = fmt.Errorf("shred: element type %q not in mapping", n.Label)
+			return false
+		}
+		st := &sqldb.InsertStmt{Table: ti.Table, Rows: [][]sqldb.Value{s.tupleOf(n, ti)}}
+		if _, e := db.ExecStmt(st); e != nil {
+			err = fmt.Errorf("shred: node %d: %w", n.ID, e)
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// InsertSubtree mirrors one subtree of an already-loaded document into the
+// database — the relational half of an XML insert update. The subtree's
+// nodes must carry their final universal identifiers (i.e. already be
+// grafted into the document tree).
+func (s *Shredder) InsertSubtree(db *sqldb.Database, root *xmltree.Node) error {
+	var err error
+	root.Walk(func(n *xmltree.Node) bool {
+		if err != nil || !n.IsElement() {
+			return err == nil
+		}
+		ti := s.Mapping.TableFor(n.Label)
+		if ti == nil {
+			err = fmt.Errorf("shred: element type %q not in mapping", n.Label)
+			return false
+		}
+		st := &sqldb.InsertStmt{Table: ti.Table, Rows: [][]sqldb.Value{s.tupleOf(n, ti)}}
+		if _, e := db.ExecStmt(st); e != nil {
+			err = fmt.Errorf("shred: node %d: %w", n.ID, e)
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// ToSQL writes the document's relational representation as SQL text: the
+// mapping's DDL followed by one INSERT statement per element node — the
+// "text files containing SQL INSERT statements" of the evaluation setup
+// (Table 5's SQL sizes, Figure 9's loading workload).
+func (s *Shredder) ToSQL(w io.Writer, doc *xmltree.Document) error {
+	if _, err := io.WriteString(w, s.Mapping.DDL()); err != nil {
+		return err
+	}
+	var err error
+	doc.Walk(func(n *xmltree.Node) bool {
+		if err != nil || !n.IsElement() {
+			return err == nil
+		}
+		ti := s.Mapping.TableFor(n.Label)
+		if ti == nil {
+			err = fmt.Errorf("shred: element type %q not in mapping", n.Label)
+			return false
+		}
+		var b strings.Builder
+		b.WriteString("INSERT INTO ")
+		b.WriteString(ti.Table)
+		b.WriteString(" VALUES (")
+		for i, v := range s.tupleOf(n, ti) {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteString(");\n")
+		if _, e := io.WriteString(w, b.String()); e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// Rebuild reconstructs an XML document from its relational representation —
+// the inverse mapping, used by the requester to return subtrees and by the
+// round-trip tests. Children are ordered by universal identifier, which is
+// document order for shredded documents.
+func Rebuild(db *sqldb.Database, m *Mapping) (*xmltree.Document, error) {
+	var rows []rowInfo
+	for _, ti := range m.Tables() {
+		cols := "id, pid"
+		for _, a := range ti.Attrs {
+			cols += ", " + AttrColumn(a)
+		}
+		if ti.HasValue {
+			cols += ", v"
+		}
+		cols += ", " + SignColumn
+		res, err := db.Exec(fmt.Sprintf("SELECT %s FROM %s", cols, ti.Table))
+		if err != nil {
+			return nil, fmt.Errorf("shred: rebuild: %w", err)
+		}
+		for _, r := range res.Rows {
+			ri := rowInfo{id: r[0].I, element: ti.Element}
+			if !r[1].IsNull() {
+				ri.pid, ri.hasPid = r[1].I, true
+			}
+			k := 2
+			for _, a := range ti.Attrs {
+				if !r[k].IsNull() {
+					if ri.attrs == nil {
+						ri.attrs = map[string]string{}
+					}
+					ri.attrs[a] = r[k].S
+				}
+				k++
+			}
+			if ti.HasValue {
+				ri.value = r[k].S
+				k++
+			}
+			sign, err := xmltree.ParseSign(r[k].S)
+			if err != nil {
+				return nil, fmt.Errorf("shred: rebuild: node %d: %w", ri.id, err)
+			}
+			ri.sign = sign
+			rows = append(rows, ri)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("shred: rebuild: database is empty")
+	}
+	// Build children lists; the root is the tuple with NULL pid.
+	byID := map[int64]*rowInfo{}
+	children := map[int64][]int64{}
+	var rootID int64 = -1
+	for i := range rows {
+		ri := &rows[i]
+		byID[ri.id] = ri
+		if ri.hasPid {
+			children[ri.pid] = append(children[ri.pid], ri.id)
+		} else {
+			if rootID >= 0 {
+				return nil, fmt.Errorf("shred: rebuild: multiple roots (%d and %d)", rootID, ri.id)
+			}
+			rootID = ri.id
+		}
+	}
+	if rootID < 0 {
+		return nil, fmt.Errorf("shred: rebuild: no root tuple (NULL pid)")
+	}
+	for _, kids := range children {
+		sortInt64s(kids)
+	}
+	doc := xmltree.NewDocument(byID[rootID].element)
+	root := doc.Root()
+	// First pass: create all element nodes and restore their stored
+	// universal identifiers. Text children are added in a second pass so
+	// their fresh ids land above the whole element id range and cannot
+	// collide with stored ids.
+	var withText []*xmltree.Node
+	if err := applyRow(doc, root, byID[rootID]); err != nil {
+		return nil, err
+	}
+	if byID[rootID].value != "" {
+		withText = append(withText, root)
+	}
+	type workItem struct {
+		storedID int64
+		node     *xmltree.Node
+	}
+	work := []workItem{{rootID, root}}
+	for len(work) > 0 {
+		it := work[0]
+		work = work[1:]
+		for _, cid := range children[it.storedID] {
+			ri := byID[cid]
+			n := doc.AddElement(it.node, ri.element)
+			if err := applyRow(doc, n, ri); err != nil {
+				return nil, err
+			}
+			if ri.value != "" {
+				withText = append(withText, n)
+			}
+			work = append(work, workItem{cid, n})
+		}
+	}
+	for _, n := range withText {
+		doc.AddText(n, byID[n.ID].value)
+	}
+	return doc, nil
+}
+
+// rowInfo is one decoded tuple during Rebuild.
+type rowInfo struct {
+	id, pid int64
+	hasPid  bool
+	element string
+	value   string
+	sign    xmltree.Sign
+	attrs   map[string]string
+}
+
+// applyRow transfers one tuple's payload onto a freshly created element
+// node, restoring the stored universal identifier.
+func applyRow(doc *xmltree.Document, n *xmltree.Node, ri *rowInfo) error {
+	n.Sign = ri.sign
+	for k, v := range ri.attrs {
+		if err := doc.SetAttr(n, k, v); err != nil {
+			return fmt.Errorf("shred: rebuild: %w", err)
+		}
+	}
+	if err := doc.SetNodeID(n, ri.id); err != nil {
+		return fmt.Errorf("shred: rebuild: %w", err)
+	}
+	return nil
+}
+
+func sortInt64s(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package sqldb
+
+import (
+	"strings"
+)
+
+// CmpOp is a SQL comparison operator.
+type CmpOp uint8
+
+const (
+	// CmpEq is "=".
+	CmpEq CmpOp = iota
+	// CmpNe is "<>" / "!=".
+	CmpNe
+	// CmpLt is "<".
+	CmpLt
+	// CmpLe is "<=".
+	CmpLe
+	// CmpGt is ">".
+	CmpGt
+	// CmpGe is ">=".
+	CmpGe
+)
+
+// String renders the operator in SQL syntax.
+func (o CmpOp) String() string {
+	switch o {
+	case CmpEq:
+		return "="
+	case CmpNe:
+		return "<>"
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTableStmt is CREATE TABLE.
+type CreateTableStmt struct {
+	Name        string
+	Columns     []Column
+	ForeignKeys []ForeignKey
+}
+
+// InsertStmt is INSERT INTO … VALUES (…), (…).
+type InsertStmt struct {
+	Table string
+	Rows  [][]Value
+}
+
+// ColRef references a column, optionally qualified by a FROM alias.
+type ColRef struct {
+	Alias  string // empty when unqualified
+	Column string
+}
+
+// String renders the reference in SQL syntax.
+func (c ColRef) String() string {
+	if c.Alias == "" {
+		return c.Column
+	}
+	return c.Alias + "." + c.Column
+}
+
+// Operand is one side of a comparison: a column reference or a literal.
+type Operand struct {
+	IsCol bool
+	Col   ColRef
+	Lit   Value
+}
+
+// String renders the operand in SQL syntax.
+func (o Operand) String() string {
+	if o.IsCol {
+		return o.Col.String()
+	}
+	return o.Lit.String()
+}
+
+// Predicate is one conjunct of a WHERE clause: a comparison or an IN list.
+type Predicate struct {
+	Left  Operand
+	Op    CmpOp
+	Right Operand
+	// In, when non-nil, makes the predicate Left IN (values); Op/Right are
+	// then unused.
+	In []Value
+}
+
+// String renders the predicate in SQL syntax.
+func (p Predicate) String() string {
+	if p.In != nil {
+		var parts []string
+		for _, v := range p.In {
+			parts = append(parts, v.String())
+		}
+		return p.Left.String() + " IN (" + strings.Join(parts, ", ") + ")"
+	}
+	return p.Left.String() + " " + p.Op.String() + " " + p.Right.String()
+}
+
+// FromItem is one relation in a FROM list.
+type FromItem struct {
+	Table string
+	Alias string // defaults to the table name
+}
+
+// SelectStmt is a simple (non-compound) SELECT block.
+type SelectStmt struct {
+	// Star selects all columns of all FROM items (in FROM order).
+	Star bool
+	// CountStar makes the query SELECT COUNT(*).
+	CountStar bool
+	// Distinct applies set semantics to the projection.
+	Distinct bool
+	// Columns is the projection list when !Star && !CountStar.
+	Columns []ColRef
+	From    []FromItem
+	// Where is a conjunction of predicates.
+	Where []Predicate
+}
+
+// SetOp combines SELECT blocks.
+type SetOp uint8
+
+const (
+	// OpUnion is UNION (set semantics: duplicates eliminated).
+	OpUnion SetOp = iota
+	// OpExcept is EXCEPT.
+	OpExcept
+	// OpIntersect is INTERSECT.
+	OpIntersect
+)
+
+// String renders the operator in SQL syntax.
+func (o SetOp) String() string {
+	switch o {
+	case OpUnion:
+		return "UNION"
+	case OpExcept:
+		return "EXCEPT"
+	default:
+		return "INTERSECT"
+	}
+}
+
+// OrderItem is one ORDER BY key: an output column (by name or 1-based
+// position) and a direction.
+type OrderItem struct {
+	// Column is the output column name ("" when Position is used).
+	Column string
+	// Position is the 1-based output column position (0 when Column is
+	// used).
+	Position int
+	// Desc reverses the order.
+	Desc bool
+}
+
+// Query is a compound query: a simple SELECT or a set operation over two
+// queries. Exactly one of Simple or (Op, Left, Right) is populated.
+// OrderBy and Limit, when present, apply to the whole query's result.
+type Query struct {
+	Simple      *SelectStmt
+	Op          SetOp
+	Left, Right *Query
+
+	// OrderBy sorts the final rows.
+	OrderBy []OrderItem
+	// Limit caps the row count; negative means no limit.
+	Limit int
+}
+
+func (q *Query) stmt() {}
+
+// UpdateStmt is UPDATE … SET … WHERE ….
+type UpdateStmt struct {
+	Table string
+	// Set lists (column, literal) assignments.
+	Set []struct {
+		Column string
+		Value  Value
+	}
+	Where []Predicate
+}
+
+// DeleteStmt is DELETE FROM … WHERE ….
+type DeleteStmt struct {
+	Table string
+	Where []Predicate
+}
+
+func (*CreateTableStmt) stmt() {}
+func (*InsertStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}

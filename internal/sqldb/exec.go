@@ -1,0 +1,992 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of a statement: rows for queries, affected-row
+// counts for DML, empty for DDL.
+type Result struct {
+	// Columns are the output column names of a query.
+	Columns []string
+	// Rows is the result relation.
+	Rows [][]Value
+	// Affected is the number of rows inserted, updated or deleted.
+	Affected int
+}
+
+// Exec parses and executes one SQL statement.
+func (db *Database) Exec(src string) (*Result, error) {
+	st, err := ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(st)
+}
+
+// ExecStmt executes a parsed statement.
+func (db *Database) ExecStmt(st Statement) (*Result, error) {
+	db.mu.Lock()
+	db.stmtCount++
+	db.mu.Unlock()
+	switch s := st.(type) {
+	case *CreateTableStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if err := db.createTable(s.Name, s.Columns, s.ForeignKeys); err != nil {
+			return nil, err
+		}
+		db.record(undoCreateTable{name: s.Name})
+		return &Result{}, nil
+	case *CreateIndexStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if err := db.createIndex(s.Name, s.Table, s.Column); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *InsertStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		t := db.tables[s.Table]
+		if t == nil {
+			return nil, fmt.Errorf("sqldb: unknown table %q", s.Table)
+		}
+		for _, row := range s.Rows {
+			rid, err := t.insertRow(row)
+			if err != nil {
+				return nil, err
+			}
+			db.record(undoInsert{table: s.Table, rid: rid})
+		}
+		return &Result{Affected: len(s.Rows)}, nil
+	case *Query:
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.execQuery(s)
+	case *BeginStmt:
+		return &Result{}, db.Begin()
+	case *CommitStmt:
+		return &Result{}, db.Commit()
+	case *RollbackStmt:
+		return &Result{}, db.Rollback()
+	case *UpdateStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.execUpdate(s)
+	case *DeleteStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.execDelete(s)
+	default:
+		return nil, fmt.Errorf("sqldb: unsupported statement %T", st)
+	}
+}
+
+// ExecScript executes a ';'-separated sequence of statements (e.g. the SQL
+// INSERT file produced by the shredder) and returns how many ran. This is
+// the relational loading path of the evaluation: every statement goes
+// through the full parse/plan/execute pipeline, like the paper's INSERT
+// stream.
+func (db *Database) ExecScript(src string) (int, error) {
+	n := 0
+	for _, stmt := range SplitStatements(src) {
+		if _, err := db.Exec(stmt); err != nil {
+			return n, fmt.Errorf("statement %d: %w", n+1, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// SplitStatements splits SQL text on ';' boundaries, honoring string
+// literals and line comments. Empty statements are dropped.
+func SplitStatements(src string) []string {
+	var out []string
+	var b strings.Builder
+	inStr := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case inStr:
+			b.WriteByte(c)
+			if c == '\'' {
+				if i+1 < len(src) && src[i+1] == '\'' {
+					b.WriteByte('\'')
+					i++
+				} else {
+					inStr = false
+				}
+			}
+		case c == '\'':
+			inStr = true
+			b.WriteByte(c)
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			b.WriteByte('\n')
+		case c == ';':
+			if s := strings.TrimSpace(b.String()); s != "" {
+				out = append(out, s)
+			}
+			b.Reset()
+		default:
+			b.WriteByte(c)
+		}
+	}
+	if s := strings.TrimSpace(b.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+// --- query execution ---
+
+// binding maps each FROM alias to its position and table.
+type binding struct {
+	items  []FromItem
+	tables []*Table
+	pos    map[string]int
+}
+
+func (db *Database) bind(from []FromItem) (*binding, error) {
+	b := &binding{pos: map[string]int{}}
+	for _, f := range from {
+		t := db.tables[f.Table]
+		if t == nil {
+			return nil, fmt.Errorf("sqldb: unknown table %q", f.Table)
+		}
+		if _, dup := b.pos[f.Alias]; dup {
+			return nil, fmt.Errorf("sqldb: duplicate alias %q", f.Alias)
+		}
+		b.pos[f.Alias] = len(b.items)
+		b.items = append(b.items, f)
+		b.tables = append(b.tables, t)
+	}
+	return b, nil
+}
+
+// resolve locates a column reference; unqualified names must be unambiguous.
+func (b *binding) resolve(c ColRef) (aliasIdx, colIdx int, err error) {
+	if c.Alias != "" {
+		i, ok := b.pos[c.Alias]
+		if !ok {
+			return 0, 0, fmt.Errorf("sqldb: unknown alias %q", c.Alias)
+		}
+		j := b.tables[i].ColumnIndex(c.Column)
+		if j < 0 {
+			return 0, 0, fmt.Errorf("sqldb: table %q has no column %q", b.items[i].Table, c.Column)
+		}
+		return i, j, nil
+	}
+	found := -1
+	for i, t := range b.tables {
+		if j := t.ColumnIndex(c.Column); j >= 0 {
+			if found >= 0 {
+				return 0, 0, fmt.Errorf("sqldb: ambiguous column %q", c.Column)
+			}
+			found = i
+			colIdx = j
+		}
+	}
+	if found < 0 {
+		return 0, 0, fmt.Errorf("sqldb: unknown column %q", c.Column)
+	}
+	return found, colIdx, nil
+}
+
+// planPred is a resolved predicate.
+type planPred struct {
+	src Predicate
+	// leftAlias/leftCol resolved when the left operand is a column, else -1.
+	leftAlias, leftCol   int
+	rightAlias, rightCol int
+	applied              bool
+}
+
+func (db *Database) execQuery(q *Query) (*Result, error) {
+	res, hidden, err := db.execWithSortColumns(q)
+	if err != nil {
+		return nil, err
+	}
+	if err := applyOrder(res, q.OrderBy); err != nil {
+		return nil, err
+	}
+	if hidden > 0 {
+		// Strip the hidden sort columns appended by execWithSortColumns.
+		res.Columns = res.Columns[:len(res.Columns)-hidden]
+		for i, row := range res.Rows {
+			res.Rows[i] = row[:len(row)-hidden]
+		}
+	}
+	if q.Limit >= 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+// execWithSortColumns executes the query body; for a simple SELECT whose
+// ORDER BY names columns outside the projection (SQL allows this), the
+// missing columns are appended as hidden projection columns so the sort can
+// see them. It returns how many were appended. DISTINCT queries cannot be
+// augmented (hidden columns would change the duplicate elimination), nor
+// can compound queries — there ORDER BY must name output columns.
+func (db *Database) execWithSortColumns(q *Query) (*Result, int, error) {
+	if q.Simple == nil || len(q.OrderBy) == 0 || q.Simple.Star || q.Simple.CountStar || q.Simple.Distinct {
+		res, err := db.execQueryBody(q)
+		return res, 0, err
+	}
+	outNames := make([]string, len(q.Simple.Columns))
+	for i, c := range q.Simple.Columns {
+		outNames[i] = c.String()
+	}
+	var extras []ColRef
+	for _, k := range q.OrderBy {
+		if k.Position > 0 {
+			continue
+		}
+		if _, err := resolveOrderColumn(outNames, k); err == nil {
+			continue
+		}
+		extras = append(extras, parseOrderColRef(k.Column))
+		outNames = append(outNames, k.Column)
+	}
+	if len(extras) == 0 {
+		res, err := db.execQueryBody(q)
+		return res, 0, err
+	}
+	aug := *q.Simple
+	aug.Columns = append(append([]ColRef{}, q.Simple.Columns...), extras...)
+	res, err := db.execSelect(&aug)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, len(extras), nil
+}
+
+// parseOrderColRef splits an "alias.col" order key back into a ColRef.
+func parseOrderColRef(name string) ColRef {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return ColRef{Alias: name[:i], Column: name[i+1:]}
+	}
+	return ColRef{Column: name}
+}
+
+// applyOrder sorts result rows by the ORDER BY keys (stable, so ties keep
+// their prior order). Keys reference output columns by position or name;
+// an unqualified name also matches qualified output columns ("p.id").
+func applyOrder(res *Result, keys []OrderItem) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	cols := make([]int, len(keys))
+	for i, k := range keys {
+		idx, err := resolveOrderColumn(res.Columns, k)
+		if err != nil {
+			return err
+		}
+		cols[i] = idx
+	}
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		for i, c := range cols {
+			va, vb := res.Rows[a][c], res.Rows[b][c]
+			cmp, ok := compareForSort(va, vb)
+			if !ok || cmp == 0 {
+				continue
+			}
+			if keys[i].Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	return nil
+}
+
+// resolveOrderColumn locates an ORDER BY key among output column names; an
+// unqualified name also matches qualified columns ("p.id").
+func resolveOrderColumn(columns []string, k OrderItem) (int, error) {
+	if k.Position > 0 {
+		if k.Position > len(columns) {
+			return 0, fmt.Errorf("sqldb: ORDER BY position %d out of range (%d columns)", k.Position, len(columns))
+		}
+		return k.Position - 1, nil
+	}
+	idx := -1
+	for j, name := range columns {
+		if name == k.Column || strings.HasSuffix(name, "."+k.Column) {
+			if idx >= 0 {
+				return 0, fmt.Errorf("sqldb: ambiguous ORDER BY column %q", k.Column)
+			}
+			idx = j
+		}
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("sqldb: unknown ORDER BY column %q", k.Column)
+	}
+	return idx, nil
+}
+
+// compareForSort orders values with NULLs first and incomparable kinds by
+// kind, giving a total deterministic order.
+func compareForSort(a, b Value) (int, bool) {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0, true
+	case a.IsNull():
+		return -1, true
+	case b.IsNull():
+		return 1, true
+	}
+	if c, ok := a.compare(b); ok {
+		return c, true
+	}
+	// Different, incomparable kinds: ints before text.
+	if a.Kind != b.Kind {
+		return int(a.Kind) - int(b.Kind), true
+	}
+	return 0, true
+}
+
+func (db *Database) execQueryBody(q *Query) (*Result, error) {
+	if q.Simple != nil {
+		return db.execSelect(q.Simple)
+	}
+	// Children go through execQuery so parenthesized sub-queries honor
+	// their own ORDER BY / LIMIT clauses.
+	left, err := db.execQuery(q.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := db.execQuery(q.Right)
+	if err != nil {
+		return nil, err
+	}
+	if len(left.Columns) != len(right.Columns) {
+		return nil, fmt.Errorf("sqldb: %s operands have %d and %d columns",
+			q.Op, len(left.Columns), len(right.Columns))
+	}
+	// Set semantics: dedup both sides.
+	key := func(row []Value) string {
+		var b strings.Builder
+		for _, v := range row {
+			b.WriteString(v.key())
+		}
+		return b.String()
+	}
+	out := &Result{Columns: left.Columns}
+	switch q.Op {
+	case OpUnion:
+		seen := map[string]bool{}
+		for _, rows := range [][][]Value{left.Rows, right.Rows} {
+			for _, r := range rows {
+				k := key(r)
+				if !seen[k] {
+					seen[k] = true
+					out.Rows = append(out.Rows, r)
+				}
+			}
+		}
+	case OpExcept:
+		drop := map[string]bool{}
+		for _, r := range right.Rows {
+			drop[key(r)] = true
+		}
+		seen := map[string]bool{}
+		for _, r := range left.Rows {
+			k := key(r)
+			if !drop[k] && !seen[k] {
+				seen[k] = true
+				out.Rows = append(out.Rows, r)
+			}
+		}
+	case OpIntersect:
+		keep := map[string]bool{}
+		for _, r := range right.Rows {
+			keep[key(r)] = true
+		}
+		seen := map[string]bool{}
+		for _, r := range left.Rows {
+			k := key(r)
+			if keep[k] && !seen[k] {
+				seen[k] = true
+				out.Rows = append(out.Rows, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (db *Database) execSelect(s *SelectStmt) (*Result, error) {
+	b, err := db.bind(s.From)
+	if err != nil {
+		return nil, err
+	}
+	preds := make([]*planPred, 0, len(s.Where))
+	for _, pr := range s.Where {
+		pp := &planPred{src: pr, leftAlias: -1, leftCol: -1, rightAlias: -1, rightCol: -1}
+		if pr.Left.IsCol {
+			pp.leftAlias, pp.leftCol, err = b.resolve(pr.Left.Col)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if pr.In == nil && pr.Right.IsCol {
+			pp.rightAlias, pp.rightCol, err = b.resolve(pr.Right.Col)
+			if err != nil {
+				return nil, err
+			}
+		}
+		preds = append(preds, pp)
+	}
+
+	tuples, err := db.joinPlan(b, preds)
+	if err != nil {
+		return nil, err
+	}
+
+	// Projection.
+	out := &Result{}
+	switch {
+	case s.CountStar:
+		out.Columns = []string{"count"}
+		out.Rows = [][]Value{{NewInt(int64(len(tuples)))}}
+		return out, nil
+	case s.Star:
+		for i, t := range b.tables {
+			for _, c := range t.Columns {
+				out.Columns = append(out.Columns, b.items[i].Alias+"."+c.Name)
+			}
+		}
+		for _, tu := range tuples {
+			var row []Value
+			for i, t := range b.tables {
+				for j := range t.Columns {
+					row = append(row, t.store.get(tu[i], j))
+				}
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	default:
+		type proj struct{ alias, col int }
+		var projs []proj
+		for _, c := range s.Columns {
+			ai, ci, err := b.resolve(c)
+			if err != nil {
+				return nil, err
+			}
+			projs = append(projs, proj{ai, ci})
+			out.Columns = append(out.Columns, c.String())
+		}
+		for _, tu := range tuples {
+			row := make([]Value, len(projs))
+			for k, pj := range projs {
+				row[k] = b.tables[pj.alias].store.get(tu[pj.alias], pj.col)
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	if s.Distinct {
+		seen := map[string]bool{}
+		var rows [][]Value
+		for _, r := range out.Rows {
+			var kb strings.Builder
+			for _, v := range r {
+				kb.WriteString(v.key())
+			}
+			k := kb.String()
+			if !seen[k] {
+				seen[k] = true
+				rows = append(rows, r)
+			}
+		}
+		out.Rows = rows
+	}
+	return out, nil
+}
+
+// joinPlan materializes the join of all FROM items as rid tuples, using
+// greedy hash joins over equality predicates, with base-table filter
+// pushdown and primary-key point lookups.
+func (db *Database) joinPlan(b *binding, preds []*planPred) ([][]int, error) {
+	n := len(b.items)
+	// Base rid lists with single-alias predicates pushed down.
+	base := make([][]int, n)
+	for i := range b.items {
+		rids, err := db.baseScan(b, i, preds)
+		if err != nil {
+			return nil, err
+		}
+		base[i] = rids
+	}
+
+	bound := make([]bool, n)
+	order := make([]int, 0, n)
+	// Start from the smallest filtered relation.
+	start := 0
+	for i := 1; i < n; i++ {
+		if len(base[i]) < len(base[start]) {
+			start = i
+		}
+	}
+	bound[start] = true
+	order = append(order, start)
+	tuples := make([][]int, 0, len(base[start]))
+	for _, rid := range base[start] {
+		tu := make([]int, n)
+		for k := range tu {
+			tu[k] = -1
+		}
+		tu[start] = rid
+		tuples = append(tuples, tu)
+	}
+	tuples = applyReadyPreds(b, preds, bound, tuples)
+
+	for len(order) < n {
+		// Choose the next unbound alias that shares an unapplied equi-join
+		// predicate with the bound set; fall back to the smallest unbound
+		// relation (cross product).
+		next := -1
+		var joinOn []*planPred
+		for i := 0; i < n; i++ {
+			if bound[i] {
+				continue
+			}
+			var on []*planPred
+			for _, pp := range preds {
+				if pp.applied || pp.src.In != nil || pp.src.Op != CmpEq {
+					continue
+				}
+				if pp.leftAlias < 0 || pp.rightAlias < 0 {
+					continue
+				}
+				la, ra := pp.leftAlias, pp.rightAlias
+				if (la == i && bound[ra]) || (ra == i && bound[la]) {
+					on = append(on, pp)
+				}
+			}
+			if len(on) > 0 {
+				if next < 0 || len(base[i]) < len(base[next]) {
+					next = i
+					joinOn = on
+				}
+			}
+		}
+		if next < 0 {
+			for i := 0; i < n; i++ {
+				if !bound[i] {
+					if next < 0 || len(base[i]) < len(base[next]) {
+						next = i
+					}
+				}
+			}
+			joinOn = nil
+		}
+		tuples = hashJoin(b, tuples, base[next], next, joinOn)
+		bound[next] = true
+		order = append(order, next)
+		for _, pp := range joinOn {
+			pp.applied = true
+		}
+		tuples = applyReadyPreds(b, preds, bound, tuples)
+	}
+	return tuples, nil
+}
+
+// baseScan returns the rids of one relation with its single-alias predicates
+// applied. A primary-key equality against a literal becomes an index point
+// lookup; a single-column filter uses the engine's column scan path.
+func (db *Database) baseScan(b *binding, alias int, preds []*planPred) ([]int, error) {
+	t := b.tables[alias]
+	// Collect local predicates: left column on this alias, right a literal
+	// (or IN list).
+	var local []*planPred
+	for _, pp := range preds {
+		if pp.leftAlias == alias && (pp.src.In != nil || !pp.src.Right.IsCol) {
+			local = append(local, pp)
+		}
+	}
+	// IN-list lookup via primary key index.
+	for _, pp := range local {
+		if pp.src.In != nil && t.pkCol == pp.leftCol && t.pkIndex != nil {
+			var rids []int
+			seen := map[int]bool{}
+			for _, v := range pp.src.In {
+				cv, err := coerce(v, t.Columns[t.pkCol].Type)
+				if err != nil {
+					continue // untypable key matches nothing
+				}
+				if rid, ok := t.pkIndex.lookup(cv.key()); ok && t.store.live(rid) && !seen[rid] {
+					seen[rid] = true
+					rids = append(rids, rid)
+				}
+			}
+			pp.applied = true
+			return filterRids(t, rids, local, pp), nil
+		}
+	}
+	// Point lookup via primary key index.
+	for _, pp := range local {
+		if pp.src.In == nil && pp.src.Op == CmpEq && t.pkCol == pp.leftCol && t.pkIndex != nil {
+			lit, err := coerce(pp.src.Right.Lit, t.Columns[t.pkCol].Type)
+			if err != nil {
+				return nil, nil //nolint:nilerr // untypable key matches nothing
+			}
+			pp.applied = true
+			rid, ok := t.pkIndex.lookup(lit.key())
+			var rids []int
+			if ok && t.store.live(rid) {
+				rids = []int{rid}
+			}
+			// Remaining local predicates still apply.
+			return filterRids(t, rids, local, pp), nil
+		}
+	}
+	// Equality against a constant through a registered secondary index.
+	for _, pp := range local {
+		if pp.src.In == nil && pp.src.Op == CmpEq {
+			ix := t.secondaryFor(pp.leftCol)
+			if ix == nil {
+				continue
+			}
+			lit, err := coerce(pp.src.Right.Lit, t.Columns[pp.leftCol].Type)
+			if err != nil {
+				continue
+			}
+			var rids []int
+			for _, rid := range ix.lookup(lit) {
+				if t.store.live(rid) {
+					rids = append(rids, rid)
+				}
+			}
+			pp.applied = true
+			return filterRids(t, rids, local, pp), nil
+		}
+	}
+	if len(local) == 1 && local[0].src.In == nil {
+		// Single-column filter: use the engine's column scan.
+		pp := local[0]
+		var rids []int
+		t.store.scanColumn(pp.leftCol, func(rid int, v Value) bool {
+			if v.Compare(pp.src.Op, pp.src.Right.Lit) {
+				rids = append(rids, rid)
+			}
+			return true
+		})
+		pp.applied = true
+		return rids, nil
+	}
+	var rids []int
+	t.store.scan(func(rid int) bool {
+		ok := true
+		for _, pp := range local {
+			if !evalLocal(t, rid, pp) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rids = append(rids, rid)
+		}
+		return true
+	})
+	for _, pp := range local {
+		pp.applied = true
+	}
+	return rids, nil
+}
+
+func filterRids(t *Table, rids []int, local []*planPred, skip *planPred) []int {
+	var out []int
+	for _, rid := range rids {
+		ok := true
+		for _, pp := range local {
+			if pp == skip {
+				continue
+			}
+			if !evalLocal(t, rid, pp) {
+				ok = false
+				break
+			}
+			pp.applied = true
+		}
+		if ok {
+			out = append(out, rid)
+		}
+	}
+	// Mark all local preds applied even when rids was empty.
+	for _, pp := range local {
+		pp.applied = true
+	}
+	return out
+}
+
+func evalLocal(t *Table, rid int, pp *planPred) bool {
+	v := t.store.get(rid, pp.leftCol)
+	if pp.src.In != nil {
+		for _, want := range pp.src.In {
+			if v.Compare(CmpEq, want) {
+				return true
+			}
+		}
+		return false
+	}
+	return v.Compare(pp.src.Op, pp.src.Right.Lit)
+}
+
+// hashJoin joins the current tuples with relation `next` on the given
+// equality predicates (nil means cross product).
+func hashJoin(b *binding, tuples [][]int, rids []int, next int, on []*planPred) [][]int {
+	t := b.tables[next]
+	if len(on) == 0 {
+		out := make([][]int, 0, len(tuples)*len(rids))
+		for _, tu := range tuples {
+			for _, rid := range rids {
+				ntu := make([]int, len(tu))
+				copy(ntu, tu)
+				ntu[next] = rid
+				out = append(out, ntu)
+			}
+		}
+		return out
+	}
+	// Build side: hash the new relation on its join columns.
+	newCols := make([]int, len(on))
+	boundSide := make([]struct{ alias, col int }, len(on))
+	for k, pp := range on {
+		if pp.leftAlias == next {
+			newCols[k] = pp.leftCol
+			boundSide[k] = struct{ alias, col int }{pp.rightAlias, pp.rightCol}
+		} else {
+			newCols[k] = pp.rightCol
+			boundSide[k] = struct{ alias, col int }{pp.leftAlias, pp.leftCol}
+		}
+	}
+	build := make(map[string][]int, len(rids))
+	var kb strings.Builder
+	for _, rid := range rids {
+		kb.Reset()
+		for _, c := range newCols {
+			kb.WriteString(t.store.get(rid, c).key())
+		}
+		k := kb.String()
+		build[k] = append(build[k], rid)
+	}
+	var out [][]int
+	for _, tu := range tuples {
+		kb.Reset()
+		null := false
+		for _, bs := range boundSide {
+			v := b.tables[bs.alias].store.get(tu[bs.alias], bs.col)
+			if v.IsNull() {
+				null = true
+				break
+			}
+			kb.WriteString(v.key())
+		}
+		if null {
+			continue // NULL never joins
+		}
+		for _, rid := range build[kb.String()] {
+			ntu := make([]int, len(tu))
+			copy(ntu, tu)
+			ntu[next] = rid
+			out = append(out, ntu)
+		}
+	}
+	return out
+}
+
+// applyReadyPreds filters tuples by every unapplied predicate whose aliases
+// are all bound.
+func applyReadyPreds(b *binding, preds []*planPred, bound []bool, tuples [][]int) [][]int {
+	var ready []*planPred
+	for _, pp := range preds {
+		if pp.applied {
+			continue
+		}
+		ok := true
+		if pp.leftAlias >= 0 && !bound[pp.leftAlias] {
+			ok = false
+		}
+		if pp.rightAlias >= 0 && !bound[pp.rightAlias] {
+			ok = false
+		}
+		if ok {
+			ready = append(ready, pp)
+			pp.applied = true
+		}
+	}
+	if len(ready) == 0 {
+		return tuples
+	}
+	out := tuples[:0]
+	for _, tu := range tuples {
+		ok := true
+		for _, pp := range ready {
+			if !evalTuple(b, tu, pp) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, tu)
+		}
+	}
+	return out
+}
+
+func evalTuple(b *binding, tu []int, pp *planPred) bool {
+	var left Value
+	if pp.leftAlias >= 0 {
+		left = b.tables[pp.leftAlias].store.get(tu[pp.leftAlias], pp.leftCol)
+	} else {
+		left = pp.src.Left.Lit
+	}
+	if pp.src.In != nil {
+		for _, want := range pp.src.In {
+			if left.Compare(CmpEq, want) {
+				return true
+			}
+		}
+		return false
+	}
+	var right Value
+	if pp.rightAlias >= 0 {
+		right = b.tables[pp.rightAlias].store.get(tu[pp.rightAlias], pp.rightCol)
+	} else {
+		right = pp.src.Right.Lit
+	}
+	return left.Compare(pp.src.Op, right)
+}
+
+// --- DML ---
+
+func (db *Database) execUpdate(s *UpdateStmt) (*Result, error) {
+	t := db.tables[s.Table]
+	if t == nil {
+		return nil, fmt.Errorf("sqldb: unknown table %q", s.Table)
+	}
+	rids, err := db.filterSingle(t, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	type setOp struct {
+		col int
+		val Value
+	}
+	sets := make([]setOp, len(s.Set))
+	for i, a := range s.Set {
+		ci := t.ColumnIndex(a.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("sqldb: table %q has no column %q", s.Table, a.Column)
+		}
+		v, err := coerce(a.Value, t.Columns[ci].Type)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = setOp{ci, v}
+	}
+	for _, rid := range rids {
+		for _, so := range sets {
+			old := t.store.get(rid, so.col)
+			if so.col == t.pkCol && t.pkIndex != nil {
+				if !old.Equal(so.val) {
+					if _, exists := t.pkIndex.lookup(so.val.key()); exists {
+						return nil, fmt.Errorf("sqldb: duplicate primary key %s", so.val)
+					}
+					t.pkIndex.remove(old.key())
+					t.pkIndex.insert(so.val.key(), rid)
+				}
+			}
+			db.record(undoUpdate{table: s.Table, rid: rid, col: so.col, old: old})
+			t.store.set(rid, so.col, so.val)
+			t.bump()
+		}
+	}
+	return &Result{Affected: len(rids)}, nil
+}
+
+func (db *Database) execDelete(s *DeleteStmt) (*Result, error) {
+	t := db.tables[s.Table]
+	if t == nil {
+		return nil, fmt.Errorf("sqldb: unknown table %q", s.Table)
+	}
+	rids, err := db.filterSingle(t, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, rid := range rids {
+		row := make([]Value, len(t.Columns))
+		for c := range t.Columns {
+			row[c] = t.store.get(rid, c)
+		}
+		if t.pkIndex != nil {
+			t.pkIndex.remove(row[t.pkCol].key())
+		}
+		db.record(undoDelete{table: s.Table, rid: rid, row: row})
+		t.store.delete(rid)
+		t.bump()
+	}
+	return &Result{Affected: len(rids)}, nil
+}
+
+// filterSingle evaluates a WHERE conjunction over one table (for UPDATE and
+// DELETE), using the primary-key index for point predicates.
+func (db *Database) filterSingle(t *Table, where []Predicate) ([]int, error) {
+	preds := make([]*planPred, 0, len(where))
+	for _, pr := range where {
+		pp := &planPred{src: pr, leftAlias: -1, leftCol: -1, rightAlias: -1, rightCol: -1}
+		if pr.Left.IsCol {
+			if pr.Left.Col.Alias != "" && pr.Left.Col.Alias != t.Name {
+				return nil, fmt.Errorf("sqldb: unknown alias %q", pr.Left.Col.Alias)
+			}
+			ci := t.ColumnIndex(pr.Left.Col.Column)
+			if ci < 0 {
+				return nil, fmt.Errorf("sqldb: table %q has no column %q", t.Name, pr.Left.Col.Column)
+			}
+			pp.leftAlias, pp.leftCol = 0, ci
+		}
+		if pr.In == nil && pr.Right.IsCol {
+			return nil, fmt.Errorf("sqldb: column-to-column comparison not supported in single-table DML")
+		}
+		if !pr.Left.IsCol {
+			return nil, fmt.Errorf("sqldb: WHERE requires a column on the left in DML")
+		}
+		preds = append(preds, pp)
+	}
+	// Point lookup.
+	for _, pp := range preds {
+		if pp.src.In == nil && pp.src.Op == CmpEq && t.pkIndex != nil && pp.leftCol == t.pkCol {
+			lit, err := coerce(pp.src.Right.Lit, t.Columns[t.pkCol].Type)
+			if err != nil {
+				return nil, nil //nolint:nilerr // untypable key matches nothing
+			}
+			rid, ok := t.pkIndex.lookup(lit.key())
+			if !ok || !t.store.live(rid) {
+				return nil, nil
+			}
+			for _, other := range preds {
+				if other != pp && !evalLocal(t, rid, other) {
+					return nil, nil
+				}
+			}
+			return []int{rid}, nil
+		}
+	}
+	var rids []int
+	t.store.scan(func(rid int) bool {
+		for _, pp := range preds {
+			if !evalLocal(t, rid, pp) {
+				return true
+			}
+		}
+		rids = append(rids, rid)
+		return true
+	})
+	return rids, nil
+}

@@ -1,0 +1,95 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Secondary indexes. CREATE INDEX name ON table (column) registers an
+// equality index over one column. Unlike the primary-key index — which is
+// maintained eagerly because it also enforces uniqueness — secondary
+// indexes are maintained lazily: each table carries a version counter
+// bumped on every mutation, and a stale index is rebuilt on first use.
+// Lazy rebuilding keeps every mutation path (including transaction
+// rollback, which bypasses the statement layer) trivially correct, and
+// fits the system's workload: the annotation and request phases are long
+// read-mostly stretches over tables that mutate in bursts.
+
+// CreateIndexStmt is CREATE INDEX name ON table (column).
+type CreateIndexStmt struct {
+	Name   string
+	Table  string
+	Column string
+}
+
+func (*CreateIndexStmt) stmt() {}
+
+// secIndex is one registered secondary index.
+type secIndex struct {
+	name    string
+	col     int
+	buckets map[string][]int // value key → rids
+	version uint64           // table version the buckets reflect
+	built   bool
+}
+
+// createIndex registers a secondary index; the first query that can use it
+// triggers the build.
+func (db *Database) createIndex(name, table, column string) error {
+	t := db.tables[table]
+	if t == nil {
+		return fmt.Errorf("sqldb: unknown table %q", table)
+	}
+	ci := t.ColumnIndex(column)
+	if ci < 0 {
+		return fmt.Errorf("sqldb: table %q has no column %q", table, column)
+	}
+	for _, ix := range t.secIdx {
+		if ix.name == name {
+			return fmt.Errorf("sqldb: index %q already exists on table %q", name, table)
+		}
+	}
+	t.secIdx = append(t.secIdx, &secIndex{name: name, col: ci})
+	return nil
+}
+
+// secondaryFor returns a fresh (rebuilt if stale) secondary index over the
+// column, or nil when none is registered. Caller holds at least the read
+// lock; rebuilding mutates only the index, guarded by the table's index
+// mutex.
+func (t *Table) secondaryFor(col int) *secIndex {
+	for _, ix := range t.secIdx {
+		if ix.col != col {
+			continue
+		}
+		t.idxMu.Lock()
+		if !ix.built || ix.version != t.version {
+			ix.buckets = map[string][]int{}
+			t.store.scanColumn(col, func(rid int, v Value) bool {
+				k := v.key()
+				ix.buckets[k] = append(ix.buckets[k], rid)
+				return true
+			})
+			ix.version = t.version
+			ix.built = true
+		}
+		t.idxMu.Unlock()
+		return ix
+	}
+	return nil
+}
+
+// lookup returns the rids holding the value, in insertion order.
+func (ix *secIndex) lookup(v Value) []int {
+	return ix.buckets[v.key()]
+}
+
+// Indexes lists the table's secondary indexes as "name(column)" strings.
+func (t *Table) Indexes() []string {
+	var out []string
+	for _, ix := range t.secIdx {
+		out = append(out, fmt.Sprintf("%s(%s)", ix.name, t.Columns[ix.col].Name))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,175 @@
+package sqldb
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestOrderBy(t *testing.T) {
+	both(t, func(t *testing.T, db *Database) {
+		setupPeople(t, db)
+		r := mustExec(t, db, `SELECT name FROM people ORDER BY age DESC, name ASC`)
+		got := flatten(r)
+		want := []string{"carol", "alice", "bob", "dan"}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("rows = %v", got)
+		}
+		// By output position.
+		r = mustExec(t, db, `SELECT id, name FROM people ORDER BY 2 DESC`)
+		if r.Rows[0][1].S != "dan" {
+			t.Fatalf("first by position = %v", r.Rows[0])
+		}
+		// Qualified output column referenced unqualified.
+		r = mustExec(t, db, `SELECT p.name FROM people p ORDER BY name`)
+		if r.Rows[0][0].S != "alice" {
+			t.Fatalf("qualified order = %v", r.Rows[0])
+		}
+	})
+}
+
+func TestOrderByNullsFirst(t *testing.T) {
+	both(t, func(t *testing.T, db *Database) {
+		mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+		mustExec(t, db, `INSERT INTO t VALUES (1, 5), (2, NULL), (3, 1)`)
+		// ORDER BY may reference non-projected columns (hidden sort cols).
+		r := mustExec(t, db, `SELECT id FROM t ORDER BY v`)
+		var order []int64
+		for _, row := range r.Rows {
+			order = append(order, row[0].I)
+		}
+		if !reflect.DeepEqual(order, []int64{2, 3, 1}) {
+			t.Fatalf("order = %v", order)
+		}
+	})
+}
+
+func TestLimit(t *testing.T) {
+	both(t, func(t *testing.T, db *Database) {
+		setupPeople(t, db)
+		r := mustExec(t, db, `SELECT name FROM people ORDER BY name LIMIT 2`)
+		if got := flatten(r); !reflect.DeepEqual(got, []string{"alice", "bob"}) {
+			t.Fatalf("rows = %v", got)
+		}
+		r = mustExec(t, db, `SELECT name FROM people LIMIT 0`)
+		if len(r.Rows) != 0 {
+			t.Fatalf("LIMIT 0 returned %d rows", len(r.Rows))
+		}
+		// LIMIT larger than the result is a no-op.
+		r = mustExec(t, db, `SELECT name FROM people LIMIT 99`)
+		if len(r.Rows) != 4 {
+			t.Fatalf("rows = %d", len(r.Rows))
+		}
+	})
+}
+
+func TestOrderLimitOnCompound(t *testing.T) {
+	both(t, func(t *testing.T, db *Database) {
+		setupPeople(t, db)
+		r := mustExec(t, db, `SELECT name FROM people WHERE age = 25 UNION SELECT name FROM people WHERE age > 30 ORDER BY name DESC LIMIT 2`)
+		if got := flatten(r); !reflect.DeepEqual(got, []string{"dan", "carol"}) {
+			t.Fatalf("rows = %v", got)
+		}
+		// A parenthesized sub-query keeps its own LIMIT.
+		r = mustExec(t, db, `(SELECT name FROM people ORDER BY name LIMIT 1) UNION SELECT name FROM people WHERE age = 25 ORDER BY name`)
+		if got := flatten(r); !reflect.DeepEqual(got, []string{"alice", "bob", "dan"}) {
+			t.Fatalf("rows = %v", got)
+		}
+	})
+}
+
+func TestOrderByErrors(t *testing.T) {
+	db := Open(EngineRow)
+	setupPeople(t, db)
+	for _, q := range []string{
+		`SELECT name FROM people ORDER BY bogus`,
+		`SELECT name FROM people ORDER BY 5`,
+		`SELECT name FROM people ORDER BY 0`,
+		`SELECT name FROM people LIMIT -1`,
+		`SELECT name FROM people ORDER BY`,
+		`SELECT name FROM people LIMIT`,
+	} {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("Exec(%q): expected error", q)
+		}
+	}
+	// Ambiguous unqualified order column across two output columns.
+	if _, err := db.Exec(`SELECT p.name, q.name FROM people p, people q WHERE p.id = q.id ORDER BY name`); err == nil {
+		t.Error("ambiguous order column accepted")
+	}
+}
+
+func TestCreateIndexAndUse(t *testing.T) {
+	both(t, func(t *testing.T, db *Database) {
+		setupPeople(t, db)
+		mustExec(t, db, `CREATE INDEX people_age ON people (age)`)
+		if got := db.Table("people").Indexes(); len(got) != 1 || got[0] != "people_age(age)" {
+			t.Fatalf("indexes = %v", got)
+		}
+		r := mustExec(t, db, `SELECT name FROM people WHERE age = 25 ORDER BY name`)
+		if got := flatten(r); !reflect.DeepEqual(got, []string{"bob", "dan"}) {
+			t.Fatalf("rows = %v", got)
+		}
+		// The index stays correct across mutations (lazy rebuild).
+		mustExec(t, db, `INSERT INTO people VALUES (5, 'erin', 25)`)
+		mustExec(t, db, `UPDATE people SET age = 26 WHERE name = 'bob'`)
+		mustExec(t, db, `DELETE FROM people WHERE name = 'dan'`)
+		r = mustExec(t, db, `SELECT name FROM people WHERE age = 25`)
+		if got := flatten(r); !reflect.DeepEqual(got, []string{"erin"}) {
+			t.Fatalf("after mutations: %v", got)
+		}
+		// And across rollbacks, which bypass the statement layer.
+		mustExec(t, db, `BEGIN`)
+		mustExec(t, db, `UPDATE people SET age = 25 WHERE name = 'alice'`)
+		r = mustExec(t, db, `SELECT name FROM people WHERE age = 25 ORDER BY name`)
+		if len(r.Rows) != 2 {
+			t.Fatalf("inside tx: %v", flatten(r))
+		}
+		mustExec(t, db, `ROLLBACK`)
+		r = mustExec(t, db, `SELECT name FROM people WHERE age = 25`)
+		if got := flatten(r); !reflect.DeepEqual(got, []string{"erin"}) {
+			t.Fatalf("after rollback: %v", got)
+		}
+	})
+}
+
+func TestCreateIndexErrors(t *testing.T) {
+	db := Open(EngineRow)
+	setupPeople(t, db)
+	if _, err := db.Exec(`CREATE INDEX i ON missing (x)`); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := db.Exec(`CREATE INDEX i ON people (bogus)`); err == nil {
+		t.Error("unknown column accepted")
+	}
+	mustExec(t, db, `CREATE INDEX i ON people (age)`)
+	if _, err := db.Exec(`CREATE INDEX i ON people (age)`); err == nil {
+		t.Error("duplicate index accepted")
+	}
+}
+
+// TestIndexedEqualsScan: with and without a secondary index, equality
+// queries return identical results on random data.
+func TestIndexedEqualsScan(t *testing.T) {
+	plain := Open(EngineColumn)
+	indexed := Open(EngineColumn)
+	for _, db := range []*Database{plain, indexed} {
+		mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, k INT)`)
+	}
+	mustExec(t, indexed, `CREATE INDEX tk ON t (k)`)
+	for i := 0; i < 200; i++ {
+		for _, db := range []*Database{plain, indexed} {
+			mustExec(t, db, `INSERT INTO t VALUES (`+itoa(i)+`, `+itoa(i%7)+`)`)
+		}
+	}
+	for k := 0; k < 8; k++ {
+		a := mustExec(t, plain, `SELECT id FROM t WHERE k = `+itoa(k))
+		b := mustExec(t, indexed, `SELECT id FROM t WHERE k = `+itoa(k))
+		if !sameRows(a.Rows, b.Rows) {
+			t.Fatalf("k=%d: %d vs %d rows", k, len(a.Rows), len(b.Rows))
+		}
+	}
+}
+
+func itoa(i int) string {
+	return NewInt(int64(i)).String()
+}

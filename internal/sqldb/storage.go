@@ -1,0 +1,184 @@
+package sqldb
+
+// store is the physical storage interface shared by the two engines. Row
+// ids (rids) are stable across updates and deletes; deleted rows keep their
+// rid but are skipped by scans.
+type store interface {
+	// append adds a row and returns its rid.
+	append(row []Value) int
+	// get returns the value at (rid, col); the row must be live.
+	get(rid, col int) Value
+	// set overwrites the value at (rid, col).
+	set(rid, col int, v Value)
+	// delete marks the row dead.
+	delete(rid int)
+	// restore resurrects a dead row with the given contents (transaction
+	// rollback of a delete).
+	restore(rid int, row []Value)
+	// live reports whether the rid is a live row.
+	live(rid int) bool
+	// scan calls fn for every live rid in insertion order; fn returns false
+	// to stop.
+	scan(fn func(rid int) bool)
+	// scanColumn calls fn with (rid, value) for every live row's value of
+	// one column. Column stores implement this as a tight single-column
+	// loop; row stores fall back to a row walk — this asymmetry is the
+	// engines' deliberate performance difference.
+	scanColumn(col int, fn func(rid int, v Value) bool)
+	// liveCount returns the number of live rows.
+	liveCount() int
+}
+
+// rowStore is the row-major engine: tuples as contiguous []Value slices,
+// processed row at a time (the PostgreSQL-like layout).
+type rowStore struct {
+	ncols int
+	rows  [][]Value
+	dead  []bool
+	nlive int
+}
+
+func newRowStore(ncols int) *rowStore { return &rowStore{ncols: ncols} }
+
+func (s *rowStore) append(row []Value) int {
+	rid := len(s.rows)
+	s.rows = append(s.rows, row)
+	s.dead = append(s.dead, false)
+	s.nlive++
+	return rid
+}
+
+func (s *rowStore) get(rid, col int) Value    { return s.rows[rid][col] }
+func (s *rowStore) set(rid, col int, v Value) { s.rows[rid][col] = v }
+
+func (s *rowStore) delete(rid int) {
+	if !s.dead[rid] {
+		s.dead[rid] = true
+		s.rows[rid] = nil
+		s.nlive--
+	}
+}
+
+func (s *rowStore) restore(rid int, row []Value) {
+	if s.dead[rid] {
+		s.rows[rid] = row
+		s.dead[rid] = false
+		s.nlive++
+	}
+}
+
+func (s *rowStore) live(rid int) bool { return rid >= 0 && rid < len(s.rows) && !s.dead[rid] }
+
+func (s *rowStore) scan(fn func(rid int) bool) {
+	for rid := range s.rows {
+		if s.dead[rid] {
+			continue
+		}
+		if !fn(rid) {
+			return
+		}
+	}
+}
+
+func (s *rowStore) scanColumn(col int, fn func(rid int, v Value) bool) {
+	// Row-major layout: a single-column scan still walks whole tuples.
+	for rid, row := range s.rows {
+		if s.dead[rid] {
+			continue
+		}
+		if !fn(rid, row[col]) {
+			return
+		}
+	}
+}
+
+func (s *rowStore) liveCount() int { return s.nlive }
+
+// colStore is the column-major engine: one dense slice per column with a
+// shared deletion bitmap (the MonetDB-like BAT layout).
+type colStore struct {
+	cols  [][]Value
+	dead  []bool
+	nlive int
+}
+
+func newColStore(ncols int) *colStore {
+	return &colStore{cols: make([][]Value, ncols)}
+}
+
+func (s *colStore) append(row []Value) int {
+	rid := len(s.dead)
+	for i, v := range row {
+		s.cols[i] = append(s.cols[i], v)
+	}
+	s.dead = append(s.dead, false)
+	s.nlive++
+	return rid
+}
+
+func (s *colStore) get(rid, col int) Value    { return s.cols[col][rid] }
+func (s *colStore) set(rid, col int, v Value) { s.cols[col][rid] = v }
+
+func (s *colStore) delete(rid int) {
+	if !s.dead[rid] {
+		s.dead[rid] = true
+		for i := range s.cols {
+			s.cols[i][rid] = Null
+		}
+		s.nlive--
+	}
+}
+
+func (s *colStore) restore(rid int, row []Value) {
+	if s.dead[rid] {
+		for i, v := range row {
+			s.cols[i][rid] = v
+		}
+		s.dead[rid] = false
+		s.nlive++
+	}
+}
+
+func (s *colStore) live(rid int) bool { return rid >= 0 && rid < len(s.dead) && !s.dead[rid] }
+
+func (s *colStore) scan(fn func(rid int) bool) {
+	for rid := range s.dead {
+		if s.dead[rid] {
+			continue
+		}
+		if !fn(rid) {
+			return
+		}
+	}
+}
+
+func (s *colStore) scanColumn(col int, fn func(rid int, v Value) bool) {
+	// Column-major layout: this is the tight vectorizable loop.
+	c := s.cols[col]
+	for rid, v := range c {
+		if s.dead[rid] {
+			continue
+		}
+		if !fn(rid, v) {
+			return
+		}
+	}
+}
+
+func (s *colStore) liveCount() int { return s.nlive }
+
+// hashIndex is an equality index from value keys to rids (unique).
+type hashIndex struct {
+	m map[string]int
+}
+
+func newHashIndex() *hashIndex { return &hashIndex{m: map[string]int{}} }
+
+func (ix *hashIndex) insert(key string, rid int) { ix.m[key] = rid }
+
+func (ix *hashIndex) lookup(key string) (int, bool) {
+	rid, ok := ix.m[key]
+	return rid, ok
+}
+
+func (ix *hashIndex) remove(key string) { delete(ix.m, key) }

@@ -1,0 +1,193 @@
+package sqldb
+
+import (
+	"testing"
+)
+
+func setupTx(t *testing.T, eng Engine) *Database {
+	t.Helper()
+	db := Open(eng)
+	mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 'a'), (2, 'b')`)
+	return db
+}
+
+func TestTxCommitKeepsChanges(t *testing.T) {
+	both(t, func(t *testing.T, db *Database) {
+		mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`)
+		mustExec(t, db, `BEGIN`)
+		mustExec(t, db, `INSERT INTO t VALUES (1, 'a')`)
+		mustExec(t, db, `COMMIT`)
+		if db.Table("t").RowCount() != 1 {
+			t.Fatal("committed insert lost")
+		}
+	})
+}
+
+func TestTxRollbackInsert(t *testing.T) {
+	both(t, func(t *testing.T, db *Database) {
+		db2 := setupTx(t, db.Engine())
+		mustExec(t, db2, `BEGIN`)
+		mustExec(t, db2, `INSERT INTO t VALUES (3, 'c')`)
+		if db2.Table("t").RowCount() != 3 {
+			t.Fatal("insert not visible inside tx")
+		}
+		mustExec(t, db2, `ROLLBACK`)
+		if db2.Table("t").RowCount() != 2 {
+			t.Fatalf("rows after rollback = %d", db2.Table("t").RowCount())
+		}
+		// The rolled-back pk is reusable.
+		mustExec(t, db2, `INSERT INTO t VALUES (3, 'c2')`)
+		r := mustExec(t, db2, `SELECT v FROM t WHERE id = 3`)
+		if len(r.Rows) != 1 || r.Rows[0][0].S != "c2" {
+			t.Fatalf("reinsert after rollback: %v", r.Rows)
+		}
+	})
+}
+
+func TestTxRollbackUpdate(t *testing.T) {
+	both(t, func(t *testing.T, db *Database) {
+		db2 := setupTx(t, db.Engine())
+		mustExec(t, db2, `BEGIN`)
+		mustExec(t, db2, `UPDATE t SET v = 'zzz' WHERE id = 1`)
+		mustExec(t, db2, `ROLLBACK`)
+		r := mustExec(t, db2, `SELECT v FROM t WHERE id = 1`)
+		if r.Rows[0][0].S != "a" {
+			t.Fatalf("v = %q after rollback", r.Rows[0][0].S)
+		}
+	})
+}
+
+func TestTxRollbackUpdatePrimaryKey(t *testing.T) {
+	both(t, func(t *testing.T, db *Database) {
+		db2 := setupTx(t, db.Engine())
+		mustExec(t, db2, `BEGIN`)
+		mustExec(t, db2, `UPDATE t SET id = 99 WHERE id = 1`)
+		mustExec(t, db2, `ROLLBACK`)
+		// Index restored: id 1 findable, id 99 gone.
+		if r := mustExec(t, db2, `SELECT v FROM t WHERE id = 1`); len(r.Rows) != 1 {
+			t.Fatal("pk 1 lost after rollback")
+		}
+		if r := mustExec(t, db2, `SELECT v FROM t WHERE id = 99`); len(r.Rows) != 0 {
+			t.Fatal("pk 99 still present after rollback")
+		}
+	})
+}
+
+func TestTxRollbackDelete(t *testing.T) {
+	both(t, func(t *testing.T, db *Database) {
+		db2 := setupTx(t, db.Engine())
+		mustExec(t, db2, `BEGIN`)
+		mustExec(t, db2, `DELETE FROM t WHERE id = 2`)
+		if db2.Table("t").RowCount() != 1 {
+			t.Fatal("delete not applied in tx")
+		}
+		mustExec(t, db2, `ROLLBACK`)
+		r := mustExec(t, db2, `SELECT v FROM t WHERE id = 2`)
+		if len(r.Rows) != 1 || r.Rows[0][0].S != "b" {
+			t.Fatalf("row not resurrected: %v", r.Rows)
+		}
+	})
+}
+
+func TestTxRollbackCreateTable(t *testing.T) {
+	both(t, func(t *testing.T, db *Database) {
+		mustExec(t, db, `BEGIN`)
+		mustExec(t, db, `CREATE TABLE fresh (id INT)`)
+		mustExec(t, db, `INSERT INTO fresh VALUES (1)`)
+		mustExec(t, db, `ROLLBACK`)
+		if db.Table("fresh") != nil {
+			t.Fatal("table survived rollback")
+		}
+		if len(db.TableNames()) != 0 {
+			t.Fatalf("table names = %v", db.TableNames())
+		}
+	})
+}
+
+func TestTxMixedOperationsRollback(t *testing.T) {
+	both(t, func(t *testing.T, db *Database) {
+		db2 := setupTx(t, db.Engine())
+		before := mustExec(t, db2, `SELECT id, v FROM t`)
+		mustExec(t, db2, `BEGIN`)
+		mustExec(t, db2, `UPDATE t SET v = 'x' WHERE id = 1`)
+		mustExec(t, db2, `DELETE FROM t WHERE id = 2`)
+		mustExec(t, db2, `INSERT INTO t VALUES (5, 'e')`)
+		mustExec(t, db2, `UPDATE t SET v = 'y' WHERE id = 5`)
+		mustExec(t, db2, `ROLLBACK`)
+		after := mustExec(t, db2, `SELECT id, v FROM t`)
+		if !sameRows(before.Rows, after.Rows) {
+			t.Fatalf("state differs after rollback: %v vs %v", before.Rows, after.Rows)
+		}
+	})
+}
+
+func TestTxErrors(t *testing.T) {
+	db := Open(EngineRow)
+	if _, err := db.Exec(`COMMIT`); err == nil {
+		t.Error("COMMIT without BEGIN accepted")
+	}
+	if _, err := db.Exec(`ROLLBACK`); err == nil {
+		t.Error("ROLLBACK without BEGIN accepted")
+	}
+	mustExec(t, db, `BEGIN`)
+	if _, err := db.Exec(`BEGIN`); err == nil {
+		t.Error("nested BEGIN accepted")
+	}
+	if !db.InTransaction() {
+		t.Error("InTransaction false during tx")
+	}
+	mustExec(t, db, `COMMIT`)
+	if db.InTransaction() {
+		t.Error("InTransaction true after commit")
+	}
+}
+
+func TestWithTransaction(t *testing.T) {
+	both(t, func(t *testing.T, db *Database) {
+		db2 := setupTx(t, db.Engine())
+		// Success path commits.
+		err := db2.WithTransaction(func() error {
+			_, err := db2.Exec(`UPDATE t SET v = 'c' WHERE id = 1`)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := mustExec(t, db2, `SELECT v FROM t WHERE id = 1`); r.Rows[0][0].S != "c" {
+			t.Fatal("committed change lost")
+		}
+		// Error path rolls back.
+		sentinel := mustExec(t, db2, `SELECT id, v FROM t`)
+		err = db2.WithTransaction(func() error {
+			if _, err := db2.Exec(`DELETE FROM t WHERE id = 1`); err != nil {
+				return err
+			}
+			_, err := db2.Exec(`INSERT INTO bogus VALUES (1)`) // fails
+			return err
+		})
+		if err == nil {
+			t.Fatal("expected error")
+		}
+		after := mustExec(t, db2, `SELECT id, v FROM t`)
+		if !sameRows(sentinel.Rows, after.Rows) {
+			t.Fatal("rollback after failed fn did not restore state")
+		}
+		if db2.InTransaction() {
+			t.Fatal("transaction left open")
+		}
+	})
+}
+
+func TestAutoCommitOutsideTx(t *testing.T) {
+	db := setupTx(t, EngineColumn)
+	// Without BEGIN, statements are durable immediately and ROLLBACK has
+	// nothing to undo (and errors).
+	mustExec(t, db, `UPDATE t SET v = 'q' WHERE id = 1`)
+	if _, err := db.Exec(`ROLLBACK`); err == nil {
+		t.Fatal("rollback without tx accepted")
+	}
+	if r := mustExec(t, db, `SELECT v FROM t WHERE id = 1`); r.Rows[0][0].S != "q" {
+		t.Fatal("auto-committed change lost")
+	}
+}

@@ -1,0 +1,349 @@
+package xmark
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlac/internal/xmltree"
+)
+
+// Options scales and seeds the generator.
+type Options struct {
+	// Factor is XMark's scaling factor f: entity counts grow linearly in it
+	// (f = 1.0 ≈ 21750 items, 25500 persons, 12000 open auctions).
+	Factor float64
+	// Seed makes generation deterministic; equal (Factor, Seed) pairs
+	// produce identical documents.
+	Seed uint64
+}
+
+// counts are the XMark f = 1.0 entity populations.
+const (
+	itemsAtF1   = 21750
+	personsAtF1 = 25500
+	openAtF1    = 12000
+	closedAtF1  = 9750
+	catsAtF1    = 1000
+)
+
+func scaled(base int, f float64, min int) int {
+	n := int(float64(base) * f)
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// Generate builds one auction-site document.
+func Generate(opts Options) *xmltree.Document {
+	if opts.Factor <= 0 {
+		opts.Factor = 0.0001
+	}
+	g := &gen{
+		rng:     splitmix64{state: opts.Seed ^ 0x2545f4914f6cdd1d},
+		nCats:   scaled(catsAtF1, opts.Factor, 2),
+		nPeople: scaled(personsAtF1, opts.Factor, 3),
+		nItems:  scaled(itemsAtF1, opts.Factor, 3),
+		nOpen:   scaled(openAtF1, opts.Factor, 2),
+		nClosed: scaled(closedAtF1, opts.Factor, 1),
+	}
+	return g.site()
+}
+
+type gen struct {
+	rng     splitmix64
+	doc     *xmltree.Document
+	nCats   int
+	nPeople int
+	nItems  int
+	nOpen   int
+	nClosed int
+}
+
+func (g *gen) site() *xmltree.Document {
+	g.doc = xmltree.NewDocument("site")
+	root := g.doc.Root()
+	g.regions(root)
+	g.categories(root)
+	g.catgraph(root)
+	g.people(root)
+	g.openAuctions(root)
+	g.closedAuctions(root)
+	return g.doc
+}
+
+// text helpers
+
+func (g *gen) word() string { return wordList[g.rng.intn(len(wordList))] }
+
+func (g *gen) sentence(min, max int) string {
+	n := min + g.rng.intn(max-min+1)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = g.word()
+	}
+	return strings.Join(parts, " ")
+}
+
+func (g *gen) leaf(parent *xmltree.Node, label, value string) *xmltree.Node {
+	n := g.doc.AddElement(parent, label)
+	if value != "" {
+		g.doc.AddText(n, value)
+	}
+	return n
+}
+
+func (g *gen) attr(n *xmltree.Node, key, value string) {
+	if err := g.doc.SetAttr(n, key, value); err != nil {
+		panic(err) // generator bug: reserved attribute
+	}
+}
+
+func (g *gen) personRef() string { return fmt.Sprintf("person%d", g.rng.intn(g.nPeople)) }
+func (g *gen) itemRef() string   { return fmt.Sprintf("item%d", g.rng.intn(g.nItems)) }
+func (g *gen) catRef() string    { return fmt.Sprintf("category%d", g.rng.intn(g.nCats)) }
+func (g *gen) openRef() string   { return fmt.Sprintf("open_auction%d", g.rng.intn(g.nOpen)) }
+
+func (g *gen) date() string {
+	return fmt.Sprintf("%02d/%02d/%d", 1+g.rng.intn(12), 1+g.rng.intn(28), 1998+g.rng.intn(4))
+}
+
+func (g *gen) timeOfDay() string {
+	return fmt.Sprintf("%02d:%02d:%02d", g.rng.intn(24), g.rng.intn(60), g.rng.intn(60))
+}
+
+// richText emits a text element with mixed content: prose interleaved with
+// bold/keyword/emph spans (non-nesting, per the de-recursed schema).
+func (g *gen) richText(parent *xmltree.Node) {
+	t := g.doc.AddElement(parent, "text")
+	// Strictly alternate prose and markup spans so text nodes never sit
+	// adjacent (adjacent runs would merge on a serialize/parse round trip).
+	g.doc.AddText(t, g.sentence(6, 20))
+	spans := g.rng.intn(3)
+	for i := 0; i < spans; i++ {
+		kind := []string{"bold", "keyword", "emph"}[g.rng.intn(3)]
+		g.leaf(t, kind, g.sentence(1, 3))
+		g.doc.AddText(t, g.sentence(6, 20))
+	}
+}
+
+func (g *gen) description(parent *xmltree.Node) {
+	d := g.doc.AddElement(parent, "description")
+	g.richText(d)
+}
+
+// sections
+
+func (g *gen) regions(root *xmltree.Node) {
+	regions := g.doc.AddElement(root, "regions")
+	names := []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	// XMark's region weights, roughly: europe and namerica hold most items.
+	weights := []int{2, 10, 2, 30, 50, 6}
+	totalW := 0
+	for _, w := range weights {
+		totalW += w
+	}
+	itemID := 0
+	for i, name := range names {
+		region := g.doc.AddElement(regions, name)
+		count := g.nItems * weights[i] / totalW
+		if i == len(names)-1 {
+			count = g.nItems - itemID // exact total
+		}
+		for j := 0; j < count; j++ {
+			g.item(region, itemID)
+			itemID++
+		}
+	}
+}
+
+func (g *gen) item(parent *xmltree.Node, id int) {
+	item := g.doc.AddElement(parent, "item")
+	g.attr(item, "id", fmt.Sprintf("item%d", id))
+	g.leaf(item, "location", countries[g.rng.intn(len(countries))])
+	g.leaf(item, "quantity", fmt.Sprint(1+g.rng.intn(10)))
+	g.leaf(item, "name", g.sentence(2, 4))
+	g.leaf(item, "payment", payments[g.rng.intn(len(payments))])
+	g.description(item)
+	g.leaf(item, "shipping", shippings[g.rng.intn(len(shippings))])
+	nCats := 1 + g.rng.intn(3)
+	for i := 0; i < nCats; i++ {
+		c := g.doc.AddElement(item, "incategory")
+		g.attr(c, "category", g.catRef())
+	}
+	mailbox := g.doc.AddElement(item, "mailbox")
+	nMail := g.rng.intn(3)
+	for i := 0; i < nMail; i++ {
+		mail := g.doc.AddElement(mailbox, "mail")
+		g.leaf(mail, "from", g.fullName())
+		g.leaf(mail, "to", g.fullName())
+		g.leaf(mail, "date", g.date())
+		g.richText(mail)
+	}
+}
+
+func (g *gen) fullName() string {
+	return firstNames[g.rng.intn(len(firstNames))] + " " + lastNames[g.rng.intn(len(lastNames))]
+}
+
+func (g *gen) categories(root *xmltree.Node) {
+	cats := g.doc.AddElement(root, "categories")
+	for i := 0; i < g.nCats; i++ {
+		c := g.doc.AddElement(cats, "category")
+		g.attr(c, "id", fmt.Sprintf("category%d", i))
+		g.leaf(c, "name", g.sentence(1, 3))
+		g.description(c)
+	}
+}
+
+func (g *gen) catgraph(root *xmltree.Node) {
+	graph := g.doc.AddElement(root, "catgraph")
+	nEdges := g.nCats // one edge per category on average
+	for i := 0; i < nEdges; i++ {
+		e := g.doc.AddElement(graph, "edge")
+		g.attr(e, "from", g.catRef())
+		g.attr(e, "to", g.catRef())
+	}
+}
+
+func (g *gen) people(root *xmltree.Node) {
+	people := g.doc.AddElement(root, "people")
+	for i := 0; i < g.nPeople; i++ {
+		p := g.doc.AddElement(people, "person")
+		g.attr(p, "id", fmt.Sprintf("person%d", i))
+		name := g.fullName()
+		g.leaf(p, "name", name)
+		g.leaf(p, "emailaddress", "mailto:"+strings.ReplaceAll(strings.ToLower(name), " ", ".")+"@example.com")
+		if g.rng.intn(2) == 0 {
+			g.leaf(p, "phone", fmt.Sprintf("+%d (%d) %d", 1+g.rng.intn(99), 100+g.rng.intn(900), 1000000+g.rng.intn(9000000)))
+		}
+		if g.rng.intn(2) == 0 {
+			addr := g.doc.AddElement(p, "address")
+			g.leaf(addr, "street", fmt.Sprintf("%d %s St", 1+g.rng.intn(99), capitalize(g.word())))
+			g.leaf(addr, "city", cities[g.rng.intn(len(cities))])
+			g.leaf(addr, "country", countries[g.rng.intn(len(countries))])
+			g.leaf(addr, "zipcode", fmt.Sprint(10000+g.rng.intn(90000)))
+		}
+		if g.rng.intn(3) == 0 {
+			g.leaf(p, "creditcard", fmt.Sprintf("%04d %04d %04d %04d",
+				g.rng.intn(10000), g.rng.intn(10000), g.rng.intn(10000), g.rng.intn(10000)))
+		}
+		if g.rng.intn(2) == 0 {
+			prof := g.doc.AddElement(p, "profile")
+			g.attr(prof, "income", fmt.Sprintf("%d.%02d", 10000+g.rng.intn(90000), g.rng.intn(100)))
+			nInt := g.rng.intn(4)
+			for k := 0; k < nInt; k++ {
+				in := g.doc.AddElement(prof, "interest")
+				g.attr(in, "category", g.catRef())
+			}
+			if g.rng.intn(2) == 0 {
+				g.leaf(prof, "education", educations[g.rng.intn(len(educations))])
+			}
+			if g.rng.intn(2) == 0 {
+				g.leaf(prof, "gender", []string{"male", "female"}[g.rng.intn(2)])
+			}
+			g.leaf(prof, "business", []string{"Yes", "No"}[g.rng.intn(2)])
+			if g.rng.intn(2) == 0 {
+				g.leaf(prof, "age", fmt.Sprint(18+g.rng.intn(60)))
+			}
+		}
+		if g.rng.intn(3) == 0 {
+			w := g.doc.AddElement(p, "watches")
+			nW := 1 + g.rng.intn(3)
+			for k := 0; k < nW; k++ {
+				watch := g.doc.AddElement(w, "watch")
+				g.attr(watch, "open_auction", g.openRef())
+			}
+		}
+	}
+}
+
+func (g *gen) openAuctions(root *xmltree.Node) {
+	open := g.doc.AddElement(root, "open_auctions")
+	for i := 0; i < g.nOpen; i++ {
+		a := g.doc.AddElement(open, "open_auction")
+		g.attr(a, "id", fmt.Sprintf("open_auction%d", i))
+		initial := 5 + g.rng.intn(300)
+		g.leaf(a, "initial", fmt.Sprintf("%d.%02d", initial, g.rng.intn(100)))
+		if g.rng.intn(2) == 0 {
+			g.leaf(a, "reserve", fmt.Sprintf("%d.%02d", initial+g.rng.intn(200), g.rng.intn(100)))
+		}
+		nBid := g.rng.intn(5)
+		cur := initial
+		for b := 0; b < nBid; b++ {
+			bid := g.doc.AddElement(a, "bidder")
+			g.leaf(bid, "date", g.date())
+			g.leaf(bid, "time", g.timeOfDay())
+			ref := g.doc.AddElement(bid, "personref")
+			g.attr(ref, "person", g.personRef())
+			inc := 1 + g.rng.intn(24)
+			cur += inc
+			g.leaf(bid, "increase", fmt.Sprintf("%d.00", inc))
+		}
+		g.leaf(a, "current", fmt.Sprintf("%d.00", cur))
+		if g.rng.intn(2) == 0 {
+			g.leaf(a, "privacy", []string{"Yes", "No"}[g.rng.intn(2)])
+		}
+		ir := g.doc.AddElement(a, "itemref")
+		g.attr(ir, "item", g.itemRef())
+		sl := g.doc.AddElement(a, "seller")
+		g.attr(sl, "person", g.personRef())
+		g.annotation(a)
+		g.leaf(a, "quantity", fmt.Sprint(1+g.rng.intn(10)))
+		g.leaf(a, "type", []string{"Regular", "Featured", "Dutch"}[g.rng.intn(3)])
+		iv := g.doc.AddElement(a, "interval")
+		g.leaf(iv, "start", g.date())
+		g.leaf(iv, "end", g.date())
+	}
+}
+
+func (g *gen) annotation(parent *xmltree.Node) {
+	an := g.doc.AddElement(parent, "annotation")
+	au := g.doc.AddElement(an, "author")
+	g.attr(au, "person", g.personRef())
+	g.description(an)
+	g.leaf(an, "happiness", fmt.Sprint(1+g.rng.intn(10)))
+}
+
+func (g *gen) closedAuctions(root *xmltree.Node) {
+	closed := g.doc.AddElement(root, "closed_auctions")
+	for i := 0; i < g.nClosed; i++ {
+		a := g.doc.AddElement(closed, "closed_auction")
+		sl := g.doc.AddElement(a, "seller")
+		g.attr(sl, "person", g.personRef())
+		by := g.doc.AddElement(a, "buyer")
+		g.attr(by, "person", g.personRef())
+		ir := g.doc.AddElement(a, "itemref")
+		g.attr(ir, "item", g.itemRef())
+		g.leaf(a, "price", fmt.Sprintf("%d.%02d", 10+g.rng.intn(500), g.rng.intn(100)))
+		g.leaf(a, "date", g.date())
+		g.leaf(a, "quantity", fmt.Sprint(1+g.rng.intn(10)))
+		g.leaf(a, "type", []string{"Regular", "Featured", "Dutch"}[g.rng.intn(3)])
+		g.annotation(a)
+	}
+}
+
+// capitalize upper-cases the first letter (ASCII vocabulary).
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	b := []byte(s)
+	if b[0] >= 'a' && b[0] <= 'z' {
+		b[0] -= 'a' - 'A'
+	}
+	return string(b)
+}
+
+// splitmix64 is the generator's deterministic PRNG.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) intn(n int) int { return int(s.next() % uint64(n)) }

@@ -1,0 +1,104 @@
+package xmark
+
+// wordList is the vocabulary for generated prose, standing in for xmlgen's
+// embedded Shakespeare word list.
+var wordList = []string{
+	"abandon", "ability", "absence", "academy", "account", "achieve", "acquire",
+	"address", "advance", "adverse", "advice", "airline", "alcohol", "alliance",
+	"already", "amateur", "ambition", "analyst", "ancient", "animal", "annual",
+	"anxiety", "apparent", "appeal", "approve", "arrange", "arrival", "article",
+	"assault", "assume", "attempt", "attract", "auction", "average", "balance",
+	"bargain", "barrier", "battery", "bearing", "because", "bedroom", "benefit",
+	"besides", "between", "bicycle", "billion", "binding", "brother", "builder",
+	"burning", "cabinet", "caliber", "capable", "capital", "captain", "caution",
+	"ceiling", "century", "certain", "chamber", "channel", "chapter", "charity",
+	"chicken", "circuit", "citizen", "classic", "climate", "closing", "clothes",
+	"collect", "college", "combine", "comfort", "command", "comment", "company",
+	"compare", "compete", "complex", "concept", "concern", "concert", "conduct",
+	"confirm", "connect", "consent", "consist", "contact", "contain", "content",
+	"contest", "context", "control", "convert", "corner", "correct", "council",
+	"counsel", "counter", "country", "courage", "crucial", "crystal", "culture",
+	"current", "curious", "cutting", "dealing", "decline", "default", "defense",
+	"deliver", "density", "deposit", "desktop", "despite", "destroy", "develop",
+	"devoted", "diamond", "digital", "dispute", "distant", "diverse", "divorce",
+	"drawing", "dynamic", "eastern", "economy", "edition", "element", "engine",
+	"enhance", "essence", "evening", "evident", "examine", "example", "excited",
+	"exclude", "exhibit", "expense", "explain", "explore", "express", "extreme",
+	"factory", "faculty", "failure", "fashion", "feature", "federal", "feeling",
+	"fiction", "fifteen", "finance", "finding", "fishing", "fitness", "foreign",
+	"forever", "formula", "fortune", "forward", "founder", "freedom", "further",
+	"gallery", "gateway", "general", "genuine", "gravity", "greater", "grocery",
+	"habitat", "hanging", "harmony", "heading", "healthy", "hearing", "heavily",
+	"helpful", "herself", "highway", "himself", "history", "holiday", "housing",
+	"however", "hundred", "husband", "illegal", "imagine", "impact", "improve",
+	"include", "initial", "inquiry", "insight", "install", "instant", "instead",
+	"intense", "interim", "involve", "journal", "journey", "justice", "justify",
+	"keeping", "kitchen", "landing", "largely", "lasting", "leading", "learned",
+	"leisure", "liberal", "liberty", "library", "license", "limited", "listing",
+	"logical", "loyalty", "machine", "manager", "married", "massive", "maximum",
+	"meaning", "measure", "medical", "meeting", "mention", "message", "million",
+	"mineral", "minimum", "missing", "mission", "mistake", "mixture", "monitor",
+	"monthly", "morning", "musical", "mystery", "natural", "neither", "nervous",
+	"network", "nothing", "nowhere", "nuclear", "obvious", "offense", "officer",
+	"ongoing", "opening", "operate", "opinion", "organic", "outcome", "outdoor",
+	"outside", "overall", "package", "painting", "partner", "passage", "passion",
+	"patient", "pattern", "payment", "penalty", "pension", "percent", "perfect",
+	"perform", "perhaps", "phonics", "picture", "pioneer", "plastic", "pointed",
+	"popular", "portion", "poverty", "precise", "predict", "premier", "prepare",
+	"present", "prevent", "primary", "printer", "privacy", "private", "problem",
+	"proceed", "process", "produce", "product", "profile", "program", "project",
+	"promise", "promote", "protect", "protein", "protest", "provide", "publish",
+	"purpose", "pursuit", "qualify", "quality", "quarter", "radical", "readily",
+	"reality", "realize", "receipt", "receive", "recover", "reflect", "regular",
+	"related", "release", "remains", "removal", "replace", "request", "require",
+	"reserve", "resolve", "respect", "respond", "restore", "retains", "revenue",
+	"reverse", "roughly", "routine", "running", "satisfy", "science", "section",
+	"segment", "serious", "service", "session", "setting", "seventy", "several",
+	"shortly", "silence", "similar", "sixteen", "skilled", "society", "somehow",
+	"someone", "speaker", "special", "sponsor", "station", "storage", "strange",
+	"stretch", "student", "subject", "succeed", "success", "suggest", "summary",
+	"support", "suppose", "supreme", "surface", "surgery", "survive", "suspect",
+	"sustain", "teacher", "theatre", "therapy", "thirteen", "thought", "through",
+	"tonight", "totally", "touched", "towards", "traffic", "trouble", "typical",
+	"uniform", "unknown", "unusual", "upgrade", "utility", "variety", "vehicle",
+	"venture", "version", "veteran", "victory", "village", "violent", "virtual",
+	"visible", "visitor", "waiting", "warning", "wealthy", "weather", "webcast",
+	"wedding", "weekend", "welcome", "welfare", "western", "whereas", "whether",
+	"willing", "winning", "without", "witness", "writing", "written",
+}
+
+var firstNames = []string{
+	"Aditya", "Beate", "Carmen", "Dmitri", "Elena", "Farouk", "Giulia", "Hiro",
+	"Ingrid", "Jamal", "Katrin", "Liang", "Mariam", "Nadia", "Olaf", "Priya",
+	"Quentin", "Rosa", "Sergei", "Tomoko", "Ulrich", "Vera", "Wei", "Ximena",
+	"Yusuf", "Zofia",
+}
+
+var lastNames = []string{
+	"Abadi", "Bernstein", "Codd", "DeWitt", "Ellis", "Fagin", "Gray", "Haas",
+	"Ioannidis", "Jagadish", "Kersten", "Lohman", "Mohan", "Naughton", "Ooi",
+	"Pirahesh", "Quass", "Ramakrishnan", "Stonebraker", "Tannen", "Ullman",
+	"Valduriez", "Widom", "Xu", "Yannakakis", "Zaniolo",
+}
+
+var cities = []string{
+	"Amsterdam", "Barcelona", "Chania", "Dublin", "Edinburgh", "Florence",
+	"Geneva", "Heraklion", "Istanbul", "Jerusalem", "Kyoto", "Lisbon",
+	"Madrid", "Nairobi", "Oslo", "Prague", "Quito", "Rome", "Seattle",
+	"Toronto", "Uppsala", "Vienna", "Warsaw", "Xiamen", "Yerevan", "Zurich",
+}
+
+var countries = []string{
+	"Argentina", "Brazil", "Canada", "Denmark", "Estonia", "France", "Greece",
+	"Hungary", "India", "Japan", "Kenya", "Latvia", "Mexico", "Norway",
+	"Portugal", "Romania", "Spain", "Turkey", "Uruguay", "Vietnam",
+}
+
+var payments = []string{"Creditcard", "Money order", "Personal Check", "Cash"}
+
+var shippings = []string{
+	"Will ship only within country", "Will ship internationally",
+	"Buyer pays fixed shipping charges", "See description for charges",
+}
+
+var educations = []string{"High School", "College", "Graduate School", "Other"}

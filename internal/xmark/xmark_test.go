@@ -1,0 +1,149 @@
+package xmark
+
+import (
+	"strings"
+	"testing"
+
+	"xmlac/internal/shred"
+	"xmlac/internal/sqldb"
+	"xmlac/internal/xmltree"
+)
+
+func TestSchemaParsesAndIsRecursionFree(t *testing.T) {
+	s := Schema()
+	if s.Root != "site" {
+		t.Fatalf("root = %q", s.Root)
+	}
+	if rec, cyc := s.IsRecursive(); rec {
+		t.Fatalf("schema is recursive: %v", cyc)
+	}
+	if len(s.Names()) < 40 {
+		t.Fatalf("element types = %d, expected a full auction schema", len(s.Names()))
+	}
+}
+
+func TestGenerateValidAgainstSchema(t *testing.T) {
+	s := Schema()
+	doc := Generate(Options{Factor: 0.002, Seed: 1})
+	if errs := s.Validate(doc); len(errs) > 0 {
+		t.Fatalf("%d validation errors, first: %v", len(errs), errs[0])
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Options{Factor: 0.001, Seed: 7})
+	b := Generate(Options{Factor: 0.001, Seed: 7})
+	if a.String() != b.String() {
+		t.Fatal("generation is not deterministic")
+	}
+	c := Generate(Options{Factor: 0.001, Seed: 8})
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical documents")
+	}
+}
+
+func TestGenerateScalesLinearly(t *testing.T) {
+	small := Generate(Options{Factor: 0.001, Seed: 1})
+	big := Generate(Options{Factor: 0.004, Seed: 1})
+	ratio := float64(big.Size()) / float64(small.Size())
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("size ratio %f for 4x factor (sizes %d and %d)", ratio, small.Size(), big.Size())
+	}
+}
+
+func TestGenerateEntityCounts(t *testing.T) {
+	doc := Generate(Options{Factor: 0.01, Seed: 3})
+	items := len(doc.ElementsByLabel("item"))
+	if items != 217 { // 21750 * 0.01
+		t.Fatalf("items = %d", items)
+	}
+	persons := len(doc.ElementsByLabel("person"))
+	if persons != 255 {
+		t.Fatalf("persons = %d", persons)
+	}
+	open := len(doc.ElementsByLabel("open_auction"))
+	if open != 120 {
+		t.Fatalf("open auctions = %d", open)
+	}
+	closed := len(doc.ElementsByLabel("closed_auction"))
+	if closed != 97 {
+		t.Fatalf("closed auctions = %d", closed)
+	}
+	cats := len(doc.ElementsByLabel("category"))
+	if cats != 10 {
+		t.Fatalf("categories = %d", cats)
+	}
+}
+
+func TestGenerateMinimumViable(t *testing.T) {
+	doc := Generate(Options{Factor: 0, Seed: 1}) // clamps to smallest
+	if errs := Schema().Validate(doc); len(errs) > 0 {
+		t.Fatalf("minimal document invalid: %v", errs[0])
+	}
+	if len(doc.ElementsByLabel("item")) < 3 {
+		t.Fatal("minimal document missing items")
+	}
+}
+
+func TestGenerateSerializesAndReparses(t *testing.T) {
+	doc := Generate(Options{Factor: 0.001, Seed: 2})
+	var b strings.Builder
+	if err := doc.Write(&b, xmltree.WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	re, err := xmltree.ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Size() != doc.Size() {
+		t.Fatalf("reparsed size %d != %d", re.Size(), doc.Size())
+	}
+}
+
+// TestGenerateShreddable: the mapping builds and a generated document loads
+// into the relational store (keyword-named elements like text/from must be
+// sanitized).
+func TestGenerateShreddable(t *testing.T) {
+	m, err := shred.BuildMapping(Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, el := range []string{"text", "from", "to"} {
+		if m.TableFor(el) == nil {
+			t.Fatalf("element %q missing from mapping", el)
+		}
+	}
+	doc := Generate(Options{Factor: 0.0005, Seed: 4})
+	db := newDB(t)
+	if err := shred.NewShredder(m).IntoDB(db, doc); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, tn := range db.TableNames() {
+		total += db.Table(tn).RowCount()
+	}
+	if total != doc.ElementCount() {
+		t.Fatalf("tuples %d != elements %d", total, doc.ElementCount())
+	}
+}
+
+func TestMixedContentShape(t *testing.T) {
+	doc := Generate(Options{Factor: 0.001, Seed: 5})
+	texts := doc.ElementsByLabel("text")
+	if len(texts) == 0 {
+		t.Fatal("no text elements generated")
+	}
+	// No nested rich-text markup (the de-recursed schema).
+	for _, span := range []string{"bold", "keyword", "emph"} {
+		for _, n := range doc.ElementsByLabel(span) {
+			if len(n.ChildElements()) != 0 {
+				t.Fatalf("%s has element children; markup must not nest", span)
+			}
+		}
+	}
+}
+
+func newDB(t *testing.T) *sqldb.Database {
+	t.Helper()
+	return sqldb.Open(sqldb.EngineColumn)
+}

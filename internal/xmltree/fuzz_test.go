@@ -1,0 +1,57 @@
+package xmltree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mutateXML(r *rand.Rand, s string) string {
+	b := []byte(s)
+	n := 1 + r.Intn(5)
+	for i := 0; i < n && len(b) > 0; i++ {
+		switch r.Intn(3) {
+		case 0:
+			b[r.Intn(len(b))] = byte(r.Intn(128))
+		case 1:
+			pos := r.Intn(len(b) + 1)
+			b = append(b[:pos], append([]byte{byte(r.Intn(128))}, b[pos:]...)...)
+		case 2:
+			pos := r.Intn(len(b))
+			b = append(b[:pos], b[pos+1:]...)
+		}
+	}
+	return string(b)
+}
+
+// TestQuickXMLParseNeverPanics: the fast scanner never panics on arbitrary
+// bytes, and anything it accepts serializes and reparses to the same tree.
+func TestQuickXMLParseNeverPanics(t *testing.T) {
+	seeds := []string{
+		`<a k="v"><b>x &amp; y</b><c/><!-- c --><![CDATA[z]]></a>`,
+		`<?xml version="1.0"?><!DOCTYPE a [ <!ELEMENT a ANY> ]><a sign="+">t</a>`,
+		`<a><b><c><d/></c></b></a>`,
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var in string
+		if r.Intn(3) == 0 {
+			raw := make([]byte, r.Intn(80))
+			for i := range raw {
+				raw[i] = byte(r.Intn(256))
+			}
+			in = string(raw)
+		} else {
+			in = mutateXML(r, seeds[r.Intn(len(seeds))])
+		}
+		doc, err := ParseString(in)
+		if err != nil {
+			return true
+		}
+		re, err := ParseString(doc.String())
+		return err == nil && re.String() == doc.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

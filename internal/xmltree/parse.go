@@ -1,0 +1,213 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SignAttr is the reserved attribute name under which accessibility
+// annotations are serialized, following Section 5.2 of the paper ("we choose
+// to store accessibility annotations for XML elements in the form of the XML
+// attribute sign").
+const SignAttr = "sign"
+
+// ParseStd reads an XML document using the stdlib encoding/xml tokenizer.
+// It accepts the same documents as Parse and builds identical trees (the
+// test suite checks this differentially) but runs roughly an order of
+// magnitude slower; Parse's hand-written scanner is the production path.
+// ParseStd is kept as the reference implementation.
+func ParseStd(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	dec.Strict = true
+	var doc *Document
+	var cur *Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			var n *Node
+			if doc == nil {
+				doc = NewDocument(t.Name.Local)
+				n = doc.root
+			} else {
+				if cur == nil {
+					return nil, fmt.Errorf("xmltree: parse: multiple root elements")
+				}
+				n = doc.AddElement(cur, t.Name.Local)
+			}
+			for _, a := range t.Attr {
+				if a.Name.Local == SignAttr {
+					s, err := ParseSign(a.Value)
+					if err != nil {
+						return nil, err
+					}
+					n.Sign = s
+					continue
+				}
+				if n.Attrs == nil {
+					n.Attrs = make(map[string]string)
+				}
+				n.Attrs[a.Name.Local] = a.Value
+			}
+			cur = n
+		case xml.EndElement:
+			if cur == nil {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %s", t.Name.Local)
+			}
+			cur = cur.parent
+		case xml.CharData:
+			if cur == nil {
+				continue // whitespace outside the root
+			}
+			s := string(t)
+			if strings.TrimSpace(s) == "" {
+				continue
+			}
+			doc.AddText(cur, strings.TrimSpace(s))
+		}
+	}
+	if doc == nil {
+		return nil, fmt.Errorf("xmltree: parse: empty document")
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("xmltree: parse: unexpected end of input inside element %s", cur.Label)
+	}
+	return doc, nil
+}
+
+// WriteOptions controls serialization.
+type WriteOptions struct {
+	// Indent, when non-empty, pretty-prints with the given unit of
+	// indentation; when empty the output is compact.
+	Indent string
+	// Signs controls whether accessibility annotations are serialized as
+	// sign attributes.
+	Signs bool
+}
+
+// Write serializes the document as XML text.
+func (d *Document) Write(w io.Writer, opts WriteOptions) error {
+	bw := &errWriter{w: w}
+	writeNode(bw, d.root, opts, 0)
+	if opts.Indent != "" {
+		bw.WriteString("\n")
+	}
+	return bw.err
+}
+
+// String serializes the document compactly (without signs); ideal for tests
+// and error messages.
+func (d *Document) String() string {
+	var b strings.Builder
+	_ = d.Write(&b, WriteOptions{})
+	return b.String()
+}
+
+// StringAnnotated serializes the document with indentation and sign
+// attributes, mirroring the annotated document listings of the paper.
+func (d *Document) StringAnnotated() string {
+	var b strings.Builder
+	_ = d.Write(&b, WriteOptions{Indent: "  ", Signs: true})
+	return b.String()
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) WriteString(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+func writeNode(w *errWriter, n *Node, opts WriteOptions, depth int) {
+	if n == nil {
+		return
+	}
+	indent := func(d int) {
+		if opts.Indent == "" {
+			return
+		}
+		w.WriteString(strings.Repeat(opts.Indent, d))
+	}
+	if n.Kind == Text {
+		indent(depth)
+		w.WriteString(escapeText(n.Value))
+		if opts.Indent != "" {
+			w.WriteString("\n")
+		}
+		return
+	}
+	indent(depth)
+	w.WriteString("<")
+	w.WriteString(n.Label)
+	// Deterministic attribute order: sign first, then sorted keys.
+	if opts.Signs && n.Sign != SignNone {
+		w.WriteString(` ` + SignAttr + `="` + n.Sign.String() + `"`)
+	}
+	for _, k := range sortedKeys(n.Attrs) {
+		w.WriteString(" " + k + `="` + escapeAttr(n.Attrs[k]) + `"`)
+	}
+	if len(n.children) == 0 {
+		w.WriteString("/>")
+		if opts.Indent != "" {
+			w.WriteString("\n")
+		}
+		return
+	}
+	w.WriteString(">")
+	// Compact mode: inline everything. Indented mode: if the only child is a
+	// single text node, keep it inline for readability.
+	if opts.Indent != "" && !(len(n.children) == 1 && n.children[0].Kind == Text) {
+		w.WriteString("\n")
+		for _, c := range n.children {
+			writeNode(w, c, opts, depth+1)
+		}
+		indent(depth)
+	} else {
+		for _, c := range n.children {
+			inline := opts
+			inline.Indent = ""
+			writeNode(w, c, inline, 0)
+		}
+	}
+	w.WriteString("</" + n.Label + ">")
+	if opts.Indent != "" {
+		w.WriteString("\n")
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+var attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+
+func escapeText(s string) string { return textEscaper.Replace(s) }
+
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }

@@ -1,0 +1,180 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFastParserEntities(t *testing.T) {
+	doc, err := ParseString(`<a k="x &amp; y">1 &lt; 2 &gt; 0 &quot;q&quot; &apos;a&apos; &#65;&#x42;</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Root().TextContent(); got != `1 < 2 > 0 "q" 'a' AB` {
+		t.Fatalf("text = %q", got)
+	}
+	if got := doc.Root().Attrs["k"]; got != "x & y" {
+		t.Fatalf("attr = %q", got)
+	}
+}
+
+func TestFastParserCDATA(t *testing.T) {
+	doc, err := ParseString(`<a><![CDATA[x < y & "z"]]></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Root().TextContent(); got != `x < y & "z"` {
+		t.Fatalf("text = %q", got)
+	}
+}
+
+func TestFastParserCommentsPIDoctype(t *testing.T) {
+	doc, err := ParseString(`<?xml version="1.0"?>
+<!DOCTYPE a [ <!ELEMENT a (#PCDATA)> ]>
+<!-- hello -->
+<a>v<!-- inner --><?pi data?></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Root().TextContent(); got != "v" {
+		t.Fatalf("text = %q", got)
+	}
+}
+
+func TestFastParserErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`<a`,
+		`<a>`,
+		`</a>`,
+		`<a></b>`,
+		`<a/><b/>`,
+		`<a x=1/>`,
+		`<a x="1/>`,
+		`<a x="1" x="2"/>`,
+		`<a>&bogus;</a>`,
+		`<a>&amp</a>`,
+		`<a>&#zz;</a>`,
+		`<a><![CDATA[x]]</a>`,
+		`<!-- unterminated`,
+		`text outside<a/>`,
+		`<a sign="?"/>`,
+		`<a><b/></a>trailing`,
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c); err == nil {
+			t.Errorf("ParseString(%q): expected error", c)
+		}
+	}
+}
+
+func TestFastParserSingleQuotedAttrs(t *testing.T) {
+	doc, err := ParseString(`<a k='v"w'/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root().Attrs["k"] != `v"w` {
+		t.Fatalf("attr = %q", doc.Root().Attrs["k"])
+	}
+}
+
+// equalTrees compares two documents structurally (labels, values, signs,
+// attrs), ignoring node ids.
+func equalTrees(a, b *Node) bool {
+	if a.Kind != b.Kind || a.Label != b.Label || a.Value != b.Value || a.Sign != b.Sign {
+		return false
+	}
+	if len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for k, v := range a.Attrs {
+		if b.Attrs[k] != v {
+			return false
+		}
+	}
+	if len(a.children) != len(b.children) {
+		return false
+	}
+	for i := range a.children {
+		if !equalTrees(a.children[i], b.children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParsersAgreeOnFixtures: the fast scanner and the stdlib decoder build
+// identical trees.
+func TestParsersAgreeOnFixtures(t *testing.T) {
+	fixtures := []string{
+		`<a/>`,
+		`<a><b>x</b><c k="v"/></a>`,
+		`<a sign="+"><b sign="-">t</b></a>`,
+		`<a>x &amp; y</a>`,
+		`<a k="1" l="2">m<b/>n</a>`,
+		"<a>\n  <b>x</b>\n</a>",
+	}
+	for _, f := range fixtures {
+		fast, err1 := ParseString(f)
+		std, err2 := ParseStd(strings.NewReader(f))
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%q: fast=%v std=%v", f, err1, err2)
+		}
+		if !equalTrees(fast.Root(), std.Root()) {
+			t.Fatalf("parsers disagree on %q:\nfast: %s\nstd:  %s", f, fast, std)
+		}
+	}
+}
+
+// TestQuickParsersAgree: on serialized random documents both parsers agree.
+func TestQuickParsersAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDoc(r)
+		out := d.String()
+		fast, err1 := ParseString(out)
+		std, err2 := ParseStd(strings.NewReader(out))
+		if err1 != nil || err2 != nil {
+			t.Logf("%q: fast=%v std=%v", out, err1, err2)
+			return false
+		}
+		return equalTrees(fast.Root(), std.Root())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParseFast(b *testing.B) {
+	s := benchDoc()
+	b.SetBytes(int64(len(s)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseStd(b *testing.B) {
+	s := benchDoc()
+	b.SetBytes(int64(len(s)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseStd(strings.NewReader(s)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDoc() string {
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	for i := 0; i < 2000; i++ {
+		sb.WriteString(`<item id="x"><name>hello world foo bar</name><value>12345</value></item>`)
+	}
+	sb.WriteString("</root>")
+	return sb.String()
+}

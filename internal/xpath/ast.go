@@ -1,0 +1,321 @@
+// Package xpath implements the XPath fragment used by the paper's queries
+// and access-control rules (Section 2.2):
+//
+//	Paths      p ::= axis::ntst | p[q] | p/p
+//	Qualifiers q ::= p | q and q | p op d
+//	Axes    axis ::= child | descendant
+//	Node test ntst ::= l | *
+//
+// following the standard abbreviated syntax (/, //, *, [...]). Two
+// supported extensions go beyond the formal grammar: the comparison
+// operators !=, <, <=, > and >= (the paper's own rule R8 uses
+// //regular[bill > 1000]), and disjunctive qualifiers "q or q" with
+// parentheses (toward the "larger XPath fragments" the paper's conclusion
+// proposes) — the containment machinery handles disjunction by DNF
+// rewriting, see dnf.go.
+//
+// The package provides a lexer, a recursive-descent parser, a canonical
+// printer (parse∘print is the identity on canonical forms), and an
+// evaluator over xmltree documents implementing the node-set semantics
+// [[p]](T) of the paper.
+package xpath
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Axis is an XPath axis. The fragment uses child and descendant; Self exists
+// only to represent the bare "." qualifier.
+type Axis uint8
+
+const (
+	// Child is the child axis (the "/" separator of the abbreviated form).
+	Child Axis = iota
+	// Descendant is the descendant axis (the "//" separator).
+	Descendant
+	// Self is the context node itself (the "." abbreviation); it only
+	// appears as the sole step of a qualifier path.
+	Self
+)
+
+// Wildcard is the node test that matches any element label.
+const Wildcard = "*"
+
+// Path is a parsed XPath expression: a sequence of steps, absolute (starting
+// at the document root) or relative (starting at a context node, as
+// qualifiers do).
+type Path struct {
+	// Absolute reports whether the path begins with "/" or "//".
+	Absolute bool
+	// Steps are the location steps in order. An absolute path with zero
+	// steps is invalid; a relative path with zero steps is the bare "."
+	// qualifier.
+	Steps []*Step
+}
+
+// Step is one location step: an axis, a node test, and zero or more
+// qualifiers.
+type Step struct {
+	Axis Axis
+	// Test is an element label or Wildcard.
+	Test string
+	// Preds are the step's qualifiers, all of which must hold.
+	Preds []*Pred
+}
+
+// PredKind discriminates qualifier forms.
+type PredKind uint8
+
+const (
+	// Exists is the qualifier p: some node is reachable via the path.
+	Exists PredKind = iota
+	// Cmp is the qualifier p op d: some node reachable via the path has a
+	// text value for which the comparison holds.
+	Cmp
+	// And is the conjunction q and q.
+	And
+	// Or is the disjunction q or q — an extension beyond the paper's formal
+	// grammar (its conclusion calls for larger XPath fragments); the
+	// containment machinery handles it by DNF rewriting.
+	Or
+)
+
+// CmpOp is a comparison operator in a value qualifier.
+type CmpOp uint8
+
+const (
+	// Eq is "=".
+	Eq CmpOp = iota
+	// Ne is "!=".
+	Ne
+	// Lt is "<".
+	Lt
+	// Le is "<=".
+	Le
+	// Gt is ">".
+	Gt
+	// Ge is ">=".
+	Ge
+)
+
+// String renders the operator in XPath syntax.
+func (o CmpOp) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	}
+	return "?"
+}
+
+// Literal is the constant d of a value qualifier: either a string from the
+// data domain or a number.
+type Literal struct {
+	// IsNum reports whether the literal was written as a number.
+	IsNum bool
+	// Num is the numeric value when IsNum.
+	Num float64
+	// Str is the string value when !IsNum.
+	Str string
+}
+
+// String renders the literal in XPath syntax (numbers bare, strings
+// quoted). XPath 1.0 string literals have no escape syntax, so the quote
+// character is chosen to avoid the value's own quotes; a value containing
+// both quote characters is not expressible and its double quotes are
+// replaced to keep String total.
+func (l Literal) String() string {
+	if l.IsNum {
+		return strconv.FormatFloat(l.Num, 'f', -1, 64)
+	}
+	switch {
+	case !strings.Contains(l.Str, `"`):
+		return `"` + l.Str + `"`
+	case !strings.Contains(l.Str, "'"):
+		return "'" + l.Str + "'"
+	default:
+		return `"` + strings.ReplaceAll(l.Str, `"`, "'") + `"`
+	}
+}
+
+// Pred is a qualifier.
+type Pred struct {
+	Kind PredKind
+	// Path is the qualifier path for Exists and Cmp.
+	Path *Path
+	// Op and Value complete a Cmp qualifier.
+	Op    CmpOp
+	Value Literal
+	// Left and Right are the operands of an And or Or qualifier.
+	Left, Right *Pred
+}
+
+// String renders the path in canonical abbreviated XPath syntax.
+func (p *Path) String() string {
+	var b strings.Builder
+	p.write(&b)
+	return b.String()
+}
+
+func (p *Path) write(b *strings.Builder) {
+	if p == nil {
+		return
+	}
+	if len(p.Steps) == 0 {
+		if !p.Absolute {
+			b.WriteString(".")
+		} else {
+			b.WriteString("/")
+		}
+		return
+	}
+	for i, s := range p.Steps {
+		switch s.Axis {
+		case Child:
+			if i > 0 || p.Absolute {
+				b.WriteString("/")
+			}
+		case Descendant:
+			if i == 0 && !p.Absolute {
+				b.WriteString(".//")
+			} else {
+				b.WriteString("//")
+			}
+		case Self:
+			b.WriteString(".")
+			continue
+		}
+		b.WriteString(s.Test)
+		for _, q := range s.Preds {
+			b.WriteString("[")
+			q.write(b)
+			b.WriteString("]")
+		}
+	}
+}
+
+func (q *Pred) write(b *strings.Builder) {
+	switch q.Kind {
+	case Exists:
+		q.Path.write(b)
+	case Cmp:
+		q.Path.write(b)
+		b.WriteString(" " + q.Op.String() + " ")
+		b.WriteString(q.Value.String())
+	case And:
+		// "and" binds tighter than "or": parenthesize or-operands.
+		q.Left.writeOperand(b, true)
+		b.WriteString(" and ")
+		q.Right.writeOperand(b, true)
+	case Or:
+		q.Left.write(b)
+		b.WriteString(" or ")
+		q.Right.write(b)
+	}
+}
+
+// writeOperand writes q, parenthesizing an Or under an And.
+func (q *Pred) writeOperand(b *strings.Builder, underAnd bool) {
+	if underAnd && q.Kind == Or {
+		b.WriteString("(")
+		q.write(b)
+		b.WriteString(")")
+		return
+	}
+	q.write(b)
+}
+
+// Clone deep-copies the path.
+func (p *Path) Clone() *Path {
+	if p == nil {
+		return nil
+	}
+	out := &Path{Absolute: p.Absolute, Steps: make([]*Step, len(p.Steps))}
+	for i, s := range p.Steps {
+		ns := &Step{Axis: s.Axis, Test: s.Test}
+		for _, q := range s.Preds {
+			ns.Preds = append(ns.Preds, q.clone())
+		}
+		out.Steps[i] = ns
+	}
+	return out
+}
+
+func (q *Pred) clone() *Pred {
+	if q == nil {
+		return nil
+	}
+	return &Pred{
+		Kind:  q.Kind,
+		Path:  q.Path.Clone(),
+		Op:    q.Op,
+		Value: q.Value,
+		Left:  q.Left.clone(),
+		Right: q.Right.clone(),
+	}
+}
+
+// HasPredicates reports whether any step of the path carries a qualifier.
+func (p *Path) HasPredicates() bool {
+	for _, s := range p.Steps {
+		if len(s.Preds) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// HasDescendant reports whether any step (including qualifier paths) uses
+// the descendant axis.
+func (p *Path) HasDescendant() bool {
+	for _, s := range p.Steps {
+		if s.Axis == Descendant {
+			return true
+		}
+		for _, q := range s.Preds {
+			if q.hasDescendant() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (q *Pred) hasDescendant() bool {
+	switch q.Kind {
+	case Exists, Cmp:
+		return q.Path.HasDescendant()
+	case And, Or:
+		return q.Left.hasDescendant() || q.Right.hasDescendant()
+	}
+	return false
+}
+
+// LastLabel returns the node test of the final step, or Wildcard for the
+// bare "." path.
+func (p *Path) LastLabel() string {
+	if len(p.Steps) == 0 {
+		return Wildcard
+	}
+	return p.Steps[len(p.Steps)-1].Test
+}
+
+// StripPredicates returns a copy of the path with every qualifier removed —
+// the "main path" used by rule expansion.
+func (p *Path) StripPredicates() *Path {
+	out := p.Clone()
+	for _, s := range out.Steps {
+		s.Preds = nil
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package xpath
+
+// DNF rewriting. Disjunctive qualifiers (the Or extension) are outside the
+// tree-pattern formalism the containment, expansion and SQL-translation
+// machinery is built on. DNF eliminates them syntactically:
+//
+//	p[q1 or q2] ≡ p[q1] ∪ p[q2]
+//
+// so every expression rewrites into finitely many or-free expressions whose
+// union has the original's semantics. Downstream consumers handle a
+// disjunctive expression by processing each disjunct: containment requires
+// every left disjunct to be contained in some right disjunct (sound),
+// expansion and SQL translation take the union of the per-disjunct results
+// (exact).
+
+// maxDisjuncts caps the DNF blow-up; Or chains multiply.
+const maxDisjuncts = 256
+
+// HasOr reports whether any qualifier (at any nesting depth) is a
+// disjunction.
+func (p *Path) HasOr() bool {
+	for _, s := range p.Steps {
+		for _, q := range s.Preds {
+			if q.hasOr() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (q *Pred) hasOr() bool {
+	switch q.Kind {
+	case Or:
+		return true
+	case And:
+		return q.Left.hasOr() || q.Right.hasOr()
+	case Exists, Cmp:
+		return q.Path.HasOr()
+	}
+	return false
+}
+
+// DNF rewrites the expression into or-free disjuncts whose union is
+// equivalent to p. An or-free expression returns itself (not a copy). The
+// second result is false when the rewriting would exceed maxDisjuncts; the
+// expression is then left as-is and callers must fall back to conservative
+// handling.
+func (p *Path) DNF() ([]*Path, bool) {
+	if !p.HasOr() {
+		return []*Path{p}, true
+	}
+	// Per step, the alternatives are the cross products of its qualifiers'
+	// conjunction lists.
+	stepAlts := make([][][]*Pred, len(p.Steps))
+	for i, s := range p.Steps {
+		alts := [][]*Pred{nil} // one empty conjunction
+		for _, q := range s.Preds {
+			qAlts, ok := q.dnf()
+			if !ok {
+				return nil, false
+			}
+			var next [][]*Pred
+			for _, a := range alts {
+				for _, qa := range qAlts {
+					conj := make([]*Pred, 0, len(a)+len(qa))
+					conj = append(conj, a...)
+					conj = append(conj, qa...)
+					next = append(next, conj)
+				}
+			}
+			if len(next) > maxDisjuncts {
+				return nil, false
+			}
+			alts = next
+		}
+		stepAlts[i] = alts
+	}
+	// Cross product across steps.
+	out := []*Path{{Absolute: p.Absolute}}
+	for i, s := range p.Steps {
+		var next []*Path
+		for _, partial := range out {
+			for _, alt := range stepAlts[i] {
+				np := &Path{Absolute: partial.Absolute, Steps: make([]*Step, len(partial.Steps), len(partial.Steps)+1)}
+				copy(np.Steps, partial.Steps)
+				np.Steps = append(np.Steps, &Step{Axis: s.Axis, Test: s.Test, Preds: alt})
+				next = append(next, np)
+			}
+		}
+		if len(next) > maxDisjuncts {
+			return nil, false
+		}
+		out = next
+	}
+	return out, true
+}
+
+// dnf rewrites a qualifier into alternative conjunction lists of or-free
+// predicates.
+func (q *Pred) dnf() ([][]*Pred, bool) {
+	switch q.Kind {
+	case Or:
+		l, ok := q.Left.dnf()
+		if !ok {
+			return nil, false
+		}
+		r, ok := q.Right.dnf()
+		if !ok {
+			return nil, false
+		}
+		out := append(l, r...)
+		if len(out) > maxDisjuncts {
+			return nil, false
+		}
+		return out, true
+	case And:
+		l, ok := q.Left.dnf()
+		if !ok {
+			return nil, false
+		}
+		r, ok := q.Right.dnf()
+		if !ok {
+			return nil, false
+		}
+		var out [][]*Pred
+		for _, a := range l {
+			for _, b := range r {
+				conj := make([]*Pred, 0, len(a)+len(b))
+				conj = append(conj, a...)
+				conj = append(conj, b...)
+				out = append(out, conj)
+			}
+		}
+		if len(out) > maxDisjuncts {
+			return nil, false
+		}
+		return out, true
+	case Exists, Cmp:
+		// Disjunctions may hide inside the qualifier path's own nested
+		// qualifiers: [a[b or c]/d] ≡ [a[b]/d] ∪ [a[c]/d].
+		paths, ok := q.Path.dnfRelative()
+		if !ok {
+			return nil, false
+		}
+		out := make([][]*Pred, len(paths))
+		for i, pp := range paths {
+			out[i] = []*Pred{{Kind: q.Kind, Path: pp, Op: q.Op, Value: q.Value}}
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// dnfRelative is DNF for a (relative) qualifier path.
+func (p *Path) dnfRelative() ([]*Path, bool) {
+	if !p.HasOr() {
+		return []*Path{p}, true
+	}
+	return p.DNF()
+}

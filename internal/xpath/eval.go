@@ -1,0 +1,213 @@
+package xpath
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"xmlac/internal/xmltree"
+)
+
+// Eval evaluates an absolute path on a document and returns [[p]](T): the
+// matched element nodes, deduplicated, in document order. Following standard
+// XPath semantics the evaluation context of an absolute path is the virtual
+// document node above the root element, so //a matches the root element
+// itself when it is labeled a.
+func Eval(p *Path, doc *xmltree.Document) ([]*xmltree.Node, error) {
+	if !p.Absolute {
+		return nil, fmt.Errorf("xpath: Eval requires an absolute path, got %q", p.String())
+	}
+	if len(p.Steps) == 0 {
+		return nil, fmt.Errorf("xpath: cannot evaluate the empty absolute path")
+	}
+	cur := map[*xmltree.Node]bool{}
+	first := p.Steps[0]
+	// The virtual document node's only child is the root element; its
+	// descendants are the root element and everything below it.
+	switch first.Axis {
+	case Child:
+		if matchTest(doc.Root(), first.Test) && holdPreds(doc.Root(), first.Preds) {
+			cur[doc.Root()] = true
+		}
+	case Descendant:
+		collectSelfOrDescendants(doc.Root(), first.Test, first.Preds, cur)
+	default:
+		return nil, fmt.Errorf("xpath: unexpected axis in absolute path")
+	}
+	out, err := evalSteps(p.Steps[1:], cur)
+	if err != nil {
+		return nil, err
+	}
+	return docOrder(out), nil
+}
+
+// EvalFrom evaluates a relative path from a context node, returning the
+// matched nodes in document order. The bare "." path returns the context
+// node itself.
+func EvalFrom(p *Path, ctx *xmltree.Node) ([]*xmltree.Node, error) {
+	if p.Absolute {
+		return nil, fmt.Errorf("xpath: EvalFrom requires a relative path, got %q", p.String())
+	}
+	if len(p.Steps) == 0 {
+		return []*xmltree.Node{ctx}, nil
+	}
+	cur := map[*xmltree.Node]bool{ctx: true}
+	out, err := evalSteps(p.Steps, cur)
+	if err != nil {
+		return nil, err
+	}
+	return docOrder(out), nil
+}
+
+// Matches reports whether node n is in the result of evaluating absolute
+// path p on doc.
+func Matches(p *Path, doc *xmltree.Document, n *xmltree.Node) (bool, error) {
+	res, err := Eval(p, doc)
+	if err != nil {
+		return false, err
+	}
+	for _, m := range res {
+		if m == n {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func evalSteps(steps []*Step, cur map[*xmltree.Node]bool) (map[*xmltree.Node]bool, error) {
+	for _, s := range steps {
+		next := map[*xmltree.Node]bool{}
+		for n := range cur {
+			switch s.Axis {
+			case Child:
+				for _, c := range n.ChildElements() {
+					if matchTest(c, s.Test) && holdPreds(c, s.Preds) {
+						next[c] = true
+					}
+				}
+			case Descendant:
+				for _, c := range n.ChildElements() {
+					collectSelfOrDescendants(c, s.Test, s.Preds, next)
+				}
+			case Self:
+				if holdPreds(n, s.Preds) {
+					next[n] = true
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			break
+		}
+	}
+	return cur, nil
+}
+
+// collectSelfOrDescendants adds n and every element descendant of n matching
+// the test and predicates into out.
+func collectSelfOrDescendants(n *xmltree.Node, test string, preds []*Pred, out map[*xmltree.Node]bool) {
+	if n.Kind != xmltree.Element {
+		return
+	}
+	if matchTest(n, test) && holdPreds(n, preds) {
+		out[n] = true
+	}
+	for _, c := range n.Children() {
+		collectSelfOrDescendants(c, test, preds, out)
+	}
+}
+
+func matchTest(n *xmltree.Node, test string) bool {
+	if n.Kind != xmltree.Element {
+		return false
+	}
+	return test == Wildcard || n.Label == test
+}
+
+func holdPreds(n *xmltree.Node, preds []*Pred) bool {
+	for _, q := range preds {
+		if !holdPred(n, q) {
+			return false
+		}
+	}
+	return true
+}
+
+func holdPred(n *xmltree.Node, q *Pred) bool {
+	switch q.Kind {
+	case And:
+		return holdPred(n, q.Left) && holdPred(n, q.Right)
+	case Or:
+		return holdPred(n, q.Left) || holdPred(n, q.Right)
+	case Exists:
+		res, err := EvalFrom(q.Path, n)
+		return err == nil && len(res) > 0
+	case Cmp:
+		res, err := EvalFrom(q.Path, n)
+		if err != nil {
+			return false
+		}
+		for _, m := range res {
+			if compareValue(m.TextContent(), q.Op, q.Value) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// compareValue applies an XPath 1.0-style comparison between a node's string
+// value and a literal. When the literal is numeric, the node value is parsed
+// as a number (comparison is false if it does not parse). When the literal
+// is a string, = and != compare strings; the relational operators coerce
+// both sides to numbers, as XPath 1.0 does.
+func compareValue(nodeVal string, op CmpOp, lit Literal) bool {
+	if lit.IsNum {
+		f, err := strconv.ParseFloat(nodeVal, 64)
+		if err != nil {
+			return false
+		}
+		return cmpFloat(f, op, lit.Num)
+	}
+	switch op {
+	case Eq:
+		return nodeVal == lit.Str
+	case Ne:
+		return nodeVal != lit.Str
+	default:
+		a, errA := strconv.ParseFloat(nodeVal, 64)
+		b, errB := strconv.ParseFloat(lit.Str, 64)
+		if errA != nil || errB != nil {
+			return false
+		}
+		return cmpFloat(a, op, b)
+	}
+}
+
+func cmpFloat(a float64, op CmpOp, b float64) bool {
+	switch op {
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	case Ge:
+		return a >= b
+	}
+	return false
+}
+
+func docOrder(set map[*xmltree.Node]bool) []*xmltree.Node {
+	out := make([]*xmltree.Node, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,65 @@
+package xpath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mutate flips, inserts or deletes bytes of a seed string.
+func mutate(r *rand.Rand, s string) string {
+	b := []byte(s)
+	n := 1 + r.Intn(4)
+	for i := 0; i < n && len(b) > 0; i++ {
+		switch r.Intn(3) {
+		case 0:
+			b[r.Intn(len(b))] = byte(r.Intn(128))
+		case 1:
+			pos := r.Intn(len(b) + 1)
+			b = append(b[:pos], append([]byte{byte(r.Intn(128))}, b[pos:]...)...)
+		case 2:
+			pos := r.Intn(len(b))
+			b = append(b[:pos], b[pos+1:]...)
+		}
+	}
+	return string(b)
+}
+
+var fuzzSeeds = []string{
+	"//patient[treatment]/name",
+	`//regular[med = "celecoxib"]`,
+	"//a[b > 1000 and .//c]",
+	"/a/*/b[c[d = 'x']]",
+	"  ",
+	"////",
+	"[[[]]]",
+}
+
+// TestQuickParseNeverPanics: Parse returns a value or an error on arbitrary
+// input — it must never panic. Successful parses must survive a
+// print-reparse round trip.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var in string
+		if r.Intn(3) == 0 {
+			raw := make([]byte, r.Intn(40))
+			for i := range raw {
+				raw[i] = byte(r.Intn(256))
+			}
+			in = string(raw)
+		} else {
+			in = mutate(r, fuzzSeeds[r.Intn(len(fuzzSeeds))])
+		}
+		p, err := Parse(in)
+		if err != nil {
+			return true
+		}
+		// A successful parse must round trip.
+		p2, err := Parse(p.String())
+		return err == nil && p2.String() == p.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

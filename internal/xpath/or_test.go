@@ -1,0 +1,196 @@
+package xpath
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Tests for the disjunction extension (q or q with parentheses), which goes
+// beyond the paper's formal fragment.
+
+func TestParseOrPrecedence(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"/a[b or c]", "/a[b or c]"},
+		{"/a[b or c or d]", "/a[b or c or d]"},
+		{"/a[b and c or d]", "/a[b and c or d]"},     // (b∧c)∨d
+		{"/a[b or c and d]", "/a[b or c and d]"},     // b∨(c∧d)
+		{"/a[(b or c) and d]", "/a[(b or c) and d]"}, // parens preserved
+		{"/a[( b or c ) and ( d or e )]", "/a[(b or c) and (d or e)]"},
+		{"/a[b = 1 or c = 2]", "/a[b = 1 or c = 2]"},
+		{`/a[b = "x" or .//c]`, `/a[b = "x" or .//c]`},
+		{"/a[(b)]", "/a[b]"}, // redundant parens normalize away
+	}
+	for _, c := range cases {
+		p, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := p.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+		// Canonical forms are fixed points.
+		p2, err := Parse(p.String())
+		if err != nil || p2.String() != p.String() {
+			t.Errorf("reparse of %q failed: %v", p.String(), err)
+		}
+	}
+}
+
+func TestParseOrErrors(t *testing.T) {
+	for _, c := range []string{
+		"/a[b or]",
+		"/a[or b]",
+		"/a[(b or c]",
+		"/a[b or c)]",
+		"/a[()]",
+	} {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q): expected error", c)
+		}
+	}
+}
+
+func TestEvalOr(t *testing.T) {
+	doc := mustDoc(t, `<r><a><b/></a><a><c/></a><a><d/></a><a><b/><c/></a></r>`)
+	cases := []struct {
+		expr string
+		n    int
+	}{
+		{"//a[b or c]", 3},
+		{"//a[b and c]", 1},
+		{"//a[b or c or d]", 4},
+		{"//a[(b or c) and d]", 0},
+		{"//a[b or (c and d)]", 2},
+	}
+	for _, c := range cases {
+		res, err := Eval(MustParse(c.expr), doc)
+		if err != nil {
+			t.Errorf("Eval(%q): %v", c.expr, err)
+			continue
+		}
+		if len(res) != c.n {
+			t.Errorf("Eval(%q) matched %d, want %d", c.expr, len(res), c.n)
+		}
+	}
+}
+
+func TestEvalOrValueComparisons(t *testing.T) {
+	doc := mustDoc(t, `<r><p><v>5</v></p><p><v>50</v></p><p><w>5</w></p></r>`)
+	res, err := Eval(MustParse("//p[v = 5 or w = 5]"), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("matched %d", len(res))
+	}
+}
+
+func TestHasOr(t *testing.T) {
+	if !MustParse("/a[b or c]").HasOr() {
+		t.Error("top-level or not detected")
+	}
+	if !MustParse("/a[b[c or d]]").HasOr() {
+		t.Error("nested or not detected")
+	}
+	if !MustParse("/a[b[c or d] and e]").HasOr() {
+		t.Error("or under and not detected")
+	}
+	if MustParse("/a[b and c]").HasOr() {
+		t.Error("false positive")
+	}
+}
+
+func dnfStrings(t *testing.T, expr string) []string {
+	t.Helper()
+	paths, ok := MustParse(expr).DNF()
+	if !ok {
+		t.Fatalf("DNF(%s) overflowed", expr)
+	}
+	out := make([]string, len(paths))
+	for i, p := range paths {
+		out[i] = p.String()
+	}
+	return out
+}
+
+func TestDNF(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"/a[b or c]", []string{"/a[b]", "/a[c]"}},
+		{"/a[b and c]", []string{"/a[b and c]"}},
+		{"/a[b or c][d]", []string{"/a[b][d]", "/a[c][d]"}},
+		{"/a[(b or c) and d]", []string{"/a[b][d]", "/a[c][d]"}}, // [q1][q2] ≡ [q1 and q2]
+		{"/a[b or c]/e[f or g]", []string{"/a[b]/e[f]", "/a[b]/e[g]", "/a[c]/e[f]", "/a[c]/e[g]"}},
+		{"/a[b[c or d]]", []string{"/a[b[c]]", "/a[b[d]]"}},
+		{"/a[b = 1 or b = 2]", []string{"/a[b = 1]", "/a[b = 2]"}},
+	}
+	for _, c := range cases {
+		got := dnfStrings(t, c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("DNF(%s) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestDNFEquivalentToOriginal: evaluating the union of the disjuncts gives
+// exactly the original result on a sample document.
+func TestDNFEquivalentToOriginal(t *testing.T) {
+	doc := mustDoc(t, `<r><a><b/></a><a><c><d/></c></a><a><b/><c/></a><a/><a><e>7</e></a></r>`)
+	exprs := []string{
+		"//a[b or c]",
+		"//a[b or c/d]",
+		"//a[(b or c) and e]",
+		"//a[b or e = 7]",
+		"//a[b[.//d] or c[d]]",
+		"//r[a[b or c]]",
+	}
+	for _, e := range exprs {
+		p := MustParse(e)
+		want, err := Eval(p, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disjuncts, ok := p.DNF()
+		if !ok {
+			t.Fatalf("DNF(%s) overflowed", e)
+		}
+		union := map[int64]bool{}
+		for _, d := range disjuncts {
+			if d.HasOr() {
+				t.Fatalf("DNF(%s) left an or in %s", e, d)
+			}
+			res, err := Eval(d, doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range res {
+				union[n.ID] = true
+			}
+		}
+		if len(union) != len(want) {
+			t.Errorf("%s: union %d, original %d", e, len(union), len(want))
+			continue
+		}
+		for _, n := range want {
+			if !union[n.ID] {
+				t.Errorf("%s: node %d missing from union", e, n.ID)
+			}
+		}
+	}
+}
+
+func TestDNFOverflow(t *testing.T) {
+	// 2^10 = 1024 > maxDisjuncts ⇒ overflow reported, no panic.
+	expr := "/a"
+	p := MustParse(expr)
+	for i := 0; i < 10; i++ {
+		q := MustParse("/x[b or c]").Steps[0].Preds[0]
+		p.Steps[0].Preds = append(p.Steps[0].Preds, q)
+	}
+	if _, ok := p.DNF(); ok {
+		t.Fatal("expected overflow")
+	}
+}

@@ -1,0 +1,417 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses an XPath expression in the paper's fragment. Both absolute
+// paths (queries, rule resources) and relative paths (qualifiers) are
+// accepted; use the result's Absolute field to distinguish them.
+func Parse(input string) (*Path, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &pathParser{input: input, toks: toks}
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, p.errf("trailing input after expression")
+	}
+	return path, nil
+}
+
+// MustParse is Parse but panics on error; for compile-time constant
+// expressions in tests and fixtures.
+func MustParse(input string) *Path {
+	p, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type tokKind uint8
+
+const (
+	tokSlash      tokKind = iota // /
+	tokSlashSlash                // //
+	tokName                      // element name or *
+	tokDot                       // .
+	tokDotSlash2                 // .//
+	tokLBracket                  // [
+	tokRBracket                  // ]
+	tokAnd                       // and
+	tokOr                        // or
+	tokLParen                    // (
+	tokRParen                    // )
+	tokOp                        // = != < <= > >=
+	tokString                    // quoted literal
+	tokNumber                    // numeric literal
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '/':
+			if i+1 < n && input[i+1] == '/' {
+				toks = append(toks, token{tokSlashSlash, "//", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSlash, "/", i})
+				i++
+			}
+		case c == '.':
+			if i+2 < n && input[i+1] == '/' && input[i+2] == '/' {
+				toks = append(toks, token{tokDotSlash2, ".//", i})
+				i += 3
+			} else if i+1 < n && (input[i+1] >= '0' && input[i+1] <= '9') {
+				// A number like .5
+				j := i + 1
+				for j < n && input[j] >= '0' && input[j] <= '9' {
+					j++
+				}
+				toks = append(toks, token{tokNumber, input[i:j], i})
+				i = j
+			} else {
+				toks = append(toks, token{tokDot, ".", i})
+				i++
+			}
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokName, "*", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("xpath: offset %d: unexpected '!'", i)
+			}
+		case c == '<' || c == '>':
+			op := string(c)
+			i++
+			if i < n && input[i] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokOp, op, i - len(op)})
+		case c == '"' || c == '\'':
+			q := c
+			j := i + 1
+			for j < n && input[j] != q {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("xpath: offset %d: unterminated string literal", i)
+			}
+			toks = append(toks, token{tokString, input[i+1 : j], i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && ((input[j] >= '0' && input[j] <= '9') || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case isNameStart(c):
+			j := i
+			for j < n && isNameChar(input[j]) {
+				j++
+			}
+			word := input[i:j]
+			switch word {
+			case "and":
+				toks = append(toks, token{tokAnd, word, i})
+			case "or":
+				toks = append(toks, token{tokOr, word, i})
+			default:
+				toks = append(toks, token{tokName, word, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("xpath: offset %d: unexpected character %q", i, string(c))
+		}
+	}
+	return toks, nil
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || c == ':' || (c >= '0' && c <= '9')
+}
+
+type pathParser struct {
+	input string
+	toks  []token
+	pos   int
+}
+
+func (p *pathParser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *pathParser) peek() (token, bool) {
+	if p.eof() {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *pathParser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *pathParser) accept(k tokKind) (token, bool) {
+	if t, ok := p.peek(); ok && t.kind == k {
+		p.pos++
+		return t, true
+	}
+	return token{}, false
+}
+
+func (p *pathParser) errf(format string, args ...any) error {
+	off := len(p.input)
+	if t, ok := p.peek(); ok {
+		off = t.pos
+	}
+	return fmt.Errorf("xpath: offset %d in %q: %s", off, p.input, fmt.Sprintf(format, args...))
+}
+
+// parsePath parses an absolute or relative path.
+func (p *pathParser) parsePath() (*Path, error) {
+	path := &Path{}
+	firstAxis := Child
+	switch t, ok := p.peek(); {
+	case !ok:
+		return nil, p.errf("empty expression")
+	case t.kind == tokSlashSlash:
+		p.pos++
+		path.Absolute = true
+		firstAxis = Descendant
+	case t.kind == tokSlash:
+		p.pos++
+		path.Absolute = true
+	case t.kind == tokDotSlash2:
+		p.pos++
+		firstAxis = Descendant
+	case t.kind == tokDot:
+		p.pos++
+		// Bare "." — only valid alone (a self qualifier).
+		if !p.eofOrPredEnd() {
+			return nil, p.errf("'.' must stand alone in a qualifier")
+		}
+		return path, nil
+	}
+	step, err := p.parseStep(firstAxis)
+	if err != nil {
+		return nil, err
+	}
+	path.Steps = append(path.Steps, step)
+	for {
+		var axis Axis
+		if _, ok := p.accept(tokSlashSlash); ok {
+			axis = Descendant
+		} else if _, ok := p.accept(tokSlash); ok {
+			axis = Child
+		} else {
+			break
+		}
+		step, err := p.parseStep(axis)
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, step)
+	}
+	return path, nil
+}
+
+// eofOrPredEnd reports whether the parser is at end of input or at a token
+// that legitimately terminates a qualifier path (']' or ')', a comparison,
+// 'and' or 'or'), without consuming it.
+func (p *pathParser) eofOrPredEnd() bool {
+	t, ok := p.peek()
+	if !ok {
+		return true
+	}
+	return t.kind == tokRBracket || t.kind == tokRParen || t.kind == tokOp ||
+		t.kind == tokAnd || t.kind == tokOr
+}
+
+func (p *pathParser) parseStep(axis Axis) (*Step, error) {
+	t, ok := p.next()
+	if !ok || t.kind != tokName {
+		p.pos-- // report at the offending token
+		if !ok {
+			p.pos = len(p.toks)
+		}
+		return nil, p.errf("expected element name or *")
+	}
+	step := &Step{Axis: axis, Test: t.text}
+	for {
+		if _, ok := p.accept(tokLBracket); !ok {
+			break
+		}
+		q, err := p.parseQualifier()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := p.accept(tokRBracket); !ok {
+			return nil, p.errf("expected ']'")
+		}
+		step.Preds = append(step.Preds, q)
+	}
+	return step, nil
+}
+
+// parseQualifier parses q ::= orExpr, with the standard XPath precedence:
+// "and" binds tighter than "or", and parentheses group.
+func (p *pathParser) parseQualifier() (*Pred, error) {
+	return p.parseOrExpr()
+}
+
+func (p *pathParser) parseOrExpr() (*Pred, error) {
+	left, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.accept(tokOr); !ok {
+			return left, nil
+		}
+		right, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &Pred{Kind: Or, Left: left, Right: right}
+	}
+}
+
+func (p *pathParser) parseAndExpr() (*Pred, error) {
+	left, err := p.parsePrimaryPred()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.accept(tokAnd); !ok {
+			return left, nil
+		}
+		right, err := p.parsePrimaryPred()
+		if err != nil {
+			return nil, err
+		}
+		left = &Pred{Kind: And, Left: left, Right: right}
+	}
+}
+
+func (p *pathParser) parsePrimaryPred() (*Pred, error) {
+	if _, ok := p.accept(tokLParen); ok {
+		q, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := p.accept(tokRParen); !ok {
+			return nil, p.errf("expected ')'")
+		}
+		return q, nil
+	}
+	return p.parseComparand()
+}
+
+func (p *pathParser) parseComparand() (*Pred, error) {
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	if path.Absolute {
+		return nil, p.errf("absolute paths are not allowed inside qualifiers")
+	}
+	t, ok := p.peek()
+	if !ok || t.kind != tokOp {
+		return &Pred{Kind: Exists, Path: path}, nil
+	}
+	p.pos++
+	op, err := parseOp(t.text)
+	if err != nil {
+		return nil, p.errf("%v", err)
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return &Pred{Kind: Cmp, Path: path, Op: op, Value: lit}, nil
+}
+
+func parseOp(s string) (CmpOp, error) {
+	switch s {
+	case "=":
+		return Eq, nil
+	case "!=":
+		return Ne, nil
+	case "<":
+		return Lt, nil
+	case "<=":
+		return Le, nil
+	case ">":
+		return Gt, nil
+	case ">=":
+		return Ge, nil
+	}
+	return 0, fmt.Errorf("unknown operator %q", s)
+}
+
+func (p *pathParser) parseLiteral() (Literal, error) {
+	t, ok := p.next()
+	if !ok {
+		return Literal{}, p.errf("expected literal")
+	}
+	switch t.kind {
+	case tokString:
+		return Literal{Str: t.text}, nil
+	case tokNumber:
+		f, err := strconv.ParseFloat(strings.TrimSuffix(t.text, "."), 64)
+		if err != nil {
+			return Literal{}, p.errf("invalid number %q", t.text)
+		}
+		return Literal{IsNum: true, Num: f}, nil
+	default:
+		p.pos--
+		return Literal{}, p.errf("expected string or number literal")
+	}
+}

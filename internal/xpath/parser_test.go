@@ -1,0 +1,209 @@
+package xpath
+
+import (
+	"testing"
+)
+
+// TestParsePrintRoundTrip checks that parsing and reprinting yields the
+// canonical form for a broad set of expressions, including every rule of the
+// paper's Table 1.
+func TestParsePrintRoundTrip(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"/a", "/a"},
+		{"//a", "//a"},
+		{"/a/b", "/a/b"},
+		{"/a//b", "/a//b"},
+		{"//a//b", "//a//b"},
+		{"/*", "/*"},
+		{"//*", "//*"},
+		{"/a/*/b", "/a/*/b"},
+		{"/a[b]", "/a[b]"},
+		{"/a[b][c]", "/a[b][c]"},
+		{"/a[b/c]", "/a[b/c]"},
+		{"/a[.//b]", "/a[.//b]"},
+		{"/a[b and c]", "/a[b and c]"},
+		{"/a[b and c and d]", "/a[b and c and d]"},
+		{`/a[b = "x"]`, `/a[b = "x"]`},
+		{"/a[b = 5]", "/a[b = 5]"},
+		{"/a[b > 1000]", "/a[b > 1000]"},
+		{"/a[b >= 10]", "/a[b >= 10]"},
+		{"/a[b < 1.5]", "/a[b < 1.5]"},
+		{"/a[b <= 2]", "/a[b <= 2]"},
+		{"/a[b != 0]", "/a[b != 0]"},
+		{"/a[.]", "/a[.]"},
+		// Paper Table 1 rules.
+		{"//patient", "//patient"},
+		{"//patient/name", "//patient/name"},
+		{"//patient[treatment]", "//patient[treatment]"},
+		{"//patient[treatment]/name", "//patient[treatment]/name"},
+		{"//patient[.//experimental]", "//patient[.//experimental]"},
+		{"//regular", "//regular"},
+		{`//regular[med="celecoxib"]`, `//regular[med = "celecoxib"]`},
+		{"//regular[bill > 1000]", "//regular[bill > 1000]"},
+		// Whitespace and quote-style normalization.
+		{"  /a [ b ] ", "/a[b]"},
+		{`/a[b='x']`, `/a[b = "x"]`},
+		// Relative paths.
+		{"a/b", "a/b"},
+		{".//b", ".//b"},
+		{"a[b]", "a[b]"},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := p.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+		// Canonical forms are fixed points.
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Errorf("reparse(%q): %v", p.String(), err)
+			continue
+		}
+		if p2.String() != p.String() {
+			t.Errorf("canonical form %q not a fixed point (got %q)", p.String(), p2.String())
+		}
+	}
+}
+
+func TestParseAbsoluteFlag(t *testing.T) {
+	for in, abs := range map[string]bool{
+		"/a": true, "//a": true, "a": false, ".//a": false, "a/b": false,
+	} {
+		p, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if p.Absolute != abs {
+			t.Errorf("Parse(%q).Absolute = %v, want %v", in, p.Absolute, abs)
+		}
+	}
+}
+
+func TestParseAxes(t *testing.T) {
+	p := MustParse("//a/b//c")
+	if len(p.Steps) != 3 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	if p.Steps[0].Axis != Descendant || p.Steps[1].Axis != Child || p.Steps[2].Axis != Descendant {
+		t.Fatalf("axes = %v %v %v", p.Steps[0].Axis, p.Steps[1].Axis, p.Steps[2].Axis)
+	}
+	rel := MustParse(".//b")
+	if rel.Steps[0].Axis != Descendant {
+		t.Fatalf(".//b first axis = %v", rel.Steps[0].Axis)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"/",
+		"//",
+		"/a/",
+		"/a[",
+		"/a[]",
+		"/a]b",
+		"/a[b",
+		"/a[b =]",
+		"/a[= 5]",
+		"/a[/b]", // absolute path in qualifier
+		"/a[b!]",
+		`/a[b = "unterminated]`,
+		"/a[b and]",
+		"/a b",
+		"/a[.b]", // '.' must stand alone
+		"/a[b ~ 5]",
+		"/a$",
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q): expected error", c)
+		}
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	p := MustParse(`/a[b = "hi there"]`)
+	q := p.Steps[0].Preds[0]
+	if q.Kind != Cmp || q.Value.IsNum || q.Value.Str != "hi there" {
+		t.Fatalf("string literal = %+v", q.Value)
+	}
+	p = MustParse("/a[b = 3.25]")
+	q = p.Steps[0].Preds[0]
+	if !q.Value.IsNum || q.Value.Num != 3.25 {
+		t.Fatalf("number literal = %+v", q.Value)
+	}
+	// Single quotes accepted, normalized to double in printing.
+	p = MustParse(`/a[b = 'x']`)
+	if p.String() != `/a[b = "x"]` {
+		t.Fatalf("got %q", p.String())
+	}
+}
+
+func TestParseNestedQualifiers(t *testing.T) {
+	p := MustParse(`/a[b[c = 1]/d]`)
+	if p.String() != `/a[b[c = 1]/d]` {
+		t.Fatalf("got %q", p.String())
+	}
+	inner := p.Steps[0].Preds[0]
+	if inner.Kind != Exists || len(inner.Path.Steps) != 2 {
+		t.Fatalf("inner = %+v", inner)
+	}
+	if inner.Path.Steps[0].Preds[0].Kind != Cmp {
+		t.Fatalf("nested cmp missing")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := MustParse(`//a[b = 1]/c[.//d]`)
+	c := p.Clone()
+	if c.String() != p.String() {
+		t.Fatalf("clone differs: %q vs %q", c.String(), p.String())
+	}
+	c.Steps[0].Test = "zzz"
+	c.Steps[1].Preds[0].Path.Steps[0].Test = "yyy"
+	if p.String() != `//a[b = 1]/c[.//d]` {
+		t.Fatalf("mutation leaked: %q", p.String())
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	p := MustParse(`//a[b]/c`)
+	if !p.HasPredicates() {
+		t.Error("HasPredicates false")
+	}
+	if !p.HasDescendant() {
+		t.Error("HasDescendant false")
+	}
+	if p.LastLabel() != "c" {
+		t.Errorf("LastLabel = %q", p.LastLabel())
+	}
+	s := p.StripPredicates()
+	if s.String() != "//a/c" {
+		t.Errorf("StripPredicates = %q", s.String())
+	}
+	// StripPredicates must not mutate the original.
+	if p.String() != "//a[b]/c" {
+		t.Errorf("original mutated: %q", p.String())
+	}
+	q := MustParse("/a/b")
+	if q.HasPredicates() || q.HasDescendant() {
+		t.Error("false positives on /a/b")
+	}
+	r := MustParse("/a[.//b]")
+	if !r.HasDescendant() {
+		t.Error("descendant inside qualifier not detected")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	ops := map[CmpOp]string{Eq: "=", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">="}
+	for op, s := range ops {
+		if op.String() != s {
+			t.Errorf("%v.String() = %q", op, op.String())
+		}
+	}
+}

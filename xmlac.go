@@ -1,0 +1,206 @@
+// Package xmlac is a library for controlling access to XML documents
+// stored in native XML and relational databases, reproducing the system of
+//
+//	L. Koromilas, G. Chinis, I. Fundulaki, S. Ioannidis:
+//	"Controlling Access to XML Documents over XML Native and Relational
+//	Databases", Secure Data Management (SDM @ VLDB), LNCS 5776, 2009.
+//
+// The library follows the paper's materialized approach: a document is
+// stored together with per-node accessibility annotations ('+'/'−' signs)
+// computed from a rule-based access-control policy, and queries are
+// answered all-or-nothing against the annotated store. It implements the
+// paper's four components — the policy optimizer (redundancy elimination by
+// XPath containment), the annotator (annotation queries per the policy
+// semantics), the reannotator (dependency graph + schema-aware rule
+// expansion + the Trigger algorithm, so document updates re-annotate only
+// the affected region), and the requester — over three interchangeable
+// backends: an in-memory native XML store and a relational store in row- or
+// column-oriented layout, fed by ShreX-style shredding with XPath-to-SQL
+// translation.
+//
+// # Quick start
+//
+//	schema, _ := xmlac.ParseDTD(dtdText)
+//	pol, _ := xmlac.ParsePolicy(policyText)
+//	sys, _ := xmlac.New(xmlac.Config{Schema: schema, Policy: pol,
+//	    Backend: xmlac.BackendNative, Optimize: true})
+//	doc, _ := xmlac.ParseXML(strings.NewReader(xmlText))
+//	_ = sys.Load(doc)
+//	_, _, _ = sys.Annotate()
+//	res, err := sys.Request(xmlac.MustParseXPath("//patient/name"))
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the reproduced evaluation.
+package xmlac
+
+import (
+	"io"
+
+	"xmlac/internal/core"
+	"xmlac/internal/dtd"
+	"xmlac/internal/pattern"
+	"xmlac/internal/policy"
+	"xmlac/internal/xmark"
+	"xmlac/internal/xmltree"
+	"xmlac/internal/xpath"
+)
+
+// Core model types, re-exported for the public API. See the internal
+// packages for full method documentation.
+type (
+	// Document is an XML document: a rooted unordered labeled tree with
+	// stable universal node identifiers and optional sign annotations.
+	Document = xmltree.Document
+	// Node is a single node of a Document.
+	Node = xmltree.Node
+	// Sign is a node's accessibility annotation ('+', '−', or none).
+	Sign = xmltree.Sign
+	// Schema is a parsed DTD.
+	Schema = dtd.Schema
+	// Policy is an access-control policy P = (ds, cr, A, D).
+	Policy = policy.Policy
+	// Rule is one access-control rule (resource, effect).
+	Rule = policy.Rule
+	// Effect is a rule effect / default semantics / conflict resolution.
+	Effect = policy.Effect
+	// Action is the operation a rule governs (read or write).
+	Action = policy.Action
+	// Path is a parsed XPath expression of the paper's fragment.
+	Path = xpath.Path
+	// System is an assembled access-control system over one backend.
+	System = core.System
+	// Config assembles a System.
+	Config = core.Config
+	// Backend selects the annotation store of a System.
+	Backend = core.Backend
+	// AnnotateStats reports what an annotation run did.
+	AnnotateStats = core.AnnotateStats
+	// UpdateReport describes one update + re-annotation round trip.
+	UpdateReport = core.UpdateReport
+	// RequestResult is a granted request's answer.
+	RequestResult = core.RequestResult
+	// ViewMode selects the security-view export behavior (prune/promote).
+	ViewMode = core.ViewMode
+	// MultiUser serves per-requester policies over one shared document,
+	// with compressed per-user accessibility maps.
+	MultiUser = core.MultiUser
+	// MultiUpdateReport describes a shared update across all users.
+	MultiUpdateReport = core.MultiUpdateReport
+	// XMarkOptions scales the bundled XMark-like document generator.
+	XMarkOptions = xmark.Options
+)
+
+// View modes.
+const (
+	// ViewPrune drops inaccessible subtrees wholesale when exporting a
+	// security view.
+	ViewPrune = core.ViewPrune
+	// ViewPromote splices inaccessible nodes out, promoting their
+	// accessible descendants.
+	ViewPromote = core.ViewPromote
+)
+
+// Backends.
+const (
+	// BackendNative stores annotations on the XML tree itself (the paper's
+	// MonetDB/XQuery configuration).
+	BackendNative = core.BackendNative
+	// BackendRow shreds into a row-oriented relational store (the paper's
+	// PostgreSQL configuration).
+	BackendRow = core.BackendRow
+	// BackendColumn shreds into a column-oriented relational store (the
+	// paper's MonetDB/SQL configuration).
+	BackendColumn = core.BackendColumn
+)
+
+// Effects, actions and signs.
+const (
+	// Allow is the "+" effect.
+	Allow = policy.Allow
+	// Deny is the "−" effect.
+	Deny = policy.Deny
+	// ActionRead governs query access (the paper's fixed action).
+	ActionRead = policy.ActionRead
+	// ActionWrite governs update access (this reproduction's extension of
+	// the paper's future work).
+	ActionWrite = policy.ActionWrite
+	// SignPlus marks a node accessible.
+	SignPlus = xmltree.SignPlus
+	// SignMinus marks a node inaccessible.
+	SignMinus = xmltree.SignMinus
+	// SignNone means a node carries no annotation (the policy default
+	// applies).
+	SignNone = xmltree.SignNone
+)
+
+// ErrAccessDenied is returned by System.Request when the all-or-nothing
+// check fails.
+var ErrAccessDenied = core.ErrAccessDenied
+
+// ErrUpdateDenied is returned by the update operations when
+// Config.EnforceWrite rejects an update under the policy's write rules.
+var ErrUpdateDenied = core.ErrUpdateDenied
+
+// New assembles an access-control system from a schema, a policy and a
+// backend choice. With Config.Optimize set, redundant rules are eliminated
+// first (Section 5.1 of the paper).
+func New(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// ParseXML parses an XML document into the tree model.
+func ParseXML(r io.Reader) (*Document, error) { return xmltree.Parse(r) }
+
+// ParseXMLString parses an XML document from a string.
+func ParseXMLString(s string) (*Document, error) { return xmltree.ParseString(s) }
+
+// NewDocument creates a document with a fresh root element, for programmatic
+// construction via Document.AddElement / Document.AddText.
+func NewDocument(rootLabel string) *Document { return xmltree.NewDocument(rootLabel) }
+
+// ParseDTD parses a Document Type Definition (bare declarations or a full
+// DOCTYPE wrapper).
+func ParseDTD(s string) (*Schema, error) { return dtd.Parse(s) }
+
+// ParsePolicy parses the textual policy format:
+//
+//	default deny
+//	conflict deny
+//	rule R1 allow //patient
+//	rule R3 deny //patient[treatment]
+func ParsePolicy(s string) (*Policy, error) { return policy.Parse(s) }
+
+// ParseXPath parses an expression of the paper's XPath fragment
+// XP(/, //, *, []) with value comparisons.
+func ParseXPath(s string) (*Path, error) { return xpath.Parse(s) }
+
+// MustParseXPath is ParseXPath but panics on error; for expressions that
+// are compile-time constants.
+func MustParseXPath(s string) *Path { return xpath.MustParse(s) }
+
+// EvalXPath evaluates an absolute expression on a document, returning the
+// matched nodes in document order (no access control — this is the raw
+// node-set semantics [[p]](T)).
+func EvalXPath(p *Path, doc *Document) ([]*Node, error) { return xpath.Eval(p, doc) }
+
+// Contains reports the XPath containment p ⊑ q used by the optimizer and
+// the re-annotation machinery. The test is sound: a true answer guarantees
+// [[p]](T) ⊆ [[q]](T) on every tree.
+func Contains(p, q *Path) bool { return pattern.Contains(p, q) }
+
+// RemoveRedundant applies the paper's Redundancy-Elimination algorithm,
+// returning the reduced policy and the removed rules.
+func RemoveRedundant(p *Policy) (*Policy, []Rule) { return core.RemoveRedundant(p) }
+
+// NewMultiUser wraps one document for per-requester access control: add
+// users with their own policies via MultiUser.AddUser, then serve requests
+// per requester. Updates re-annotate only the users whose rules trigger.
+func NewMultiUser(schema *Schema, doc *Document) (*MultiUser, error) {
+	return core.NewMultiUser(schema, doc)
+}
+
+// GenerateXMark produces an XMark-like auction document (the paper's
+// xmlgen workload, de-recursed) of the given scale factor, deterministically
+// per seed.
+func GenerateXMark(opts XMarkOptions) *Document { return xmark.Generate(opts) }
+
+// XMarkSchema returns the DTD of the generated auction documents.
+func XMarkSchema() *Schema { return xmark.Schema() }
