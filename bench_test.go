@@ -122,7 +122,7 @@ func BenchmarkFig9_LoadingPostgres(b *testing.B) { benchLoadingRelational(b, sql
 
 func benchResponse(b *testing.B, backend xmlac.Backend) {
 	sys := benchSystem(b, backend, bench.MidPolicy(), benchDoc(b))
-	if _, _, err := sys.Annotate(); err != nil {
+	if _, err := sys.Annotate(); err != nil {
 		b.Fatal(err)
 	}
 	queries := bench.Queries()
@@ -147,7 +147,7 @@ func benchAnnotation(b *testing.B, backend xmlac.Backend) {
 			sys := benchSystem(b, backend, np.Policy, doc)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := sys.Annotate(); err != nil {
+				if _, err := sys.Annotate(); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -169,7 +169,7 @@ func benchReannotation(b *testing.B, backend xmlac.Backend, full bool) {
 		b.StopTimer()
 		// Fresh system per iteration: updates are destructive.
 		sys := benchSystem(b, backend, bench.MidPolicy(), doc)
-		if _, _, err := sys.Annotate(); err != nil {
+		if _, err := sys.Annotate(); err != nil {
 			b.Fatal(err)
 		}
 		u := updates[i%len(updates)]
@@ -255,7 +255,7 @@ func BenchmarkAblation_AnnotateWithoutOptimizer(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := sys.Annotate(); err != nil {
+				if _, err := sys.Annotate(); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -31,8 +31,24 @@ func main() {
 		factors = flag.String("factors", "", "comma-separated xmlgen factors (default 0.0001,0.001,0.01)")
 		seed    = flag.Uint64("seed", 1, "document generation seed")
 		updates = flag.Int("updates", 12, "number of delete updates for fig12 (0 = full workload)")
+		metrics = flag.String("metrics", "", "write the run's backend metrics as JSON to this file")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		bench.Metrics = xmlac.NewMetricsRegistry()
+		defer func() {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			if err := bench.Metrics.WriteJSON(f); err != nil {
+				fail(err)
+			}
+			fmt.Printf("[metrics written to %s]\n", *metrics)
+		}()
+	}
 
 	fs := bench.DefaultFactors
 	if *factors != "" {

@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	xmlac [-dtd file] [-policy file] [-doc file] [-backend xquery|monetsql|postgres] op...
+//	xmlac [-dtd file] [-policy file] [-doc file] [-backend xquery|monetsql|postgres]
+//	      [-trace] [-explain] [-slowquery dur] [-version] op...
 //
 // With no -dtd/-policy/-doc, the paper's hospital example is used.
+// -trace prints a span tree per operation to stderr, -explain prints the
+// relational engine's plan before each query, and -slowquery logs SQL
+// statements slower than the given duration (e.g. -slowquery 1ms).
 //
 // Operations (executed left to right):
 //
@@ -43,8 +47,17 @@ func main() {
 		docFile    = flag.String("doc", "", "XML document file (default: the bundled Figure 2 document)")
 		backend    = flag.String("backend", "xquery", "backend: xquery, monetsql or postgres")
 		optimize   = flag.Bool("optimize", true, "run redundancy elimination on the policy")
+		trace      = flag.Bool("trace", false, "print a span tree for each operation to stderr")
+		explain    = flag.Bool("explain", false, "print the SQL plan before each query (relational backends)")
+		slowQuery  = flag.Duration("slowquery", 0, "log SQL statements slower than this duration to stderr (0 disables)")
+		version    = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("xmlac", xmlac.Version)
+		return
+	}
 
 	schemaText := xmlac.HospitalDTD
 	policyText := xmlac.HospitalPolicyText
@@ -79,9 +92,16 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	sys, err := xmlac.New(xmlac.Config{Schema: schema, Policy: pol, Backend: be, Optimize: *optimize})
+	cfg := xmlac.Config{Schema: schema, Policy: pol, Backend: be, Optimize: *optimize}
+	if *trace {
+		cfg.Tracer = xmlac.NewTracer(xmlac.RenderTraceSink(os.Stderr))
+	}
+	sys, err := xmlac.New(cfg)
 	if err != nil {
 		fail(err)
+	}
+	if *slowQuery > 0 {
+		sys.SetSlowQueryLog(os.Stderr, *slowQuery)
 	}
 	doc, err := xmlac.ParseXMLString(docText)
 	if err != nil {
@@ -100,7 +120,8 @@ func main() {
 		if annotated {
 			return
 		}
-		stats, took, err := sys.Annotate()
+		stats, err := sys.Annotate()
+		took := stats.Duration
 		if err != nil {
 			fail(err)
 		}
@@ -133,6 +154,14 @@ func main() {
 			q, err := xmlac.ParseXPath(strings.TrimPrefix(op, "query="))
 			if err != nil {
 				fail(err)
+			}
+			if *explain {
+				plan, err := sys.Explain(q)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "explain %s: %v\n", q, err)
+				} else {
+					fmt.Printf("explain %s:\n%s\n", q, indent(plan))
+				}
 			}
 			res, err := sys.Request(q)
 			switch {
@@ -205,6 +234,14 @@ func main() {
 			fail(fmt.Errorf("unknown operation %q", op))
 		}
 	}
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n")
 }
 
 func readFile(path string) string {

@@ -56,7 +56,7 @@ func main() {
 	if err := sys.Load(doc); err != nil {
 		log.Fatal(err)
 	}
-	if _, _, err := sys.Annotate(); err != nil {
+	if _, err := sys.Annotate(); err != nil {
 		log.Fatal(err)
 	}
 	cov, _ := sys.Coverage()

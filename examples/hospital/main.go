@@ -46,7 +46,8 @@ func main() {
 		if err := sys.Load(xmlac.HospitalDocument()); err != nil {
 			log.Fatal(err)
 		}
-		stats, took, err := sys.Annotate()
+		stats, err := sys.Annotate()
+		took := stats.Duration
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -73,7 +74,7 @@ func main() {
 	if err := sys.Load(xmlac.HospitalDocument()); err != nil {
 		log.Fatal(err)
 	}
-	if _, _, err := sys.Annotate(); err != nil {
+	if _, err := sys.Annotate(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(sys.Document().StringAnnotated())
@@ -91,7 +92,7 @@ func main() {
 			if err := s2.Load(xmlac.HospitalDocument()); err != nil {
 				log.Fatal(err)
 			}
-			if _, _, err := s2.Annotate(); err != nil {
+			if _, err := s2.Annotate(); err != nil {
 				log.Fatal(err)
 			}
 			ids, err := s2.AccessibleIDs()

@@ -39,7 +39,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	stats, took, err := sys.Annotate()
+	stats, err := sys.Annotate()
+	took := stats.Duration
 	if err != nil {
 		log.Fatal(err)
 	}

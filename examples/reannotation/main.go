@@ -38,7 +38,7 @@ func main() {
 		if err := sys.Load(doc.Clone()); err != nil {
 			log.Fatal(err)
 		}
-		if _, _, err := sys.Annotate(); err != nil {
+		if _, err := sys.Annotate(); err != nil {
 			log.Fatal(err)
 		}
 		return sys

@@ -56,6 +56,7 @@ rule R8 allow //regular[bill > 1000]
 		sys, err := core.NewSystem(core.Config{
 			Schema: hospital.Schema(), Policy: hosPolicy.Clone(),
 			Backend: core.BackendNative, Optimize: optimize,
+			Metrics: Metrics,
 		})
 		if err != nil {
 			return nil, err
@@ -65,7 +66,8 @@ rule R8 allow //regular[bill > 1000]
 		}
 		best := time.Duration(0)
 		for i := 0; i < 3; i++ {
-			_, d, err := sys.Annotate()
+			st, err := sys.Annotate()
+			d := st.Duration
 			if err != nil {
 				return nil, err
 			}

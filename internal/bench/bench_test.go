@@ -42,7 +42,7 @@ func TestCoverageIncreasesAcrossDataset(t *testing.T) {
 		if err := sys.Load(doc.Clone()); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := sys.Annotate(); err != nil {
+		if _, err := sys.Annotate(); err != nil {
 			t.Fatal(err)
 		}
 		cov, err := sys.Coverage()

@@ -8,6 +8,7 @@ import (
 
 	"xmlac/internal/core"
 	"xmlac/internal/nativedb"
+	"xmlac/internal/obs"
 	"xmlac/internal/policy"
 	"xmlac/internal/shred"
 	"xmlac/internal/sqldb"
@@ -147,6 +148,7 @@ func Fig9(factors []float64, seed uint64) ([]LoadRow, error) {
 		}
 		best, err := bestOfTrials(3, func() error {
 			store := nativedb.OpenStore()
+			store.SetMetrics(Metrics)
 			return store.LoadXML("doc", strings.NewReader(xmlText.String()))
 		})
 		if err != nil {
@@ -161,6 +163,7 @@ func Fig9(factors []float64, seed uint64) ([]LoadRow, error) {
 			}
 			best, err := bestOfTrials(3, func() error {
 				db := sqldb.Open(eng)
+				db.SetMetrics(Metrics)
 				_, err := db.ExecScript(sqlText.String())
 				return err
 			})
@@ -222,7 +225,7 @@ func Fig10(factors []float64, seed uint64) ([]RespRow, error) {
 			if err := sys.Load(cache.get(f)); err != nil {
 				return nil, err
 			}
-			if _, _, err := sys.Annotate(); err != nil {
+			if _, err := sys.Annotate(); err != nil {
 				return nil, err
 			}
 			start := time.Now()
@@ -273,7 +276,8 @@ func Fig11(factors []float64, seed uint64) ([]CoverageRow, error) {
 				if err := sys.Load(cache.get(f)); err != nil {
 					return nil, err
 				}
-				_, d, err := sys.Annotate()
+				st, err := sys.Annotate()
+				d := st.Duration
 				if err != nil {
 					return nil, err
 				}
@@ -361,10 +365,10 @@ func Fig12(factors []float64, seed uint64, maxUpdates int) ([]ReannotRow, error)
 			if err := full.Load(cache.get(f)); err != nil {
 				return nil, err
 			}
-			if _, _, err := partial.Annotate(); err != nil {
+			if _, err := partial.Annotate(); err != nil {
 				return nil, err
 			}
-			if _, _, err := full.Annotate(); err != nil {
+			if _, err := full.Annotate(); err != nil {
 				return nil, err
 			}
 			var reannotTotal, fannotTotal time.Duration
@@ -415,12 +419,18 @@ func PrintFig12(w io.Writer, rows []ReannotRow) {
 
 // ---- shared helpers ----
 
+// Metrics, when set, is attached to every system the harness builds, so
+// cmd/acbench -metrics can dump the backend execution counters of a whole
+// benchmark run.
+var Metrics *obs.Registry
+
 func newSystem(b core.Backend, pol *policy.Policy) (*core.System, error) {
 	return core.NewSystem(core.Config{
 		Schema:   xmark.Schema(),
 		Policy:   pol.Clone(),
 		Backend:  b,
 		Optimize: true,
+		Metrics:  Metrics,
 	})
 }
 

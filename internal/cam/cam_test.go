@@ -128,7 +128,7 @@ func TestCamAgainstSystemAnnotation(t *testing.T) {
 	if err := sys.Load(doc); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := sys.Annotate(); err != nil {
+	if _, err := sys.Annotate(); err != nil {
 		t.Fatal(err)
 	}
 	ids, err := sys.AccessibleIDs()

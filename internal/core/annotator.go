@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"xmlac/internal/nativedb"
+	"xmlac/internal/obs"
 	"xmlac/internal/policy"
 	"xmlac/internal/shred"
 	"xmlac/internal/sqldb"
@@ -133,6 +135,11 @@ type AnnotateStats struct {
 	// (full annotation resets everything; re-annotation only the affected
 	// region).
 	Reset int
+	// Duration is the wall-clock time of the run (filled by System methods).
+	Duration time.Duration
+	// Phases is the per-stage time breakdown, recorded whether or not a
+	// tracer is attached.
+	Phases obs.Phases
 }
 
 // AnnotateNative performs full annotation of a document in the native
@@ -140,22 +147,47 @@ type AnnotateStats struct {
 // the annotation query. Mirroring the paper's native-store choice, only the
 // nodes on the non-default side carry explicit signs afterwards.
 func AnnotateNative(store *nativedb.Store, docName string, p *policy.Policy) (AnnotateStats, error) {
+	return annotateNative(store, docName, p, nil)
+}
+
+// stage runs one named pipeline stage: a span under parent when tracing,
+// and a Phases entry on the stats either way.
+func stage(parent *obs.Span, phases *obs.Phases, name string, f func() error) error {
+	start := time.Now()
+	sp := obs.Start(parent, name)
+	err := f()
+	sp.Finish()
+	phases.Add(name, time.Since(start))
+	return err
+}
+
+func annotateNative(store *nativedb.Store, docName string, p *policy.Policy, parent *obs.Span) (AnnotateStats, error) {
 	doc := store.Doc(docName)
 	if doc == nil {
 		return AnnotateStats{}, fmt.Errorf("core: no document %q in native store", docName)
 	}
 	stats := AnnotateStats{Reset: doc.Size()}
-	doc.ClearSigns()
-	q := BuildAnnotationQuery(p)
+	_ = stage(parent, &stats.Phases, "clear-signs", func() error {
+		doc.ClearSigns()
+		return nil
+	})
+	var q AnnotationQuery
+	_ = stage(parent, &stats.Phases, "build-annotation-query", func() error {
+		q = BuildAnnotationQuery(p)
+		return nil
+	})
 	if q.Expr == nil {
 		return stats, nil
 	}
-	res, err := store.Exec(q.XQueryText(docName))
-	if err != nil {
-		return stats, err
-	}
-	stats.Updated = res.Count
-	return stats, nil
+	err := stage(parent, &stats.Phases, "apply-updates", func() error {
+		res, err := store.Exec(q.XQueryText(docName))
+		if err != nil {
+			return err
+		}
+		stats.Updated = res.Count
+		return nil
+	})
+	return stats, err
 }
 
 // AnnotateRelational implements algorithm Annotate (Figure 6) as a full
@@ -164,33 +196,50 @@ func AnnotateNative(store *nativedb.Store, docName string, p *policy.Policy) (An
 // two-phase algorithm does — iterate over all tables, intersect each
 // table's ids with S, and issue one UPDATE per matching tuple.
 func AnnotateRelational(db *sqldb.Database, m *shred.Mapping, p *policy.Policy) (AnnotateStats, error) {
+	return annotateRelational(db, m, p, nil)
+}
+
+func annotateRelational(db *sqldb.Database, m *shred.Mapping, p *policy.Policy, parent *obs.Span) (AnnotateStats, error) {
 	stats := AnnotateStats{}
 	q := BuildAnnotationQuery(p)
 	defSign := "'" + q.Default.String() + "'"
-	for _, ti := range m.Tables() {
-		res, err := db.Exec(fmt.Sprintf("UPDATE %s SET %s = %s", ti.Table, shred.SignColumn, defSign))
-		if err != nil {
-			return stats, err
+	if err := stage(parent, &stats.Phases, "reset-signs", func() error {
+		for _, ti := range m.Tables() {
+			res, err := db.Exec(fmt.Sprintf("UPDATE %s SET %s = %s", ti.Table, shred.SignColumn, defSign))
+			if err != nil {
+				return err
+			}
+			stats.Reset += res.Affected
 		}
-		stats.Reset += res.Affected
+		return nil
+	}); err != nil {
+		return stats, err
 	}
 	if q.Expr == nil {
 		return stats, nil
 	}
-	sqlText, err := q.SQLText(m)
-	if err != nil {
+	var sqlText string
+	if err := stage(parent, &stats.Phases, "build-annotation-query", func() error {
+		var err error
+		sqlText, err = q.SQLText(m)
+		return err
+	}); err != nil {
 		return stats, err
 	}
-	ids, err := queryIDs(db, sqlText)
-	if err != nil {
+	var ids map[int64]bool
+	if err := stage(parent, &stats.Phases, "compute-update-set", func() error {
+		var err error
+		ids, err = queryIDs(db, sqlText)
+		return err
+	}); err != nil {
 		return stats, err
 	}
-	n, err := updateSigns(db, m, ids, q.Sign)
-	if err != nil {
-		return stats, err
-	}
-	stats.Updated = n
-	return stats, nil
+	err := stage(parent, &stats.Phases, "apply-updates", func() error {
+		n, err := updateSigns(db, m, ids, q.Sign)
+		stats.Updated = n
+		return err
+	})
+	return stats, err
 }
 
 // queryIDs runs a compound id query and returns the id set.

@@ -91,7 +91,7 @@ func TestMultiUserMatchesSingleUserSystems(t *testing.T) {
 		if err := sys.Load(m.Document().Clone()); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := sys.Annotate(); err != nil {
+		if _, err := sys.Annotate(); err != nil {
 			t.Fatal(err)
 		}
 		want, err := sys.AccessibleIDs()

@@ -88,7 +88,7 @@ func TestOrPolicyBackendsAgree(t *testing.T) {
 		if err := sys.Load(doc.Clone()); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := sys.Annotate(); err != nil {
+		if _, err := sys.Annotate(); err != nil {
 			t.Fatal(err)
 		}
 		ids, err := sys.AccessibleIDs()
@@ -114,7 +114,7 @@ func TestOrPolicyReannotation(t *testing.T) {
 			if err := sys.Load(doc.Clone()); err != nil {
 				t.Fatal(err)
 			}
-			if _, _, err := sys.Annotate(); err != nil {
+			if _, err := sys.Annotate(); err != nil {
 				t.Fatal(err)
 			}
 			if _, err := sys.DeleteAndReannotate(xpath.MustParse(u)); err != nil {
@@ -135,7 +135,7 @@ func TestOrPolicyReannotation(t *testing.T) {
 			if err := refSys.Load(ref); err != nil {
 				t.Fatal(err)
 			}
-			if _, _, err := refSys.Annotate(); err != nil {
+			if _, err := refSys.Annotate(); err != nil {
 				t.Fatal(err)
 			}
 			want, err := refSys.AccessibleIDs()

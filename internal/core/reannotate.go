@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"xmlac/internal/nativedb"
+	"xmlac/internal/obs"
 	"xmlac/internal/shred"
 	"xmlac/internal/sqldb"
 	"xmlac/internal/xmltree"
@@ -33,82 +34,111 @@ type NativeReannotation struct {
 	query     AnnotationQuery
 	scopeExpr *nativedb.SetExpr
 	preIDs    map[int64]bool
+	phases    obs.Phases // prepare-stage breakdown, folded into Complete's stats
 }
 
 // PrepareNativeReannotation runs phase 1 against the native document. Call
 // it before applying the update to the tree.
 func PrepareNativeReannotation(doc *xmltree.Document, r *Reannotator, us ...*xpath.Path) (*NativeReannotation, error) {
-	triggered := r.TriggerAll(us)
-	sub := r.TriggeredPolicy(triggered)
-	var scopeLeaves []*nativedb.SetExpr
-	for _, rule := range sub.Rules {
-		scopeLeaves = append(scopeLeaves, nativedb.PathLeaf(rule.Resource))
-	}
-	prep := &NativeReannotation{
-		reann:     r,
-		Triggered: triggered,
-		query:     BuildAnnotationQuery(sub),
-		scopeExpr: nativedb.Combine(nativedb.OpUnion, scopeLeaves...),
-		preIDs:    map[int64]bool{},
-	}
-	if prep.scopeExpr != nil {
+	return prepareNativeReannotation(doc, r, nil, us...)
+}
+
+func prepareNativeReannotation(doc *xmltree.Document, r *Reannotator, parent *obs.Span, us ...*xpath.Path) (*NativeReannotation, error) {
+	prep := &NativeReannotation{reann: r, preIDs: map[int64]bool{}}
+	_ = stage(parent, &prep.phases, "trigger-selection", func() error {
+		prep.Triggered = r.TriggerAll(us)
+		sub := r.TriggeredPolicy(prep.Triggered)
+		var scopeLeaves []*nativedb.SetExpr
+		for _, rule := range sub.Rules {
+			scopeLeaves = append(scopeLeaves, nativedb.PathLeaf(rule.Resource))
+		}
+		prep.query = BuildAnnotationQuery(sub)
+		prep.scopeExpr = nativedb.Combine(nativedb.OpUnion, scopeLeaves...)
+		return nil
+	})
+	if err := stage(parent, &prep.phases, "scope-pre", func() error {
+		if prep.scopeExpr == nil {
+			return nil
+		}
 		nodes, err := nativedb.EvalSet(prep.scopeExpr, doc)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, n := range nodes {
 			prep.preIDs[n.ID] = true
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return prep, nil
 }
 
 // Complete runs phase 3 on the updated tree.
 func (p *NativeReannotation) Complete(doc *xmltree.Document) (AnnotateStats, error) {
-	stats := AnnotateStats{}
+	return p.complete(doc, nil)
+}
+
+func (p *NativeReannotation) complete(doc *xmltree.Document, parent *obs.Span) (AnnotateStats, error) {
+	stats := AnnotateStats{Phases: p.phases}
 	if len(p.Triggered) == 0 {
 		return stats, nil
 	}
 	// Post-update scope.
 	affected := map[int64]bool{}
-	for id := range p.preIDs {
-		if doc.NodeByID(id) != nil {
-			affected[id] = true
+	if err := stage(parent, &stats.Phases, "scope-post", func() error {
+		for id := range p.preIDs {
+			if doc.NodeByID(id) != nil {
+				affected[id] = true
+			}
 		}
-	}
-	if p.scopeExpr != nil {
+		if p.scopeExpr == nil {
+			return nil
+		}
 		nodes, err := nativedb.EvalSet(p.scopeExpr, doc)
 		if err != nil {
-			return stats, err
+			return err
 		}
 		for _, n := range nodes {
 			affected[n.ID] = true
 		}
+		return nil
+	}); err != nil {
+		return stats, err
 	}
 	// The sub-policy's update set.
 	updateSet := map[int64]bool{}
-	if p.query.Expr != nil {
+	if err := stage(parent, &stats.Phases, "compute-update-set", func() error {
+		if p.query.Expr == nil {
+			return nil
+		}
 		nodes, err := nativedb.EvalSet(p.query.Expr, doc)
 		if err != nil {
-			return stats, err
+			return err
 		}
 		for _, n := range nodes {
 			updateSet[n.ID] = true
 		}
+		return nil
+	}); err != nil {
+		return stats, err
 	}
-	for id := range affected {
-		n := doc.NodeByID(id)
-		if n == nil {
-			continue
+	_ = stage(parent, &stats.Phases, "apply-signs", func() error {
+		for id := range affected {
+			n := doc.NodeByID(id)
+			if n == nil {
+				continue
+			}
+			if updateSet[id] {
+				nativedb.Annotate(n, p.query.Sign)
+				stats.Updated++
+			} else {
+				nativedb.Annotate(n, xmltree.SignNone) // back to the default
+				stats.Reset++
+			}
 		}
-		if updateSet[id] {
-			nativedb.Annotate(n, p.query.Sign)
-			stats.Updated++
-		} else {
-			nativedb.Annotate(n, xmltree.SignNone) // back to the default
-			stats.Reset++
-		}
-	}
+		return nil
+	})
 	return stats, nil
 }
 
@@ -119,34 +149,46 @@ type RelationalReannotation struct {
 	query     AnnotationQuery
 	scopeSQL  string
 	preIDs    map[int64]bool
+	phases    obs.Phases // prepare-stage breakdown, folded into Complete's stats
 }
 
 // PrepareRelationalReannotation runs phase 1 against the relational store.
 // Call it before deleting the affected tuples.
 func PrepareRelationalReannotation(db *sqldb.Database, m *shred.Mapping, r *Reannotator, us ...*xpath.Path) (*RelationalReannotation, error) {
-	triggered := r.TriggerAll(us)
-	sub := r.TriggeredPolicy(triggered)
-	prep := &RelationalReannotation{
-		reann:     r,
-		Triggered: triggered,
-		query:     BuildAnnotationQuery(sub),
-		preIDs:    map[int64]bool{},
-	}
-	var scopeParts []string
-	for _, rule := range sub.Rules {
-		q, err := shred.Translate(m, rule.Resource)
-		if err != nil {
-			return nil, err
+	return prepareRelationalReannotation(db, m, r, nil, us...)
+}
+
+func prepareRelationalReannotation(db *sqldb.Database, m *shred.Mapping, r *Reannotator, parent *obs.Span, us ...*xpath.Path) (*RelationalReannotation, error) {
+	prep := &RelationalReannotation{reann: r, preIDs: map[int64]bool{}}
+	if err := stage(parent, &prep.phases, "trigger-selection", func() error {
+		prep.Triggered = r.TriggerAll(us)
+		sub := r.TriggeredPolicy(prep.Triggered)
+		prep.query = BuildAnnotationQuery(sub)
+		var scopeParts []string
+		for _, rule := range sub.Rules {
+			q, err := shred.Translate(m, rule.Resource)
+			if err != nil {
+				return err
+			}
+			scopeParts = append(scopeParts, "("+q+")")
 		}
-		scopeParts = append(scopeParts, "("+q+")")
-	}
-	if len(scopeParts) > 0 {
 		prep.scopeSQL = strings.Join(scopeParts, " UNION ")
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := stage(parent, &prep.phases, "scope-pre", func() error {
+		if prep.scopeSQL == "" {
+			return nil
+		}
 		ids, err := queryIDs(db, prep.scopeSQL)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prep.preIDs = ids
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return prep, nil
 }
@@ -156,60 +198,76 @@ func PrepareRelationalReannotation(db *sqldb.Database, m *shred.Mapping, r *Rean
 // following the two-phase discipline of Figure 6 — updates signs tuple by
 // tuple, but only within the affected set.
 func (p *RelationalReannotation) Complete(db *sqldb.Database, m *shred.Mapping) (AnnotateStats, error) {
-	stats := AnnotateStats{}
+	return p.complete(db, m, nil)
+}
+
+func (p *RelationalReannotation) complete(db *sqldb.Database, m *shred.Mapping, parent *obs.Span) (AnnotateStats, error) {
+	stats := AnnotateStats{Phases: p.phases}
 	if len(p.Triggered) == 0 {
 		return stats, nil
 	}
 	affected := make(map[int64]bool, len(p.preIDs))
-	for id := range p.preIDs {
-		affected[id] = true // dead ids are skipped by the table iteration
-	}
-	if p.scopeSQL != "" {
+	if err := stage(parent, &stats.Phases, "scope-post", func() error {
+		for id := range p.preIDs {
+			affected[id] = true // dead ids are skipped by the table iteration
+		}
+		if p.scopeSQL == "" {
+			return nil
+		}
 		post, err := queryIDs(db, p.scopeSQL)
 		if err != nil {
-			return stats, err
+			return err
 		}
 		for id := range post {
 			affected[id] = true
 		}
+		return nil
+	}); err != nil {
+		return stats, err
 	}
 	updateSet := map[int64]bool{}
-	if p.query.Expr != nil {
+	if err := stage(parent, &stats.Phases, "compute-update-set", func() error {
+		if p.query.Expr == nil {
+			return nil
+		}
 		sqlText, err := p.query.SQLText(m)
 		if err != nil {
-			return stats, err
+			return err
 		}
 		updateSet, err = queryIDs(db, sqlText)
-		if err != nil {
-			return stats, err
-		}
+		return err
+	}); err != nil {
+		return stats, err
 	}
 	signLit := "'" + p.query.Sign.String() + "'"
 	defLit := "'" + p.query.Default.String() + "'"
-	for _, ti := range m.Tables() {
-		res, err := db.Exec("SELECT id FROM " + ti.Table)
-		if err != nil {
-			return stats, err
+	err := stage(parent, &stats.Phases, "apply-signs", func() error {
+		for _, ti := range m.Tables() {
+			res, err := db.Exec("SELECT id FROM " + ti.Table)
+			if err != nil {
+				return err
+			}
+			for _, row := range res.Rows {
+				id := row[0].I
+				if !affected[id] {
+					continue
+				}
+				lit := defLit
+				if updateSet[id] {
+					lit = signLit
+					stats.Updated++
+				} else {
+					stats.Reset++
+				}
+				if _, err := db.Exec(fmt.Sprintf(
+					"UPDATE %s SET %s = %s WHERE id = %d", ti.Table, shred.SignColumn, lit, id)); err != nil {
+					return err
+				}
+			}
 		}
-		for _, row := range res.Rows {
-			id := row[0].I
-			if !affected[id] {
-				continue
-			}
-			lit := defLit
-			if updateSet[id] {
-				lit = signLit
-				stats.Updated++
-			} else {
-				stats.Reset++
-			}
-			if _, err := db.Exec(fmt.Sprintf(
-				"UPDATE %s SET %s = %s WHERE id = %d", ti.Table, shred.SignColumn, lit, id)); err != nil {
-				return stats, err
-			}
-		}
-	}
-	return stats, nil
+		return nil
+	})
+	return stats, err
 }
 
 // ApplyDeleteTree applies a delete update to the document: every node

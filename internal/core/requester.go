@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"xmlac/internal/obs"
 	"xmlac/internal/policy"
 	"xmlac/internal/shred"
 	"xmlac/internal/sqldb"
@@ -34,10 +35,18 @@ type RequestResult struct {
 // The policy default decides unannotated nodes. Returns ErrAccessDenied if
 // any matched node is inaccessible.
 func RequestNative(doc *xmltree.Document, q *xpath.Path, def policy.Effect) (*RequestResult, error) {
+	return requestNative(doc, q, def, nil)
+}
+
+func requestNative(doc *xmltree.Document, q *xpath.Path, def policy.Effect, parent *obs.Span) (*RequestResult, error) {
+	sp := obs.Start(parent, "eval-query")
 	nodes, err := xpath.Eval(q, doc)
+	sp.SetAttr("matched", len(nodes)).Finish()
 	if err != nil {
 		return nil, err
 	}
+	sp = obs.Start(parent, "check-access")
+	defer sp.Finish()
 	for _, n := range nodes {
 		if !accessibleNative(n, def) {
 			return nil, fmt.Errorf("%w: node %d (%s) is not accessible", ErrAccessDenied, n.ID, n.Label)
@@ -54,14 +63,24 @@ func RequestNative(doc *xmltree.Document, q *xpath.Path, def policy.Effect) (*Re
 // (Figure 6 initializes every tuple to the default), so unlike the native
 // store no default needs consulting here.
 func RequestRelational(db *sqldb.Database, m *shred.Mapping, q *xpath.Path) (*RequestResult, error) {
+	return requestRelational(db, m, q, nil)
+}
+
+func requestRelational(db *sqldb.Database, m *shred.Mapping, q *xpath.Path, parent *obs.Span) (*RequestResult, error) {
+	sp := obs.Start(parent, "translate-sql")
 	sqlText, err := shred.Translate(m, q)
+	sp.Finish()
 	if err != nil {
 		return nil, err
 	}
+	sp = obs.Start(parent, "eval-query")
 	ids, err := queryIDs(db, sqlText)
+	sp.SetAttr("matched", len(ids)).Finish()
 	if err != nil {
 		return nil, err
 	}
+	sp = obs.Start(parent, "check-access")
+	defer sp.Finish()
 	// Check signs table by table, as a universal id alone does not identify
 	// its table (the paper's universal-identifier iteration); the IN probes
 	// use the primary-key index.

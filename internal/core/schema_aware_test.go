@@ -82,7 +82,7 @@ rule D deny //treatment[experimental]
 		if err := sys.Load(doc.Clone()); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := sys.Annotate(); err != nil {
+		if _, err := sys.Annotate(); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := sys.DeleteAndReannotate(u); err != nil {
@@ -107,7 +107,7 @@ rule D deny //treatment[experimental]
 	if err := refSys.Load(ref); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := refSys.Annotate(); err != nil {
+	if _, err := refSys.Annotate(); err != nil {
 		t.Fatal(err)
 	}
 	want, err := refSys.AccessibleIDs()
@@ -150,7 +150,7 @@ func TestSchemaAwareSystemEndToEnd(t *testing.T) {
 		if err := sys.Load(doc.Clone()); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := sys.Annotate(); err != nil {
+		if _, err := sys.Annotate(); err != nil {
 			t.Fatal(err)
 		}
 		ids, err := sys.AccessibleIDs()
@@ -180,7 +180,7 @@ func TestSchemaAwareReannotationStillEquivalent(t *testing.T) {
 		if err := sys.Load(doc.Clone()); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := sys.Annotate(); err != nil {
+		if _, err := sys.Annotate(); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := sys.DeleteAndReannotate(xpath.MustParse(u)); err != nil {

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"xmlac/internal/dtd"
 	"xmlac/internal/nativedb"
+	"xmlac/internal/obs"
 	"xmlac/internal/pattern"
 	"xmlac/internal/policy"
 	"xmlac/internal/shred"
@@ -63,6 +65,13 @@ type Config struct {
 	EnforceWrite bool
 	// DocName names the document inside the native store; defaults to "doc".
 	DocName string
+	// Tracer receives hierarchical spans for every pipeline stage of
+	// annotation, re-annotation and request processing; nil disables
+	// tracing (the stages still record their Phases breakdown).
+	Tracer *obs.Tracer
+	// Metrics is attached to the backend store, feeding the sqldb_* or
+	// nativedb_* counters and histograms; nil disables collection.
+	Metrics *obs.Registry
 }
 
 // System is the assembled access-control system of Section 4: optimizer,
@@ -79,6 +88,7 @@ type System struct {
 	mapping *shred.Mapping
 	store   *nativedb.Store
 	db      *sqldb.Database // nil for BackendNative
+	tracer  *obs.Tracer     // nil when tracing is off
 	loaded  bool
 }
 
@@ -101,6 +111,10 @@ func NewSystem(cfg Config) (*System, error) {
 		policy: cfg.Policy.ForAction(policy.ActionRead),
 		write:  cfg.Policy.ForAction(policy.ActionWrite),
 		store:  nativedb.OpenStore(),
+		tracer: cfg.Tracer,
+	}
+	if cfg.Metrics != nil {
+		s.store.SetMetrics(cfg.Metrics)
 	}
 	contains := ContainFunc(pattern.Contains)
 	if cfg.SchemaAware {
@@ -125,6 +139,9 @@ func NewSystem(cfg Config) (*System, error) {
 			engine = sqldb.EngineColumn
 		}
 		s.db = sqldb.Open(engine)
+		if cfg.Metrics != nil {
+			s.db.SetMetrics(cfg.Metrics)
+		}
 	}
 	return s, nil
 }
@@ -171,6 +188,14 @@ func (s *System) Mapping() *shred.Mapping { return s.mapping }
 // DB returns the relational database (nil for the native backend).
 func (s *System) DB() *sqldb.Database { return s.db }
 
+// SetSlowQueryLog logs every backend SQL statement slower than threshold to
+// w (one line per statement). A no-op on the native backend.
+func (s *System) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
+	if s.db != nil {
+		s.db.SetSlowQueryLog(w, threshold)
+	}
+}
+
 // Document returns the protected document tree.
 func (s *System) Document() *xmltree.Document { return s.store.Doc(s.cfg.DocName) }
 
@@ -206,21 +231,26 @@ func defaultSign(p *policy.Policy) xmltree.Sign {
 	return xmltree.SignMinus
 }
 
-// Annotate performs full annotation on the configured backend and returns
-// its statistics and duration.
-func (s *System) Annotate() (AnnotateStats, time.Duration, error) {
+// Annotate performs full annotation on the configured backend. The
+// returned statistics carry the total duration and the per-stage phase
+// breakdown; with a Tracer configured the same stages emit a span tree.
+func (s *System) Annotate() (AnnotateStats, error) {
 	if !s.loaded {
-		return AnnotateStats{}, 0, fmt.Errorf("core: no document loaded")
+		return AnnotateStats{}, fmt.Errorf("core: no document loaded")
 	}
+	sp := s.tracer.Start("annotate").SetAttr("backend", s.cfg.Backend.String())
 	start := time.Now()
 	var stats AnnotateStats
 	var err error
 	if s.db != nil {
-		stats, err = AnnotateRelational(s.db, s.mapping, s.policy)
+		stats, err = annotateRelational(s.db, s.mapping, s.policy, sp)
 	} else {
-		stats, err = AnnotateNative(s.store, s.cfg.DocName, s.policy)
+		stats, err = annotateNative(s.store, s.cfg.DocName, s.policy, sp)
 	}
-	return stats, time.Since(start), err
+	stats.Duration = time.Since(start)
+	sp.SetAttr("updated", stats.Updated).SetAttr("reset", stats.Reset)
+	sp.Finish()
+	return stats, err
 }
 
 // UpdateReport describes one delete-update round trip.
@@ -229,10 +259,21 @@ type UpdateReport struct {
 	Triggered []string
 	// DeletedNodes counts removed tree nodes (elements and text).
 	DeletedNodes int
-	// Stats are the re-annotation statistics.
+	// Stats are the re-annotation statistics (Stats.Phases holds the
+	// fine-grained stage breakdown of the re-annotation itself).
 	Stats AnnotateStats
 	// PrepareTime, UpdateTime and ReannotateTime split the round trip.
 	PrepareTime, UpdateTime, ReannotateTime time.Duration
+	// Phases is the coarse round-trip breakdown (prepare, apply-update,
+	// reannotate) in obs form.
+	Phases obs.Phases
+}
+
+// finishPhases derives the coarse phase list from the recorded times.
+func (rep *UpdateReport) finishPhases() {
+	rep.Phases.Add("prepare", rep.PrepareTime)
+	rep.Phases.Add("apply-update", rep.UpdateTime)
+	rep.Phases.Add("reannotate", rep.ReannotateTime)
 }
 
 // DeleteAndReannotate applies a delete update (an XPath expression locating
@@ -248,19 +289,21 @@ func (s *System) DeleteAndReannotate(u *xpath.Path) (*UpdateReport, error) {
 		return nil, err
 	}
 	rep := &UpdateReport{}
+	root := s.tracer.Start("delete-reannotate").SetAttr("update", u.String())
+	defer root.Finish()
 
 	start := time.Now()
 	var prepN *NativeReannotation
 	var prepR *RelationalReannotation
 	var err error
 	if s.db != nil {
-		prepR, err = PrepareRelationalReannotation(s.db, s.mapping, s.reann, u)
+		prepR, err = prepareRelationalReannotation(s.db, s.mapping, s.reann, root, u)
 		if err != nil {
 			return nil, err
 		}
 		rep.Triggered = s.reann.RuleNames(prepR.Triggered)
 	} else {
-		prepN, err = PrepareNativeReannotation(doc, s.reann, u)
+		prepN, err = prepareNativeReannotation(doc, s.reann, root, u)
 		if err != nil {
 			return nil, err
 		}
@@ -276,7 +319,9 @@ func (s *System) DeleteAndReannotate(u *xpath.Path) (*UpdateReport, error) {
 		}
 	}
 	start = time.Now()
+	sp := obs.Start(root, "apply-delete")
 	_, total, err := s.applyDelete(u)
+	sp.Finish()
 	if err != nil {
 		return nil, s.abortRelational(err)
 	}
@@ -285,9 +330,9 @@ func (s *System) DeleteAndReannotate(u *xpath.Path) (*UpdateReport, error) {
 
 	start = time.Now()
 	if s.db != nil {
-		rep.Stats, err = prepR.Complete(s.db, s.mapping)
+		rep.Stats, err = prepR.complete(s.db, s.mapping, root)
 	} else {
-		rep.Stats, err = prepN.Complete(doc)
+		rep.Stats, err = prepN.complete(doc, root)
 	}
 	rep.ReannotateTime = time.Since(start)
 	if err != nil {
@@ -298,6 +343,7 @@ func (s *System) DeleteAndReannotate(u *xpath.Path) (*UpdateReport, error) {
 			return nil, err
 		}
 	}
+	rep.finishPhases()
 	return rep, nil
 }
 
@@ -328,17 +374,21 @@ func (s *System) DeleteAndFullAnnotate(u *xpath.Path) (*UpdateReport, error) {
 		}
 	}
 	rep := &UpdateReport{}
+	root := s.tracer.Start("delete-fannot").SetAttr("update", u.String())
+	defer root.Finish()
 	start := time.Now()
+	sp := obs.Start(root, "apply-delete")
 	_, total, err := s.applyDelete(u)
+	sp.Finish()
 	if err != nil {
 		return nil, s.abortRelational(err)
 	}
 	rep.DeletedNodes = total
 	rep.UpdateTime = time.Since(start)
 
-	stats, d, err := s.Annotate()
+	stats, err := s.Annotate()
 	rep.Stats = stats
-	rep.ReannotateTime = d
+	rep.ReannotateTime = stats.Duration
 	if err != nil {
 		return nil, s.abortRelational(err)
 	}
@@ -347,6 +397,7 @@ func (s *System) DeleteAndFullAnnotate(u *xpath.Path) (*UpdateReport, error) {
 			return nil, err
 		}
 	}
+	rep.finishPhases()
 	return rep, nil
 }
 
@@ -395,15 +446,17 @@ func (s *System) InsertAndReannotate(parentPath *xpath.Path, tmpl *xmltree.Node)
 	doc := s.Document()
 	us := insertLocators(parentPath, tmpl)
 	rep := &UpdateReport{}
+	root := s.tracer.Start("insert-reannotate").SetAttr("parent", parentPath.String())
+	defer root.Finish()
 
 	start := time.Now()
 	var prepN *NativeReannotation
 	var prepR *RelationalReannotation
 	var err error
 	if s.db != nil {
-		prepR, err = PrepareRelationalReannotation(s.db, s.mapping, s.reann, us...)
+		prepR, err = prepareRelationalReannotation(s.db, s.mapping, s.reann, root, us...)
 	} else {
-		prepN, err = PrepareNativeReannotation(doc, s.reann, us...)
+		prepN, err = prepareNativeReannotation(doc, s.reann, root, us...)
 	}
 	if err != nil {
 		return nil, err
@@ -416,36 +469,43 @@ func (s *System) InsertAndReannotate(parentPath *xpath.Path, tmpl *xmltree.Node)
 	rep.PrepareTime = time.Since(start)
 
 	start = time.Now()
+	sp := obs.Start(root, "apply-insert")
 	parents, err := xpath.Eval(parentPath, doc)
 	if err != nil {
+		sp.Finish()
 		return nil, err
 	}
 	if err := s.checkWriteAccess(parents); err != nil {
+		sp.Finish()
 		return nil, err
 	}
 	if s.db != nil {
 		if err := s.db.Begin(); err != nil {
+			sp.Finish()
 			return nil, err
 		}
 	}
 	for _, p := range parents {
 		n, err := doc.InsertSubtree(p, tmpl)
 		if err != nil {
+			sp.Finish()
 			return nil, s.abortRelational(err)
 		}
 		if s.db != nil {
 			if err := insertRelationalSubtree(s.db, s.mapping, n, defaultSign(s.policy)); err != nil {
+				sp.Finish()
 				return nil, s.abortRelational(err)
 			}
 		}
 	}
+	sp.Finish()
 	rep.UpdateTime = time.Since(start)
 
 	start = time.Now()
 	if s.db != nil {
-		rep.Stats, err = prepR.Complete(s.db, s.mapping)
+		rep.Stats, err = prepR.complete(s.db, s.mapping, root)
 	} else {
-		rep.Stats, err = prepN.Complete(doc)
+		rep.Stats, err = prepN.complete(doc, root)
 	}
 	rep.ReannotateTime = time.Since(start)
 	if err != nil {
@@ -456,6 +516,7 @@ func (s *System) InsertAndReannotate(parentPath *xpath.Path, tmpl *xmltree.Node)
 			return nil, err
 		}
 	}
+	rep.finishPhases()
 	return rep, nil
 }
 
@@ -498,10 +559,40 @@ func (s *System) Request(q *xpath.Path) (*RequestResult, error) {
 	if !s.loaded {
 		return nil, fmt.Errorf("core: no document loaded")
 	}
+	sp := s.tracer.Start("request").SetAttr("query", q.String()).SetAttr("backend", s.cfg.Backend.String())
+	defer sp.Finish()
 	if s.db != nil {
-		return RequestRelational(s.db, s.mapping, q)
+		return requestRelational(s.db, s.mapping, q, sp)
 	}
-	return RequestNative(s.Document(), q, s.policy.Default)
+	return requestNative(s.Document(), q, s.policy.Default, sp)
+}
+
+// Explain translates an XPath query to SQL and returns the relational
+// engine's EXPLAIN output — the greedy planner's access paths, join order
+// and row counts. Relational backends only.
+func (s *System) Explain(q *xpath.Path) (string, error) {
+	if !s.loaded {
+		return "", fmt.Errorf("core: no document loaded")
+	}
+	if s.db == nil {
+		return "", fmt.Errorf("core: EXPLAIN requires a relational backend, not %s", s.cfg.Backend)
+	}
+	sqlText, err := shred.Translate(s.mapping, q)
+	if err != nil {
+		return "", err
+	}
+	res, err := s.db.Exec("EXPLAIN " + sqlText)
+	if err != nil {
+		return "", err
+	}
+	var b []byte
+	for i, row := range res.Rows {
+		if i > 0 {
+			b = append(b, '\n')
+		}
+		b = append(b, row[0].S...)
+	}
+	return string(b), nil
 }
 
 // AccessibleIDs returns the currently accessible universal ids on the

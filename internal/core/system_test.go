@@ -57,7 +57,7 @@ func TestAnnotateFigure2(t *testing.T) {
 	for _, b := range allBackends {
 		t.Run(b.String(), func(t *testing.T) {
 			sys := newHospitalSystem(t, b, hospital.Document())
-			stats, _, err := sys.Annotate()
+			stats, err := sys.Annotate()
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -86,7 +86,7 @@ func TestBackendsAgree(t *testing.T) {
 	}
 	for _, b := range allBackends {
 		sys := newHospitalSystem(t, b, doc.Clone())
-		if _, _, err := sys.Annotate(); err != nil {
+		if _, err := sys.Annotate(); err != nil {
 			t.Fatal(err)
 		}
 		ids, err := sys.AccessibleIDs()
@@ -119,7 +119,7 @@ func TestAllFourSemanticsAgreeAcrossBackends(t *testing.T) {
 				if err := sys.Load(doc.Clone()); err != nil {
 					t.Fatal(err)
 				}
-				if _, _, err := sys.Annotate(); err != nil {
+				if _, err := sys.Annotate(); err != nil {
 					t.Fatal(err)
 				}
 				ids, err := sys.AccessibleIDs()
@@ -139,7 +139,7 @@ func TestAllFourSemanticsAgreeAcrossBackends(t *testing.T) {
 func freshAnnotatedIDs(t *testing.T, b Backend, doc *xmltree.Document) map[int64]bool {
 	t.Helper()
 	sys := newHospitalSystem(t, b, doc)
-	if _, _, err := sys.Annotate(); err != nil {
+	if _, err := sys.Annotate(); err != nil {
 		t.Fatal(err)
 	}
 	ids, err := sys.AccessibleIDs()
@@ -172,7 +172,7 @@ func TestReannotationEquivalentToFull(t *testing.T) {
 			t.Run(fmt.Sprintf("%v/%s", b, u), func(t *testing.T) {
 				doc := hospital.Generate(hospital.GenOptions{Seed: 5, Departments: 2, PatientsPerDept: 12, StaffPerDept: 3})
 				sys := newHospitalSystem(t, b, doc.Clone())
-				if _, _, err := sys.Annotate(); err != nil {
+				if _, err := sys.Annotate(); err != nil {
 					t.Fatal(err)
 				}
 				rep, err := sys.DeleteAndReannotate(xpath.MustParse(u))
@@ -203,7 +203,7 @@ func TestReannotationEquivalentToFull(t *testing.T) {
 func TestReannotationTreatmentScenario(t *testing.T) {
 	for _, b := range allBackends {
 		sys := newHospitalSystem(t, b, hospital.Document())
-		if _, _, err := sys.Annotate(); err != nil {
+		if _, err := sys.Annotate(); err != nil {
 			t.Fatal(err)
 		}
 		// Before: only the third patient is accessible.
@@ -241,10 +241,10 @@ func TestDeleteAndFullAnnotateBaseline(t *testing.T) {
 	doc := hospital.Generate(hospital.GenOptions{Seed: 11, Departments: 1, PatientsPerDept: 10})
 	a := newHospitalSystem(t, BackendNative, doc.Clone())
 	bSys := newHospitalSystem(t, BackendNative, doc.Clone())
-	if _, _, err := a.Annotate(); err != nil {
+	if _, err := a.Annotate(); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := bSys.Annotate(); err != nil {
+	if _, err := bSys.Annotate(); err != nil {
 		t.Fatal(err)
 	}
 	u := xpath.MustParse("//treatment")
@@ -267,7 +267,7 @@ func TestInsertAndReannotate(t *testing.T) {
 	for _, b := range allBackends {
 		t.Run(b.String(), func(t *testing.T) {
 			sys := newHospitalSystem(t, b, hospital.Document())
-			if _, _, err := sys.Annotate(); err != nil {
+			if _, err := sys.Annotate(); err != nil {
 				t.Fatal(err)
 			}
 			tmpl := xmltree.NewSubtree("treatment")
@@ -304,7 +304,7 @@ func TestRequestAllOrNothing(t *testing.T) {
 	for _, b := range allBackends {
 		t.Run(b.String(), func(t *testing.T) {
 			sys := newHospitalSystem(t, b, hospital.Document())
-			if _, _, err := sys.Annotate(); err != nil {
+			if _, err := sys.Annotate(); err != nil {
 				t.Fatal(err)
 			}
 			// All patient names are accessible: granted.
@@ -341,7 +341,7 @@ func TestRequestAllOrNothing(t *testing.T) {
 
 func TestCoverage(t *testing.T) {
 	sys := newHospitalSystem(t, BackendNative, hospital.Document())
-	if _, _, err := sys.Annotate(); err != nil {
+	if _, err := sys.Annotate(); err != nil {
 		t.Fatal(err)
 	}
 	cov, err := sys.Coverage()
@@ -367,7 +367,7 @@ func TestSystemConfigValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Operations before Load fail cleanly.
-	if _, _, err := sys.Annotate(); err == nil {
+	if _, err := sys.Annotate(); err == nil {
 		t.Error("annotate before load accepted")
 	}
 	if _, err := sys.Request(xpath.MustParse("//patient")); err == nil {
@@ -385,7 +385,7 @@ func TestSystemConfigValidation(t *testing.T) {
 
 func TestSystemRejectsRootDeletion(t *testing.T) {
 	sys := newHospitalSystem(t, BackendNative, hospital.Document())
-	if _, _, err := sys.Annotate(); err != nil {
+	if _, err := sys.Annotate(); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := sys.DeleteAndReannotate(xpath.MustParse("/hospital")); err == nil {
@@ -419,7 +419,7 @@ func TestReannotationRepeatedUpdates(t *testing.T) {
 	for _, b := range allBackends {
 		doc := hospital.Generate(hospital.GenOptions{Seed: 21, Departments: 2, PatientsPerDept: 10, StaffPerDept: 2})
 		sys := newHospitalSystem(t, b, doc.Clone())
-		if _, _, err := sys.Annotate(); err != nil {
+		if _, err := sys.Annotate(); err != nil {
 			t.Fatal(err)
 		}
 		ref := doc.Clone()
@@ -448,7 +448,7 @@ func TestReannotationRepeatedUpdates(t *testing.T) {
 func TestRelationalUpdatesLeaveNoOpenTransaction(t *testing.T) {
 	for _, b := range []Backend{BackendRow, BackendColumn} {
 		sys := newHospitalSystem(t, b, hospital.Document())
-		if _, _, err := sys.Annotate(); err != nil {
+		if _, err := sys.Annotate(); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := sys.DeleteAndReannotate(xpath.MustParse("//regular")); err != nil {

@@ -13,7 +13,7 @@ import (
 func annotatedHospitalSystem(t *testing.T) *System {
 	t.Helper()
 	sys := newHospitalSystem(t, BackendNative, hospital.Document())
-	if _, _, err := sys.Annotate(); err != nil {
+	if _, err := sys.Annotate(); err != nil {
 		t.Fatal(err)
 	}
 	return sys
@@ -67,7 +67,7 @@ func TestExportViewPromote(t *testing.T) {
 func TestViewContainsExactlyAccessibleData(t *testing.T) {
 	doc := hospital.Generate(hospital.GenOptions{Seed: 3, Departments: 2, PatientsPerDept: 10, StaffPerDept: 4})
 	sys := newHospitalSystem(t, BackendNative, doc)
-	if _, _, err := sys.Annotate(); err != nil {
+	if _, err := sys.Annotate(); err != nil {
 		t.Fatal(err)
 	}
 	accessible, err := sys.AccessibleIDs()
@@ -191,7 +191,7 @@ func TestViewStats(t *testing.T) {
 func TestViewAgainstFilteredRequests(t *testing.T) {
 	doc := hospital.Generate(hospital.GenOptions{Seed: 8, Departments: 1, PatientsPerDept: 12})
 	sys := newHospitalSystem(t, BackendNative, doc)
-	if _, _, err := sys.Annotate(); err != nil {
+	if _, err := sys.Annotate(); err != nil {
 		t.Fatal(err)
 	}
 	view, err := sys.ExportView(ViewPromote)
@@ -228,7 +228,7 @@ rule D1 deny //treatment
 	if err := sys.Load(hospital.Document()); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := sys.Annotate(); err != nil {
+	if _, err := sys.Annotate(); err != nil {
 		t.Fatal(err)
 	}
 	view, err := sys.ExportView(ViewPrune)

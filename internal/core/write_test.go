@@ -41,7 +41,7 @@ func newWriteSystem(t *testing.T, b Backend, enforce bool) *System {
 	if err := sys.Load(hospital.Document()); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := sys.Annotate(); err != nil {
+	if _, err := sys.Annotate(); err != nil {
 		t.Fatal(err)
 	}
 	return sys
@@ -75,7 +75,7 @@ func TestWriteRulesDontAffectAnnotation(t *testing.T) {
 	if err := plain.Load(hospital.Document()); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := plain.Annotate(); err != nil {
+	if _, err := plain.Annotate(); err != nil {
 		t.Fatal(err)
 	}
 	a, _ := withWrite.AccessibleIDs()
@@ -171,7 +171,7 @@ rule W1 deny write //experimental
 	if err := sys.Load(hospital.Document()); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := sys.Annotate(); err != nil {
+	if _, err := sys.Annotate(); err != nil {
 		t.Fatal(err)
 	}
 	// Allowed by the allow default.

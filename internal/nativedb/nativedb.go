@@ -25,6 +25,9 @@ import (
 type Store struct {
 	mu   sync.RWMutex
 	docs map[string]*xmltree.Document
+
+	// m is the metrics attachment (see observe.go); nil when disabled.
+	m *storeMetrics
 }
 
 // OpenStore creates an empty store.
@@ -143,24 +146,20 @@ func Combine(op SetOp, exprs ...*SetExpr) *SetExpr {
 // EvalSet evaluates a set expression on a document, returning the node set
 // in document order.
 func EvalSet(e *SetExpr, doc *xmltree.Document) ([]*xmltree.Node, error) {
-	set, err := evalSet(e, doc)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]*xmltree.Node, 0, len(set))
-	for n := range set {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out, nil
+	return EvalSetStats(e, doc, nil)
 }
 
-func evalSet(e *SetExpr, doc *xmltree.Document) (map[*xmltree.Node]bool, error) {
+// sortNodes orders a node slice by universal identifier (document order).
+func sortNodes(out []*xmltree.Node) {
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+}
+
+func evalSetStats(e *SetExpr, doc *xmltree.Document, st *xpath.EvalStats) (map[*xmltree.Node]bool, error) {
 	if e == nil {
 		return map[*xmltree.Node]bool{}, nil
 	}
 	if e.Path != nil {
-		nodes, err := xpath.Eval(e.Path, doc)
+		nodes, err := xpath.EvalWithStats(e.Path, doc, st)
 		if err != nil {
 			return nil, err
 		}
@@ -170,11 +169,11 @@ func evalSet(e *SetExpr, doc *xmltree.Document) (map[*xmltree.Node]bool, error) 
 		}
 		return set, nil
 	}
-	l, err := evalSet(e.Left, doc)
+	l, err := evalSetStats(e.Left, doc, st)
 	if err != nil {
 		return nil, err
 	}
-	r, err := evalSet(e.Right, doc)
+	r, err := evalSetStats(e.Right, doc, st)
 	if err != nil {
 		return nil, err
 	}

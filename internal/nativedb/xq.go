@@ -68,15 +68,30 @@ func (s *Store) Run(q *XQuery) (*Result, error) {
 	if doc == nil {
 		return nil, fmt.Errorf("nativedb: no document %q", q.DocName)
 	}
+	m := s.metrics()
+	if m != nil {
+		m.queries.Inc()
+	}
 	switch q.Kind {
 	case XQClear:
 		n := doc.Size()
 		doc.ClearSigns()
+		if m != nil {
+			m.annotated.Add(int64(n))
+		}
 		return &Result{Count: n}, nil
 	case XQSelect, XQCount, XQAnnotate:
-		nodes, err := EvalSet(q.Expr, doc)
+		var st *xpath.EvalStats
+		if m != nil {
+			st = &xpath.EvalStats{}
+		}
+		nodes, err := EvalSetStats(q.Expr, doc, st)
 		if err != nil {
 			return nil, err
+		}
+		if m != nil {
+			m.visited.Add(int64(st.Visited))
+			m.matched.Add(int64(len(nodes)))
 		}
 		switch q.Kind {
 		case XQSelect:
@@ -86,6 +101,9 @@ func (s *Store) Run(q *XQuery) (*Result, error) {
 		default:
 			for _, n := range nodes {
 				Annotate(n, q.Sign)
+			}
+			if m != nil {
+				m.annotated.Add(int64(len(nodes)))
 			}
 			return &Result{Count: len(nodes)}, nil
 		}

@@ -1,0 +1,351 @@
+// Package obs is the zero-dependency observability layer of the
+// reproduction: hierarchical trace spans, a metrics registry (counters,
+// gauges, fixed-bucket latency histograms) and a pluggable sink, so the
+// per-phase timings the evaluation figures aggregate (parse vs plan vs
+// join vs UPDATE, trigger selection vs scope re-annotation) can be
+// attributed instead of folded into one wall-clock number.
+//
+// Everything degrades to a no-op on nil receivers: a nil *Tracer starts
+// nil spans, and every method on a nil *Span, *Counter, *Gauge or
+// *Histogram returns immediately, so instrumented code pays only a nil
+// check when observation is disabled.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one timed region of work. Spans form a tree: children are
+// created with Start and every span is closed exactly once with Finish
+// (later Finishes are no-ops). A finished root span is delivered to the
+// tracer's sink.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	duration time.Duration
+	attrs    []Attr
+	children []*Span
+	finished bool
+	sink     Sink // set on root spans only
+}
+
+// Tracer creates root spans and routes them to a sink when finished. A
+// nil tracer is valid and produces nil (no-op) spans.
+type Tracer struct {
+	sink Sink
+}
+
+// NewTracer returns a tracer delivering finished root spans to sink.
+func NewTracer(sink Sink) *Tracer { return &Tracer{sink: sink} }
+
+// Start begins a root span. Returns nil (a no-op span) on a nil tracer.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{name: name, start: time.Now(), sink: t.sink}
+}
+
+// Start begins a child span under parent. A nil parent yields a nil
+// (no-op) span, so instrumented code needs no enabled-checks.
+func Start(parent *Span, name string) *Span {
+	if parent == nil {
+		return nil
+	}
+	child := &Span{name: name, start: time.Now()}
+	parent.mu.Lock()
+	parent.children = append(parent.children, child)
+	parent.mu.Unlock()
+	return child
+}
+
+// SetAttr records a key/value annotation and returns the span for
+// chaining. No-op on nil.
+func (s *Span) SetAttr(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+	return s
+}
+
+// Finish closes the span and returns its duration. The first call wins:
+// finishing twice neither restarts the clock nor re-emits to the sink.
+func (s *Span) Finish() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	var sink Sink
+	if !s.finished {
+		s.finished = true
+		s.duration = time.Since(s.start)
+		sink = s.sink
+	}
+	d := s.duration
+	s.mu.Unlock()
+	if sink != nil {
+		sink.Emit(s)
+	}
+	return d
+}
+
+// Name returns the span name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the finished duration (elapsed time when still open).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.finished {
+		return time.Since(s.start)
+	}
+	return s.duration
+}
+
+// Finished reports whether Finish has been called.
+func (s *Span) Finished() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.finished
+}
+
+// Children returns the direct child spans, in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Attrs returns the recorded attributes, in insertion order.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Attr returns the value of the named attribute, or nil.
+func (s *Span) Attr(key string) any {
+	for _, a := range s.Attrs() {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return nil
+}
+
+// Child returns the first direct child with the given name, or nil.
+func (s *Span) Child(name string) *Span {
+	for _, c := range s.Children() {
+		if c.Name() == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Render writes the span tree in a box-drawing layout:
+//
+//	annotate 12.3ms updated=37 reset=420
+//	├─ reset-signs 2.1ms
+//	└─ apply-updates 9.9ms
+func (s *Span) Render(w io.Writer) {
+	if s == nil {
+		return
+	}
+	renderSpan(w, s, "", "")
+}
+
+// Tree returns Render's output as a string.
+func (s *Span) Tree() string {
+	var b strings.Builder
+	s.Render(&b)
+	return b.String()
+}
+
+func renderSpan(w io.Writer, s *Span, prefix, childPrefix string) {
+	fmt.Fprintf(w, "%s%s %s", prefix, s.Name(), fmtDuration(s.Duration()))
+	for _, a := range s.Attrs() {
+		fmt.Fprintf(w, " %s=%v", a.Key, a.Value)
+	}
+	fmt.Fprintln(w)
+	children := s.Children()
+	for i, c := range children {
+		if i == len(children)-1 {
+			renderSpan(w, c, childPrefix+"└─ ", childPrefix+"   ")
+		} else {
+			renderSpan(w, c, childPrefix+"├─ ", childPrefix+"│  ")
+		}
+	}
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// Sink receives finished root spans.
+type Sink interface {
+	Emit(root *Span)
+}
+
+// Collector is a Sink that retains every emitted root span; tests assert
+// on the collected trees.
+type Collector struct {
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(root *Span) {
+	c.mu.Lock()
+	c.roots = append(c.roots, root)
+	c.mu.Unlock()
+}
+
+// Roots returns the collected root spans in emission order.
+func (c *Collector) Roots() []*Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Span(nil), c.roots...)
+}
+
+// Root returns the most recently emitted root with the given name, or nil.
+func (c *Collector) Root(name string) *Span {
+	roots := c.Roots()
+	for i := len(roots) - 1; i >= 0; i-- {
+		if roots[i].Name() == name {
+			return roots[i]
+		}
+	}
+	return nil
+}
+
+// Reset drops all collected spans.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.roots = nil
+	c.mu.Unlock()
+}
+
+// RenderSink is a Sink that renders each finished root span tree to W —
+// the `xmlac -trace` output.
+type RenderSink struct {
+	mu sync.Mutex
+	W  io.Writer
+}
+
+// Emit implements Sink.
+func (p *RenderSink) Emit(root *Span) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	root.Render(p.W)
+}
+
+// Phase is one named stage of a pipeline operation with its duration —
+// the flat counterpart of a span, carried on result statistics so a
+// breakdown is available even when tracing is off.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Phases is an ordered phase breakdown.
+type Phases []Phase
+
+// Add appends a phase.
+func (ps *Phases) Add(name string, d time.Duration) {
+	*ps = append(*ps, Phase{Name: name, Duration: d})
+}
+
+// Total sums all phase durations.
+func (ps Phases) Total() time.Duration {
+	var t time.Duration
+	for _, p := range ps {
+		t += p.Duration
+	}
+	return t
+}
+
+// Get returns the summed duration of the named phase and whether it
+// occurred.
+func (ps Phases) Get(name string) (time.Duration, bool) {
+	var t time.Duration
+	found := false
+	for _, p := range ps {
+		if p.Name == name {
+			t += p.Duration
+			found = true
+		}
+	}
+	return t, found
+}
+
+// Names lists the phase names in order, deduplicated.
+func (ps Phases) Names() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range ps {
+		if !seen[p.Name] {
+			seen[p.Name] = true
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// String renders "name=dur name=dur …".
+func (ps Phases) String() string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.Name + "=" + fmtDuration(p.Duration)
+	}
+	return strings.Join(parts, " ")
+}
+
+// sortedKeys is shared by the exposition formats.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeStructure(t *testing.T) {
+	var sink Collector
+	tr := NewTracer(&sink)
+
+	root := tr.Start("annotate")
+	root.SetAttr("backend", "pgsim")
+	a := Start(root, "reset-signs")
+	a.SetAttr("rows", 42)
+	a.Finish()
+	b := Start(root, "apply-updates")
+	c := Start(b, "update-table")
+	c.Finish()
+	b.Finish()
+	root.Finish()
+
+	roots := sink.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("collected %d roots, want 1", len(roots))
+	}
+	got := roots[0]
+	if got.Name() != "annotate" {
+		t.Fatalf("root name = %q", got.Name())
+	}
+	if v := got.Attr("backend"); v != "pgsim" {
+		t.Fatalf("root attr backend = %v", v)
+	}
+	kids := got.Children()
+	if len(kids) != 2 || kids[0].Name() != "reset-signs" || kids[1].Name() != "apply-updates" {
+		t.Fatalf("children = %v", kids)
+	}
+	if v := kids[0].Attr("rows"); v != 42 {
+		t.Fatalf("reset-signs attr rows = %v", v)
+	}
+	if sub := kids[1].Child("update-table"); sub == nil || !sub.Finished() {
+		t.Fatalf("nested child missing or unfinished: %v", sub)
+	}
+	tree := got.Tree()
+	for _, want := range []string{"annotate", "├─ reset-signs", "└─ apply-updates", "   └─ update-table"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree output missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+func TestSpanDoubleFinish(t *testing.T) {
+	var sink Collector
+	tr := NewTracer(&sink)
+	sp := tr.Start("op")
+	d1 := sp.Finish()
+	time.Sleep(2 * time.Millisecond)
+	d2 := sp.Finish()
+	if d1 != d2 {
+		t.Fatalf("second Finish changed duration: %v → %v", d1, d2)
+	}
+	if n := len(sink.Roots()); n != 1 {
+		t.Fatalf("double Finish emitted %d times, want 1", n)
+	}
+}
+
+func TestNilSpanAndTracerAreNoops(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	// None of these may panic.
+	child := Start(sp, "y")
+	child.SetAttr("k", "v").Finish()
+	sp.Finish()
+	if sp.Tree() != "" || sp.Name() != "" || sp.Duration() != 0 {
+		t.Fatal("nil span is not inert")
+	}
+}
+
+func TestPhases(t *testing.T) {
+	var ps Phases
+	ps.Add("parse", 2*time.Millisecond)
+	ps.Add("exec", 3*time.Millisecond)
+	ps.Add("parse", 1*time.Millisecond)
+	if ps.Total() != 6*time.Millisecond {
+		t.Fatalf("Total = %v", ps.Total())
+	}
+	if d, ok := ps.Get("parse"); !ok || d != 3*time.Millisecond {
+		t.Fatalf("Get(parse) = %v, %v", d, ok)
+	}
+	if _, ok := ps.Get("missing"); ok {
+		t.Fatal("Get(missing) found")
+	}
+	names := ps.Names()
+	if len(names) != 2 || names[0] != "parse" || names[1] != "exec" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", 0.001, 0.01, 0.1)
+	// Exactly on a bound counts into that bucket (le semantics);
+	// just above it spills into the next.
+	h.Observe(0.001)
+	h.Observe(0.0011)
+	h.Observe(0.05)
+	h.Observe(5) // overflow → +Inf only
+	s := r.Snapshot().Histograms["lat_seconds"]
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	wantCum := []uint64{1, 2, 3, 4} // le=0.001, 0.01, 0.1, +Inf
+	if len(s.Buckets) != 4 {
+		t.Fatalf("bucket count = %d, want 4", len(s.Buckets))
+	}
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d (le=%g): count %d, want %d", i, b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(s.Buckets[3].UpperBound, 1) {
+		t.Errorf("last bucket bound = %g, want +Inf", s.Buckets[3].UpperBound)
+	}
+	if got := s.Sum; math.Abs(got-5.0521) > 1e-9 {
+		t.Errorf("sum = %g", got)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sqldb_statements_total").Add(7)
+	r.Gauge("coverage_ratio").Set(0.25)
+	h := r.Histogram("sqldb_exec_seconds", 0.01, 0.1)
+	h.Observe(0.005)
+	h.Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := strings.Join([]string{
+		"# TYPE sqldb_statements_total counter",
+		"sqldb_statements_total 7",
+		"# TYPE coverage_ratio gauge",
+		"coverage_ratio 0.25",
+		"# TYPE sqldb_exec_seconds histogram",
+		`sqldb_exec_seconds_bucket{le="0.01"} 1`,
+		`sqldb_exec_seconds_bucket{le="0.1"} 1`,
+		`sqldb_exec_seconds_bucket{le="+Inf"} 2`,
+		"sqldb_exec_seconds_sum 0.505",
+		"sqldb_exec_seconds_count 2",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("prometheus text:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(1)
+	r.Histogram("c").Observe(1)
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestRegistryJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n").Add(3)
+	r.Histogram("h", 0.1, 1).Observe(5) // lands in the +Inf bucket
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"n": 3`) {
+		t.Errorf("JSON missing counter: %s", b.String())
+	}
+	if !strings.Contains(b.String(), `"le": "+Inf"`) {
+		t.Errorf("JSON missing +Inf bucket: %s", b.String())
+	}
+}

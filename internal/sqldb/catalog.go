@@ -2,9 +2,11 @@ package sqldb
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Engine selects the physical storage layout of a database.
@@ -92,6 +94,11 @@ type Database struct {
 
 	// stats
 	stmtCount uint64
+
+	// observability (see observe.go); all nil/zero when disabled.
+	m          *dbMetrics
+	slowLog    io.Writer
+	slowThresh time.Duration
 }
 
 // Open creates an empty database with the given storage engine.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Result is the outcome of a statement: rows for queries, affected-row
@@ -17,13 +18,28 @@ type Result struct {
 	Affected int
 }
 
-// Exec parses and executes one SQL statement.
+// Exec parses and executes one SQL statement. When metrics or the
+// slow-query log are attached, the parse and execute phases are timed
+// and recorded per statement.
 func (db *Database) Exec(src string) (*Result, error) {
+	if !db.observing() {
+		st, err := ParseStatement(src)
+		if err != nil {
+			return nil, err
+		}
+		return db.ExecStmt(st)
+	}
+	parseStart := time.Now()
 	st, err := ParseStatement(src)
+	parseD := time.Since(parseStart)
 	if err != nil {
+		db.observeStatement(src, nil, parseD, 0, err)
 		return nil, err
 	}
-	return db.ExecStmt(st)
+	execStart := time.Now()
+	res, err := db.ExecStmt(st)
+	db.observeStatement(src, res, parseD, time.Since(execStart), err)
+	return res, err
 }
 
 // ExecStmt executes a parsed statement.
@@ -65,7 +81,9 @@ func (db *Database) ExecStmt(st Statement) (*Result, error) {
 	case *Query:
 		db.mu.RLock()
 		defer db.mu.RUnlock()
-		return db.execQuery(s)
+		return db.execQuery(s, nil)
+	case *ExplainStmt:
+		return db.explain(s)
 	case *BeginStmt:
 		return &Result{}, db.Begin()
 	case *CommitStmt:
@@ -207,8 +225,8 @@ type planPred struct {
 	applied              bool
 }
 
-func (db *Database) execQuery(q *Query) (*Result, error) {
-	res, hidden, err := db.execWithSortColumns(q)
+func (db *Database) execQuery(q *Query, rec *planRec) (*Result, error) {
+	res, hidden, err := db.execWithSortColumns(q, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -234,9 +252,9 @@ func (db *Database) execQuery(q *Query) (*Result, error) {
 // see them. It returns how many were appended. DISTINCT queries cannot be
 // augmented (hidden columns would change the duplicate elimination), nor
 // can compound queries — there ORDER BY must name output columns.
-func (db *Database) execWithSortColumns(q *Query) (*Result, int, error) {
+func (db *Database) execWithSortColumns(q *Query, rec *planRec) (*Result, int, error) {
 	if q.Simple == nil || len(q.OrderBy) == 0 || q.Simple.Star || q.Simple.CountStar || q.Simple.Distinct {
-		res, err := db.execQueryBody(q)
+		res, err := db.execQueryBody(q, rec)
 		return res, 0, err
 	}
 	outNames := make([]string, len(q.Simple.Columns))
@@ -255,12 +273,12 @@ func (db *Database) execWithSortColumns(q *Query) (*Result, int, error) {
 		outNames = append(outNames, k.Column)
 	}
 	if len(extras) == 0 {
-		res, err := db.execQueryBody(q)
+		res, err := db.execQueryBody(q, rec)
 		return res, 0, err
 	}
 	aug := *q.Simple
 	aug.Columns = append(append([]ColRef{}, q.Simple.Columns...), extras...)
-	res, err := db.execSelect(&aug)
+	res, err := db.execSelect(&aug, rec)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -352,20 +370,23 @@ func compareForSort(a, b Value) (int, bool) {
 	return 0, true
 }
 
-func (db *Database) execQueryBody(q *Query) (*Result, error) {
+func (db *Database) execQueryBody(q *Query, rec *planRec) (*Result, error) {
 	if q.Simple != nil {
-		return db.execSelect(q.Simple)
+		return db.execSelect(q.Simple, rec)
 	}
 	// Children go through execQuery so parenthesized sub-queries honor
 	// their own ORDER BY / LIMIT clauses.
-	left, err := db.execQuery(q.Left)
+	rec.linef("%s", q.Op)
+	rec.push()
+	left, err := db.execQuery(q.Left, rec)
 	if err != nil {
 		return nil, err
 	}
-	right, err := db.execQuery(q.Right)
+	right, err := db.execQuery(q.Right, rec)
 	if err != nil {
 		return nil, err
 	}
+	rec.pop()
 	if len(left.Columns) != len(right.Columns) {
 		return nil, fmt.Errorf("sqldb: %s operands have %d and %d columns",
 			q.Op, len(left.Columns), len(right.Columns))
@@ -421,7 +442,11 @@ func (db *Database) execQueryBody(q *Query) (*Result, error) {
 	return out, nil
 }
 
-func (db *Database) execSelect(s *SelectStmt) (*Result, error) {
+func (db *Database) execSelect(s *SelectStmt, rec *planRec) (*Result, error) {
+	var planStart time.Time
+	if db.m != nil {
+		planStart = time.Now()
+	}
 	b, err := db.bind(s.From)
 	if err != nil {
 		return nil, err
@@ -443,8 +468,11 @@ func (db *Database) execSelect(s *SelectStmt) (*Result, error) {
 		}
 		preds = append(preds, pp)
 	}
+	if db.m != nil {
+		db.m.planSeconds.ObserveDuration(time.Since(planStart))
+	}
 
-	tuples, err := db.joinPlan(b, preds)
+	tuples, err := db.joinPlan(b, preds, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -512,16 +540,17 @@ func (db *Database) execSelect(s *SelectStmt) (*Result, error) {
 // joinPlan materializes the join of all FROM items as rid tuples, using
 // greedy hash joins over equality predicates, with base-table filter
 // pushdown and primary-key point lookups.
-func (db *Database) joinPlan(b *binding, preds []*planPred) ([][]int, error) {
+func (db *Database) joinPlan(b *binding, preds []*planPred, rec *planRec) ([][]int, error) {
 	n := len(b.items)
 	// Base rid lists with single-alias predicates pushed down.
 	base := make([][]int, n)
 	for i := range b.items {
-		rids, err := db.baseScan(b, i, preds)
+		rids, desc, err := db.baseScan(b, i, preds)
 		if err != nil {
 			return nil, err
 		}
 		base[i] = rids
+		rec.linef("scan %s (%s): %s → %d rows", b.items[i].Alias, b.items[i].Table, desc, len(rids))
 	}
 
 	bound := make([]bool, n)
@@ -544,7 +573,10 @@ func (db *Database) joinPlan(b *binding, preds []*planPred) ([][]int, error) {
 		tu[start] = rid
 		tuples = append(tuples, tu)
 	}
-	tuples = applyReadyPreds(b, preds, bound, tuples)
+	if n > 1 {
+		rec.linef("join: start %s → %d tuples", b.items[start].Alias, len(tuples))
+	}
+	tuples = applyReadyPreds(b, preds, bound, tuples, rec)
 
 	for len(order) < n {
 		// Choose the next unbound alias that shares an unapplied equi-join
@@ -587,20 +619,46 @@ func (db *Database) joinPlan(b *binding, preds []*planPred) ([][]int, error) {
 			joinOn = nil
 		}
 		tuples = hashJoin(b, tuples, base[next], next, joinOn)
+		if len(joinOn) > 0 {
+			rec.linef("join: hash %s on %s → %d tuples", b.items[next].Alias, predNames(joinOn), len(tuples))
+		} else {
+			rec.linef("join: cross %s → %d tuples", b.items[next].Alias, len(tuples))
+		}
+		if db.m != nil {
+			db.m.joinTuples.Add(int64(len(tuples)))
+		}
 		bound[next] = true
 		order = append(order, next)
 		for _, pp := range joinOn {
 			pp.applied = true
 		}
-		tuples = applyReadyPreds(b, preds, bound, tuples)
+		tuples = applyReadyPreds(b, preds, bound, tuples, rec)
+	}
+	if rec != nil && n > 1 {
+		names := make([]string, n)
+		for i, a := range order {
+			names[i] = b.items[a].Alias
+		}
+		rec.linef("join order: %s", strings.Join(names, ", "))
 	}
 	return tuples, nil
 }
 
 // baseScan returns the rids of one relation with its single-alias predicates
-// applied. A primary-key equality against a literal becomes an index point
-// lookup; a single-column filter uses the engine's column scan path.
-func (db *Database) baseScan(b *binding, alias int, preds []*planPred) ([]int, error) {
+// applied, plus a description of the access path chosen for plan output.
+// A primary-key equality against a literal becomes an index point lookup; a
+// single-column filter uses the engine's column scan path.
+func (db *Database) baseScan(b *binding, alias int, preds []*planPred) ([]int, string, error) {
+	rids, desc, scanned, err := db.baseScanPath(b, alias, preds)
+	if err == nil && db.m != nil {
+		db.m.rowsScanned.Add(int64(scanned))
+	}
+	return rids, desc, err
+}
+
+// baseScanPath chooses and runs the access path; scanned is how many rows
+// (or index keys) were examined, which the metrics layer accumulates.
+func (db *Database) baseScanPath(b *binding, alias int, preds []*planPred) (rids []int, desc string, scanned int, err error) {
 	t := b.tables[alias]
 	// Collect local predicates: left column on this alias, right a literal
 	// (or IN list).
@@ -613,7 +671,6 @@ func (db *Database) baseScan(b *binding, alias int, preds []*planPred) ([]int, e
 	// IN-list lookup via primary key index.
 	for _, pp := range local {
 		if pp.src.In != nil && t.pkCol == pp.leftCol && t.pkIndex != nil {
-			var rids []int
 			seen := map[int]bool{}
 			for _, v := range pp.src.In {
 				cv, err := coerce(v, t.Columns[t.pkCol].Type)
@@ -626,24 +683,25 @@ func (db *Database) baseScan(b *binding, alias int, preds []*planPred) ([]int, e
 				}
 			}
 			pp.applied = true
-			return filterRids(t, rids, local, pp), nil
+			desc = fmt.Sprintf("pk index IN-lookup (%d keys)", len(pp.src.In))
+			return filterRids(t, rids, local, pp), desc, len(pp.src.In), nil
 		}
 	}
 	// Point lookup via primary key index.
 	for _, pp := range local {
 		if pp.src.In == nil && pp.src.Op == CmpEq && t.pkCol == pp.leftCol && t.pkIndex != nil {
+			desc = "pk index point lookup"
 			lit, err := coerce(pp.src.Right.Lit, t.Columns[t.pkCol].Type)
 			if err != nil {
-				return nil, nil //nolint:nilerr // untypable key matches nothing
+				return nil, desc, 0, nil //nolint:nilerr // untypable key matches nothing
 			}
 			pp.applied = true
 			rid, ok := t.pkIndex.lookup(lit.key())
-			var rids []int
 			if ok && t.store.live(rid) {
 				rids = []int{rid}
 			}
 			// Remaining local predicates still apply.
-			return filterRids(t, rids, local, pp), nil
+			return filterRids(t, rids, local, pp), desc, 1, nil
 		}
 	}
 	// Equality against a constant through a registered secondary index.
@@ -657,20 +715,19 @@ func (db *Database) baseScan(b *binding, alias int, preds []*planPred) ([]int, e
 			if err != nil {
 				continue
 			}
-			var rids []int
 			for _, rid := range ix.lookup(lit) {
 				if t.store.live(rid) {
 					rids = append(rids, rid)
 				}
 			}
 			pp.applied = true
-			return filterRids(t, rids, local, pp), nil
+			desc = fmt.Sprintf("secondary index on %s", t.Columns[pp.leftCol].Name)
+			return filterRids(t, rids, local, pp), desc, len(rids), nil
 		}
 	}
 	if len(local) == 1 && local[0].src.In == nil {
 		// Single-column filter: use the engine's column scan.
 		pp := local[0]
-		var rids []int
 		t.store.scanColumn(pp.leftCol, func(rid int, v Value) bool {
 			if v.Compare(pp.src.Op, pp.src.Right.Lit) {
 				rids = append(rids, rid)
@@ -678,9 +735,9 @@ func (db *Database) baseScan(b *binding, alias int, preds []*planPred) ([]int, e
 			return true
 		})
 		pp.applied = true
-		return rids, nil
+		desc = fmt.Sprintf("column scan on %s", t.Columns[pp.leftCol].Name)
+		return rids, desc, t.RowCount(), nil
 	}
-	var rids []int
 	t.store.scan(func(rid int) bool {
 		ok := true
 		for _, pp := range local {
@@ -697,7 +754,12 @@ func (db *Database) baseScan(b *binding, alias int, preds []*planPred) ([]int, e
 	for _, pp := range local {
 		pp.applied = true
 	}
-	return rids, nil
+	if len(local) > 0 {
+		desc = fmt.Sprintf("full scan (%d filters)", len(local))
+	} else {
+		desc = "full scan"
+	}
+	return rids, desc, t.RowCount(), nil
 }
 
 func filterRids(t *Table, rids []int, local []*planPred, skip *planPred) []int {
@@ -803,7 +865,7 @@ func hashJoin(b *binding, tuples [][]int, rids []int, next int, on []*planPred) 
 
 // applyReadyPreds filters tuples by every unapplied predicate whose aliases
 // are all bound.
-func applyReadyPreds(b *binding, preds []*planPred, bound []bool, tuples [][]int) [][]int {
+func applyReadyPreds(b *binding, preds []*planPred, bound []bool, tuples [][]int, rec *planRec) [][]int {
 	var ready []*planPred
 	for _, pp := range preds {
 		if pp.applied {
@@ -837,6 +899,7 @@ func applyReadyPreds(b *binding, preds []*planPred, bound []bool, tuples [][]int
 			out = append(out, tu)
 		}
 	}
+	rec.linef("filter: %s → %d tuples", predNames(ready), len(out))
 	return out
 }
 

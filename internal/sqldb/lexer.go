@@ -36,6 +36,7 @@ var sqlKeywords = map[string]bool{
 	"NULL": true, "IN": true, "COUNT": true, "AS": true,
 	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "DISTINCT": true,
 	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "LIMIT": true,
+	"EXPLAIN": true,
 }
 
 type sqlLexer struct {

@@ -1,0 +1,167 @@
+package sqldb
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"xmlac/internal/obs"
+)
+
+// Per-statement instrumentation: parse/plan/exec phase timings, operator
+// row counters, a threshold-based slow-query log, and the EXPLAIN
+// statement that surfaces the greedy planner's decisions. All of it is
+// off until SetMetrics/SetSlowQueryLog are called; the instrumented paths
+// pay only nil checks otherwise.
+
+// dbMetrics caches the engine's metric handles so the per-statement hot
+// path does not hit the registry's map.
+type dbMetrics struct {
+	statements   *obs.Counter
+	rowsReturned *obs.Counter
+	rowsScanned  *obs.Counter
+	joinTuples   *obs.Counter
+	slowQueries  *obs.Counter
+	parseSeconds *obs.Histogram
+	planSeconds  *obs.Histogram
+	execSeconds  *obs.Histogram
+}
+
+// SetMetrics attaches a metrics registry to the database. Statement
+// execution then feeds the sqldb_* counters and histograms; nil detaches.
+func (db *Database) SetMetrics(r *obs.Registry) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if r == nil {
+		db.m = nil
+		return
+	}
+	db.m = &dbMetrics{
+		statements:   r.Counter("sqldb_statements_total"),
+		rowsReturned: r.Counter("sqldb_rows_returned_total"),
+		rowsScanned:  r.Counter("sqldb_rows_scanned_total"),
+		joinTuples:   r.Counter("sqldb_join_tuples_total"),
+		slowQueries:  r.Counter("sqldb_slow_queries_total"),
+		parseSeconds: r.Histogram("sqldb_parse_seconds"),
+		planSeconds:  r.Histogram("sqldb_plan_seconds"),
+		execSeconds:  r.Histogram("sqldb_exec_seconds"),
+	}
+}
+
+// SetSlowQueryLog enables the slow-query log: every statement whose
+// parse+execute time reaches threshold writes one line to w. A nil
+// writer or non-positive threshold disables it.
+func (db *Database) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if w == nil || threshold <= 0 {
+		db.slowLog = nil
+		db.slowThresh = 0
+		return
+	}
+	db.slowLog = w
+	db.slowThresh = threshold
+}
+
+// observing reports whether Exec must take timestamps at all.
+func (db *Database) observing() bool { return db.m != nil || db.slowLog != nil }
+
+// observeStatement records one executed statement's phase timings and, if
+// it was slow, appends a slow-query log line:
+//
+//	slow-query dur=1.21ms parse=8µs exec=1.2ms rows=42 affected=0 stmt="SELECT …"
+func (db *Database) observeStatement(src string, res *Result, parseD, execD time.Duration, err error) {
+	if m := db.m; m != nil {
+		m.statements.Inc()
+		m.parseSeconds.ObserveDuration(parseD)
+		m.execSeconds.ObserveDuration(execD)
+		if res != nil {
+			m.rowsReturned.Add(int64(len(res.Rows)))
+		}
+	}
+	total := parseD + execD
+	if db.slowLog == nil || total < db.slowThresh {
+		return
+	}
+	if db.m != nil {
+		db.m.slowQueries.Inc()
+	}
+	rows, affected := 0, 0
+	if res != nil {
+		rows, affected = len(res.Rows), res.Affected
+	}
+	status := ""
+	if err != nil {
+		status = " error=" + fmt.Sprintf("%q", err.Error())
+	}
+	fmt.Fprintf(db.slowLog, "slow-query dur=%v parse=%v exec=%v rows=%d affected=%d%s stmt=%q\n",
+		total, parseD, execD, rows, affected, status, truncate(strings.Join(strings.Fields(src), " "), 200))
+}
+
+// ExplainStmt is EXPLAIN <statement>: execute the inner query with the
+// planner's decision recorder attached and return the plan as rows of
+// text. (The greedy planner chooses join orders from observed relation
+// sizes at run time, so EXPLAIN here is an "explain analyze": the plan
+// lines report the actual access paths and row counts.)
+type ExplainStmt struct {
+	Stmt Statement
+}
+
+func (*ExplainStmt) stmt() {}
+
+// planRec records the planner's decisions while a query executes; nil
+// recorders are no-ops, which is the non-EXPLAIN path.
+type planRec struct {
+	indent int
+	lines  []string
+}
+
+func (r *planRec) linef(format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.lines = append(r.lines, strings.Repeat("  ", r.indent)+fmt.Sprintf(format, args...))
+}
+
+func (r *planRec) push() {
+	if r != nil {
+		r.indent++
+	}
+}
+
+func (r *planRec) pop() {
+	if r != nil {
+		r.indent--
+	}
+}
+
+// explain runs EXPLAIN for a parsed inner statement.
+func (db *Database) explain(st *ExplainStmt) (*Result, error) {
+	q, ok := st.Stmt.(*Query)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: EXPLAIN supports SELECT queries, not %T", st.Stmt)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rec := &planRec{}
+	res, err := db.execQuery(q, rec)
+	if err != nil {
+		return nil, err
+	}
+	rec.linef("output: %d rows", len(res.Rows))
+	out := &Result{Columns: []string{"plan"}}
+	for _, l := range rec.lines {
+		out.Rows = append(out.Rows, []Value{NewText(l)})
+	}
+	return out, nil
+}
+
+// predNames renders a predicate list for plan lines.
+func predNames(on []*planPred) string {
+	parts := make([]string, len(on))
+	for i, pp := range on {
+		parts[i] = pp.src.String()
+	}
+	return strings.Join(parts, " and ")
+}

@@ -87,6 +87,16 @@ func (p *sqlParser) ident() (string, error) {
 
 func (p *sqlParser) parseStatement() (Statement, error) {
 	switch t := p.cur(); {
+	case t.kind == sqlTokKeyword && t.text == "EXPLAIN":
+		p.advance()
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if _, nested := inner.(*ExplainStmt); nested {
+			return nil, p.errf("EXPLAIN cannot be nested")
+		}
+		return &ExplainStmt{Stmt: inner}, nil
 	case t.kind == sqlTokKeyword && t.text == "CREATE":
 		return p.parseCreate()
 	case t.kind == sqlTokKeyword && t.text == "INSERT":

@@ -14,6 +14,25 @@ import (
 // document node above the root element, so //a matches the root element
 // itself when it is labeled a.
 func Eval(p *Path, doc *xmltree.Document) ([]*xmltree.Node, error) {
+	return EvalWithStats(p, doc, nil)
+}
+
+// EvalStats counts the work one evaluation performed: Visited is how many
+// candidate nodes were examined against a step's node test along the main
+// path (qualifier sub-evaluations are not counted). A nil *EvalStats is
+// accepted everywhere and counts nothing.
+type EvalStats struct {
+	Visited int
+}
+
+func (st *EvalStats) visit() {
+	if st != nil {
+		st.Visited++
+	}
+}
+
+// EvalWithStats is Eval with an optional work counter.
+func EvalWithStats(p *Path, doc *xmltree.Document, st *EvalStats) ([]*xmltree.Node, error) {
 	if !p.Absolute {
 		return nil, fmt.Errorf("xpath: Eval requires an absolute path, got %q", p.String())
 	}
@@ -26,15 +45,16 @@ func Eval(p *Path, doc *xmltree.Document) ([]*xmltree.Node, error) {
 	// descendants are the root element and everything below it.
 	switch first.Axis {
 	case Child:
+		st.visit()
 		if matchTest(doc.Root(), first.Test) && holdPreds(doc.Root(), first.Preds) {
 			cur[doc.Root()] = true
 		}
 	case Descendant:
-		collectSelfOrDescendants(doc.Root(), first.Test, first.Preds, cur)
+		collectSelfOrDescendants(doc.Root(), first.Test, first.Preds, cur, st)
 	default:
 		return nil, fmt.Errorf("xpath: unexpected axis in absolute path")
 	}
-	out, err := evalSteps(p.Steps[1:], cur)
+	out, err := evalSteps(p.Steps[1:], cur, st)
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +72,7 @@ func EvalFrom(p *Path, ctx *xmltree.Node) ([]*xmltree.Node, error) {
 		return []*xmltree.Node{ctx}, nil
 	}
 	cur := map[*xmltree.Node]bool{ctx: true}
-	out, err := evalSteps(p.Steps, cur)
+	out, err := evalSteps(p.Steps, cur, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -74,22 +94,24 @@ func Matches(p *Path, doc *xmltree.Document, n *xmltree.Node) (bool, error) {
 	return false, nil
 }
 
-func evalSteps(steps []*Step, cur map[*xmltree.Node]bool) (map[*xmltree.Node]bool, error) {
+func evalSteps(steps []*Step, cur map[*xmltree.Node]bool, st *EvalStats) (map[*xmltree.Node]bool, error) {
 	for _, s := range steps {
 		next := map[*xmltree.Node]bool{}
 		for n := range cur {
 			switch s.Axis {
 			case Child:
 				for _, c := range n.ChildElements() {
+					st.visit()
 					if matchTest(c, s.Test) && holdPreds(c, s.Preds) {
 						next[c] = true
 					}
 				}
 			case Descendant:
 				for _, c := range n.ChildElements() {
-					collectSelfOrDescendants(c, s.Test, s.Preds, next)
+					collectSelfOrDescendants(c, s.Test, s.Preds, next, st)
 				}
 			case Self:
+				st.visit()
 				if holdPreds(n, s.Preds) {
 					next[n] = true
 				}
@@ -105,15 +127,16 @@ func evalSteps(steps []*Step, cur map[*xmltree.Node]bool) (map[*xmltree.Node]boo
 
 // collectSelfOrDescendants adds n and every element descendant of n matching
 // the test and predicates into out.
-func collectSelfOrDescendants(n *xmltree.Node, test string, preds []*Pred, out map[*xmltree.Node]bool) {
+func collectSelfOrDescendants(n *xmltree.Node, test string, preds []*Pred, out map[*xmltree.Node]bool, st *EvalStats) {
 	if n.Kind != xmltree.Element {
 		return
 	}
+	st.visit()
 	if matchTest(n, test) && holdPreds(n, preds) {
 		out[n] = true
 	}
 	for _, c := range n.Children() {
-		collectSelfOrDescendants(c, test, preds, out)
+		collectSelfOrDescendants(c, test, preds, out, st)
 	}
 }
 

@@ -1,0 +1,19 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate: formatting, vet, build, tests.
+# Run from the repository root (or anywhere inside it).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...
+
+echo "check.sh: all checks passed"

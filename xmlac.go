@@ -26,7 +26,7 @@
 //	    Backend: xmlac.BackendNative, Optimize: true})
 //	doc, _ := xmlac.ParseXML(strings.NewReader(xmlText))
 //	_ = sys.Load(doc)
-//	_, _, _ = sys.Annotate()
+//	_, _ = sys.Annotate()
 //	res, err := sys.Request(xmlac.MustParseXPath("//patient/name"))
 //
 // See the examples directory for complete programs, DESIGN.md for the
@@ -38,12 +38,16 @@ import (
 
 	"xmlac/internal/core"
 	"xmlac/internal/dtd"
+	"xmlac/internal/obs"
 	"xmlac/internal/pattern"
 	"xmlac/internal/policy"
 	"xmlac/internal/xmark"
 	"xmlac/internal/xmltree"
 	"xmlac/internal/xpath"
 )
+
+// Version identifies this release of the library and its commands.
+const Version = "0.2.0"
 
 // Core model types, re-exported for the public API. See the internal
 // packages for full method documentation.
@@ -88,6 +92,19 @@ type (
 	MultiUpdateReport = core.MultiUpdateReport
 	// XMarkOptions scales the bundled XMark-like document generator.
 	XMarkOptions = xmark.Options
+	// Tracer creates trace spans; attach one via Config.Tracer to see a
+	// per-phase breakdown of annotation, re-annotation and requests.
+	Tracer = obs.Tracer
+	// Span is one timed region of a trace.
+	Span = obs.Span
+	// TraceSink receives finished root spans from a Tracer.
+	TraceSink = obs.Sink
+	// MetricsRegistry holds named counters, gauges and histograms; attach
+	// one via Config.Metrics to collect backend execution metrics.
+	MetricsRegistry = obs.Registry
+	// Phases is the flat per-stage time breakdown carried on AnnotateStats
+	// and UpdateReport, recorded whether or not a tracer is attached.
+	Phases = obs.Phases
 )
 
 // View modes.
@@ -145,6 +162,19 @@ var ErrUpdateDenied = core.ErrUpdateDenied
 // backend choice. With Config.Optimize set, redundant rules are eliminated
 // first (Section 5.1 of the paper).
 func New(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// NewTracer returns a tracer delivering finished root spans to sink.
+// Use a RenderTraceSink to print span trees as they finish.
+func NewTracer(sink TraceSink) *Tracer { return obs.NewTracer(sink) }
+
+// RenderTraceSink returns a TraceSink that renders each finished span tree
+// to w — the output behind the commands' -trace flag.
+func RenderTraceSink(w io.Writer) TraceSink { return &obs.RenderSink{W: w} }
+
+// NewMetricsRegistry returns an empty metrics registry. It renders in the
+// Prometheus text format (MetricsRegistry.WritePrometheus), as JSON
+// (WriteJSON), or over HTTP (it implements http.Handler).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // ParseXML parses an XML document into the tree model.
 func ParseXML(r io.Reader) (*Document, error) { return xmltree.Parse(r) }

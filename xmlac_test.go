@@ -37,7 +37,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 			if err := sys.Load(doc); err != nil {
 				t.Fatal(err)
 			}
-			if _, _, err := sys.Annotate(); err != nil {
+			if _, err := sys.Annotate(); err != nil {
 				t.Fatal(err)
 			}
 			// Granted request.
