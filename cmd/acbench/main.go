@@ -27,13 +27,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table3, table5, fig9, fig10, fig11, fig12, ablation or all")
-		factors = flag.String("factors", "", "comma-separated xmlgen factors (default 0.0001,0.001,0.01)")
-		seed    = flag.Uint64("seed", 1, "document generation seed")
-		updates = flag.Int("updates", 12, "number of delete updates for fig12 (0 = full workload)")
-		metrics = flag.String("metrics", "", "write the run's backend metrics as JSON to this file")
+		exp      = flag.String("exp", "all", "experiment: table3, table5, fig9, fig10, fig11, fig12, ablation or all")
+		factors  = flag.String("factors", "", "comma-separated xmlgen factors (default 0.0001,0.001,0.01)")
+		seed     = flag.Uint64("seed", 1, "document generation seed")
+		updates  = flag.Int("updates", 12, "number of delete updates for fig12 (0 = full workload)")
+		metrics  = flag.String("metrics", "", "write the run's backend metrics as JSON to this file")
+		parallel = flag.Int("parallel", 0, "annotation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
+	bench.Parallelism = *parallel
 
 	if *metrics != "" {
 		bench.Metrics = xmlac.NewMetricsRegistry()

@@ -50,6 +50,7 @@ func main() {
 		trace      = flag.Bool("trace", false, "print a span tree for each operation to stderr")
 		explain    = flag.Bool("explain", false, "print the SQL plan before each query (relational backends)")
 		slowQuery  = flag.Duration("slowquery", 0, "log SQL statements slower than this duration to stderr (0 disables)")
+		parallel   = flag.Int("parallel", 0, "annotation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		version    = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
@@ -92,7 +93,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	cfg := xmlac.Config{Schema: schema, Policy: pol, Backend: be, Optimize: *optimize}
+	cfg := xmlac.Config{Schema: schema, Policy: pol, Backend: be, Optimize: *optimize}.WithParallelism(*parallel)
 	if *trace {
 		cfg.Tracer = xmlac.NewTracer(xmlac.RenderTraceSink(os.Stderr))
 	}

@@ -424,6 +424,11 @@ func PrintFig12(w io.Writer, rows []ReannotRow) {
 // benchmark run.
 var Metrics *obs.Registry
 
+// Parallelism is the worker-pool bound for every system the harness builds:
+// 0 selects GOMAXPROCS, 1 forces the sequential reference path (cmd/acbench
+// -parallel, scripts/bench.sh's before/after comparison).
+var Parallelism int
+
 func newSystem(b core.Backend, pol *policy.Policy) (*core.System, error) {
 	return core.NewSystem(core.Config{
 		Schema:   xmark.Schema(),
@@ -431,7 +436,7 @@ func newSystem(b core.Backend, pol *policy.Policy) (*core.System, error) {
 		Backend:  b,
 		Optimize: true,
 		Metrics:  Metrics,
-	})
+	}.WithParallelism(Parallelism))
 }
 
 func fmtDur(d time.Duration) string {

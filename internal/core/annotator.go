@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"xmlac/internal/nativedb"
 	"xmlac/internal/obs"
 	"xmlac/internal/policy"
+	"xmlac/internal/pool"
 	"xmlac/internal/shred"
 	"xmlac/internal/sqldb"
 	"xmlac/internal/xmltree"
@@ -147,7 +149,16 @@ type AnnotateStats struct {
 // the annotation query. Mirroring the paper's native-store choice, only the
 // nodes on the non-default side carry explicit signs afterwards.
 func AnnotateNative(store *nativedb.Store, docName string, p *policy.Policy) (AnnotateStats, error) {
-	return annotateNative(store, docName, p, nil)
+	return annotateNative(store, docName, p, nil, nil)
+}
+
+// runnerOf adapts a pool to the native store's Runner shape; a nil pool
+// selects the sequential reference path.
+func runnerOf(pl *pool.Pool) nativedb.Runner {
+	if pl == nil {
+		return nil
+	}
+	return pl.ForEach
 }
 
 // stage runs one named pipeline stage: a span under parent when tracing,
@@ -161,7 +172,7 @@ func stage(parent *obs.Span, phases *obs.Phases, name string, f func() error) er
 	return err
 }
 
-func annotateNative(store *nativedb.Store, docName string, p *policy.Policy, parent *obs.Span) (AnnotateStats, error) {
+func annotateNative(store *nativedb.Store, docName string, p *policy.Policy, parent *obs.Span, pl *pool.Pool) (AnnotateStats, error) {
 	doc := store.Doc(docName)
 	if doc == nil {
 		return AnnotateStats{}, fmt.Errorf("core: no document %q in native store", docName)
@@ -180,7 +191,10 @@ func annotateNative(store *nativedb.Store, docName string, p *policy.Policy, par
 		return stats, nil
 	}
 	err := stage(parent, &stats.Phases, "apply-updates", func() error {
-		res, err := store.Exec(q.XQueryText(docName))
+		// The per-rule grant/deny paths of the annotation query are
+		// independent read-only XPath evaluations; the pool fans them out
+		// (see nativedb.EvalSetWith) before the sequential set-operator fold.
+		res, err := store.ExecWith(q.XQueryText(docName), runnerOf(pl))
 		if err != nil {
 			return err
 		}
@@ -196,20 +210,30 @@ func annotateNative(store *nativedb.Store, docName string, p *policy.Policy, par
 // two-phase algorithm does — iterate over all tables, intersect each
 // table's ids with S, and issue one UPDATE per matching tuple.
 func AnnotateRelational(db *sqldb.Database, m *shred.Mapping, p *policy.Policy) (AnnotateStats, error) {
-	return annotateRelational(db, m, p, nil)
+	return annotateRelational(db, m, p, nil, nil)
 }
 
-func annotateRelational(db *sqldb.Database, m *shred.Mapping, p *policy.Policy, parent *obs.Span) (AnnotateStats, error) {
+func annotateRelational(db *sqldb.Database, m *shred.Mapping, p *policy.Policy, parent *obs.Span, pl *pool.Pool) (AnnotateStats, error) {
 	stats := AnnotateStats{}
 	q := BuildAnnotationQuery(p)
 	defSign := "'" + q.Default.String() + "'"
+	tables := m.Tables()
 	if err := stage(parent, &stats.Phases, "reset-signs", func() error {
-		for _, ti := range m.Tables() {
-			res, err := db.Exec(fmt.Sprintf("UPDATE %s SET %s = %s", ti.Table, shred.SignColumn, defSign))
+		// Per-table resets touch disjoint relations; fan them out and merge
+		// the counts from index-addressed slots so the total is deterministic.
+		resets := make([]int, len(tables))
+		if err := pl.ForEach(len(tables), func(i int) error {
+			res, err := db.Exec(fmt.Sprintf("UPDATE %s SET %s = %s", tables[i].Table, shred.SignColumn, defSign))
 			if err != nil {
 				return err
 			}
-			stats.Reset += res.Affected
+			resets[i] = res.Affected
+			return nil
+		}); err != nil {
+			return err
+		}
+		for _, n := range resets {
+			stats.Reset += n
 		}
 		return nil
 	}); err != nil {
@@ -218,28 +242,101 @@ func annotateRelational(db *sqldb.Database, m *shred.Mapping, p *policy.Policy, 
 	if q.Expr == nil {
 		return stats, nil
 	}
+	// With a pool, the per-rule leaf queries of the compound annotation SQL
+	// — independent read-only SELECTs — fan out and the UNION/EXCEPT/
+	// INTERSECT operators fold over the id sets in memory, mirroring the
+	// native store's EvalSetWith. Sequentially, the compound statement runs
+	// as one round trip, the paper's literal shape.
+	leaves := sqlLeaves(q.Expr)
+	parallelSet := pl != nil && len(leaves) > 1
 	var sqlText string
+	leafSQL := make([]string, len(leaves))
 	if err := stage(parent, &stats.Phases, "build-annotation-query", func() error {
-		var err error
-		sqlText, err = q.SQLText(m)
-		return err
+		if !parallelSet {
+			var err error
+			sqlText, err = q.SQLText(m)
+			return err
+		}
+		for i, l := range leaves {
+			var err error
+			if leafSQL[i], err = shred.Translate(m, l.Path); err != nil {
+				return err
+			}
+		}
+		return nil
 	}); err != nil {
 		return stats, err
 	}
 	var ids map[int64]bool
 	if err := stage(parent, &stats.Phases, "compute-update-set", func() error {
-		var err error
-		ids, err = queryIDs(db, sqlText)
-		return err
+		if !parallelSet {
+			var err error
+			ids, err = queryIDs(db, sqlText)
+			return err
+		}
+		sets := make([]map[int64]bool, len(leaves))
+		if err := pl.ForEach(len(leaves), func(i int) error {
+			var err error
+			sets[i], err = queryIDs(db, leafSQL[i])
+			return err
+		}); err != nil {
+			return err
+		}
+		byLeaf := make(map[*nativedb.SetExpr]map[int64]bool, len(leaves))
+		for i, l := range leaves {
+			byLeaf[l] = sets[i]
+		}
+		ids = foldIDSets(q.Expr, byLeaf)
+		return nil
 	}); err != nil {
 		return stats, err
 	}
 	err := stage(parent, &stats.Phases, "apply-updates", func() error {
-		n, err := updateSigns(db, m, ids, q.Sign)
+		n, err := updateSigns(db, m, ids, q.Sign, pl)
 		stats.Updated = n
 		return err
 	})
 	return stats, err
+}
+
+// sqlLeaves collects the per-rule path leaves of a set expression in
+// deterministic left-to-right order.
+func sqlLeaves(e *nativedb.SetExpr) []*nativedb.SetExpr {
+	if e == nil {
+		return nil
+	}
+	if e.Path != nil {
+		return []*nativedb.SetExpr{e}
+	}
+	return append(sqlLeaves(e.Left), sqlLeaves(e.Right)...)
+}
+
+// foldIDSets applies the set operators over the leaves' id sets. The leaf
+// sets are consumed in place (each leaf occurs once in the tree), so the
+// fold allocates nothing beyond what the leaf queries already returned.
+func foldIDSets(e *nativedb.SetExpr, byLeaf map[*nativedb.SetExpr]map[int64]bool) map[int64]bool {
+	if e.Path != nil {
+		return byLeaf[e]
+	}
+	l := foldIDSets(e.Left, byLeaf)
+	r := foldIDSets(e.Right, byLeaf)
+	switch e.Op {
+	case nativedb.OpUnion:
+		for id := range r {
+			l[id] = true
+		}
+	case nativedb.OpExcept:
+		for id := range r {
+			delete(l, id)
+		}
+	default: // intersect
+		for id := range l {
+			if !r[id] {
+				delete(l, id)
+			}
+		}
+	}
+	return l
 }
 
 // queryIDs runs a compound id query and returns the id set.
@@ -256,26 +353,62 @@ func queryIDs(db *sqldb.Database, sqlText string) (map[int64]bool, error) {
 }
 
 // updateSigns is the second phase of Figure 6: for each table, intersect
-// its ids with the computed set and update the matching tuples one by one.
-func updateSigns(db *sqldb.Database, m *shred.Mapping, ids map[int64]bool, sign xmltree.Sign) (int, error) {
-	total := 0
+// its ids with the computed set and update the matching tuples. The paper's
+// algorithm updated them one statement per tuple; here each table's matches
+// go out as bulk UPDATE … WHERE id IN (…) batches (the pk index resolves the
+// IN list), and the per-table units fan out on the pool. The id set is only
+// read, so sharing it across workers is safe.
+func updateSigns(db *sqldb.Database, m *shred.Mapping, ids map[int64]bool, sign xmltree.Sign, pl *pool.Pool) (int, error) {
 	signLit := "'" + sign.String() + "'"
-	for _, ti := range m.Tables() {
-		res, err := db.Exec("SELECT id FROM " + ti.Table)
+	tables := m.Tables()
+	counts := make([]int, len(tables))
+	err := pl.ForEach(len(tables), func(i int) error {
+		res, err := db.Exec("SELECT id FROM " + tables[i].Table)
+		if err != nil {
+			return err
+		}
+		matched := make([]int64, 0, len(res.Rows))
+		for _, row := range res.Rows {
+			if ids[row[0].I] {
+				matched = append(matched, row[0].I)
+			}
+		}
+		n, err := bulkUpdateSigns(db, tables[i].Table, signLit, matched)
+		counts[i] = n
+		return err
+	})
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total, err
+}
+
+// bulkUpdateSigns sets one table's sign column for the given ids with
+// batched UPDATE … WHERE id IN (…) statements, replacing the former
+// one-UPDATE-per-tuple loop (the classic N+1 round-trip pattern).
+func bulkUpdateSigns(db *sqldb.Database, table, signLit string, ids []int64) (int, error) {
+	const batch = 256
+	total := 0
+	for start := 0; start < len(ids); start += batch {
+		end := start + batch
+		if end > len(ids) {
+			end = len(ids)
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "UPDATE %s SET %s = %s WHERE id IN (", table, shred.SignColumn, signLit)
+		for i, id := range ids[start:end] {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", id)
+		}
+		b.WriteString(")")
+		res, err := db.Exec(b.String())
 		if err != nil {
 			return total, err
 		}
-		for _, row := range res.Rows {
-			id := row[0].I
-			if !ids[id] {
-				continue
-			}
-			if _, err := db.Exec(fmt.Sprintf(
-				"UPDATE %s SET %s = %s WHERE id = %d", ti.Table, shred.SignColumn, signLit, id)); err != nil {
-				return total, err
-			}
-			total++
-		}
+		total += res.Affected
 	}
 	return total, nil
 }

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"xmlac/internal/cam"
 	"xmlac/internal/dtd"
 	"xmlac/internal/policy"
+	"xmlac/internal/pool"
 	"xmlac/internal/xmltree"
 	"xmlac/internal/xpath"
 )
@@ -27,11 +29,15 @@ import (
 // update keeps their map as is, which is exactly the paper's re-annotation
 // idea lifted to the user dimension.
 
-// MultiUser manages per-requester policies over one document.
+// MultiUser manages per-requester policies over one document. All methods
+// are safe for concurrent use: requests share a read lock, registration and
+// updates take it exclusively.
 type MultiUser struct {
+	mu     sync.RWMutex
 	schema *dtd.Schema
 	doc    *xmltree.Document
 	users  map[string]*userEntry
+	pool   *pool.Pool // nil forces sequential per-user rebuilds
 }
 
 type userEntry struct {
@@ -48,7 +54,19 @@ func NewMultiUser(schema *dtd.Schema, doc *xmltree.Document) (*MultiUser, error)
 	if errs := schema.Validate(doc); len(errs) > 0 {
 		return nil, fmt.Errorf("core: document does not conform to schema: %v (and %d more)", errs[0], len(errs)-1)
 	}
-	return &MultiUser{schema: schema, doc: doc, users: map[string]*userEntry{}}, nil
+	return &MultiUser{schema: schema, doc: doc, users: map[string]*userEntry{}, pool: pool.New(0)}, nil
+}
+
+// SetParallelism bounds the worker pool Delete fans the per-user rebuilds
+// out on: 0 selects GOMAXPROCS, 1 forces sequential rebuilds.
+func (m *MultiUser) SetParallelism(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n == 1 {
+		m.pool = nil
+		return
+	}
+	m.pool = pool.New(n)
 }
 
 // Document returns the shared protected document.
@@ -58,6 +76,8 @@ func (m *MultiUser) Document() *xmltree.Document { return m.doc }
 // its re-annotation machinery precomputed, and the user's accessibility map
 // materialized.
 func (m *MultiUser) AddUser(name string, pol *policy.Policy) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, dup := m.users[name]; dup {
 		return fmt.Errorf("core: user %q already registered", name)
 	}
@@ -78,10 +98,16 @@ func (m *MultiUser) AddUser(name string, pol *policy.Policy) error {
 }
 
 // RemoveUser drops a requester.
-func (m *MultiUser) RemoveUser(name string) { delete(m.users, name) }
+func (m *MultiUser) RemoveUser(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.users, name)
+}
 
 // Users lists the registered requesters, sorted.
 func (m *MultiUser) Users() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]string, 0, len(m.users))
 	for u := range m.users {
 		out = append(out, u)
@@ -111,6 +137,8 @@ func (m *MultiUser) user(name string) (*userEntry, error) {
 // Request answers a query for one requester with the paper's all-or-nothing
 // semantics, checked against the user's accessibility map.
 func (m *MultiUser) Request(user string, q *xpath.Path) (*RequestResult, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	e, err := m.user(user)
 	if err != nil {
 		return nil, err
@@ -129,6 +157,8 @@ func (m *MultiUser) Request(user string, q *xpath.Path) (*RequestResult, error) 
 
 // RequestFiltered returns only the matches accessible to the requester.
 func (m *MultiUser) RequestFiltered(user string, q *xpath.Path) (*RequestResult, int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	e, err := m.user(user)
 	if err != nil {
 		return nil, 0, err
@@ -152,6 +182,8 @@ func (m *MultiUser) RequestFiltered(user string, q *xpath.Path) (*RequestResult,
 
 // AccessibleIDs returns the requester's accessible element-id set.
 func (m *MultiUser) AccessibleIDs(user string) (map[int64]bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	e, err := m.user(user)
 	if err != nil {
 		return nil, err
@@ -162,6 +194,8 @@ func (m *MultiUser) AccessibleIDs(user string) (map[int64]bool, error) {
 // MapSize returns the requester's compressed-map mark count (the per-user
 // storage cost).
 func (m *MultiUser) MapSize(user string) (int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	e, err := m.user(user)
 	if err != nil {
 		return 0, err
@@ -184,28 +218,33 @@ type MultiUpdateReport struct {
 // only the users whose rules the Trigger algorithm selects — the paper's
 // re-annotation optimization lifted to the user dimension.
 func (m *MultiUser) Delete(u *xpath.Path) (*MultiUpdateReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	start := time.Now()
 	rep := &MultiUpdateReport{}
 	// Decide, per user, whether any rule triggers — before the update, as
 	// Trigger consults only the policy and schema.
-	affected := map[string]bool{}
+	var affected []string
 	for name, e := range m.users {
 		if len(e.reann.Trigger(u)) > 0 {
-			affected[name] = true
+			affected = append(affected, name)
 		}
 	}
+	sort.Strings(affected)
 	_, total, err := ApplyDeleteTree(m.doc, u)
 	if err != nil {
 		return nil, err
 	}
 	rep.DeletedNodes = total
-	for name := range affected {
-		if err := m.rebuild(m.users[name]); err != nil {
-			return nil, err
-		}
-		rep.Reannotated = append(rep.Reannotated, name)
+	// Each rebuild reads the shared tree and writes only its own user's
+	// map, so the rebuilds fan out on the pool; the sorted name order makes
+	// the first-error choice deterministic.
+	if err := m.pool.ForEach(len(affected), func(i int) error {
+		return m.rebuild(m.users[affected[i]])
+	}); err != nil {
+		return nil, err
 	}
-	sort.Strings(rep.Reannotated)
+	rep.Reannotated = affected
 	rep.Took = time.Since(start)
 	return rep, nil
 }
@@ -213,9 +252,11 @@ func (m *MultiUser) Delete(u *xpath.Path) (*MultiUpdateReport, error) {
 // ExportView materializes one requester's security view of the shared
 // document.
 func (m *MultiUser) ExportView(user string, mode ViewMode) (*xmltree.Document, error) {
-	ids, err := m.AccessibleIDs(user)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	e, err := m.user(user)
 	if err != nil {
 		return nil, err
 	}
-	return BuildView(m.doc, ids, mode), nil
+	return BuildView(m.doc, e.acc.AccessibleIDs(m.doc), mode), nil
 }

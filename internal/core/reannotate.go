@@ -242,27 +242,35 @@ func (p *RelationalReannotation) complete(db *sqldb.Database, m *shred.Mapping, 
 	signLit := "'" + p.query.Sign.String() + "'"
 	defLit := "'" + p.query.Default.String() + "'"
 	err := stage(parent, &stats.Phases, "apply-signs", func() error {
+		// Split each table's affected ids by target sign and write them as
+		// bulk UPDATE … WHERE id IN (…) batches instead of one statement per
+		// tuple (the same N+1 fix as the full-annotation path).
 		for _, ti := range m.Tables() {
 			res, err := db.Exec("SELECT id FROM " + ti.Table)
 			if err != nil {
 				return err
 			}
+			var toSign, toDefault []int64
 			for _, row := range res.Rows {
 				id := row[0].I
 				if !affected[id] {
 					continue
 				}
-				lit := defLit
 				if updateSet[id] {
-					lit = signLit
-					stats.Updated++
+					toSign = append(toSign, id)
 				} else {
-					stats.Reset++
+					toDefault = append(toDefault, id)
 				}
-				if _, err := db.Exec(fmt.Sprintf(
-					"UPDATE %s SET %s = %s WHERE id = %d", ti.Table, shred.SignColumn, lit, id)); err != nil {
-					return err
-				}
+			}
+			n, err := bulkUpdateSigns(db, ti.Table, signLit, toSign)
+			stats.Updated += n
+			if err != nil {
+				return err
+			}
+			n, err = bulkUpdateSigns(db, ti.Table, defLit, toDefault)
+			stats.Reset += n
+			if err != nil {
+				return err
 			}
 		}
 		return nil

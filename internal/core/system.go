@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"xmlac/internal/dtd"
@@ -10,6 +11,7 @@ import (
 	"xmlac/internal/obs"
 	"xmlac/internal/pattern"
 	"xmlac/internal/policy"
+	"xmlac/internal/pool"
 	"xmlac/internal/shred"
 	"xmlac/internal/sqldb"
 	"xmlac/internal/xmltree"
@@ -72,6 +74,19 @@ type Config struct {
 	// Metrics is attached to the backend store, feeding the sqldb_* or
 	// nativedb_* counters and histograms; nil disables collection.
 	Metrics *obs.Registry
+	// Parallelism bounds the worker pool the annotation engine fans its
+	// independent units out on (per-rule node-set queries on the native
+	// backend, per-table reset and sign-update phases on the relational
+	// ones). 0 selects GOMAXPROCS; 1 forces the sequential reference path,
+	// which produces byte-identical sign columns.
+	Parallelism int
+}
+
+// WithParallelism returns a copy of the configuration with the annotation
+// engine's worker-pool bound set (see Config.Parallelism).
+func (c Config) WithParallelism(n int) Config {
+	c.Parallelism = n
+	return c
 }
 
 // System is the assembled access-control system of Section 4: optimizer,
@@ -80,6 +95,10 @@ type Config struct {
 // backends additionally maintain the shredded representation and run all
 // annotation and request processing through SQL.
 type System struct {
+	// mu guards the protected document tree and the loaded flag: annotation
+	// and updates take it exclusively, requests and coverage reads share it.
+	// The backend stores carry their own finer-grained locks underneath.
+	mu      sync.RWMutex
 	cfg     Config
 	policy  *policy.Policy // optimized read policy (drives annotation)
 	write   *policy.Policy // write rules (drive update checks)
@@ -89,6 +108,7 @@ type System struct {
 	store   *nativedb.Store
 	db      *sqldb.Database // nil for BackendNative
 	tracer  *obs.Tracer     // nil when tracing is off
+	pool    *pool.Pool      // nil forces the sequential reference path
 	loaded  bool
 }
 
@@ -115,6 +135,12 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	if cfg.Metrics != nil {
 		s.store.SetMetrics(cfg.Metrics)
+	}
+	if cfg.Parallelism != 1 {
+		s.pool = pool.New(cfg.Parallelism)
+		if cfg.Metrics != nil {
+			s.pool.SetMetrics(cfg.Metrics)
+		}
 	}
 	contains := ContainFunc(pattern.Contains)
 	if cfg.SchemaAware {
@@ -207,6 +233,8 @@ func (s *System) Reannotator() *Reannotator { return s.reann }
 // the native store and — for relational backends — shredded into the
 // database with signs initialized to the policy default.
 func (s *System) Load(doc *xmltree.Document) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if errs := s.cfg.Schema.Validate(doc); len(errs) > 0 {
 		return fmt.Errorf("core: document does not conform to schema: %v (and %d more)", errs[0], len(errs)-1)
 	}
@@ -235,6 +263,13 @@ func defaultSign(p *policy.Policy) xmltree.Sign {
 // returned statistics carry the total duration and the per-stage phase
 // breakdown; with a Tracer configured the same stages emit a span tree.
 func (s *System) Annotate() (AnnotateStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.annotateLocked()
+}
+
+// annotateLocked is Annotate for callers already holding s.mu.
+func (s *System) annotateLocked() (AnnotateStats, error) {
 	if !s.loaded {
 		return AnnotateStats{}, fmt.Errorf("core: no document loaded")
 	}
@@ -243,9 +278,9 @@ func (s *System) Annotate() (AnnotateStats, error) {
 	var stats AnnotateStats
 	var err error
 	if s.db != nil {
-		stats, err = annotateRelational(s.db, s.mapping, s.policy, sp)
+		stats, err = annotateRelational(s.db, s.mapping, s.policy, sp, s.pool)
 	} else {
-		stats, err = annotateNative(s.store, s.cfg.DocName, s.policy, sp)
+		stats, err = annotateNative(s.store, s.cfg.DocName, s.policy, sp, s.pool)
 	}
 	stats.Duration = time.Since(start)
 	sp.SetAttr("updated", stats.Updated).SetAttr("reset", stats.Reset)
@@ -281,6 +316,8 @@ func (rep *UpdateReport) finishPhases() {
 // Section 5.3. This is the optimized path Figure 12 benchmarks as
 // "reannot".
 func (s *System) DeleteAndReannotate(u *xpath.Path) (*UpdateReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.loaded {
 		return nil, fmt.Errorf("core: no document loaded")
 	}
@@ -362,6 +399,8 @@ func (s *System) abortRelational(err error) error {
 // DeleteAndFullAnnotate is the baseline Figure 12 compares against: apply
 // the delete, then annotate the whole document from scratch ("fannot").
 func (s *System) DeleteAndFullAnnotate(u *xpath.Path) (*UpdateReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.loaded {
 		return nil, fmt.Errorf("core: no document loaded")
 	}
@@ -386,7 +425,7 @@ func (s *System) DeleteAndFullAnnotate(u *xpath.Path) (*UpdateReport, error) {
 	rep.DeletedNodes = total
 	rep.UpdateTime = time.Since(start)
 
-	stats, err := s.Annotate()
+	stats, err := s.annotateLocked()
 	rep.Stats = stats
 	rep.ReannotateTime = stats.Duration
 	if err != nil {
@@ -437,6 +476,8 @@ func (s *System) applyDelete(u *xpath.Path) (map[string][]int64, int, error) {
 // nodes — the insert counterpart the paper lists as future work, supported
 // here by the same Trigger machinery.
 func (s *System) InsertAndReannotate(parentPath *xpath.Path, tmpl *xmltree.Node) (*UpdateReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.loaded {
 		return nil, fmt.Errorf("core: no document loaded")
 	}
@@ -556,6 +597,8 @@ func insertRelationalSubtree(db *sqldb.Database, m *shred.Mapping, n *xmltree.No
 // Request evaluates a user query with all-or-nothing access checking on the
 // configured backend.
 func (s *System) Request(q *xpath.Path) (*RequestResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if !s.loaded {
 		return nil, fmt.Errorf("core: no document loaded")
 	}
@@ -571,6 +614,8 @@ func (s *System) Request(q *xpath.Path) (*RequestResult, error) {
 // engine's EXPLAIN output — the greedy planner's access paths, join order
 // and row counts. Relational backends only.
 func (s *System) Explain(q *xpath.Path) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if !s.loaded {
 		return "", fmt.Errorf("core: no document loaded")
 	}
@@ -599,6 +644,13 @@ func (s *System) Explain(q *xpath.Path) (string, error) {
 // configured backend — used by the equivalence tests and the coverage
 // measurements.
 func (s *System) AccessibleIDs() (map[int64]bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.accessibleIDsLocked()
+}
+
+// accessibleIDsLocked is AccessibleIDs for callers already holding s.mu.
+func (s *System) accessibleIDsLocked() (map[int64]bool, error) {
 	if !s.loaded {
 		return nil, fmt.Errorf("core: no document loaded")
 	}
@@ -610,7 +662,9 @@ func (s *System) AccessibleIDs() (map[int64]bool, error) {
 
 // Coverage returns the accessible fraction of element nodes.
 func (s *System) Coverage() (float64, error) {
-	ids, err := s.AccessibleIDs()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids, err := s.accessibleIDsLocked()
 	if err != nil {
 		return 0, err
 	}

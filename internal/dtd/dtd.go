@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Occurrence is a DTD occurrence indicator.
@@ -122,6 +123,11 @@ type Element struct {
 	Name    string
 	Content *Content
 	Attrs   []Attr
+
+	// ChildNames memo: content models are immutable once declared, and the
+	// schema-aware expansion walks them constantly.
+	childOnce  sync.Once
+	childNames []string
 }
 
 // HasText reports whether the element's content model admits character data.
@@ -147,7 +153,14 @@ func (e *Element) HasText() bool {
 }
 
 // ChildNames returns the element names that may appear as children, sorted.
+// The result is memoized (content models never change after parsing) and
+// shared: callers must not modify it.
 func (e *Element) ChildNames() []string {
+	e.childOnce.Do(func() { e.childNames = e.computeChildNames() })
+	return e.childNames
+}
+
+func (e *Element) computeChildNames() []string {
 	set := map[string]bool{}
 	var scan func(c *Content)
 	scan = func(c *Content) {
@@ -187,6 +200,16 @@ type Schema struct {
 
 	// order preserves declaration order for deterministic String output.
 	order []string
+
+	// Memoized derived facts. A schema is immutable after parsing, while the
+	// translators re-derive recursion and path enumerations on every rule;
+	// both memos are safe under concurrent readers.
+	recOnce   sync.Once
+	recursive bool
+	recCycle  []string
+
+	pathMu   sync.Mutex
+	pathMemo map[string][][]string
 }
 
 // Element returns the declaration of the named element type, or nil.
@@ -337,8 +360,14 @@ func maxOf(a, b int) int {
 // IsRecursive reports whether the schema graph contains a cycle, and if so
 // returns one witness cycle as a label path. Non-recursiveness is a
 // precondition for finite descendant-axis expansion; the paper de-recursed
-// XMark for the same reason.
+// XMark for the same reason. The DFS runs once per schema; every Paths call
+// re-checks the precondition through the memo.
 func (s *Schema) IsRecursive() (bool, []string) {
+	s.recOnce.Do(func() { s.recursive, s.recCycle = s.computeRecursive() })
+	return s.recursive, s.recCycle
+}
+
+func (s *Schema) computeRecursive() (bool, []string) {
 	const (
 		white = 0
 		gray  = 1

@@ -14,12 +14,19 @@ import (
 //
 // A path of length one ({from}) is returned when from == to. The schema must
 // be non-recursive; Paths returns an error otherwise.
+//
+// Results are memoized per (from, to) pair — the translators enumerate the
+// same descendant expansions for every rule of every annotation run — and
+// shared: callers must not modify the returned paths.
 func (s *Schema) Paths(from, to string) ([][]string, error) {
 	if rec, cyc := s.IsRecursive(); rec {
 		return nil, fmt.Errorf("dtd: schema is recursive (cycle %v); descendant expansion is not finite", cyc)
 	}
 	if s.Elements[from] == nil {
 		return nil, fmt.Errorf("dtd: unknown element type %q", from)
+	}
+	if memo, ok := s.pathLookup(from + "\x00" + to); ok {
+		return memo, nil
 	}
 	var out [][]string
 	var walk func(cur string, path []string)
@@ -44,18 +51,23 @@ func (s *Schema) Paths(from, to string) ([][]string, error) {
 	}
 	walk(from, nil)
 	sortPaths(out)
+	s.pathStore(from+"\x00"+to, out)
 	return out, nil
 }
 
 // PathsToAny enumerates every child-axis label path from `from` to every
 // element type reachable from it (including the trivial path {from}). Used
-// to expand a descendant step with a wildcard node test.
+// to expand a descendant step with a wildcard node test. Memoized and
+// shared like Paths.
 func (s *Schema) PathsToAny(from string) ([][]string, error) {
 	if rec, cyc := s.IsRecursive(); rec {
 		return nil, fmt.Errorf("dtd: schema is recursive (cycle %v); descendant expansion is not finite", cyc)
 	}
 	if s.Elements[from] == nil {
 		return nil, fmt.Errorf("dtd: unknown element type %q", from)
+	}
+	if memo, ok := s.pathLookup("any\x00" + from); ok {
+		return memo, nil
 	}
 	var out [][]string
 	var walk func(cur string, path []string)
@@ -74,6 +86,7 @@ func (s *Schema) PathsToAny(from string) ([][]string, error) {
 	}
 	walk(from, nil)
 	sortPaths(out)
+	s.pathStore("any\x00"+from, out)
 	return out, nil
 }
 
@@ -82,6 +95,24 @@ func (s *Schema) PathsToAny(from string) ([][]string, error) {
 // such as //patient against the schema.
 func (s *Schema) PathsFromRoot(to string) ([][]string, error) {
 	return s.Paths(s.Root, to)
+}
+
+// pathLookup and pathStore guard the shared path memo; the keys join the
+// query kind and labels with NUL so distinct lookups cannot collide.
+func (s *Schema) pathLookup(key string) ([][]string, bool) {
+	s.pathMu.Lock()
+	defer s.pathMu.Unlock()
+	memo, ok := s.pathMemo[key]
+	return memo, ok
+}
+
+func (s *Schema) pathStore(key string, paths [][]string) {
+	s.pathMu.Lock()
+	defer s.pathMu.Unlock()
+	if s.pathMemo == nil {
+		s.pathMemo = map[string][][]string{}
+	}
+	s.pathMemo[key] = paths
 }
 
 // Reachable returns the set of element type names reachable from `from`

@@ -149,6 +149,109 @@ func EvalSet(e *SetExpr, doc *xmltree.Document) ([]*xmltree.Node, error) {
 	return EvalSetStats(e, doc, nil)
 }
 
+// Runner fans out n independent tasks fn(0) … fn(n-1) and returns the first
+// error; nil means sequential in-caller execution. (*pool.Pool).ForEach
+// satisfies the shape.
+type Runner func(n int, fn func(i int) error) error
+
+// EvalSetWith is EvalSetStats with the leaf XPath queries of the set
+// expression fanned out through run. XPath evaluation never writes to the
+// tree, so the leaves are safe to evaluate concurrently; the set-operator
+// fold then runs sequentially over the collected leaf sets, making the
+// result identical to the sequential evaluation.
+func EvalSetWith(e *SetExpr, doc *xmltree.Document, st *xpath.EvalStats, run Runner) ([]*xmltree.Node, error) {
+	set, err := evalSetWith(e, doc, st, run)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*xmltree.Node, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sortNodes(out)
+	return out, nil
+}
+
+func evalSetWith(e *SetExpr, doc *xmltree.Document, st *xpath.EvalStats, run Runner) (map[*xmltree.Node]bool, error) {
+	if run == nil {
+		return evalSetStats(e, doc, st)
+	}
+	var leaves []*SetExpr
+	var collect func(e *SetExpr)
+	collect = func(e *SetExpr) {
+		if e == nil {
+			return
+		}
+		if e.Path != nil {
+			leaves = append(leaves, e)
+			return
+		}
+		collect(e.Left)
+		collect(e.Right)
+	}
+	collect(e)
+	if len(leaves) <= 1 {
+		return evalSetStats(e, doc, st)
+	}
+	sets := make([]map[*xmltree.Node]bool, len(leaves))
+	stats := make([]xpath.EvalStats, len(leaves)) // per-leaf, merged after the barrier
+	if err := run(len(leaves), func(i int) error {
+		var sp *xpath.EvalStats
+		if st != nil {
+			sp = &stats[i]
+		}
+		set, err := evalSetStats(leaves[i], doc, sp)
+		sets[i] = set
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if st != nil {
+		for i := range stats {
+			st.Visited += stats[i].Visited
+		}
+	}
+	byLeaf := make(map[*SetExpr]map[*xmltree.Node]bool, len(leaves))
+	for i, l := range leaves {
+		byLeaf[l] = sets[i]
+	}
+	return foldSets(e, byLeaf), nil
+}
+
+// foldSets applies the set operators over precomputed leaf sets. The leaf
+// maps are freshly built per evaluation and each leaf occurs once in the
+// tree, so in-place union/except on them is safe.
+func foldSets(e *SetExpr, byLeaf map[*SetExpr]map[*xmltree.Node]bool) map[*xmltree.Node]bool {
+	if e == nil {
+		return map[*xmltree.Node]bool{}
+	}
+	if e.Path != nil {
+		return byLeaf[e]
+	}
+	l := foldSets(e.Left, byLeaf)
+	r := foldSets(e.Right, byLeaf)
+	switch e.Op {
+	case OpUnion:
+		for n := range r {
+			l[n] = true
+		}
+		return l
+	case OpExcept:
+		for n := range r {
+			delete(l, n)
+		}
+		return l
+	default: // OpIntersect
+		out := map[*xmltree.Node]bool{}
+		for n := range l {
+			if r[n] {
+				out[n] = true
+			}
+		}
+		return out
+	}
+}
+
 // sortNodes orders a node slice by universal identifier (document order).
 func sortNodes(out []*xmltree.Node) {
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

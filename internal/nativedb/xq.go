@@ -62,8 +62,24 @@ func (s *Store) Exec(text string) (*Result, error) {
 	return s.Run(q)
 }
 
+// ExecWith parses and runs a query with the set expression's leaf paths
+// evaluated through run (see EvalSetWith); a nil run is Exec.
+func (s *Store) ExecWith(text string, run Runner) (*Result, error) {
+	q, err := ParseXQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunWith(q, run)
+}
+
 // Run executes a parsed query.
 func (s *Store) Run(q *XQuery) (*Result, error) {
+	return s.RunWith(q, nil)
+}
+
+// RunWith executes a parsed query, fanning the set expression's leaf paths
+// out through run; a nil run evaluates sequentially.
+func (s *Store) RunWith(q *XQuery, run Runner) (*Result, error) {
 	doc := s.Doc(q.DocName)
 	if doc == nil {
 		return nil, fmt.Errorf("nativedb: no document %q", q.DocName)
@@ -85,7 +101,7 @@ func (s *Store) Run(q *XQuery) (*Result, error) {
 		if m != nil {
 			st = &xpath.EvalStats{}
 		}
-		nodes, err := EvalSetStats(q.Expr, doc, st)
+		nodes, err := EvalSetWith(q.Expr, doc, st, run)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,150 @@
+// Package pool provides the bounded worker pool behind the parallel
+// annotation engine. Rule evaluation is embarrassingly independent per rule,
+// per table and per subject, so the hot phases fan their units out here: the
+// pool bounds concurrency (default GOMAXPROCS), cancels on the first error,
+// and leaves result merging to the caller via index-addressed slots so the
+// merged output is deterministic regardless of scheduling.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"xmlac/internal/obs"
+)
+
+// Pool is a bounded fan-out executor. The zero-capacity configuration (and
+// a nil *Pool) degrades to sequential in-caller execution, which is the
+// byte-identical reference path the parallel phases are tested against.
+type Pool struct {
+	size int
+
+	// busy/peak track in-flight workers for the utilization gauges.
+	busy atomic.Int64
+	peak atomic.Int64
+
+	// metrics (nil when detached).
+	tasks       *obs.Counter
+	sizeGauge   *obs.Gauge
+	peakGauge   *obs.Gauge
+	utilization *obs.Gauge
+}
+
+// New returns a pool running at most size tasks concurrently. A size of 0
+// (or below) selects runtime.GOMAXPROCS(0).
+func New(size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{size: size}
+}
+
+// Size returns the pool's concurrency bound (1 for a nil pool).
+func (p *Pool) Size() int {
+	if p == nil {
+		return 1
+	}
+	return p.size
+}
+
+// SetMetrics attaches a metrics registry: pool_tasks_total counts executed
+// tasks, pool_size reports the concurrency bound, pool_busy_peak the
+// high-water mark of in-flight workers and pool_utilization the ratio of
+// the two. Nil detaches.
+func (p *Pool) SetMetrics(r *obs.Registry) {
+	if p == nil {
+		return
+	}
+	if r == nil {
+		p.tasks, p.sizeGauge, p.peakGauge, p.utilization = nil, nil, nil, nil
+		return
+	}
+	p.tasks = r.Counter("pool_tasks_total")
+	p.sizeGauge = r.Gauge("pool_size")
+	p.peakGauge = r.Gauge("pool_busy_peak")
+	p.utilization = r.Gauge("pool_utilization")
+	p.sizeGauge.Set(float64(p.size))
+	p.peakGauge.Set(float64(p.peak.Load()))
+	p.utilization.Set(float64(p.peak.Load()) / float64(p.size))
+}
+
+// begin/end bracket one task for the utilization accounting.
+func (p *Pool) begin() {
+	p.tasks.Inc()
+	b := p.busy.Add(1)
+	for {
+		peak := p.peak.Load()
+		if b <= peak {
+			return
+		}
+		if p.peak.CompareAndSwap(peak, b) {
+			p.peakGauge.Set(float64(b))
+			p.utilization.Set(float64(b) / float64(p.size))
+			return
+		}
+	}
+}
+
+func (p *Pool) end() { p.busy.Add(-1) }
+
+// ForEach runs fn(0) … fn(n-1) on at most Size() workers and waits for them.
+// The first error cancels the run: tasks not yet started are skipped, and
+// the returned error is the one with the lowest index among those that did
+// fail, so error reporting is deterministic. A nil or size-1 pool runs the
+// tasks sequentially in the calling goroutine.
+func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := p.Size()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if p != nil {
+				p.begin()
+			}
+			err := fn(i)
+			if p != nil {
+				p.end()
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var stop atomic.Bool
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				p.begin()
+				err := fn(i)
+				p.end()
+				if err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package pool
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"xmlac/internal/obs"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, size := range []int{1, 2, 8} {
+		p := New(size)
+		var sum atomic.Int64
+		if err := p.ForEach(100, func(i int) error {
+			sum.Add(int64(i))
+			return nil
+		}); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if got := sum.Load(); got != 4950 {
+			t.Fatalf("size %d: sum = %d, want 4950", size, got)
+		}
+	}
+}
+
+func TestNilPoolIsSequential(t *testing.T) {
+	var p *Pool
+	if p.Size() != 1 {
+		t.Fatalf("nil pool size = %d, want 1", p.Size())
+	}
+	order := []int{}
+	if err := p.ForEach(5, func(i int) error {
+		order = append(order, i) // no locking: must run in-caller
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[0 1 2 3 4]" {
+		t.Fatalf("nil pool ran out of order: %v", order)
+	}
+}
+
+func TestFirstErrorIsDeterministic(t *testing.T) {
+	p := New(8)
+	for trial := 0; trial < 20; trial++ {
+		err := p.ForEach(64, func(i int) error {
+			if i%7 == 3 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Fatalf("trial %d: err = %v, want task 3 failed", trial, err)
+		}
+	}
+}
+
+func TestErrorCancelsRemainingTasks(t *testing.T) {
+	p := New(2)
+	var ran atomic.Int64
+	err := p.ForEach(10000, func(i int) error {
+		ran.Add(1)
+		return fmt.Errorf("boom %d", i)
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := ran.Load(); n > 100 {
+		t.Fatalf("cancellation did not stop the run: %d tasks ran", n)
+	}
+}
+
+func TestBoundedConcurrency(t *testing.T) {
+	p := New(3)
+	var cur, peak atomic.Int64
+	_ = p.ForEach(50, func(i int) error {
+		c := cur.Add(1)
+		for {
+			pk := peak.Load()
+			if c <= pk || peak.CompareAndSwap(pk, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return nil
+	})
+	if pk := peak.Load(); pk > 3 {
+		t.Fatalf("observed %d concurrent tasks, bound is 3", pk)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	r := obs.NewRegistry()
+	p := New(4)
+	p.SetMetrics(r)
+	if err := p.ForEach(32, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Snapshot()
+	if s.Counters["pool_tasks_total"] != 32 {
+		t.Fatalf("pool_tasks_total = %d, want 32", s.Counters["pool_tasks_total"])
+	}
+	if s.Gauges["pool_size"] != 4 {
+		t.Fatalf("pool_size = %v, want 4", s.Gauges["pool_size"])
+	}
+	if pk := s.Gauges["pool_busy_peak"]; pk < 1 || pk > 4 {
+		t.Fatalf("pool_busy_peak = %v, want within [1,4]", pk)
+	}
+	if u := s.Gauges["pool_utilization"]; u <= 0 || u > 1 {
+		t.Fatalf("pool_utilization = %v, want within (0,1]", u)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "pool_tasks_total 32") {
+		t.Fatalf("prometheus exposition missing pool_tasks_total:\n%s", b.String())
+	}
+}

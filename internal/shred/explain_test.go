@@ -119,10 +119,16 @@ func TestExplainCompoundAndPointLookup(t *testing.T) {
 		"output: 2 rows",
 	})
 
-	// EXPLAIN rejects non-query statements and cannot nest.
-	if _, err := db.Exec(`EXPLAIN DELETE FROM c WHERE id = 3`); err == nil {
-		t.Fatal("expected error for EXPLAIN DELETE")
+	// EXPLAIN DELETE is a dry run: it reports the access path and match
+	// count without removing anything.
+	checkPlan(t, explainLines(t, db, `DELETE FROM c WHERE id = 3`), []string{
+		"delete c: pk index point lookup → 1 rows (dry run)",
+	})
+	if res, err := db.Exec(`SELECT id FROM c`); err != nil || len(res.Rows) != 3 {
+		t.Fatalf("EXPLAIN DELETE mutated the table: rows=%v err=%v", res, err)
 	}
+
+	// EXPLAIN cannot nest.
 	if _, err := db.Exec(`EXPLAIN EXPLAIN SELECT id FROM c`); err == nil {
 		t.Fatal("expected error for nested EXPLAIN")
 	}

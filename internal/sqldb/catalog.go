@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -92,8 +93,11 @@ type Database struct {
 	// tx is the open explicit transaction, nil when auto-committing.
 	tx *txState
 
-	// stats
-	stmtCount uint64
+	// stats; atomic so the query path never needs the exclusive lock.
+	stmtCount atomic.Uint64
+
+	// cache is the parsed-statement LRU (see plancache.go); nil disables.
+	cache *planCache
 
 	// observability (see observe.go); all nil/zero when disabled.
 	m          *dbMetrics
@@ -103,7 +107,11 @@ type Database struct {
 
 // Open creates an empty database with the given storage engine.
 func Open(engine Engine) *Database {
-	return &Database{engine: engine, tables: map[string]*Table{}}
+	return &Database{
+		engine: engine,
+		tables: map[string]*Table{},
+		cache:  newPlanCache(DefaultPlanCacheSize),
+	}
 }
 
 // Engine returns the database's storage engine.
@@ -128,9 +136,7 @@ func (db *Database) Table(name string) *Table {
 // StatementCount returns how many statements have been executed; the
 // benchmark harness reports it alongside timings.
 func (db *Database) StatementCount() uint64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.stmtCount
+	return db.stmtCount.Load()
 }
 
 // createTable registers a new table.

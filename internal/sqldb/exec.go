@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"time"
@@ -18,35 +19,68 @@ type Result struct {
 	Affected int
 }
 
-// Exec parses and executes one SQL statement. When metrics or the
-// slow-query log are attached, the parse and execute phases are timed
-// and recorded per statement.
+// Exec parses and executes one SQL statement, consulting the statement
+// cache before parsing. When metrics or the slow-query log are attached,
+// the parse and execute phases are timed and recorded per statement.
 func (db *Database) Exec(src string) (*Result, error) {
-	if !db.observing() {
-		st, err := ParseStatement(src)
-		if err != nil {
-			return nil, err
+	cache, m, slowLog, slowThresh := db.execState()
+	if m == nil && slowLog == nil {
+		st, hit := cache.get(src)
+		if !hit {
+			var err error
+			st, err = ParseStatement(src)
+			if err != nil {
+				return nil, err
+			}
+			if cacheable(st) {
+				cache.put(src, st)
+			}
 		}
 		return db.ExecStmt(st)
 	}
 	parseStart := time.Now()
-	st, err := ParseStatement(src)
+	st, hit := cache.get(src)
+	var err error
+	if !hit {
+		st, err = ParseStatement(src)
+	}
 	parseD := time.Since(parseStart)
 	if err != nil {
-		db.observeStatement(src, nil, parseD, 0, err)
+		db.observeStatement(m, slowLog, slowThresh, src, nil, parseD, 0, err)
 		return nil, err
+	}
+	if !hit && cacheable(st) {
+		cache.put(src, st)
+	}
+	if m != nil && cache != nil {
+		if hit {
+			m.planCacheHits.Inc()
+		} else if cacheable(st) {
+			m.planCacheMisses.Inc()
+		}
+		m.planCacheSize.Set(float64(cache.len()))
 	}
 	execStart := time.Now()
 	res, err := db.ExecStmt(st)
-	db.observeStatement(src, res, parseD, time.Since(execStart), err)
+	db.observeStatement(m, slowLog, slowThresh, src, res, parseD, time.Since(execStart), err)
 	return res, err
 }
 
-// ExecStmt executes a parsed statement.
+// execState snapshots the per-statement configuration (cache and observer
+// attachments) under the read lock, so Exec races neither SetMetrics nor
+// SetPlanCacheSize.
+func (db *Database) execState() (*planCache, *dbMetrics, io.Writer, time.Duration) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.cache, db.m, db.slowLog, db.slowThresh
+}
+
+// ExecStmt executes a parsed statement. Statements obtained from
+// ParseStatement are never mutated by execution, so the same parsed
+// statement may be executed repeatedly and concurrently (which is how the
+// statement cache shares ASTs).
 func (db *Database) ExecStmt(st Statement) (*Result, error) {
-	db.mu.Lock()
-	db.stmtCount++
-	db.mu.Unlock()
+	db.stmtCount.Add(1)
 	switch s := st.(type) {
 	case *CreateTableStmt:
 		db.mu.Lock()
@@ -725,6 +759,32 @@ func (db *Database) baseScanPath(b *binding, alias int, preds []*planPred) (rids
 			return filterRids(t, rids, local, pp), desc, len(rids), nil
 		}
 	}
+	// IN-list lookup through a registered secondary index.
+	for _, pp := range local {
+		if pp.src.In == nil {
+			continue
+		}
+		ix := t.secondaryFor(pp.leftCol)
+		if ix == nil {
+			continue
+		}
+		seen := map[int]bool{}
+		for _, v := range pp.src.In {
+			cv, err := coerce(v, t.Columns[pp.leftCol].Type)
+			if err != nil {
+				continue // untypable key matches nothing
+			}
+			for _, rid := range ix.lookup(cv) {
+				if t.store.live(rid) && !seen[rid] {
+					seen[rid] = true
+					rids = append(rids, rid)
+				}
+			}
+		}
+		pp.applied = true
+		desc = fmt.Sprintf("secondary index IN-lookup on %s (%d keys)", t.Columns[pp.leftCol].Name, len(pp.src.In))
+		return filterRids(t, rids, local, pp), desc, len(pp.src.In), nil
+	}
 	if len(local) == 1 && local[0].src.In == nil {
 		// Single-column filter: use the engine's column scan.
 		pp := local[0]
@@ -828,6 +888,14 @@ func hashJoin(b *binding, tuples [][]int, rids []int, next int, on []*planPred) 
 			boundSide[k] = struct{ alias, col int }{pp.leftAlias, pp.leftCol}
 		}
 	}
+	// Single-column joins between int columns — the shredder's pid = id
+	// chains, which is nearly every join this engine sees — hash the raw
+	// int64 instead of a formatted string key.
+	if len(on) == 1 {
+		if out, ok := intHashJoin(b, t, tuples, rids, next, newCols[0], boundSide[0]); ok {
+			return out
+		}
+	}
 	build := make(map[string][]int, len(rids))
 	var kb strings.Builder
 	for _, rid := range rids {
@@ -861,6 +929,45 @@ func hashJoin(b *binding, tuples [][]int, rids []int, next int, on []*planPred) 
 		}
 	}
 	return out
+}
+
+// intHashJoin is hashJoin's fast path for a single equi-join between int
+// values: int64 map keys skip the per-row string formatting of Value.key.
+// It reports false — leaving the generic path to run — when it meets a
+// non-int, non-null value on either side.
+func intHashJoin(b *binding, t *Table, tuples [][]int, rids []int, next, newCol int,
+	bs struct{ alias, col int }) ([][]int, bool) {
+	build := make(map[int64][]int, len(rids))
+	for _, rid := range rids {
+		v := t.store.get(rid, newCol)
+		switch v.Kind {
+		case KindInt:
+			build[v.I] = append(build[v.I], rid)
+		case KindNull:
+			// NULL never joins; leave it out of the build side.
+		default:
+			return nil, false
+		}
+	}
+	out := make([][]int, 0, len(tuples))
+	probe := b.tables[bs.alias]
+	for _, tu := range tuples {
+		v := probe.store.get(tu[bs.alias], bs.col)
+		switch v.Kind {
+		case KindInt:
+		case KindNull:
+			continue
+		default:
+			return nil, false
+		}
+		for _, rid := range build[v.I] {
+			ntu := make([]int, len(tu))
+			copy(ntu, tu)
+			ntu[next] = rid
+			out = append(out, ntu)
+		}
+	}
+	return out, true
 }
 
 // applyReadyPreds filters tuples by every unapplied predicate whose aliases
@@ -934,7 +1041,7 @@ func (db *Database) execUpdate(s *UpdateStmt) (*Result, error) {
 	if t == nil {
 		return nil, fmt.Errorf("sqldb: unknown table %q", s.Table)
 	}
-	rids, err := db.filterSingle(t, s.Where)
+	rids, _, err := db.filterSingle(t, s.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -979,7 +1086,7 @@ func (db *Database) execDelete(s *DeleteStmt) (*Result, error) {
 	if t == nil {
 		return nil, fmt.Errorf("sqldb: unknown table %q", s.Table)
 	}
-	rids, err := db.filterSingle(t, s.Where)
+	rids, _, err := db.filterSingle(t, s.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -999,49 +1106,80 @@ func (db *Database) execDelete(s *DeleteStmt) (*Result, error) {
 }
 
 // filterSingle evaluates a WHERE conjunction over one table (for UPDATE and
-// DELETE), using the primary-key index for point predicates.
-func (db *Database) filterSingle(t *Table, where []Predicate) ([]int, error) {
+// DELETE), using the primary-key index for point and IN-list predicates. The
+// returned desc names the chosen access path for EXPLAIN output.
+func (db *Database) filterSingle(t *Table, where []Predicate) (rids []int, desc string, err error) {
 	preds := make([]*planPred, 0, len(where))
 	for _, pr := range where {
 		pp := &planPred{src: pr, leftAlias: -1, leftCol: -1, rightAlias: -1, rightCol: -1}
 		if pr.Left.IsCol {
 			if pr.Left.Col.Alias != "" && pr.Left.Col.Alias != t.Name {
-				return nil, fmt.Errorf("sqldb: unknown alias %q", pr.Left.Col.Alias)
+				return nil, "", fmt.Errorf("sqldb: unknown alias %q", pr.Left.Col.Alias)
 			}
 			ci := t.ColumnIndex(pr.Left.Col.Column)
 			if ci < 0 {
-				return nil, fmt.Errorf("sqldb: table %q has no column %q", t.Name, pr.Left.Col.Column)
+				return nil, "", fmt.Errorf("sqldb: table %q has no column %q", t.Name, pr.Left.Col.Column)
 			}
 			pp.leftAlias, pp.leftCol = 0, ci
 		}
 		if pr.In == nil && pr.Right.IsCol {
-			return nil, fmt.Errorf("sqldb: column-to-column comparison not supported in single-table DML")
+			return nil, "", fmt.Errorf("sqldb: column-to-column comparison not supported in single-table DML")
 		}
 		if !pr.Left.IsCol {
-			return nil, fmt.Errorf("sqldb: WHERE requires a column on the left in DML")
+			return nil, "", fmt.Errorf("sqldb: WHERE requires a column on the left in DML")
 		}
 		preds = append(preds, pp)
+	}
+	// IN-list lookup via the primary-key index: the bulk sign-update path
+	// issues UPDATE … WHERE id IN (…) batches, which must not full-scan.
+	for _, pp := range preds {
+		if pp.src.In != nil && t.pkIndex != nil && pp.leftCol == t.pkCol {
+			desc = fmt.Sprintf("pk index IN-lookup (%d keys)", len(pp.src.In))
+			seen := map[int]bool{}
+			for _, v := range pp.src.In {
+				cv, cerr := coerce(v, t.Columns[t.pkCol].Type)
+				if cerr != nil {
+					continue // untypable key matches nothing
+				}
+				rid, ok := t.pkIndex.lookup(cv.key())
+				if !ok || !t.store.live(rid) || seen[rid] {
+					continue
+				}
+				seen[rid] = true
+				keep := true
+				for _, other := range preds {
+					if other != pp && !evalLocal(t, rid, other) {
+						keep = false
+						break
+					}
+				}
+				if keep {
+					rids = append(rids, rid)
+				}
+			}
+			return rids, desc, nil
+		}
 	}
 	// Point lookup.
 	for _, pp := range preds {
 		if pp.src.In == nil && pp.src.Op == CmpEq && t.pkIndex != nil && pp.leftCol == t.pkCol {
-			lit, err := coerce(pp.src.Right.Lit, t.Columns[t.pkCol].Type)
-			if err != nil {
-				return nil, nil //nolint:nilerr // untypable key matches nothing
+			desc = "pk index point lookup"
+			lit, cerr := coerce(pp.src.Right.Lit, t.Columns[t.pkCol].Type)
+			if cerr != nil {
+				return nil, desc, nil // untypable key matches nothing
 			}
 			rid, ok := t.pkIndex.lookup(lit.key())
 			if !ok || !t.store.live(rid) {
-				return nil, nil
+				return nil, desc, nil
 			}
 			for _, other := range preds {
 				if other != pp && !evalLocal(t, rid, other) {
-					return nil, nil
+					return nil, desc, nil
 				}
 			}
-			return []int{rid}, nil
+			return []int{rid}, desc, nil
 		}
 	}
-	var rids []int
 	t.store.scan(func(rid int) bool {
 		for _, pp := range preds {
 			if !evalLocal(t, rid, pp) {
@@ -1051,5 +1189,10 @@ func (db *Database) filterSingle(t *Table, where []Predicate) ([]int, error) {
 		rids = append(rids, rid)
 		return true
 	})
-	return rids, nil
+	if len(preds) > 0 {
+		desc = fmt.Sprintf("full scan (%d filters)", len(preds))
+	} else {
+		desc = "full scan"
+	}
+	return rids, desc, nil
 }

@@ -18,14 +18,17 @@ import (
 // dbMetrics caches the engine's metric handles so the per-statement hot
 // path does not hit the registry's map.
 type dbMetrics struct {
-	statements   *obs.Counter
-	rowsReturned *obs.Counter
-	rowsScanned  *obs.Counter
-	joinTuples   *obs.Counter
-	slowQueries  *obs.Counter
-	parseSeconds *obs.Histogram
-	planSeconds  *obs.Histogram
-	execSeconds  *obs.Histogram
+	statements      *obs.Counter
+	rowsReturned    *obs.Counter
+	rowsScanned     *obs.Counter
+	joinTuples      *obs.Counter
+	slowQueries     *obs.Counter
+	planCacheHits   *obs.Counter
+	planCacheMisses *obs.Counter
+	planCacheSize   *obs.Gauge
+	parseSeconds    *obs.Histogram
+	planSeconds     *obs.Histogram
+	execSeconds     *obs.Histogram
 }
 
 // SetMetrics attaches a metrics registry to the database. Statement
@@ -38,14 +41,17 @@ func (db *Database) SetMetrics(r *obs.Registry) {
 		return
 	}
 	db.m = &dbMetrics{
-		statements:   r.Counter("sqldb_statements_total"),
-		rowsReturned: r.Counter("sqldb_rows_returned_total"),
-		rowsScanned:  r.Counter("sqldb_rows_scanned_total"),
-		joinTuples:   r.Counter("sqldb_join_tuples_total"),
-		slowQueries:  r.Counter("sqldb_slow_queries_total"),
-		parseSeconds: r.Histogram("sqldb_parse_seconds"),
-		planSeconds:  r.Histogram("sqldb_plan_seconds"),
-		execSeconds:  r.Histogram("sqldb_exec_seconds"),
+		statements:      r.Counter("sqldb_statements_total"),
+		rowsReturned:    r.Counter("sqldb_rows_returned_total"),
+		rowsScanned:     r.Counter("sqldb_rows_scanned_total"),
+		joinTuples:      r.Counter("sqldb_join_tuples_total"),
+		slowQueries:     r.Counter("sqldb_slow_queries_total"),
+		planCacheHits:   r.Counter("sqldb_plan_cache_hits_total"),
+		planCacheMisses: r.Counter("sqldb_plan_cache_misses_total"),
+		planCacheSize:   r.Gauge("sqldb_plan_cache_size"),
+		parseSeconds:    r.Histogram("sqldb_parse_seconds"),
+		planSeconds:     r.Histogram("sqldb_plan_seconds"),
+		execSeconds:     r.Histogram("sqldb_exec_seconds"),
 	}
 }
 
@@ -64,15 +70,16 @@ func (db *Database) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
 	db.slowThresh = threshold
 }
 
-// observing reports whether Exec must take timestamps at all.
-func (db *Database) observing() bool { return db.m != nil || db.slowLog != nil }
-
 // observeStatement records one executed statement's phase timings and, if
 // it was slow, appends a slow-query log line:
 //
 //	slow-query dur=1.21ms parse=8µs exec=1.2ms rows=42 affected=0 stmt="SELECT …"
-func (db *Database) observeStatement(src string, res *Result, parseD, execD time.Duration, err error) {
-	if m := db.m; m != nil {
+//
+// The observer attachments arrive as the snapshot Exec took under the read
+// lock, keeping this path race-free against SetMetrics/SetSlowQueryLog.
+func (db *Database) observeStatement(m *dbMetrics, slowLog io.Writer, slowThresh time.Duration,
+	src string, res *Result, parseD, execD time.Duration, err error) {
+	if m != nil {
 		m.statements.Inc()
 		m.parseSeconds.ObserveDuration(parseD)
 		m.execSeconds.ObserveDuration(execD)
@@ -81,11 +88,11 @@ func (db *Database) observeStatement(src string, res *Result, parseD, execD time
 		}
 	}
 	total := parseD + execD
-	if db.slowLog == nil || total < db.slowThresh {
+	if slowLog == nil || total < slowThresh {
 		return
 	}
-	if db.m != nil {
-		db.m.slowQueries.Inc()
+	if m != nil {
+		m.slowQueries.Inc()
 	}
 	rows, affected := 0, 0
 	if res != nil {
@@ -95,7 +102,7 @@ func (db *Database) observeStatement(src string, res *Result, parseD, execD time
 	if err != nil {
 		status = " error=" + fmt.Sprintf("%q", err.Error())
 	}
-	fmt.Fprintf(db.slowLog, "slow-query dur=%v parse=%v exec=%v rows=%d affected=%d%s stmt=%q\n",
+	fmt.Fprintf(slowLog, "slow-query dur=%v parse=%v exec=%v rows=%d affected=%d%s stmt=%q\n",
 		total, parseD, execD, rows, affected, status, truncate(strings.Join(strings.Fields(src), " "), 200))
 }
 
@@ -136,20 +143,44 @@ func (r *planRec) pop() {
 	}
 }
 
-// explain runs EXPLAIN for a parsed inner statement.
+// explain runs EXPLAIN for a parsed inner statement. SELECT queries execute
+// for real (the greedy planner decides from observed sizes at run time);
+// UPDATE and DELETE run as a dry run — the WHERE clause is evaluated to pick
+// the access path and count matching rows, but nothing is mutated.
 func (db *Database) explain(st *ExplainStmt) (*Result, error) {
-	q, ok := st.Stmt.(*Query)
-	if !ok {
-		return nil, fmt.Errorf("sqldb: EXPLAIN supports SELECT queries, not %T", st.Stmt)
-	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	rec := &planRec{}
-	res, err := db.execQuery(q, rec)
-	if err != nil {
-		return nil, err
+	switch s := st.Stmt.(type) {
+	case *Query:
+		res, err := db.execQuery(s, rec)
+		if err != nil {
+			return nil, err
+		}
+		rec.linef("output: %d rows", len(res.Rows))
+	case *UpdateStmt:
+		t := db.tables[s.Table]
+		if t == nil {
+			return nil, fmt.Errorf("sqldb: unknown table %q", s.Table)
+		}
+		rids, desc, err := db.filterSingle(t, s.Where)
+		if err != nil {
+			return nil, err
+		}
+		rec.linef("update %s: %s → %d rows (dry run)", s.Table, desc, len(rids))
+	case *DeleteStmt:
+		t := db.tables[s.Table]
+		if t == nil {
+			return nil, fmt.Errorf("sqldb: unknown table %q", s.Table)
+		}
+		rids, desc, err := db.filterSingle(t, s.Where)
+		if err != nil {
+			return nil, err
+		}
+		rec.linef("delete %s: %s → %d rows (dry run)", s.Table, desc, len(rids))
+	default:
+		return nil, fmt.Errorf("sqldb: EXPLAIN supports SELECT, UPDATE and DELETE, not %T", st.Stmt)
 	}
-	rec.linef("output: %d rows", len(res.Rows))
 	out := &Result{Columns: []string{"plan"}}
 	for _, l := range rec.lines {
 		out.Rows = append(out.Rows, []Value{NewText(l)})

@@ -1,0 +1,51 @@
+#!/bin/sh
+# bench.sh — run the Figure 11 annotation benchmarks and record ns/op to
+# BENCH_annotation.json, next to the pre-optimization baseline (measured on
+# the same container at the commit before the parallel annotation engine,
+# plan cache and bulk sign updates landed; -benchtime 10x).
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_annotation.json}"
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -bench 'BenchmarkFig11_Annotation(MonetSQL|Postgres)' \
+	-benchtime 10x -run '^$' . | tee "$tmp"
+
+awk '
+BEGIN {
+	# Pre-optimization baseline, ns/op.
+	base["MonetSQL/c1"] = 12184528; base["MonetSQL/c2"] = 23436604
+	base["MonetSQL/c3"] = 20475059; base["MonetSQL/c4"] = 30014006
+	base["MonetSQL/c5"] = 49963264
+	base["Postgres/c1"] = 9916770;  base["Postgres/c2"] = 17208536
+	base["Postgres/c3"] = 20336573; base["Postgres/c4"] = 29292425
+	base["Postgres/c5"] = 51166004
+	n = 0
+}
+/^BenchmarkFig11_Annotation/ {
+	name = $1
+	sub(/^BenchmarkFig11_Annotation/, "", name)
+	sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix if present
+	ns[n] = $3
+	key[n] = name
+	n++
+}
+END {
+	if (n == 0) { print "bench.sh: no benchmark output parsed" > "/dev/stderr"; exit 1 }
+	printf "{\n  \"benchmark\": \"BenchmarkFig11_Annotation{MonetSQL,Postgres}\",\n"
+	printf "  \"benchtime\": \"10x\",\n  \"unit\": \"ns/op\",\n  \"cases\": [\n"
+	for (i = 0; i < n; i++) {
+		b = base[key[i]]
+		speedup = (ns[i] > 0 && b > 0) ? b / ns[i] : 0
+		printf "    {\"case\": \"%s\", \"before\": %d, \"after\": %d, \"speedup\": %.2f}%s\n",
+			key[i], b, ns[i], speedup, (i < n-1) ? "," : ""
+	}
+	printf "  ]\n}\n"
+}' "$tmp" > "$out"
+
+echo "bench.sh: wrote $out"

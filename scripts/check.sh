@@ -15,5 +15,6 @@ fi
 go vet ./...
 go build ./...
 go test ./...
+go test -race ./...
 
 echo "check.sh: all checks passed"
