@@ -137,6 +137,62 @@ func BenchmarkFig10_ResponseXQuery(b *testing.B)   { benchResponse(b, xmlac.Back
 func BenchmarkFig10_ResponseMonetSQL(b *testing.B) { benchResponse(b, xmlac.BackendColumn) }
 func BenchmarkFig10_ResponsePostgres(b *testing.B) { benchResponse(b, xmlac.BackendRow) }
 
+// ---- Figure 10: request-path before/after (scripts/bench.sh) ----
+
+// requestBenchFactor is the document scale of the request-path comparison:
+// large enough (f = 0.1) for the access-check cost to dominate; -short
+// drops back to the smoke-test scale.
+func requestBenchFactor() float64 {
+	if testing.Short() {
+		return benchFactor
+	}
+	return 0.1
+}
+
+// benchRequest measures the all-or-nothing request path over the 55-query
+// workload. reference is the unoptimized path (no id routing, per-table
+// sign probes); optimized layers sign-predicate pushdown, id→table routing
+// and the CAM-backed accessibility cache.
+func benchRequest(b *testing.B, backend xmlac.Backend, optimized bool) {
+	cfg := core.Config{
+		Schema:   xmark.Schema(),
+		Policy:   bench.MidPolicy().Clone(),
+		Backend:  backend,
+		Optimize: true,
+	}
+	if optimized {
+		cfg.PushdownSigns = true
+		cfg.QueryCache = true
+	} else {
+		cfg.NoIDRouting = true
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := xmark.Generate(xmark.Options{Factor: requestBenchFactor(), Seed: 1})
+	if err := sys.Load(doc); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Annotate(); err != nil {
+		b.Fatal(err)
+	}
+	queries := bench.Queries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		_, _ = sys.Request(q) // denials are expected outcomes, not errors
+	}
+}
+
+func benchRequestPair(b *testing.B, backend xmlac.Backend) {
+	b.Run("reference", func(b *testing.B) { benchRequest(b, backend, false) })
+	b.Run("optimized", func(b *testing.B) { benchRequest(b, backend, true) })
+}
+
+func BenchmarkFig10_RequestMonetSQL(b *testing.B) { benchRequestPair(b, xmlac.BackendColumn) }
+func BenchmarkFig10_RequestPostgres(b *testing.B) { benchRequestPair(b, xmlac.BackendRow) }
+
 // ---- Figure 11: annotation across the coverage dataset ----
 
 func benchAnnotation(b *testing.B, backend xmlac.Backend) {

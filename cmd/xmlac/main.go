@@ -5,7 +5,7 @@
 // Usage:
 //
 //	xmlac [-dtd file] [-policy file] [-doc file] [-backend xquery|monetsql|postgres]
-//	      [-trace] [-explain] [-slowquery dur] [-version] op...
+//	      [-trace] [-explain] [-slowquery dur] [-pushdown] [-qcache] [-version] op...
 //
 // With no -dtd/-policy/-doc, the paper's hospital example is used.
 // -trace prints a span tree per operation to stderr, -explain prints the
@@ -51,6 +51,8 @@ func main() {
 		explain    = flag.Bool("explain", false, "print the SQL plan before each query (relational backends)")
 		slowQuery  = flag.Duration("slowquery", 0, "log SQL statements slower than this duration to stderr (0 disables)")
 		parallel   = flag.Int("parallel", 0, "annotation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		pushdown   = flag.Bool("pushdown", false, "fold the sign check into translated queries (relational backends)")
+		qcache     = flag.Bool("qcache", false, "serve request access checks from a compressed accessibility map")
 		version    = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
@@ -93,7 +95,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	cfg := xmlac.Config{Schema: schema, Policy: pol, Backend: be, Optimize: *optimize}.WithParallelism(*parallel)
+	cfg := xmlac.Config{
+		Schema: schema, Policy: pol, Backend: be, Optimize: *optimize,
+		PushdownSigns: *pushdown, QueryCache: *qcache,
+	}.WithParallelism(*parallel)
 	if *trace {
 		cfg.Tracer = xmlac.NewTracer(xmlac.RenderTraceSink(os.Stderr))
 	}

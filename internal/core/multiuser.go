@@ -8,6 +8,7 @@ import (
 
 	"xmlac/internal/cam"
 	"xmlac/internal/dtd"
+	"xmlac/internal/obs"
 	"xmlac/internal/policy"
 	"xmlac/internal/pool"
 	"xmlac/internal/xmltree"
@@ -38,6 +39,13 @@ type MultiUser struct {
 	doc    *xmltree.Document
 	users  map[string]*userEntry
 	pool   *pool.Pool // nil forces sequential per-user rebuilds
+
+	// rebuilds / lookups count accessibility-map recomputations and request
+	// access checks; marks gauges the total compressed-map size across
+	// users. All nil when metrics are off.
+	rebuilds *obs.Counter
+	lookups  *obs.Counter
+	marks    *obs.Gauge
 }
 
 type userEntry struct {
@@ -55,6 +63,38 @@ func NewMultiUser(schema *dtd.Schema, doc *xmltree.Document) (*MultiUser, error)
 		return nil, fmt.Errorf("core: document does not conform to schema: %v (and %d more)", errs[0], len(errs)-1)
 	}
 	return &MultiUser{schema: schema, doc: doc, users: map[string]*userEntry{}, pool: pool.New(0)}, nil
+}
+
+// SetMetrics attaches a metrics registry: per-user accessibility-map
+// rebuilds (core_multiuser_rebuilds_total), request access-check lookups
+// (core_multiuser_lookups_total) and the aggregate compressed-map size
+// (core_multiuser_cam_marks) — the multi-user counterpart of the query
+// cache's hit/miss counters.
+func (m *MultiUser) SetMetrics(reg *obs.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if reg == nil {
+		m.rebuilds, m.lookups, m.marks = nil, nil, nil
+		return
+	}
+	m.rebuilds = reg.Counter("core_multiuser_rebuilds_total")
+	m.lookups = reg.Counter("core_multiuser_lookups_total")
+	m.marks = reg.Gauge("core_multiuser_cam_marks")
+}
+
+// updateMarksGauge refreshes the aggregate map-size gauge. Caller holds at
+// least the read lock.
+func (m *MultiUser) updateMarksGauge() {
+	if m.marks == nil {
+		return
+	}
+	total := 0
+	for _, e := range m.users {
+		if e.acc != nil {
+			total += e.acc.Size()
+		}
+	}
+	m.marks.Set(float64(total))
 }
 
 // SetParallelism bounds the worker pool Delete fans the per-user rebuilds
@@ -94,6 +134,7 @@ func (m *MultiUser) AddUser(name string, pol *policy.Policy) error {
 		return err
 	}
 	m.users[name] = e
+	m.updateMarksGauge()
 	return nil
 }
 
@@ -123,6 +164,9 @@ func (m *MultiUser) rebuild(e *userEntry) error {
 		return err
 	}
 	e.acc = cam.Build(m.doc, acc, e.pol.Default == policy.Allow)
+	if m.rebuilds != nil {
+		m.rebuilds.Inc()
+	}
 	return nil
 }
 
@@ -146,6 +190,9 @@ func (m *MultiUser) Request(user string, q *xpath.Path) (*RequestResult, error) 
 	nodes, err := xpath.Eval(q, m.doc)
 	if err != nil {
 		return nil, err
+	}
+	if m.lookups != nil {
+		m.lookups.Add(int64(len(nodes)))
 	}
 	for _, n := range nodes {
 		if !e.acc.Accessible(n) {
@@ -246,6 +293,7 @@ func (m *MultiUser) Delete(u *xpath.Path) (*MultiUpdateReport, error) {
 	}
 	rep.Reannotated = affected
 	rep.Took = time.Since(start)
+	m.updateMarksGauge()
 	return rep, nil
 }
 

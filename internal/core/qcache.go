@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"xmlac/internal/cam"
+	"xmlac/internal/obs"
+	"xmlac/internal/policy"
+	"xmlac/internal/xpath"
+)
+
+// CAM-backed accessibility cache. The paper's Section 6 discusses the
+// compressed accessibility map of [26] as an alternative *storage* scheme
+// for annotations; internal/cam implements it, but until now only the
+// ablation benchmarks and the multi-user layer used it. The query cache
+// puts it on the serving path: after annotation, the store's signs are
+// materialized once into a compressed map, and subsequent requests answer
+// their access checks from memory — no SQL probes on the relational
+// backends, no sign-walk on the native one. The cache is invalidated by a
+// version stamp the System bumps on every load, (re-)annotation and update.
+
+// queryCache lazily materializes and serves one cam.Map per store version.
+type queryCache struct {
+	mu    sync.Mutex
+	built uint64 // System version the map reflects; 0 = never built
+	acc   *cam.Map
+
+	hits, misses *obs.Counter // nil when metrics are off
+}
+
+func newQueryCache(reg *obs.Registry) *queryCache {
+	qc := &queryCache{}
+	if reg != nil {
+		qc.hits = reg.Counter("core_qcache_hits_total")
+		qc.misses = reg.Counter("core_qcache_misses_total")
+	}
+	return qc
+}
+
+func (qc *queryCache) inc(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// cachedCAM returns the accessibility map for the current store version,
+// rebuilding it when stale. Callers hold at least s.mu.RLock (so s.version
+// and the underlying store are stable); concurrent readers serialize the
+// rebuild on qc.mu and all but the first see a hit.
+func (s *System) cachedCAM() (*cam.Map, error) {
+	qc := s.qc
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	if qc.built == s.version && qc.acc != nil {
+		qc.inc(qc.hits)
+		return qc.acc, nil
+	}
+	qc.inc(qc.misses)
+	def := s.policy.Default == policy.Allow
+	if s.db != nil {
+		accessible, err := AccessibleIDsRelational(s.db, s.mapping)
+		if err != nil {
+			return nil, err
+		}
+		qc.acc = cam.Build(s.Document(), accessible, def)
+	} else {
+		qc.acc = cam.FromSigns(s.Document(), def)
+	}
+	qc.built = s.version
+	return qc.acc, nil
+}
+
+// requestCached answers a request from the accessibility cache: the query
+// is evaluated on the in-memory tree and every matched node is checked
+// against the compressed map. The result (grant-or-deny, returned ids,
+// error text) is identical to the configured backend's uncached path.
+func (s *System) requestCached(q *xpath.Path, parent *obs.Span) (*RequestResult, error) {
+	acc, err := s.cachedCAM()
+	if err != nil {
+		return nil, err
+	}
+	sp := obs.Start(parent, "eval-query")
+	nodes, err := xpath.Eval(q, s.Document())
+	sp.SetAttr("matched", len(nodes)).Finish()
+	if err != nil {
+		return nil, err
+	}
+	sp = obs.Start(parent, "check-access")
+	defer sp.Finish()
+	sp.SetAttr("mode", "qcache")
+	if s.db == nil {
+		// Mirror requestNative: check in document order, report the first
+		// inaccessible node with its label.
+		for _, n := range nodes {
+			if !acc.Accessible(n) {
+				sp.SetAttr("outcome", "denied")
+				return nil, fmt.Errorf("%w: node %d (%s) is not accessible", ErrAccessDenied, n.ID, n.Label)
+			}
+		}
+		sp.SetAttr("outcome", "granted")
+		return &RequestResult{Nodes: nodes, Checked: len(nodes)}, nil
+	}
+	// Mirror requestRelational: ascending id order, id-only error text.
+	byID := make(map[int64]bool, len(nodes))
+	idList := make([]int64, 0, len(nodes))
+	accessible := make(map[int64]bool, len(nodes))
+	for _, n := range nodes {
+		if byID[n.ID] {
+			continue
+		}
+		byID[n.ID] = true
+		idList = append(idList, n.ID)
+		if acc.Accessible(n) {
+			accessible[n.ID] = true
+		}
+	}
+	slices.Sort(idList)
+	for _, id := range idList {
+		if !accessible[id] {
+			sp.SetAttr("outcome", "denied")
+			return nil, fmt.Errorf("%w: node %d is not accessible", ErrAccessDenied, id)
+		}
+	}
+	sp.SetAttr("outcome", "granted")
+	return &RequestResult{IDs: idList, Checked: len(idList)}, nil
+}

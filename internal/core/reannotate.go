@@ -346,6 +346,9 @@ func DeleteRelationalRows(db *sqldb.Database, m *shred.Mapping, byLabel map[stri
 			}
 			total += res.Affected
 		}
+		// Keep the id→table routing index in sync. Dropping an id is always
+		// safe: an unknown id simply falls back to the all-tables probe.
+		m.ForgetOwner(ids...)
 	}
 	return total, nil
 }

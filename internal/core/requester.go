@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"xmlac/internal/obs"
@@ -25,9 +26,13 @@ var ErrAccessDenied = fmt.Errorf("core: access denied")
 type RequestResult struct {
 	// Nodes are the matched nodes (native store requests).
 	Nodes []*xmltree.Node
-	// IDs are the matched universal identifiers (relational requests).
+	// IDs are the matched universal identifiers, ascending (relational
+	// requests).
 	IDs []int64
-	// Checked is how many nodes were access-checked.
+	// Checked is how many distinct nodes were access-checked. A translated
+	// query may return the same universal id once per qualifier witness;
+	// matches are deduplicated before checking on every backend, so Checked
+	// always counts distinct matched nodes.
 	Checked int
 }
 
@@ -49,24 +54,40 @@ func requestNative(doc *xmltree.Document, q *xpath.Path, def policy.Effect, pare
 	defer sp.Finish()
 	for _, n := range nodes {
 		if !accessibleNative(n, def) {
+			sp.SetAttr("outcome", "denied")
 			return nil, fmt.Errorf("%w: node %d (%s) is not accessible", ErrAccessDenied, n.ID, n.Label)
 		}
 	}
+	sp.SetAttr("outcome", "granted")
 	return &RequestResult{Nodes: nodes, Checked: len(nodes)}, nil
+}
+
+// relOpts selects which read-path optimizations a relational request uses.
+type relOpts struct {
+	// pushdown folds the sign check into the translated query
+	// (TranslateAccessible) instead of issuing per-table IN probes.
+	pushdown bool
+	// route restricts the fallback IN probes to each id's owning table
+	// (the mapping's OwnerIndex) instead of every table of the mapping.
+	route bool
 }
 
 // RequestRelational evaluates a query against the annotated relational
 // store: the query is translated to SQL, and every returned tuple's sign is
 // checked. Returns ErrAccessDenied if any matched tuple has s ≠ '+'.
 //
+// This is the reference path (probe every table of the mapping, no
+// pushdown); the optimized variants behind Config.PushdownSigns and id
+// routing must stay result-identical to it.
+//
 // Note that the relational store materializes all signs at annotation time
 // (Figure 6 initializes every tuple to the default), so unlike the native
 // store no default needs consulting here.
 func RequestRelational(db *sqldb.Database, m *shred.Mapping, q *xpath.Path) (*RequestResult, error) {
-	return requestRelational(db, m, q, nil)
+	return requestRelational(db, m, q, nil, relOpts{})
 }
 
-func requestRelational(db *sqldb.Database, m *shred.Mapping, q *xpath.Path, parent *obs.Span) (*RequestResult, error) {
+func requestRelational(db *sqldb.Database, m *shred.Mapping, q *xpath.Path, parent *obs.Span, o relOpts) (*RequestResult, error) {
 	sp := obs.Start(parent, "translate-sql")
 	sqlText, err := shred.Translate(m, q)
 	sp.Finish()
@@ -79,56 +100,114 @@ func requestRelational(db *sqldb.Database, m *shred.Mapping, q *xpath.Path, pare
 	if err != nil {
 		return nil, err
 	}
-	sp = obs.Start(parent, "check-access")
-	defer sp.Finish()
-	// Check signs table by table, as a universal id alone does not identify
-	// its table (the paper's universal-identifier iteration); the IN probes
-	// use the primary-key index.
-	accessible := map[int64]bool{}
 	idList := make([]int64, 0, len(ids))
 	for id := range ids {
 		idList = append(idList, id)
 	}
-	sortIDs(idList)
-	const batch = 256
-	for _, ti := range m.Tables() {
-		for start := 0; start < len(idList); start += batch {
-			end := start + batch
-			if end > len(idList) {
-				end = len(idList)
-			}
-			var b strings.Builder
-			fmt.Fprintf(&b, "SELECT id FROM %s WHERE %s = '+' AND id IN (", ti.Table, shred.SignColumn)
-			for i, id := range idList[start:end] {
-				if i > 0 {
-					b.WriteString(", ")
-				}
-				fmt.Fprintf(&b, "%d", id)
-			}
-			b.WriteString(")")
-			res, err := db.Exec(b.String())
-			if err != nil {
-				return nil, err
-			}
-			for _, row := range res.Rows {
-				accessible[row[0].I] = true
-			}
+	slices.Sort(idList)
+
+	sp = obs.Start(parent, "check-access")
+	defer sp.Finish()
+	var accessible map[int64]bool
+	switch {
+	case o.pushdown:
+		sp.SetAttr("mode", "pushdown")
+		signedSQL, err := shred.TranslateAccessible(m, q)
+		if err != nil {
+			return nil, err
+		}
+		accessible, err = queryIDs(db, signedSQL)
+		if err != nil {
+			return nil, err
+		}
+	case o.route:
+		sp.SetAttr("mode", "routed")
+		accessible, err = probeSignsRouted(db, m, idList)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		sp.SetAttr("mode", "all-tables")
+		accessible, err = probeSigns(db, m.Tables(), idList)
+		if err != nil {
+			return nil, err
 		}
 	}
-	out := &RequestResult{Checked: len(ids)}
 	for _, id := range idList {
 		if !accessible[id] {
+			sp.SetAttr("outcome", "denied")
 			return nil, fmt.Errorf("%w: node %d is not accessible", ErrAccessDenied, id)
 		}
 	}
-	out.IDs = idList
-	return out, nil
+	sp.SetAttr("outcome", "granted")
+	return &RequestResult{IDs: idList, Checked: len(ids)}, nil
 }
 
-func sortIDs(ids []int64) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
+// probeSigns checks signs table by table with batched IN probes (the
+// paper's universal-identifier iteration: an id alone does not identify its
+// table); the IN lists resolve through the primary-key index.
+func probeSigns(db *sqldb.Database, tables []*shred.TableInfo, idList []int64) (map[int64]bool, error) {
+	accessible := map[int64]bool{}
+	for _, ti := range tables {
+		if err := probeSignsTable(db, ti.Table, idList, accessible); err != nil {
+			return nil, err
 		}
 	}
+	return accessible, nil
+}
+
+// probeSignsRouted probes each id's owning table only, falling back to the
+// full cross-product for ids the owner index does not know (databases
+// populated outside the shredder).
+func probeSignsRouted(db *sqldb.Database, m *shred.Mapping, idList []int64) (map[int64]bool, error) {
+	owned, unknown := m.GroupByOwner(idList)
+	accessible := map[int64]bool{}
+	// Deterministic table order keeps the probe sequence stable.
+	tables := make([]string, 0, len(owned))
+	for t := range owned {
+		tables = append(tables, t)
+	}
+	slices.Sort(tables)
+	for _, t := range tables {
+		if err := probeSignsTable(db, t, owned[t], accessible); err != nil {
+			return nil, err
+		}
+	}
+	if len(unknown) > 0 {
+		for _, ti := range m.Tables() {
+			if err := probeSignsTable(db, ti.Table, unknown, accessible); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return accessible, nil
+}
+
+// probeSignsTable issues the batched sign probes for one table, adding the
+// accessible ids to the shared set.
+func probeSignsTable(db *sqldb.Database, table string, idList []int64, accessible map[int64]bool) error {
+	const batch = 256
+	for start := 0; start < len(idList); start += batch {
+		end := start + batch
+		if end > len(idList) {
+			end = len(idList)
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "SELECT id FROM %s WHERE %s = '+' AND id IN (", table, shred.SignColumn)
+		for i, id := range idList[start:end] {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", id)
+		}
+		b.WriteString(")")
+		res, err := db.Exec(b.String())
+		if err != nil {
+			return err
+		}
+		for _, row := range res.Rows {
+			accessible[row[0].I] = true
+		}
+	}
+	return nil
 }

@@ -80,6 +80,21 @@ type Config struct {
 	// ones). 0 selects GOMAXPROCS; 1 forces the sequential reference path,
 	// which produces byte-identical sign columns.
 	Parallelism int
+	// PushdownSigns folds the access check of relational requests into the
+	// translated query (shred.TranslateAccessible) instead of issuing
+	// per-table sign-probe batches. Result-identical to the reference path.
+	PushdownSigns bool
+	// QueryCache answers request access checks from a compressed
+	// accessibility map (internal/cam) materialized after annotation and
+	// invalidated on every load, (re-)annotation and update — on both the
+	// native and the relational backends. Result-identical to the
+	// uncached paths.
+	QueryCache bool
+	// NoIDRouting disables id→table routing of the relational sign probes,
+	// restoring the reference behavior of probing every table of the
+	// mapping. Routing is on by default because each universal id lives in
+	// exactly one table.
+	NoIDRouting bool
 }
 
 // WithParallelism returns a copy of the configuration with the annotation
@@ -110,6 +125,11 @@ type System struct {
 	tracer  *obs.Tracer     // nil when tracing is off
 	pool    *pool.Pool      // nil forces the sequential reference path
 	loaded  bool
+	// version stamps the store's accessibility state: bumped (under the
+	// exclusive lock) by every load, annotation and update, it invalidates
+	// the query cache.
+	version uint64
+	qc      *queryCache // nil unless Config.QueryCache
 }
 
 // NewSystem validates the configuration and builds the system.
@@ -141,6 +161,9 @@ func NewSystem(cfg Config) (*System, error) {
 		if cfg.Metrics != nil {
 			s.pool.SetMetrics(cfg.Metrics)
 		}
+	}
+	if cfg.QueryCache {
+		s.qc = newQueryCache(cfg.Metrics)
 	}
 	contains := ContainFunc(pattern.Contains)
 	if cfg.SchemaAware {
@@ -249,6 +272,7 @@ func (s *System) Load(doc *xmltree.Document) error {
 		}
 	}
 	s.loaded = true
+	s.version++
 	return nil
 }
 
@@ -273,6 +297,7 @@ func (s *System) annotateLocked() (AnnotateStats, error) {
 	if !s.loaded {
 		return AnnotateStats{}, fmt.Errorf("core: no document loaded")
 	}
+	s.version++ // signs are about to change; invalidate the query cache
 	sp := s.tracer.Start("annotate").SetAttr("backend", s.cfg.Backend.String())
 	start := time.Now()
 	var stats AnnotateStats
@@ -458,6 +483,7 @@ func (s *System) checkWriteDelete(u *xpath.Path) error {
 // applyDelete removes the matched subtrees from the tree and, for
 // relational backends, the corresponding tuples.
 func (s *System) applyDelete(u *xpath.Path) (map[string][]int64, int, error) {
+	s.version++ // the accessible set is about to change
 	byLabel, total, err := ApplyDeleteTree(s.Document(), u)
 	if err != nil {
 		return nil, 0, err
@@ -510,6 +536,7 @@ func (s *System) InsertAndReannotate(parentPath *xpath.Path, tmpl *xmltree.Node)
 	rep.PrepareTime = time.Since(start)
 
 	start = time.Now()
+	s.version++ // the accessible set is about to change
 	sp := obs.Start(root, "apply-insert")
 	parents, err := xpath.Eval(parentPath, doc)
 	if err != nil {
@@ -604,8 +631,14 @@ func (s *System) Request(q *xpath.Path) (*RequestResult, error) {
 	}
 	sp := s.tracer.Start("request").SetAttr("query", q.String()).SetAttr("backend", s.cfg.Backend.String())
 	defer sp.Finish()
+	if s.qc != nil {
+		return s.requestCached(q, sp)
+	}
 	if s.db != nil {
-		return requestRelational(s.db, s.mapping, q, sp)
+		return requestRelational(s.db, s.mapping, q, sp, relOpts{
+			pushdown: s.cfg.PushdownSigns,
+			route:    !s.cfg.NoIDRouting,
+		})
 	}
 	return requestNative(s.Document(), q, s.policy.Default, sp)
 }
@@ -653,6 +686,16 @@ func (s *System) AccessibleIDs() (map[int64]bool, error) {
 func (s *System) accessibleIDsLocked() (map[int64]bool, error) {
 	if !s.loaded {
 		return nil, fmt.Errorf("core: no document loaded")
+	}
+	if s.qc != nil {
+		// Expanding the cached compressed map reproduces the backend's
+		// accessible set exactly (the map was built from it), so view
+		// export, filtered requests and coverage all serve from memory.
+		acc, err := s.cachedCAM()
+		if err != nil {
+			return nil, err
+		}
+		return acc.AccessibleIDs(s.Document()), nil
 	}
 	if s.db != nil {
 		return AccessibleIDsRelational(s.db, s.mapping)

@@ -48,6 +48,10 @@ type Mapping struct {
 	ByElement map[string]*TableInfo
 	// order preserves schema declaration order.
 	order []string
+	// owners routes universal identifiers to their owning table (built as
+	// documents are shredded, maintained on insert/delete). Nil for
+	// hand-constructed mappings; every routing method degrades gracefully.
+	owners *OwnerIndex
 }
 
 // reservedSuffix disambiguates element names that collide with SQL keywords
@@ -62,7 +66,7 @@ func BuildMapping(schema *dtd.Schema) (*Mapping, error) {
 		// its schemas for the same reason.
 		return nil, fmt.Errorf("shred: schema is recursive (cycle %v)", cyc)
 	}
-	m := &Mapping{Schema: schema, ByElement: map[string]*TableInfo{}}
+	m := &Mapping{Schema: schema, ByElement: map[string]*TableInfo{}, owners: &OwnerIndex{}}
 	used := map[string]bool{}
 	for _, name := range schema.Names() {
 		e := schema.Element(name)
@@ -125,6 +129,21 @@ func (m *Mapping) DDL() string {
 			fmt.Fprintf(&b, ", FOREIGN KEY (pid) REFERENCES %s (id)", ti.ParentTables[0])
 		}
 		b.WriteString(");\n")
+	}
+	return b.String()
+}
+
+// IndexDDL emits CREATE INDEX statements over the pid and s columns of every
+// table, in declaration order. The pid index resolves the parent-child joins
+// of translated queries; the s index resolves sign predicates (pushdown
+// queries, accessible-id sweeps) without full scans. Kept separate from
+// DDL() so the shredded SQL scripts (Table 5 sizes, Figure 9 loading) retain
+// the paper's shape; IntoDB executes both.
+func (m *Mapping) IndexDDL() string {
+	var b strings.Builder
+	for _, ti := range m.Tables() {
+		fmt.Fprintf(&b, "CREATE INDEX %s_pid_idx ON %s (pid);\n", ti.Table, ti.Table)
+		fmt.Fprintf(&b, "CREATE INDEX %s_s_idx ON %s (%s);\n", ti.Table, ti.Table, SignColumn)
 	}
 	return b.String()
 }

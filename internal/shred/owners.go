@@ -1,0 +1,176 @@
+package shred
+
+import (
+	"sort"
+	"sync"
+)
+
+// Owner routing. Universal identifiers are unique across the whole shredded
+// database, so every id belongs to exactly one table — but the id alone does
+// not say which. The reference request path therefore probes every table of
+// the mapping with sign-check IN batches. The OwnerIndex removes that
+// cross-product: it records, as a compact range map, which table owns each
+// id. Documents are shredded in document order with monotonically increasing
+// identifiers, so consecutive same-table nodes collapse into one range and
+// the index stays proportional to the document's table-switching frequency,
+// not its size.
+
+// ownerRange says ids in [start, end) live in table.
+type ownerRange struct {
+	start, end int64
+	table      string
+}
+
+// OwnerIndex maps universal identifiers to their owning table. The zero
+// value is ready to use. All methods are safe for concurrent use.
+type OwnerIndex struct {
+	mu     sync.RWMutex
+	ranges []ownerRange // sorted by start, non-overlapping
+}
+
+// Record notes that id lives in table. Ascending insertions (the shredding
+// walk order) extend the tail range in O(1); out-of-order or re-recorded ids
+// fall back to a general insert that keeps the ranges sorted and coalesced.
+func (ix *OwnerIndex) Record(id int64, table string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	n := len(ix.ranges)
+	if n == 0 || id >= ix.ranges[n-1].end {
+		if n > 0 && ix.ranges[n-1].end == id && ix.ranges[n-1].table == table {
+			ix.ranges[n-1].end = id + 1
+			return
+		}
+		ix.ranges = append(ix.ranges, ownerRange{start: id, end: id + 1, table: table})
+		return
+	}
+	ix.forgetLocked(id)
+	i := sort.Search(len(ix.ranges), func(k int) bool { return ix.ranges[k].end > id })
+	// Coalesce with an adjacent same-table neighbor where possible.
+	if i < len(ix.ranges) && ix.ranges[i].start == id+1 && ix.ranges[i].table == table {
+		ix.ranges[i].start = id
+		if i > 0 && ix.ranges[i-1].end == id && ix.ranges[i-1].table == table {
+			ix.ranges[i-1].end = ix.ranges[i].end
+			ix.ranges = append(ix.ranges[:i], ix.ranges[i+1:]...)
+		}
+		return
+	}
+	if i > 0 && ix.ranges[i-1].end == id && ix.ranges[i-1].table == table {
+		ix.ranges[i-1].end = id + 1
+		return
+	}
+	ix.ranges = append(ix.ranges, ownerRange{})
+	copy(ix.ranges[i+1:], ix.ranges[i:])
+	ix.ranges[i] = ownerRange{start: id, end: id + 1, table: table}
+}
+
+// Lookup returns the owning table of id, or "" when the id was never
+// recorded (e.g. a database populated outside the shredder).
+func (ix *OwnerIndex) Lookup(id int64) (string, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if r, ok := ix.find(id); ok {
+		return r.table, true
+	}
+	return "", false
+}
+
+// find locates the range containing id. Caller holds at least the read lock.
+func (ix *OwnerIndex) find(id int64) (ownerRange, bool) {
+	i := sort.Search(len(ix.ranges), func(k int) bool { return ix.ranges[k].end > id })
+	if i < len(ix.ranges) && ix.ranges[i].start <= id {
+		return ix.ranges[i], true
+	}
+	return ownerRange{}, false
+}
+
+// Forget removes one id from the index (a deleted tuple). Interior removals
+// split their range in two.
+func (ix *OwnerIndex) Forget(id int64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.forgetLocked(id)
+}
+
+func (ix *OwnerIndex) forgetLocked(id int64) {
+	i := sort.Search(len(ix.ranges), func(k int) bool { return ix.ranges[k].end > id })
+	if i >= len(ix.ranges) || ix.ranges[i].start > id {
+		return
+	}
+	r := &ix.ranges[i]
+	switch {
+	case r.start == id && r.end == id+1:
+		ix.ranges = append(ix.ranges[:i], ix.ranges[i+1:]...)
+	case r.start == id:
+		r.start = id + 1
+	case r.end == id+1:
+		r.end = id
+	default:
+		tail := ownerRange{start: id + 1, end: r.end, table: r.table}
+		r.end = id
+		ix.ranges = append(ix.ranges, ownerRange{})
+		copy(ix.ranges[i+2:], ix.ranges[i+1:])
+		ix.ranges[i+1] = tail
+	}
+}
+
+// Len returns the number of stored ranges — the routing structure's size.
+func (ix *OwnerIndex) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.ranges)
+}
+
+// RecordOwner notes that the tuple with the given universal identifier was
+// shredded into table. The shredder calls this for every inserted node.
+func (m *Mapping) RecordOwner(id int64, table string) {
+	if m.owners == nil {
+		return
+	}
+	m.owners.Record(id, table)
+}
+
+// OwnerTable returns the table owning the id, or "" when unknown.
+func (m *Mapping) OwnerTable(id int64) string {
+	if m.owners == nil {
+		return ""
+	}
+	t, _ := m.owners.Lookup(id)
+	return t
+}
+
+// ForgetOwner drops deleted ids from the routing index.
+func (m *Mapping) ForgetOwner(ids ...int64) {
+	if m.owners == nil {
+		return
+	}
+	for _, id := range ids {
+		m.owners.Forget(id)
+	}
+}
+
+// GroupByOwner splits ids by their owning table. Ids the index does not know
+// (hand-loaded databases, mappings built without shredding) are returned in
+// unknown; the caller falls back to probing every table for those.
+func (m *Mapping) GroupByOwner(ids []int64) (owned map[string][]int64, unknown []int64) {
+	if m.owners == nil {
+		return nil, ids
+	}
+	owned = map[string][]int64{}
+	for _, id := range ids {
+		if t, ok := m.owners.Lookup(id); ok {
+			owned[t] = append(owned[t], id)
+		} else {
+			unknown = append(unknown, id)
+		}
+	}
+	return owned, unknown
+}
+
+// OwnerRanges returns the routing index's range count (0 when the mapping
+// has no owner index) — exposed for tests and diagnostics.
+func (m *Mapping) OwnerRanges() int {
+	if m.owners == nil {
+		return 0
+	}
+	return m.owners.Len()
+}

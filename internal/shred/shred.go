@@ -3,6 +3,7 @@ package shred
 import (
 	"fmt"
 	"io"
+	"slices"
 	"strings"
 
 	"xmlac/internal/sqldb"
@@ -78,6 +79,9 @@ func (s *Shredder) IntoDB(db *sqldb.Database, doc *xmltree.Document) error {
 	if _, err := db.ExecScript(s.Mapping.DDL()); err != nil {
 		return fmt.Errorf("shred: creating tables: %w", err)
 	}
+	if _, err := db.ExecScript(s.Mapping.IndexDDL()); err != nil {
+		return fmt.Errorf("shred: creating indexes: %w", err)
+	}
 	return s.LoadInto(db, doc)
 }
 
@@ -98,6 +102,7 @@ func (s *Shredder) LoadInto(db *sqldb.Database, doc *xmltree.Document) error {
 			err = fmt.Errorf("shred: node %d: %w", n.ID, e)
 			return false
 		}
+		s.Mapping.RecordOwner(n.ID, ti.Table)
 		return true
 	})
 	return err
@@ -123,6 +128,7 @@ func (s *Shredder) InsertSubtree(db *sqldb.Database, root *xmltree.Node) error {
 			err = fmt.Errorf("shred: node %d: %w", n.ID, e)
 			return false
 		}
+		s.Mapping.RecordOwner(n.ID, ti.Table)
 		return true
 	})
 	return err
@@ -235,7 +241,7 @@ func Rebuild(db *sqldb.Database, m *Mapping) (*xmltree.Document, error) {
 		return nil, fmt.Errorf("shred: rebuild: no root tuple (NULL pid)")
 	}
 	for _, kids := range children {
-		sortInt64s(kids)
+		slices.Sort(kids)
 	}
 	doc := xmltree.NewDocument(byID[rootID].element)
 	root := doc.Root()
@@ -299,12 +305,4 @@ func applyRow(doc *xmltree.Document, n *xmltree.Node, ri *rowInfo) error {
 		return fmt.Errorf("shred: rebuild: %w", err)
 	}
 	return nil
-}
-
-func sortInt64s(xs []int64) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }

@@ -739,6 +739,12 @@ func (db *Database) baseScanPath(b *binding, alias int, preds []*planPred) (rids
 		}
 	}
 	// Equality against a constant through a registered secondary index.
+	// Several local equalities may each have an index (e.g. a pushdown
+	// query's s = '+' next to a v = literal); probe every candidate's bucket
+	// and drive the scan from the most selective one — the bucket sizes are
+	// exact row counts, so this is true (not estimated) selectivity.
+	var bestEq *planPred
+	var bestRids []int
 	for _, pp := range local {
 		if pp.src.In == nil && pp.src.Op == CmpEq {
 			ix := t.secondaryFor(pp.leftCol)
@@ -749,15 +755,21 @@ func (db *Database) baseScanPath(b *binding, alias int, preds []*planPred) (rids
 			if err != nil {
 				continue
 			}
+			var cand []int
 			for _, rid := range ix.lookup(lit) {
 				if t.store.live(rid) {
-					rids = append(rids, rid)
+					cand = append(cand, rid)
 				}
 			}
-			pp.applied = true
-			desc = fmt.Sprintf("secondary index on %s", t.Columns[pp.leftCol].Name)
-			return filterRids(t, rids, local, pp), desc, len(rids), nil
+			if bestEq == nil || len(cand) < len(bestRids) {
+				bestEq, bestRids = pp, cand
+			}
 		}
+	}
+	if bestEq != nil {
+		bestEq.applied = true
+		desc = fmt.Sprintf("secondary index on %s", t.Columns[bestEq.leftCol].Name)
+		return filterRids(t, bestRids, local, bestEq), desc, len(bestRids), nil
 	}
 	// IN-list lookup through a registered secondary index.
 	for _, pp := range local {

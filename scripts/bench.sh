@@ -4,11 +4,16 @@
 # the same container at the commit before the parallel annotation engine,
 # plan cache and bulk sign updates landed; -benchtime 10x).
 #
-# Usage: scripts/bench.sh [output.json]
+# Also runs the Figure 10 request-path comparison (reference vs optimized
+# read path: sign-predicate pushdown + id routing + query cache, XMark
+# f = 0.1) and records both sides to BENCH_request.json.
+#
+# Usage: scripts/bench.sh [annotation.json] [request.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_annotation.json}"
+reqout="${2:-BENCH_request.json}"
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -49,3 +54,37 @@ END {
 }' "$tmp" > "$out"
 
 echo "bench.sh: wrote $out"
+
+go test -bench 'BenchmarkFig10_Request(MonetSQL|Postgres)' \
+	-benchtime 110x -run '^$' . | tee "$tmp"
+
+awk '
+BEGIN { n = 0 }
+/^BenchmarkFig10_Request/ {
+	name = $1
+	sub(/^BenchmarkFig10_Request/, "", name)
+	sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix if present
+	split(name, parts, "/")     # backend / reference|optimized
+	if (parts[2] == "reference") before[parts[1]] = $3
+	if (parts[2] == "optimized") after[parts[1]] = $3
+	seen[parts[1]] = 1
+	if (!(parts[1] in order)) { order[parts[1]] = n; key[n] = parts[1]; n++ }
+}
+END {
+	if (n == 0) { print "bench.sh: no request benchmark output parsed" > "/dev/stderr"; exit 1 }
+	printf "{\n  \"benchmark\": \"BenchmarkFig10_Request{MonetSQL,Postgres}/{reference,optimized}\",\n"
+	printf "  \"benchtime\": \"110x\",\n  \"unit\": \"ns/op\",\n  \"cases\": [\n"
+	for (i = 0; i < n; i++) {
+		b = before[key[i]]; a = after[key[i]]
+		if (b == "" || a == "") {
+			printf "bench.sh: missing reference or optimized run for %s\n", key[i] > "/dev/stderr"
+			exit 1
+		}
+		speedup = (a > 0) ? b / a : 0
+		printf "    {\"case\": \"%s\", \"before\": %d, \"after\": %d, \"speedup\": %.2f}%s\n",
+			key[i], b, a, speedup, (i < n-1) ? "," : ""
+	}
+	printf "  ]\n}\n"
+}' "$tmp" > "$reqout"
+
+echo "bench.sh: wrote $reqout"

@@ -17,4 +17,8 @@ go build ./...
 go test ./...
 go test -race ./...
 
+# Smoke the benchmark harness itself (tiny -short documents, one iteration):
+# a broken bench is otherwise only caught when scripts/bench.sh runs.
+go test -short -bench 'BenchmarkFig10_Request(MonetSQL|Postgres)' -benchtime 1x -run '^$' .
+
 echo "check.sh: all checks passed"
