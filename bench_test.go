@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	"xmlac"
+	"xmlac/internal/audit"
 	"xmlac/internal/bench"
 	"xmlac/internal/cam"
 	"xmlac/internal/core"
@@ -192,6 +193,44 @@ func benchRequestPair(b *testing.B, backend xmlac.Backend) {
 
 func BenchmarkFig10_RequestMonetSQL(b *testing.B) { benchRequestPair(b, xmlac.BackendColumn) }
 func BenchmarkFig10_RequestPostgres(b *testing.B) { benchRequestPair(b, xmlac.BackendRow) }
+
+// BenchmarkRequest_AuditOverhead measures what the audit trail costs the
+// Figure 10 request path: the same optimized MonetSQL workload with no
+// audit log versus a ring-only log (the default deployment; the JSONL
+// sink is asynchronous and drops rather than blocks, so the ring is the
+// hot-path cost). EXPERIMENTS.md records the acceptance bound (<10%).
+func BenchmarkRequest_AuditOverhead(b *testing.B) {
+	run := func(b *testing.B, log *audit.Log) {
+		cfg := core.Config{
+			Schema:        xmark.Schema(),
+			Policy:        bench.MidPolicy().Clone(),
+			Backend:       xmlac.BackendColumn,
+			Optimize:      true,
+			PushdownSigns: true,
+			QueryCache:    true,
+			Audit:         log,
+		}
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		doc := xmark.Generate(xmark.Options{Factor: requestBenchFactor(), Seed: 1})
+		if err := sys.Load(doc); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Annotate(); err != nil {
+			b.Fatal(err)
+		}
+		queries := bench.Queries()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			_, _ = sys.Request(q) // denials are expected outcomes, not errors
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("ring", func(b *testing.B) { run(b, audit.NewLog(0)) })
+}
 
 // ---- Figure 11: annotation across the coverage dataset ----
 

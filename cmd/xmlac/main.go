@@ -5,12 +5,18 @@
 // Usage:
 //
 //	xmlac [-dtd file] [-policy file] [-doc file] [-backend xquery|monetsql|postgres]
-//	      [-trace] [-explain] [-slowquery dur] [-pushdown] [-qcache] [-version] op...
+//	      [-trace] [-explain] [-slowquery dur] [-pushdown] [-qcache]
+//	      [-audit file] [-serve addr] [-version] op...
 //
 // With no -dtd/-policy/-doc, the paper's hospital example is used.
 // -trace prints a span tree per operation to stderr, -explain prints the
 // relational engine's plan before each query, and -slowquery logs SQL
 // statements slower than the given duration (e.g. -slowquery 1ms).
+// -audit appends every decision (requests, write checks, annotation runs)
+// as JSON lines to the given file; -serve starts a long-lived ops endpoint
+// on addr (e.g. -serve :8080) after the operations run — see serve.go for
+// the routes (/healthz, /metrics, /audit, /traces, /request, /why,
+// /debug/pprof/).
 //
 // Operations (executed left to right):
 //
@@ -23,6 +29,7 @@
 //	delete=<xpath>      delete update + partial re-annotation
 //	fullafter=<xpath>   delete update + full re-annotation (baseline)
 //	view=prune|promote  print the security view
+//	why=<xpath>         explain each matched node's accessibility (rule attribution)
 //	save=<file>         write the annotated document (with signs) to a file
 //
 // Example:
@@ -53,6 +60,8 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "annotation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		pushdown   = flag.Bool("pushdown", false, "fold the sign check into translated queries (relational backends)")
 		qcache     = flag.Bool("qcache", false, "serve request access checks from a compressed accessibility map")
+		auditFile  = flag.String("audit", "", "append audit events as JSON lines to this file")
+		serveAddr  = flag.String("serve", "", "serve the ops endpoint on this address (e.g. :8080) after the operations run")
 		version    = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
@@ -99,8 +108,34 @@ func main() {
 		Schema: schema, Policy: pol, Backend: be, Optimize: *optimize,
 		PushdownSigns: *pushdown, QueryCache: *qcache,
 	}.WithParallelism(*parallel)
+	reg := xmlac.NewMetricsRegistry()
+	cfg.Metrics = reg
+	var aud *xmlac.AuditLog
+	if *auditFile != "" || *serveAddr != "" {
+		aud = xmlac.NewAuditLog(0)
+		cfg.Audit = aud
+	}
+	if *auditFile != "" {
+		f, err := os.OpenFile(*auditFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(err)
+		}
+		// LIFO: Close drains the queue first, then the file closes.
+		defer f.Close()
+		defer aud.Close()
+		aud.AttachJSONL(f, 0)
+	}
+	var col *xmlac.TraceCollector
+	var sinks []xmlac.TraceSink
 	if *trace {
-		cfg.Tracer = xmlac.NewTracer(xmlac.RenderTraceSink(os.Stderr))
+		sinks = append(sinks, xmlac.RenderTraceSink(os.Stderr))
+	}
+	if *serveAddr != "" {
+		col = xmlac.NewTraceCollector(0)
+		sinks = append(sinks, col)
+	}
+	if len(sinks) > 0 {
+		cfg.Tracer = xmlac.NewTracer(teeSink(sinks))
 	}
 	sys, err := xmlac.New(cfg)
 	if err != nil {
@@ -118,7 +153,7 @@ func main() {
 	}
 
 	ops := flag.Args()
-	if len(ops) == 0 {
+	if len(ops) == 0 && *serveAddr == "" {
 		ops = []string{"annotate", "dump"}
 	}
 	annotated := false
@@ -205,6 +240,20 @@ func main() {
 				fail(err)
 			}
 			fmt.Println(view.StringAnnotated())
+		case strings.HasPrefix(op, "why="):
+			ensureAnnotated()
+			q, err := xmlac.ParseXPath(strings.TrimPrefix(op, "why="))
+			if err != nil {
+				fail(err)
+			}
+			decisions, err := sys.Why(q)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("why %s: %d nodes\n", q, len(decisions))
+			for _, d := range decisions {
+				fmt.Println("  " + d.String())
+			}
 		case strings.HasPrefix(op, "save="):
 			ensureAnnotated()
 			path := strings.TrimPrefix(op, "save=")
@@ -239,6 +288,11 @@ func main() {
 		default:
 			fail(fmt.Errorf("unknown operation %q", op))
 		}
+	}
+
+	if *serveAddr != "" {
+		ensureAnnotated()
+		fail(serve(*serveAddr, sys, reg, aud, col))
 	}
 }
 

@@ -1,0 +1,163 @@
+// The live ops endpoint behind `xmlac -serve`: a long-lived HTTP server
+// over one annotated system, exposing the observability surface —
+// decision audit trail, rule attribution, metrics, trace spans and the
+// runtime profiler — so an operator can watch and interrogate a running
+// deployment.
+//
+// Routes:
+//
+//	GET /healthz        liveness + document/annotation state (JSON)
+//	GET /metrics        metrics registry (Prometheus text; JSON via Accept
+//	                    or ?format=json)
+//	GET /audit          recent decisions, newest last (JSON);
+//	                    ?outcome=deny filters, ?n= bounds the count
+//	GET /traces         recent root span trees, newest last (text)
+//	GET /request?q=     run an all-or-nothing request
+//	GET /why?q=         per-node rule attribution for the matched nodes
+//	GET /debug/pprof/   the Go runtime profiler
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"xmlac"
+)
+
+// teeSink fans finished root spans out to several sinks (stderr rendering
+// and the /traces ring can both be active).
+type teeSink []xmlac.TraceSink
+
+// Emit implements xmlac.TraceSink.
+func (t teeSink) Emit(root *xmlac.Span) {
+	for _, s := range t {
+		s.Emit(root)
+	}
+}
+
+// serve blocks on the ops endpoint; it only returns on listener failure.
+func serve(addr string, sys *xmlac.System, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) error {
+	fmt.Printf("serving on %s (/healthz /metrics /audit /traces /request /why /debug/pprof/)\n", addr)
+	return http.ListenAndServe(addr, newServeMux(sys, reg, aud, col))
+}
+
+func newServeMux(sys *xmlac.System, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		health := map[string]any{
+			"status":             "ok",
+			"version":            xmlac.Version,
+			"backend":            sys.Backend().String(),
+			"semantics":          sys.SemanticsLabel(),
+			"loaded":             sys.Loaded(),
+			"annotation_version": sys.Version(),
+		}
+		if sys.Loaded() {
+			health["elements"] = len(sys.Document().Elements())
+			if cov, err := sys.Coverage(); err == nil {
+				health["coverage"] = cov
+			}
+		}
+		writeJSON(w, health)
+	})
+	mux.HandleFunc("/audit", func(w http.ResponseWriter, r *http.Request) {
+		n := 100
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		events := []xmlac.AuditEvent{}
+		if outcome := r.URL.Query().Get("outcome"); outcome != "" {
+			events = aud.Filter(n, func(e xmlac.AuditEvent) bool {
+				return e.Outcome == xmlac.AuditOutcome(outcome)
+			})
+		} else {
+			events = aud.Recent(n)
+		}
+		writeJSON(w, map[string]any{
+			"events":  events,
+			"total":   aud.Total(),
+			"evicted": aud.Evicted(),
+			"dropped": aud.Dropped(),
+		})
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, root := range col.Roots() {
+			fmt.Fprint(w, root.Tree())
+		}
+	})
+	mux.HandleFunc("/request", func(w http.ResponseWriter, r *http.Request) {
+		q, ok := parseQueryParam(w, r)
+		if !ok {
+			return
+		}
+		res, err := sys.Request(q)
+		out := map[string]any{"query": q.String()}
+		switch {
+		case errors.Is(err, xmlac.ErrAccessDenied):
+			out["outcome"] = "deny"
+			out["error"] = err.Error()
+		case err != nil:
+			out["outcome"] = "error"
+			out["error"] = err.Error()
+		default:
+			out["outcome"] = "grant"
+			out["checked"] = res.Checked
+			if len(res.IDs) > 0 {
+				out["ids"] = res.IDs
+			}
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/why", func(w http.ResponseWriter, r *http.Request) {
+		q, ok := parseQueryParam(w, r)
+		if !ok {
+			return
+		}
+		decisions, err := sys.Why(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]any{"query": q.String(), "decisions": decisions})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// parseQueryParam reads and parses the q= XPath parameter, writing the
+// HTTP error itself when absent or malformed.
+func parseQueryParam(w http.ResponseWriter, r *http.Request) (*xmlac.Path, bool) {
+	s := r.URL.Query().Get("q")
+	if s == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return nil, false
+	}
+	q, err := xmlac.ParseXPath(s)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	return q, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xmlac"
+)
+
+func httpGet(url string) (*http.Response, error) { return http.Get(url) }
+
+func readAll(t *testing.T, res *http.Response) string {
+	t.Helper()
+	defer res.Body.Close()
+	data, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func testMux(t *testing.T) *httptest.Server {
+	t.Helper()
+	schema, err := xmlac.ParseDTD(xmlac.HospitalDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := xmlac.ParsePolicy(xmlac.HospitalPolicyText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := xmlac.NewMetricsRegistry()
+	aud := xmlac.NewAuditLog(0)
+	col := xmlac.NewTraceCollector(0)
+	sys, err := xmlac.New(xmlac.Config{
+		Schema: schema, Policy: pol, Backend: xmlac.BackendNative,
+		Optimize: true, Metrics: reg, Audit: aud,
+		Tracer: xmlac.NewTracer(col),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmlac.ParseXMLString(xmlac.HospitalDocumentText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Load(doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Annotate(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServeMux(sys, reg, aud, col))
+	t.Cleanup(srv.Close)
+	// One grant and one denial so /audit and /traces have content.
+	if _, err := sys.Request(xmlac.MustParseXPath("//patient/name")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Request(xmlac.MustParseXPath("//patient")); err == nil {
+		t.Fatal("//patient unexpectedly granted")
+	}
+	return srv
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	res, err := httpGet(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("GET %s: %s", url, res.Status)
+	}
+	if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	srv := testMux(t)
+
+	var health struct {
+		Status  string `json:"status"`
+		Loaded  bool   `json:"loaded"`
+		Version string `json:"version"`
+		AnnoVer uint64 `json:"annotation_version"`
+	}
+	getJSON(t, srv.URL+"/healthz", &health)
+	if health.Status != "ok" || !health.Loaded || health.Version != xmlac.Version || health.AnnoVer == 0 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	res, err := httpGet(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, res)
+	if !strings.Contains(body, "core_requests_total") && !strings.Contains(body, "core_qcache") &&
+		!strings.Contains(body, "# TYPE") {
+		t.Fatalf("metrics body = %q", body)
+	}
+
+	var auditResp struct {
+		Events []xmlac.AuditEvent `json:"events"`
+		Total  uint64             `json:"total"`
+	}
+	getJSON(t, srv.URL+"/audit", &auditResp)
+	if auditResp.Total == 0 || len(auditResp.Events) == 0 {
+		t.Fatalf("audit = %+v", auditResp)
+	}
+	getJSON(t, srv.URL+"/audit?outcome=deny&n=5", &auditResp)
+	if len(auditResp.Events) != 1 || auditResp.Events[0].Outcome != xmlac.AuditDeny {
+		t.Fatalf("audit deny filter = %+v", auditResp.Events)
+	}
+	if rules := auditResp.Events[0].Rules; len(rules) == 0 || rules[0] != "R3" {
+		t.Fatalf("denial attribution = %v", auditResp.Events[0].Rules)
+	}
+
+	var whyResp struct {
+		Decisions []xmlac.WhyDecision `json:"decisions"`
+	}
+	getJSON(t, srv.URL+"/why?q=//patient", &whyResp)
+	if len(whyResp.Decisions) != 3 {
+		t.Fatalf("why decisions = %+v", whyResp.Decisions)
+	}
+
+	var reqResp struct {
+		Outcome string `json:"outcome"`
+		Checked int    `json:"checked"`
+	}
+	getJSON(t, srv.URL+"/request?q=//patient/name", &reqResp)
+	if reqResp.Outcome != "grant" || reqResp.Checked != 3 {
+		t.Fatalf("request = %+v", reqResp)
+	}
+
+	res, err = httpGet(srv.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, res); !strings.Contains(body, "request") {
+		t.Fatalf("traces body = %q", body)
+	}
+
+	for _, target := range []string{"/why", "/request?q=%5Bbad", "/audit?n=-1"} {
+		res, err := httpGet(srv.URL + target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != 400 {
+			t.Fatalf("GET %s: %s, want 400", target, res.Status)
+		}
+	}
+}

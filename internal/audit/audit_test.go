@@ -1,0 +1,226 @@
+package audit
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingEvictionAccounting: a full ring evicts oldest-first and the
+// counters account for every recorded event (Total == Len + Evicted).
+func TestRingEvictionAccounting(t *testing.T) {
+	l := NewLog(3)
+	for i := 1; i <= 7; i++ {
+		l.Record(Event{Kind: "request", Query: fmt.Sprintf("q%d", i)})
+	}
+	got := l.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("retained %d events, want 3", len(got))
+	}
+	for i, want := range []string{"q5", "q6", "q7"} {
+		if got[i].Query != want {
+			t.Fatalf("event %d = %q, want %q (eviction must drop oldest first)", i, got[i].Query, want)
+		}
+		if got[i].Seq != uint64(5+i) {
+			t.Fatalf("event %d seq = %d, want %d", i, got[i].Seq, 5+i)
+		}
+	}
+	if l.Total() != 7 || l.Evicted() != 4 {
+		t.Fatalf("total=%d evicted=%d, want 7 and 4", l.Total(), l.Evicted())
+	}
+	if int(l.Total()) != l.Len()+int(l.Evicted()) {
+		t.Fatalf("accounting broken: total=%d len=%d evicted=%d", l.Total(), l.Len(), l.Evicted())
+	}
+	if recent := l.Recent(2); len(recent) != 2 || recent[1].Query != "q7" {
+		t.Fatalf("Recent(2) = %v", recent)
+	}
+}
+
+// blockingWriter blocks every Write until released, simulating a slow
+// JSONL destination.
+type blockingWriter struct {
+	release chan struct{}
+	buf     bytes.Buffer
+	mu      sync.Mutex
+}
+
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	<-w.release
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *blockingWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestJSONLDropAccounting: with the writer stalled, recording never
+// blocks; overflow beyond the queue is counted as dropped, and
+// written + dropped (+ the one event stuck in the writer) == recorded.
+func TestJSONLDropAccounting(t *testing.T) {
+	w := &blockingWriter{release: make(chan struct{})}
+	l := NewLog(64)
+	const queue = 4
+	l.AttachJSONL(w, queue)
+
+	// Wait until the writer goroutine has pulled one event off the queue
+	// and is stuck in Write, so the queue capacity is deterministic.
+	l.Record(Event{Kind: "request", Query: "stuck"})
+	deadline := time.Now().Add(2 * time.Second)
+	for len(l.sinkCh) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer goroutine never picked up the first event")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	const total = 20
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i < total; i++ {
+			l.Record(Event{Kind: "request", Query: fmt.Sprintf("q%d", i)})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Record blocked on a stalled JSONL writer")
+	}
+
+	close(w.release) // let the writer drain
+	l.Close()
+
+	if l.Total() != total {
+		t.Fatalf("total = %d, want %d", l.Total(), total)
+	}
+	dropped := int(l.Dropped())
+	if dropped != total-queue-1 {
+		t.Fatalf("dropped = %d, want %d (queue depth %d plus the event in the writer)", dropped, total-queue-1, queue)
+	}
+	written := 0
+	sc := bufio.NewScanner(strings.NewReader(w.String()))
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		written++
+	}
+	if written+dropped != total {
+		t.Fatalf("written(%d) + dropped(%d) != recorded(%d)", written, dropped, total)
+	}
+	// The ring is unaffected by sink drops.
+	if l.Len() != total {
+		t.Fatalf("ring len = %d, want %d", l.Len(), total)
+	}
+}
+
+// TestJSONLDrainOnClose: with a responsive writer every event reaches the
+// stream in order.
+func TestJSONLDrainOnClose(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLog(8)
+	l.AttachJSONL(&buf, 0)
+	for i := 0; i < 5; i++ {
+		l.Record(Event{Kind: "annotate", Outcome: OutcomeOK, Updated: i})
+	}
+	l.Close()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("wrote %d lines, want 5: %q", len(lines), buf.String())
+	}
+	var last Event
+	if err := json.Unmarshal([]byte(lines[4]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Seq != 5 || last.Updated != 4 || last.Outcome != OutcomeOK {
+		t.Fatalf("last event = %+v", last)
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", l.Dropped())
+	}
+}
+
+// TestFilter selects by outcome over the retained window.
+func TestFilter(t *testing.T) {
+	l := NewLog(16)
+	for i := 0; i < 6; i++ {
+		out := OutcomeGrant
+		if i%2 == 0 {
+			out = OutcomeDeny
+		}
+		l.Record(Event{Kind: "request", Outcome: out, Query: fmt.Sprintf("q%d", i)})
+	}
+	denies := l.Filter(0, func(e Event) bool { return e.Outcome == OutcomeDeny })
+	if len(denies) != 3 || denies[2].Query != "q4" {
+		t.Fatalf("denies = %+v", denies)
+	}
+	if got := l.Filter(1, func(e Event) bool { return e.Outcome == OutcomeDeny }); len(got) != 1 || got[0].Query != "q4" {
+		t.Fatalf("Filter(1) = %+v", got)
+	}
+}
+
+// TestNilLogNoops: a nil *Log is inert, so call sites need no checks.
+func TestNilLogNoops(t *testing.T) {
+	var l *Log
+	l.Record(Event{Kind: "request"})
+	if l.Recent(0) != nil || l.Len() != 0 || l.Total() != 0 || l.Evicted() != 0 || l.Dropped() != 0 {
+		t.Fatal("nil log must no-op")
+	}
+}
+
+// TestConcurrentRecord hammers Record/Recent/counters from many
+// goroutines; run under -race via scripts/check.sh.
+func TestConcurrentRecord(t *testing.T) {
+	l := NewLog(32)
+	var buf bytes.Buffer
+	var bufMu sync.Mutex
+	l.AttachJSONL(writerFunc(func(p []byte) (int, error) {
+		bufMu.Lock()
+		defer bufMu.Unlock()
+		return buf.Write(p)
+	}), 8)
+	var wg sync.WaitGroup
+	const writers, per = 8, 200
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Record(Event{Kind: "request", Query: fmt.Sprintf("g%d-%d", g, i)})
+				if i%32 == 0 {
+					_ = l.Recent(8)
+					_ = l.Total()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	l.Close()
+	if l.Total() != writers*per {
+		t.Fatalf("total = %d, want %d", l.Total(), writers*per)
+	}
+	if int(l.Total()) != l.Len()+int(l.Evicted()) {
+		t.Fatalf("accounting broken: total=%d len=%d evicted=%d", l.Total(), l.Len(), l.Evicted())
+	}
+	// Seqs in the ring are strictly increasing.
+	events := l.Recent(0)
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("seq order broken at %d: %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

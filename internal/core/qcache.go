@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"slices"
 	"sync"
 
@@ -46,46 +45,48 @@ func (qc *queryCache) inc(c *obs.Counter) {
 }
 
 // cachedCAM returns the accessibility map for the current store version,
-// rebuilding it when stale. Callers hold at least s.mu.RLock (so s.version
-// and the underlying store are stable); concurrent readers serialize the
+// rebuilding it when stale, and reports whether the call was served from
+// the cache (a hit). Callers hold at least s.mu.RLock (so s.version and
+// the underlying store are stable); concurrent readers serialize the
 // rebuild on qc.mu and all but the first see a hit.
-func (s *System) cachedCAM() (*cam.Map, error) {
+func (s *System) cachedCAM() (*cam.Map, bool, error) {
 	qc := s.qc
 	qc.mu.Lock()
 	defer qc.mu.Unlock()
 	if qc.built == s.version && qc.acc != nil {
 		qc.inc(qc.hits)
-		return qc.acc, nil
+		return qc.acc, true, nil
 	}
 	qc.inc(qc.misses)
 	def := s.policy.Default == policy.Allow
 	if s.db != nil {
 		accessible, err := AccessibleIDsRelational(s.db, s.mapping)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		qc.acc = cam.Build(s.Document(), accessible, def)
 	} else {
 		qc.acc = cam.FromSigns(s.Document(), def)
 	}
 	qc.built = s.version
-	return qc.acc, nil
+	return qc.acc, false, nil
 }
 
 // requestCached answers a request from the accessibility cache: the query
 // is evaluated on the in-memory tree and every matched node is checked
 // against the compressed map. The result (grant-or-deny, returned ids,
 // error text) is identical to the configured backend's uncached path.
-func (s *System) requestCached(q *xpath.Path, parent *obs.Span) (*RequestResult, error) {
-	acc, err := s.cachedCAM()
+// The bool reports whether the map was a cache hit (for the audit trail).
+func (s *System) requestCached(q *xpath.Path, parent *obs.Span) (*RequestResult, bool, error) {
+	acc, hit, err := s.cachedCAM()
 	if err != nil {
-		return nil, err
+		return nil, hit, err
 	}
 	sp := obs.Start(parent, "eval-query")
 	nodes, err := xpath.Eval(q, s.Document())
 	sp.SetAttr("matched", len(nodes)).Finish()
 	if err != nil {
-		return nil, err
+		return nil, hit, err
 	}
 	sp = obs.Start(parent, "check-access")
 	defer sp.Finish()
@@ -96,11 +97,11 @@ func (s *System) requestCached(q *xpath.Path, parent *obs.Span) (*RequestResult,
 		for _, n := range nodes {
 			if !acc.Accessible(n) {
 				sp.SetAttr("outcome", "denied")
-				return nil, fmt.Errorf("%w: node %d (%s) is not accessible", ErrAccessDenied, n.ID, n.Label)
+				return nil, hit, &DeniedError{ID: n.ID, Label: n.Label}
 			}
 		}
 		sp.SetAttr("outcome", "granted")
-		return &RequestResult{Nodes: nodes, Checked: len(nodes)}, nil
+		return &RequestResult{Nodes: nodes, Checked: len(nodes)}, hit, nil
 	}
 	// Mirror requestRelational: ascending id order, id-only error text.
 	byID := make(map[int64]bool, len(nodes))
@@ -120,9 +121,9 @@ func (s *System) requestCached(q *xpath.Path, parent *obs.Span) (*RequestResult,
 	for _, id := range idList {
 		if !accessible[id] {
 			sp.SetAttr("outcome", "denied")
-			return nil, fmt.Errorf("%w: node %d is not accessible", ErrAccessDenied, id)
+			return nil, hit, &DeniedError{ID: id}
 		}
 	}
 	sp.SetAttr("outcome", "granted")
-	return &RequestResult{IDs: idList, Checked: len(idList)}, nil
+	return &RequestResult{IDs: idList, Checked: len(idList)}, hit, nil
 }

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 	"strings"
+	"time"
 
+	"xmlac/internal/audit"
 	"xmlac/internal/obs"
 	"xmlac/internal/policy"
 	"xmlac/internal/shred"
@@ -21,6 +24,58 @@ import (
 
 // ErrAccessDenied is returned when a request touches an inaccessible node.
 var ErrAccessDenied = fmt.Errorf("core: access denied")
+
+// DeniedError is the concrete denial returned by the request paths: it
+// wraps ErrAccessDenied (errors.Is keeps working) and carries the first
+// inaccessible node, so the audit trail can attribute the denial to the
+// deciding rule without parsing error text.
+type DeniedError struct {
+	// ID is the universal id of the inaccessible node.
+	ID int64
+	// Label is the node's element label; empty on relational denials,
+	// where the store only knows the id (matching the paper's
+	// universal-identifier iteration).
+	Label string
+}
+
+// Error reproduces the exact denial texts the request paths have always
+// emitted — the golden reference-equivalence tests compare them verbatim.
+func (e *DeniedError) Error() string {
+	if e.Label != "" {
+		return fmt.Sprintf("%v: node %d (%s) is not accessible", ErrAccessDenied, e.ID, e.Label)
+	}
+	return fmt.Sprintf("%v: node %d is not accessible", ErrAccessDenied, e.ID)
+}
+
+// Unwrap makes errors.Is(err, ErrAccessDenied) hold.
+func (e *DeniedError) Unwrap() error { return ErrAccessDenied }
+
+// auditRequest records one request decision. Denials are attributed: the
+// denied node's matching rules are looked up in the attribution cache
+// (built lazily once per store version) and the deciding plus overridden
+// rule ids land on the event. Callers hold at least s.mu.RLock.
+func (s *System) auditRequest(q *xpath.Path, res *RequestResult, cacheHit bool, d time.Duration, err error) {
+	if s.aud == nil {
+		return
+	}
+	e := audit.Event{Kind: "request", Query: q.String(), CacheHit: cacheHit, Duration: d}
+	var denied *DeniedError
+	switch {
+	case err == nil:
+		e.Outcome = audit.OutcomeGrant
+		e.Matched, e.Checked = res.Checked, res.Checked
+	case errors.As(err, &denied):
+		e.Outcome = audit.OutcomeDeny
+		e.Err = err.Error()
+		if dec, derr := s.whyDeniedLocked(denied.ID); derr == nil && dec != nil {
+			e.Rules = dec.AttributingRules()
+		}
+	default:
+		e.Outcome = audit.OutcomeError
+		e.Err = err.Error()
+	}
+	s.auditRecord(e)
+}
 
 // RequestResult is a granted request's answer.
 type RequestResult struct {
@@ -55,7 +110,7 @@ func requestNative(doc *xmltree.Document, q *xpath.Path, def policy.Effect, pare
 	for _, n := range nodes {
 		if !accessibleNative(n, def) {
 			sp.SetAttr("outcome", "denied")
-			return nil, fmt.Errorf("%w: node %d (%s) is not accessible", ErrAccessDenied, n.ID, n.Label)
+			return nil, &DeniedError{ID: n.ID, Label: n.Label}
 		}
 	}
 	sp.SetAttr("outcome", "granted")
@@ -136,7 +191,7 @@ func requestRelational(db *sqldb.Database, m *shred.Mapping, q *xpath.Path, pare
 	for _, id := range idList {
 		if !accessible[id] {
 			sp.SetAttr("outcome", "denied")
-			return nil, fmt.Errorf("%w: node %d is not accessible", ErrAccessDenied, id)
+			return nil, &DeniedError{ID: id}
 		}
 	}
 	sp.SetAttr("outcome", "granted")

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"time"
 
+	"xmlac/internal/audit"
 	"xmlac/internal/dtd"
 	"xmlac/internal/nativedb"
 	"xmlac/internal/obs"
@@ -95,6 +97,10 @@ type Config struct {
 	// mapping. Routing is on by default because each universal id lives in
 	// exactly one table.
 	NoIDRouting bool
+	// Audit receives one structured event per request, write-access check
+	// and (re-)annotation run — the decision-level audit trail. nil
+	// disables auditing; the hot path then pays only a nil check.
+	Audit *audit.Log
 }
 
 // WithParallelism returns a copy of the configuration with the annotation
@@ -130,6 +136,10 @@ type System struct {
 	// the query cache.
 	version uint64
 	qc      *queryCache // nil unless Config.QueryCache
+	aud     *audit.Log  // nil when auditing is off
+	// attr caches per-rule sign provenance (which rules match each node),
+	// keyed by version like the query cache; System.Why serves from it.
+	attr attribution
 }
 
 // NewSystem validates the configuration and builds the system.
@@ -152,6 +162,7 @@ func NewSystem(cfg Config) (*System, error) {
 		write:  cfg.Policy.ForAction(policy.ActionWrite),
 		store:  nativedb.OpenStore(),
 		tracer: cfg.Tracer,
+		aud:    cfg.Audit,
 	}
 	if cfg.Metrics != nil {
 		s.store.SetMetrics(cfg.Metrics)
@@ -207,22 +218,67 @@ var ErrUpdateDenied = fmt.Errorf("core: update denied")
 
 // checkWriteAccess verifies every target node is updatable under the write
 // rules, evaluated on the fly (the materialized signs only cover reads).
-func (s *System) checkWriteAccess(targets []*xmltree.Node) error {
+// Every check lands in the audit trail as a "write-check" event; a denial
+// is attributed to the deciding write rule.
+func (s *System) checkWriteAccess(query string, targets []*xmltree.Node) error {
 	if !s.cfg.EnforceWrite {
 		return nil
 	}
+	start := time.Now()
 	sem, err := s.write.SemanticsAction(s.Document(), policy.ActionWrite)
 	if err != nil {
+		s.auditWriteCheck(query, len(targets), time.Since(start), nil, err)
 		return err
 	}
 	// SemanticsAction folds the default semantics in, so sem is the
 	// complete updatable node set.
 	for _, n := range targets {
 		if !sem[n.ID] {
-			return fmt.Errorf("%w: node %d (%s) is not updatable", ErrUpdateDenied, n.ID, n.Label)
+			err := fmt.Errorf("%w: node %d (%s) is not updatable", ErrUpdateDenied, n.ID, n.Label)
+			s.auditWriteCheck(query, len(targets), time.Since(start), n, err)
+			return err
 		}
 	}
+	s.auditWriteCheck(query, len(targets), time.Since(start), nil, nil)
 	return nil
+}
+
+// auditWriteCheck records one write-access check; denied carries the node
+// that failed the check, attributed on the fly against the write rules.
+func (s *System) auditWriteCheck(query string, checked int, d time.Duration, denied *xmltree.Node, err error) {
+	if s.aud == nil {
+		return
+	}
+	e := audit.Event{Kind: "write-check", Query: query, Checked: checked, Matched: checked, Duration: d}
+	switch {
+	case err == nil:
+		e.Outcome = audit.OutcomeGrant
+	case errors.Is(err, ErrUpdateDenied):
+		e.Outcome = audit.OutcomeDeny
+		e.Err = err.Error()
+		if denied != nil {
+			if dec, derr := decideOnFly(s.write, s.Document(), denied); derr == nil {
+				e.Rules = dec.AttributingRules()
+			}
+		}
+	default:
+		e.Outcome = audit.OutcomeError
+		e.Err = err.Error()
+	}
+	s.auditRecord(e)
+}
+
+// auditRecord stamps the common fields and records the event; no-op
+// without an attached log.
+func (s *System) auditRecord(e audit.Event) {
+	if s.aud == nil {
+		return
+	}
+	e.Backend = s.cfg.Backend.String()
+	if e.Semantics == "" {
+		e.Semantics = s.SemanticsLabel()
+	}
+	s.aud.Record(e)
 }
 
 // RemovedRules returns the rules the optimizer eliminated.
@@ -247,6 +303,25 @@ func (s *System) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
 
 // Document returns the protected document tree.
 func (s *System) Document() *xmltree.Document { return s.store.Doc(s.cfg.DocName) }
+
+// Audit returns the attached audit log (nil when auditing is off).
+func (s *System) Audit() *audit.Log { return s.aud }
+
+// Version returns the store's accessibility version stamp: bumped by
+// every load, (re-)annotation and update, it identifies which annotation
+// state a cached artifact or an ops snapshot reflects.
+func (s *System) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Loaded reports whether a document is installed.
+func (s *System) Loaded() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.loaded
+}
 
 // Reannotator exposes the re-annotation machinery (for inspection and the
 // benchmark harness).
@@ -310,7 +385,22 @@ func (s *System) annotateLocked() (AnnotateStats, error) {
 	stats.Duration = time.Since(start)
 	sp.SetAttr("updated", stats.Updated).SetAttr("reset", stats.Reset)
 	sp.Finish()
+	s.auditAnnotate(stats, err)
 	return stats, err
+}
+
+// auditAnnotate records one full-annotation run.
+func (s *System) auditAnnotate(stats AnnotateStats, err error) {
+	if s.aud == nil {
+		return
+	}
+	e := audit.Event{Kind: "annotate", Outcome: audit.OutcomeOK,
+		Updated: stats.Updated, Reset: stats.Reset, Duration: stats.Duration}
+	if err != nil {
+		e.Outcome = audit.OutcomeError
+		e.Err = err.Error()
+	}
+	s.auditRecord(e)
 }
 
 // UpdateReport describes one delete-update round trip.
@@ -336,11 +426,9 @@ func (rep *UpdateReport) finishPhases() {
 	rep.Phases.Add("reannotate", rep.ReannotateTime)
 }
 
-// DeleteAndReannotate applies a delete update (an XPath expression locating
-// the subtrees to remove) and re-annotates only the affected region, per
-// Section 5.3. This is the optimized path Figure 12 benchmarks as
-// "reannot".
-func (s *System) DeleteAndReannotate(u *xpath.Path) (*UpdateReport, error) {
+// deleteAndReannotate is DeleteAndReannotate without the audit wrapper
+// (see reannotate.go).
+func (s *System) deleteAndReannotate(u *xpath.Path) (*UpdateReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.loaded {
@@ -421,9 +509,9 @@ func (s *System) abortRelational(err error) error {
 	return err
 }
 
-// DeleteAndFullAnnotate is the baseline Figure 12 compares against: apply
-// the delete, then annotate the whole document from scratch ("fannot").
-func (s *System) DeleteAndFullAnnotate(u *xpath.Path) (*UpdateReport, error) {
+// deleteAndFullAnnotate is DeleteAndFullAnnotate without the audit
+// wrapper (see reannotate.go).
+func (s *System) deleteAndFullAnnotate(u *xpath.Path) (*UpdateReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.loaded {
@@ -477,7 +565,7 @@ func (s *System) checkWriteDelete(u *xpath.Path) error {
 	if err != nil {
 		return err
 	}
-	return s.checkWriteAccess(targets)
+	return s.checkWriteAccess(u.String(), targets)
 }
 
 // applyDelete removes the matched subtrees from the tree and, for
@@ -496,12 +584,9 @@ func (s *System) applyDelete(u *xpath.Path) (map[string][]int64, int, error) {
 	return byLabel, total, nil
 }
 
-// InsertAndReannotate grafts a subtree under every node matched by
-// parentPath and re-annotates the affected region. The update expression
-// used for triggering is parentPath/<child label>, locating the inserted
-// nodes — the insert counterpart the paper lists as future work, supported
-// here by the same Trigger machinery.
-func (s *System) InsertAndReannotate(parentPath *xpath.Path, tmpl *xmltree.Node) (*UpdateReport, error) {
+// insertAndReannotate is InsertAndReannotate without the audit wrapper
+// (see reannotate.go).
+func (s *System) insertAndReannotate(parentPath *xpath.Path, tmpl *xmltree.Node) (*UpdateReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.loaded {
@@ -543,7 +628,7 @@ func (s *System) InsertAndReannotate(parentPath *xpath.Path, tmpl *xmltree.Node)
 		sp.Finish()
 		return nil, err
 	}
-	if err := s.checkWriteAccess(parents); err != nil {
+	if err := s.checkWriteAccess(parentPath.String(), parents); err != nil {
 		sp.Finish()
 		return nil, err
 	}
@@ -622,25 +707,36 @@ func insertRelationalSubtree(db *sqldb.Database, m *shred.Mapping, n *xmltree.No
 }
 
 // Request evaluates a user query with all-or-nothing access checking on the
-// configured backend.
+// configured backend. Every request lands in the audit trail (when a log
+// is attached): outcome, counts, cache hit and — for denials — the rule
+// that decided against the first inaccessible node.
 func (s *System) Request(q *xpath.Path) (*RequestResult, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if !s.loaded {
 		return nil, fmt.Errorf("core: no document loaded")
 	}
+	start := time.Now()
 	sp := s.tracer.Start("request").SetAttr("query", q.String()).SetAttr("backend", s.cfg.Backend.String())
 	defer sp.Finish()
-	if s.qc != nil {
-		return s.requestCached(q, sp)
-	}
-	if s.db != nil {
-		return requestRelational(s.db, s.mapping, q, sp, relOpts{
+	var (
+		res *RequestResult
+		hit bool
+		err error
+	)
+	switch {
+	case s.qc != nil:
+		res, hit, err = s.requestCached(q, sp)
+	case s.db != nil:
+		res, err = requestRelational(s.db, s.mapping, q, sp, relOpts{
 			pushdown: s.cfg.PushdownSigns,
 			route:    !s.cfg.NoIDRouting,
 		})
+	default:
+		res, err = requestNative(s.Document(), q, s.policy.Default, sp)
 	}
-	return requestNative(s.Document(), q, s.policy.Default, sp)
+	s.auditRequest(q, res, hit, time.Since(start), err)
+	return res, err
 }
 
 // Explain translates an XPath query to SQL and returns the relational
@@ -691,7 +787,7 @@ func (s *System) accessibleIDsLocked() (map[int64]bool, error) {
 		// Expanding the cached compressed map reproduces the backend's
 		// accessible set exactly (the map was built from it), so view
 		// export, filtered requests and coverage all serve from memory.
-		acc, err := s.cachedCAM()
+		acc, _, err := s.cachedCAM()
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -303,9 +304,14 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // ServeHTTP exposes the registry expvar-style: Prometheus text by
-// default, JSON with ?format=json.
+// default, JSON with ?format=json or an Accept header naming
+// application/json (the query parameter wins when both are present).
 func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
-	if req.URL.Query().Get("format") == "json" {
+	format := req.URL.Query().Get("format")
+	if format == "" && strings.Contains(req.Header.Get("Accept"), "application/json") {
+		format = "json"
+	}
+	if format == "json" {
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.WriteJSON(w)
 		return

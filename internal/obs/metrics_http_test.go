@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestServeHTTPNegotiation: Prometheus text by default, JSON via
+// ?format=json or an Accept header; an explicit format wins over Accept.
+func TestServeHTTPNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total").Add(7)
+
+	get := func(target, accept string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", target, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		rec := httptest.NewRecorder()
+		reg.ServeHTTP(rec, req)
+		return rec
+	}
+
+	rec := get("/metrics", "")
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4" {
+		t.Fatalf("default Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "requests_total 7") {
+		t.Fatalf("Prometheus body = %q", rec.Body.String())
+	}
+
+	for _, c := range []struct{ target, accept string }{
+		{"/metrics?format=json", ""},
+		{"/metrics", "application/json"},
+		{"/metrics", "text/html, application/json;q=0.9"},
+	} {
+		rec := get(c.target, c.accept)
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s Accept=%q: Content-Type = %q", c.target, c.accept, ct)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", c.target, err)
+		}
+		if snap.Counters["requests_total"] != 7 {
+			t.Fatalf("%s: counters = %v", c.target, snap.Counters)
+		}
+	}
+
+	// An explicit text format beats an Accept asking for JSON.
+	rec = get("/metrics?format=text", "application/json")
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4" {
+		t.Fatalf("format=text Content-Type = %q", ct)
+	}
+}

@@ -226,25 +226,60 @@ type Sink interface {
 	Emit(root *Span)
 }
 
-// Collector is a Sink that retains every emitted root span; tests assert
-// on the collected trees.
+// DefaultCollectorCap bounds a zero-value Collector: a long-lived server
+// emitting one root span per request must not grow without bound.
+const DefaultCollectorCap = 256
+
+// Collector is a Sink retaining the most recent root spans in a bounded
+// ring: once full, each Emit evicts the oldest root. The zero value is
+// ready to use with DefaultCollectorCap; NewCollector picks the bound.
 type Collector struct {
-	mu    sync.Mutex
-	roots []*Span
+	mu      sync.Mutex
+	roots   []*Span // ring storage, at most capN entries
+	next    int     // index of the oldest entry once len(roots) == capN
+	capN    int     // bound; 0 until first use of a zero value
+	evicted uint64
 }
 
-// Emit implements Sink.
+// NewCollector returns a collector retaining the most recent capacity
+// roots (DefaultCollectorCap when capacity <= 0).
+func NewCollector(capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = DefaultCollectorCap
+	}
+	return &Collector{capN: capacity}
+}
+
+// Emit implements Sink, evicting the oldest retained root when full.
 func (c *Collector) Emit(root *Span) {
 	c.mu.Lock()
-	c.roots = append(c.roots, root)
+	if c.capN == 0 {
+		c.capN = DefaultCollectorCap
+	}
+	if len(c.roots) < c.capN {
+		c.roots = append(c.roots, root)
+	} else {
+		c.roots[c.next] = root
+		c.next = (c.next + 1) % c.capN
+		c.evicted++
+	}
 	c.mu.Unlock()
 }
 
-// Roots returns the collected root spans in emission order.
+// Roots returns the retained root spans in emission order, oldest first.
 func (c *Collector) Roots() []*Span {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]*Span(nil), c.roots...)
+	out := make([]*Span, 0, len(c.roots))
+	out = append(out, c.roots[c.next:]...)
+	return append(out, c.roots[:c.next]...)
+}
+
+// Evicted returns how many roots the ring has overwritten.
+func (c *Collector) Evicted() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
 }
 
 // Root returns the most recently emitted root with the given name, or nil.
@@ -258,10 +293,11 @@ func (c *Collector) Root(name string) *Span {
 	return nil
 }
 
-// Reset drops all collected spans.
+// Reset drops all collected spans (the capacity is kept).
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	c.roots = nil
+	c.next = 0
 	c.mu.Unlock()
 }
 

@@ -187,3 +187,55 @@ func TestRegistryJSONRoundTrip(t *testing.T) {
 		t.Errorf("JSON missing +Inf bucket: %s", b.String())
 	}
 }
+
+// TestCollectorRingEviction: the collector retains the newest capN roots,
+// Roots stays in emission order across the wrap, and eviction is counted.
+func TestCollectorRingEviction(t *testing.T) {
+	tr := NewTracer(NewCollector(3))
+	for i := 0; i < 5; i++ {
+		tr.Start("op" + string(rune('0'+i))).Finish()
+	}
+	col := tr.sink.(*Collector)
+	roots := col.Roots()
+	if len(roots) != 3 {
+		t.Fatalf("len = %d, want 3", len(roots))
+	}
+	for i, want := range []string{"op2", "op3", "op4"} {
+		if roots[i].Name() != want {
+			t.Fatalf("roots[%d] = %s, want %s (oldest-first order)", i, roots[i].Name(), want)
+		}
+	}
+	if col.Evicted() != 2 {
+		t.Fatalf("evicted = %d, want 2", col.Evicted())
+	}
+	if got := col.Root("op4"); got == nil || got.Name() != "op4" {
+		t.Fatalf("Root(op4) = %v", got)
+	}
+	if got := col.Root("op0"); got != nil {
+		t.Fatal("evicted root still addressable")
+	}
+	col.Reset()
+	if len(col.Roots()) != 0 {
+		t.Fatal("Reset left roots behind")
+	}
+	tr.Start("after").Finish()
+	if got := col.Roots(); len(got) != 1 || got[0].Name() != "after" {
+		t.Fatalf("post-Reset roots = %v", got)
+	}
+}
+
+// TestCollectorZeroValueBounded: the zero value keeps working as a sink
+// and self-bounds at DefaultCollectorCap.
+func TestCollectorZeroValueBounded(t *testing.T) {
+	col := &Collector{}
+	tr := NewTracer(col)
+	for i := 0; i < DefaultCollectorCap+10; i++ {
+		tr.Start("op").Finish()
+	}
+	if got := len(col.Roots()); got != DefaultCollectorCap {
+		t.Fatalf("len = %d, want %d", got, DefaultCollectorCap)
+	}
+	if col.Evicted() != 10 {
+		t.Fatalf("evicted = %d, want 10", col.Evicted())
+	}
+}

@@ -21,4 +21,31 @@ go test -race ./...
 # a broken bench is otherwise only caught when scripts/bench.sh runs.
 go test -short -bench 'BenchmarkFig10_Request(MonetSQL|Postgres)' -benchtime 1x -run '^$' .
 
+# Smoke the ops endpoint: build the CLI, serve the bundled hospital system
+# on a fixed port, and hit /healthz and /metrics with curl.
+if command -v curl >/dev/null 2>&1; then
+	serve_port=18765
+	serve_bin=$(mktemp -d)/xmlac
+	go build -o "$serve_bin" ./cmd/xmlac
+	"$serve_bin" -serve 127.0.0.1:$serve_port -qcache >/dev/null 2>&1 &
+	serve_pid=$!
+	trap 'kill $serve_pid 2>/dev/null || true' EXIT
+	ok=""
+	for _ in $(seq 1 50); do
+		if curl -sf "http://127.0.0.1:$serve_port/healthz" | grep -q '"status": "ok"'; then
+			ok=1
+			break
+		fi
+		sleep 0.1
+	done
+	[ -n "$ok" ] || { echo "check.sh: /healthz never became ready" >&2; exit 1; }
+	curl -sf "http://127.0.0.1:$serve_port/metrics" | grep -q 'core_qcache' \
+		|| { echo "check.sh: /metrics missing expected counters" >&2; exit 1; }
+	kill $serve_pid 2>/dev/null || true
+	wait $serve_pid 2>/dev/null || true
+	trap - EXIT
+else
+	echo "check.sh: curl not found, skipping serve smoke" >&2
+fi
+
 echo "check.sh: all checks passed"

@@ -36,6 +36,7 @@ package xmlac
 import (
 	"io"
 
+	"xmlac/internal/audit"
 	"xmlac/internal/core"
 	"xmlac/internal/dtd"
 	"xmlac/internal/obs"
@@ -47,7 +48,7 @@ import (
 )
 
 // Version identifies this release of the library and its commands.
-const Version = "0.2.0"
+const Version = "0.3.0"
 
 // Core model types, re-exported for the public API. See the internal
 // packages for full method documentation.
@@ -105,6 +106,35 @@ type (
 	// Phases is the flat per-stage time breakdown carried on AnnotateStats
 	// and UpdateReport, recorded whether or not a tracer is attached.
 	Phases = obs.Phases
+	// TraceCollector is a TraceSink retaining the most recent root spans
+	// in a bounded ring — the store behind a server's /traces endpoint.
+	TraceCollector = obs.Collector
+	// AuditLog records decision events in a bounded ring, optionally
+	// mirrored to a JSONL writer; attach one via Config.Audit.
+	AuditLog = audit.Log
+	// AuditEvent is one recorded decision: a request, a write-access
+	// check, or an annotation/re-annotation run.
+	AuditEvent = audit.Event
+	// AuditOutcome classifies an AuditEvent (grant, deny, error, ok).
+	AuditOutcome = audit.Outcome
+	// WhyDecision explains one node's accessibility: the deciding rule,
+	// the co-matching rules, and the rules the conflict resolution
+	// overrode. Returned by System.Why and System.WhyNode.
+	WhyDecision = core.WhyDecision
+	// RuleRef names one policy rule inside a WhyDecision.
+	RuleRef = core.RuleRef
+)
+
+// Audit outcomes.
+const (
+	// AuditGrant marks an allowed request or write check.
+	AuditGrant = audit.OutcomeGrant
+	// AuditDeny marks a denied request or write check.
+	AuditDeny = audit.OutcomeDeny
+	// AuditError marks an evaluation failure.
+	AuditError = audit.OutcomeError
+	// AuditOK marks a completed annotation or re-annotation run.
+	AuditOK = audit.OutcomeOK
 )
 
 // View modes.
@@ -170,6 +200,16 @@ func NewTracer(sink TraceSink) *Tracer { return obs.NewTracer(sink) }
 // RenderTraceSink returns a TraceSink that renders each finished span tree
 // to w — the output behind the commands' -trace flag.
 func RenderTraceSink(w io.Writer) TraceSink { return &obs.RenderSink{W: w} }
+
+// NewAuditLog returns an audit log retaining the most recent capacity
+// events (a package default when capacity <= 0). Attach it via
+// Config.Audit; mirror events to a writer with AuditLog.AttachJSONL.
+func NewAuditLog(capacity int) *AuditLog { return audit.NewLog(capacity) }
+
+// NewTraceCollector returns a bounded trace collector retaining the most
+// recent capacity root spans (a package default when capacity <= 0). Use
+// NewTracer(collector) to feed it.
+func NewTraceCollector(capacity int) *TraceCollector { return obs.NewCollector(capacity) }
 
 // NewMetricsRegistry returns an empty metrics registry. It renders in the
 // Prometheus text format (MetricsRegistry.WritePrometheus), as JSON
