@@ -15,6 +15,7 @@ package xmlac_test
 // paper-vs-measured comparison.
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -404,3 +405,50 @@ func BenchmarkAblation_CAM(b *testing.B) {
 		}
 	})
 }
+
+// ---- Catalog: multi-document annotation scaling across shards ----
+
+// benchCatalog annotates 8 documents through a catalog of n shards.
+// Per-document annotation runs with Parallelism 1 so all observed
+// speedup comes from the catalog's cross-shard fan-out; near-linear
+// scaling from 1 to 4 shards is the acceptance bar.
+func benchCatalog(b *testing.B, shards int) {
+	schema, err := xmlac.ParseDTD(xmlac.HospitalDTD)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat, err := xmlac.OpenCatalog(xmlac.Config{
+		Schema:      schema,
+		Policy:      xmlac.HospitalPolicy(),
+		Backend:     xmlac.BackendColumn,
+		Optimize:    true,
+		Parallelism: 1,
+	}, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		doc := xmlac.GenerateHospital(xmlac.HospitalGenOptions{
+			Seed: uint64(i + 1), Departments: 4, PatientsPerDept: 60, StaffPerDept: 12,
+		})
+		name := fmt.Sprintf("doc%d", i)
+		if err := cat.AddDocument(name, doc); err != nil {
+			b.Fatal(err)
+		}
+		// Spread the documents evenly so every shard carries 8/shards of
+		// the load regardless of what the hash would pick.
+		if err := cat.Place(name, cat.Shards()[i%shards]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cat.AnnotateAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCatalogAnnotate1Shard(b *testing.B)  { benchCatalog(b, 1) }
+func BenchmarkCatalogAnnotate2Shards(b *testing.B) { benchCatalog(b, 2) }
+func BenchmarkCatalogAnnotate4Shards(b *testing.B) { benchCatalog(b, 4) }

@@ -1,0 +1,190 @@
+package xmlac_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"xmlac"
+)
+
+func testCatalog(t *testing.T, backend xmlac.Backend, shards int, docs ...string) *xmlac.Catalog {
+	t.Helper()
+	schema, err := xmlac.ParseDTD(xmlac.HospitalDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := xmlac.OpenCatalog(xmlac.Config{
+		Schema:   schema,
+		Policy:   xmlac.HospitalPolicy(),
+		Backend:  backend,
+		Optimize: true,
+	}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range docs {
+		doc := xmlac.GenerateHospital(xmlac.HospitalGenOptions{
+			Seed: uint64(i + 1), Departments: 1, PatientsPerDept: 6, StaffPerDept: 2,
+		})
+		if err := cat.AddDocument(name, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cat.AnnotateAll(); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func accessibleOf(t *testing.T, cat *xmlac.Catalog, doc string) map[int64]bool {
+	t.Helper()
+	sys, err := cat.System(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := sys.AccessibleIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+// TestCatalogShardIsolation: an update routed to one document must not
+// change any other document's accessible set — each document has its own
+// engine, so a shard can never leak signs into another.
+func TestCatalogShardIsolation(t *testing.T) {
+	for _, b := range []xmlac.Backend{xmlac.BackendNative, xmlac.BackendRow, xmlac.BackendColumn} {
+		t.Run(b.String(), func(t *testing.T) {
+			cat := testCatalog(t, b, 2, "alpha", "beta", "gamma")
+			before := map[string]map[int64]bool{}
+			for _, d := range cat.Docs() {
+				before[d] = accessibleOf(t, cat, d)
+			}
+			rep, err := cat.DeleteAndReannotate("beta", xmlac.MustParseXPath("//patient/treatment"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.DeletedNodes == 0 {
+				t.Fatal("delete removed nothing")
+			}
+			for _, d := range []string{"alpha", "gamma"} {
+				if got := accessibleOf(t, cat, d); !reflect.DeepEqual(got, before[d]) {
+					t.Errorf("document %q changed after an update to beta", d)
+				}
+			}
+			if got := accessibleOf(t, cat, "beta"); reflect.DeepEqual(got, before["beta"]) {
+				t.Error("beta's accessible set unchanged by the delete")
+			}
+		})
+	}
+}
+
+// TestCatalogRouting: the shard map is deterministic, every document has
+// a shard, and the shard set is resizable through the public surface.
+func TestCatalogRouting(t *testing.T) {
+	cat := testCatalog(t, xmlac.BackendNative, 3, "a", "b", "c", "d", "e")
+	if got := len(cat.Shards()); got != 3 {
+		t.Fatalf("shards = %d, want 3", got)
+	}
+	routed := map[string]string{}
+	for _, d := range cat.Docs() {
+		routed[d] = cat.ShardOf(d)
+		if routed[d] == "" {
+			t.Fatalf("document %q has no shard", d)
+		}
+		if again := cat.ShardOf(d); again != routed[d] {
+			t.Fatalf("routing of %q unstable", d)
+		}
+	}
+	placement := cat.Placement()
+	for d, s := range routed {
+		found := false
+		for _, pd := range placement[s] {
+			found = found || pd == d
+		}
+		if !found {
+			t.Fatalf("Placement() does not list %q under %q", d, s)
+		}
+	}
+	if err := cat.AddShard("extra"); err != nil {
+		t.Fatal(err)
+	}
+	for d, s := range routed {
+		if after := cat.ShardOf(d); after != s && after != "extra" {
+			t.Fatalf("%q moved %q → %q, not to the new shard", d, s, after)
+		}
+	}
+	if err := cat.RemoveShard("extra"); err != nil {
+		t.Fatal(err)
+	}
+	for d, s := range routed {
+		if after := cat.ShardOf(d); after != s {
+			t.Fatalf("%q did not return to %q after shard removal", d, s)
+		}
+	}
+	if err := cat.Place("a", "shard2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cat.ShardOf("a"); got != "shard2" {
+		t.Fatalf("ShardOf(a) = %q after Place, want shard2", got)
+	}
+}
+
+// TestCatalogUnknownDocument: routing to a missing document fails with an
+// error naming the known ones.
+func TestCatalogUnknownDocument(t *testing.T) {
+	cat := testCatalog(t, xmlac.BackendNative, 2, "only")
+	if _, err := cat.Request("ghost", xmlac.MustParseXPath("//patient")); err == nil {
+		t.Fatal("request to an unknown document succeeded")
+	}
+	if err := cat.AddDocument("only", xmlac.GenerateHospital(xmlac.HospitalGenOptions{Seed: 1})); err == nil {
+		t.Fatal("duplicate AddDocument succeeded")
+	}
+	cat.RemoveDocument("only")
+	if got := len(cat.Docs()); got != 0 {
+		t.Fatalf("docs = %d after removal", got)
+	}
+}
+
+// TestCatalogConcurrentHammer drives annotation, requests, explanations
+// and per-document updates concurrently across the catalog — the -race
+// check of the shard fan-out and the merged observability sinks.
+func TestCatalogConcurrentHammer(t *testing.T) {
+	docs := make([]string, 6)
+	for i := range docs {
+		docs[i] = fmt.Sprintf("doc%d", i)
+	}
+	cat := testCatalog(t, xmlac.BackendColumn, 3, docs...)
+	q := xmlac.MustParseXPath("//patient/name")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := cat.AnnotateAll(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	for _, d := range docs {
+		d := d
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := cat.Request(d, q); err != nil {
+					t.Errorf("request %s: %v", d, err)
+				}
+				if _, err := cat.Coverage(d); err != nil {
+					t.Errorf("coverage %s: %v", d, err)
+				}
+				if _, err := cat.Why(d, q); err != nil {
+					t.Errorf("why %s: %v", d, err)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+}

@@ -62,6 +62,8 @@ func main() {
 		qcache     = flag.Bool("qcache", false, "serve request access checks from a compressed accessibility map")
 		auditFile  = flag.String("audit", "", "append audit events as JSON lines to this file")
 		serveAddr  = flag.String("serve", "", "serve the ops endpoint on this address (e.g. :8080) after the operations run")
+		docsList   = flag.String("docs", "", "catalog mode: comma-separated name[=file] document list (file defaults to -doc)")
+		shards     = flag.Int("shards", 2, "catalog mode: number of shards documents hash onto")
 		version    = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
@@ -136,6 +138,10 @@ func main() {
 	}
 	if len(sinks) > 0 {
 		cfg.Tracer = xmlac.NewTracer(teeSink(sinks))
+	}
+	if *docsList != "" {
+		runCatalog(cfg, *docsList, *shards, docText, *serveAddr, reg, aud, col)
+		return
 	}
 	sys, err := xmlac.New(cfg)
 	if err != nil {
@@ -293,6 +299,113 @@ func main() {
 	if *serveAddr != "" {
 		ensureAnnotated()
 		fail(serve(*serveAddr, sys, reg, aud, col))
+	}
+}
+
+// runCatalog is the -docs mode: many named documents sharded across
+// independent engines, annotated shard-parallel, with the operation list
+// applied to every document ("[name] ..." output lines).
+func runCatalog(cfg xmlac.Config, docsList string, shards int, defaultDocText, serveAddr string,
+	reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) {
+	cat, err := xmlac.OpenCatalog(cfg, shards)
+	if err != nil {
+		fail(err)
+	}
+	for _, ent := range strings.Split(docsList, ",") {
+		name, file, _ := strings.Cut(strings.TrimSpace(ent), "=")
+		if name == "" {
+			fail(fmt.Errorf("-docs entries must be name or name=file"))
+		}
+		text := defaultDocText
+		if file != "" {
+			text = readFile(file)
+		}
+		doc, err := xmlac.ParseXMLString(text)
+		if err != nil {
+			fail(err)
+		}
+		if err := cat.AddDocument(name, doc); err != nil {
+			fail(err)
+		}
+	}
+	annotateAll := func() {
+		stats, err := cat.AnnotateAll()
+		if err != nil {
+			fail(err)
+		}
+		for _, name := range cat.Docs() {
+			fmt.Printf("[%s] shard %s: annotate %d nodes set in %v\n",
+				name, cat.ShardOf(name), stats[name].Updated, stats[name].Duration)
+		}
+	}
+	annotateAll()
+
+	for _, op := range flag.Args() {
+		switch {
+		case op == "annotate":
+			annotateAll()
+		case op == "placement":
+			for shard, docs := range cat.Placement() {
+				fmt.Printf("%s: %s\n", shard, strings.Join(docs, " "))
+			}
+		case op == "coverage":
+			for _, name := range cat.Docs() {
+				cov, err := cat.Coverage(name)
+				if err != nil {
+					fail(err)
+				}
+				fmt.Printf("[%s] coverage: %.1f%%\n", name, cov*100)
+			}
+		case strings.HasPrefix(op, "query="):
+			q, err := xmlac.ParseXPath(strings.TrimPrefix(op, "query="))
+			if err != nil {
+				fail(err)
+			}
+			for _, name := range cat.Docs() {
+				res, err := cat.Request(name, q)
+				switch {
+				case errors.Is(err, xmlac.ErrAccessDenied):
+					fmt.Printf("[%s] query %s: DENIED (%v)\n", name, q, err)
+				case err != nil:
+					fail(err)
+				default:
+					fmt.Printf("[%s] query %s: granted, %d nodes\n", name, q, res.Checked)
+				}
+			}
+		case strings.HasPrefix(op, "why="):
+			q, err := xmlac.ParseXPath(strings.TrimPrefix(op, "why="))
+			if err != nil {
+				fail(err)
+			}
+			for _, name := range cat.Docs() {
+				decisions, err := cat.Why(name, q)
+				if err != nil {
+					fail(err)
+				}
+				fmt.Printf("[%s] why %s: %d nodes\n", name, q, len(decisions))
+				for _, d := range decisions {
+					fmt.Println("  " + d.String())
+				}
+			}
+		case strings.HasPrefix(op, "delete="):
+			u, err := xmlac.ParseXPath(strings.TrimPrefix(op, "delete="))
+			if err != nil {
+				fail(err)
+			}
+			for _, name := range cat.Docs() {
+				rep, err := cat.DeleteAndReannotate(name, u)
+				if err != nil {
+					fail(err)
+				}
+				fmt.Printf("[%s] delete %s: removed %d nodes, triggered %v\n",
+					name, u, rep.DeletedNodes, rep.Triggered)
+			}
+		default:
+			fail(fmt.Errorf("operation %q is not supported in catalog mode", op))
+		}
+	}
+	if serveAddr != "" {
+		fail(serveCatalog(serveAddr, cat, reg, aud, col))
 	}
 }
 

@@ -1,8 +1,8 @@
 // The live ops endpoint behind `xmlac -serve`: a long-lived HTTP server
-// over one annotated system, exposing the observability surface —
-// decision audit trail, rule attribution, metrics, trace spans and the
-// runtime profiler — so an operator can watch and interrogate a running
-// deployment.
+// over one annotated system — or, with -docs, over a sharded catalog of
+// documents — exposing the observability surface: decision audit trail,
+// rule attribution, metrics, trace spans and the runtime profiler, so an
+// operator can watch and interrogate a running deployment.
 //
 // Routes:
 //
@@ -12,8 +12,12 @@
 //	GET /audit          recent decisions, newest last (JSON);
 //	                    ?outcome=deny filters, ?n= bounds the count
 //	GET /traces         recent root span trees, newest last (text)
-//	GET /request?q=     run an all-or-nothing request
+//	GET /catalog        shard placement and per-document state (JSON;
+//	                    catalog mode only)
+//	GET /request?q=     run an all-or-nothing request (&doc= selects the
+//	                    document in catalog mode)
 //	GET /why?q=         per-node rule attribution for the matched nodes
+//	                    (&doc= in catalog mode)
 //	GET /debug/pprof/   the Go runtime profiler
 package main
 
@@ -39,24 +43,66 @@ func (t teeSink) Emit(root *xmlac.Span) {
 	}
 }
 
-// serve blocks on the ops endpoint; it only returns on listener failure.
+// serve blocks on the ops endpoint over one system; it only returns on
+// listener failure.
 func serve(addr string, sys *xmlac.System, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) error {
 	fmt.Printf("serving on %s (/healthz /metrics /audit /traces /request /why /debug/pprof/)\n", addr)
 	return http.ListenAndServe(addr, newServeMux(sys, reg, aud, col))
 }
 
+// serveCatalog blocks on the ops endpoint over a sharded catalog.
+func serveCatalog(addr string, cat *xmlac.Catalog, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) error {
+	fmt.Printf("serving on %s (/healthz /metrics /audit /traces /catalog /request /why /debug/pprof/)\n", addr)
+	return http.ListenAndServe(addr, newCatalogMux(cat, reg, aud, col))
+}
+
 func newServeMux(sys *xmlac.System, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) *http.ServeMux {
+	return newOpsMux(sys, nil, reg, aud, col)
+}
+
+func newCatalogMux(cat *xmlac.Catalog, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) *http.ServeMux {
+	return newOpsMux(nil, cat, reg, aud, col)
+}
+
+// newOpsMux builds the endpoint routes. Exactly one of sys and cat is
+// non-nil: single-document mode serves sys directly; catalog mode routes
+// /request and /why by the doc parameter and adds /catalog.
+func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) *http.ServeMux {
+	// target resolves the system a request addresses, writing the HTTP
+	// error itself on failure.
+	target := func(w http.ResponseWriter, r *http.Request) (*xmlac.System, bool) {
+		if cat == nil {
+			return sys, true
+		}
+		doc := r.URL.Query().Get("doc")
+		if doc == "" {
+			http.Error(w, "missing doc parameter (catalog mode)", http.StatusBadRequest)
+			return nil, false
+		}
+		s, err := cat.System(doc)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return nil, false
+		}
+		return s, true
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		health := map[string]any{
-			"status":             "ok",
-			"version":            xmlac.Version,
-			"backend":            sys.Backend().String(),
-			"semantics":          sys.SemanticsLabel(),
-			"loaded":             sys.Loaded(),
-			"annotation_version": sys.Version(),
+			"status":  "ok",
+			"version": xmlac.Version,
 		}
+		if cat != nil {
+			health["docs"] = cat.Docs()
+			health["shards"] = cat.Shards()
+			writeJSON(w, health)
+			return
+		}
+		health["backend"] = sys.Backend().String()
+		health["semantics"] = sys.SemanticsLabel()
+		health["loaded"] = sys.Loaded()
+		health["annotation_version"] = sys.Version()
 		if sys.Loaded() {
 			health["elements"] = len(sys.Document().Elements())
 			if cov, err := sys.Coverage(); err == nil {
@@ -65,6 +111,27 @@ func newServeMux(sys *xmlac.System, reg *xmlac.MetricsRegistry, aud *xmlac.Audit
 		}
 		writeJSON(w, health)
 	})
+	if cat != nil {
+		mux.HandleFunc("/catalog", func(w http.ResponseWriter, r *http.Request) {
+			docs := map[string]any{}
+			for _, name := range cat.Docs() {
+				d := map[string]any{"shard": cat.ShardOf(name)}
+				if s, err := cat.System(name); err == nil {
+					d["backend"] = s.Backend().String()
+					d["annotation_version"] = s.Version()
+					if cov, err := s.Coverage(); err == nil {
+						d["coverage"] = cov
+					}
+				}
+				docs[name] = d
+			}
+			writeJSON(w, map[string]any{
+				"shards":    cat.Shards(),
+				"placement": cat.Placement(),
+				"docs":      docs,
+			})
+		})
+	}
 	mux.HandleFunc("/audit", func(w http.ResponseWriter, r *http.Request) {
 		n := 100
 		if s := r.URL.Query().Get("n"); s != "" {
@@ -101,8 +168,15 @@ func newServeMux(sys *xmlac.System, reg *xmlac.MetricsRegistry, aud *xmlac.Audit
 		if !ok {
 			return
 		}
-		res, err := sys.Request(q)
+		s, ok := target(w, r)
+		if !ok {
+			return
+		}
+		res, err := s.Request(q)
 		out := map[string]any{"query": q.String()}
+		if cat != nil {
+			out["doc"] = r.URL.Query().Get("doc")
+		}
 		switch {
 		case errors.Is(err, xmlac.ErrAccessDenied):
 			out["outcome"] = "deny"
@@ -124,12 +198,20 @@ func newServeMux(sys *xmlac.System, reg *xmlac.MetricsRegistry, aud *xmlac.Audit
 		if !ok {
 			return
 		}
-		decisions, err := sys.Why(q)
+		s, ok := target(w, r)
+		if !ok {
+			return
+		}
+		decisions, err := s.Why(q)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		writeJSON(w, map[string]any{"query": q.String(), "decisions": decisions})
+		out := map[string]any{"query": q.String(), "decisions": decisions}
+		if cat != nil {
+			out["doc"] = r.URL.Query().Get("doc")
+		}
+		writeJSON(w, out)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -4,7 +4,10 @@
 // queries Q1, Q3, Q7), and the compound annotation query.
 //
 // It uses the library's internal packages directly — this is the layer a
-// downstream user normally never sees, shown here for study.
+// downstream user normally never sees, shown here for study. The storage
+// engines are obtained from the store registry, the same seam the full
+// System runs on; the concrete database is reached through the optional
+// store.Relational interface.
 //
 //	go run ./examples/relational
 package main
@@ -18,7 +21,8 @@ import (
 	"xmlac/internal/hospital"
 	"xmlac/internal/policy"
 	"xmlac/internal/shred"
-	"xmlac/internal/sqldb"
+	"xmlac/internal/store"
+	"xmlac/internal/xmltree"
 	"xmlac/internal/xpath"
 )
 
@@ -32,12 +36,23 @@ func main() {
 	fmt.Println("== Relational schema (one table per element type) ==")
 	fmt.Println(m.DDL())
 
-	// Shred the Figure 2 document into both storage engines.
-	doc := hospital.Document()
-	db := sqldb.Open(sqldb.EngineColumn)
-	if err := shred.NewShredder(m).IntoDB(db, doc); err != nil {
+	pol := policy.MustParse(xmlac.HospitalPolicyText)
+	reduced, _ := core.RemoveRedundant(pol)
+	def := xmltree.SignMinus
+	if reduced.Default == policy.Allow {
+		def = xmltree.SignPlus
+	}
+
+	// Open the column-store engine through the registry and shred the
+	// Figure 2 document into it.
+	eng, err := store.Open("monetsql", store.Options{Schema: schema, Default: def})
+	if err != nil {
 		log.Fatal(err)
 	}
+	if err := eng.Load(hospital.Document()); err != nil {
+		log.Fatal(err)
+	}
+	db := eng.(store.Relational).DB()
 
 	fmt.Println("== Table 4: the shredded document (selected tables) ==")
 	for _, table := range []string{"patients", "patient", "name", "med", "bill"} {
@@ -69,8 +84,6 @@ func main() {
 	}
 
 	fmt.Println("== The compound annotation query ==")
-	pol := policy.MustParse(xmlac.HospitalPolicyText)
-	reduced, _ := core.RemoveRedundant(pol)
 	q := core.BuildAnnotationQuery(reduced)
 	sqlText, err := q.SQLText(m)
 	if err != nil {
@@ -80,7 +93,7 @@ func main() {
 	fmt.Printf("  SQL form:      %.220s …\n\n", sqlText)
 
 	// Run the full Figure 6 annotation and show the signs.
-	if _, err := core.AnnotateRelational(db, m, reduced); err != nil {
+	if _, err := eng.Annotate(q, nil); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("== Signs after annotation ==")
@@ -97,18 +110,21 @@ func main() {
 	}
 
 	// Both engines answer identically; show the row store too.
-	db2 := sqldb.Open(sqldb.EngineRow)
-	if err := shred.NewShredder(m).IntoDB(db2, hospital.Document()); err != nil {
-		log.Fatal(err)
-	}
-	if _, err := core.AnnotateRelational(db2, m, reduced); err != nil {
-		log.Fatal(err)
-	}
-	a1, err := core.AccessibleIDsRelational(db, m)
+	eng2, err := store.Open("postgres", store.Options{Schema: schema, Default: def})
 	if err != nil {
 		log.Fatal(err)
 	}
-	a2, err := core.AccessibleIDsRelational(db2, m)
+	if err := eng2.Load(hospital.Document()); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng2.Annotate(q, nil); err != nil {
+		log.Fatal(err)
+	}
+	a1, err := eng.AccessibleIDs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	a2, err := eng2.AccessibleIDs()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -49,6 +49,9 @@ type Event struct {
 	// Backend is the store that served the decision (xquery, monetsql,
 	// postgres).
 	Backend string `json:"backend,omitempty"`
+	// Doc names the document the decision concerned — the catalog merges
+	// per-document audit streams into one log, and Doc tells them apart.
+	Doc string `json:"doc,omitempty"`
 	// Semantics is the active (default, conflict-resolution) pair of
 	// Table 2, e.g. "ds=-,cr=-".
 	Semantics string `json:"semantics,omitempty"`

@@ -1,23 +1,32 @@
 package core
 
 import (
-	"fmt"
-	"strings"
 	"time"
 
-	"xmlac/internal/nativedb"
 	"xmlac/internal/obs"
 	"xmlac/internal/policy"
-	"xmlac/internal/pool"
-	"xmlac/internal/shred"
-	"xmlac/internal/sqldb"
+	"xmlac/internal/store"
 	"xmlac/internal/xmltree"
 )
 
-// AnnotationQuery is the output of algorithm Annotation-Queries (Figure 5):
-// the node-set expression designating the nodes whose sign must be flipped
-// away from the policy default, together with that sign. Implementing the
-// Table 2 semantics:
+// The annotator compiles the policy into an annotation query (Figure 5)
+// and hands it to the configured store engine, which executes it in its
+// own idiom — a mini-XQuery update on the native engine, the two-phase
+// reset/update SQL of Figure 6 on the relational ones. Which nodes flip
+// away from the default is decided here, identically for every backend;
+// how the signs are written is the engine's business.
+
+// AnnotationQuery is the output of algorithm Annotation-Queries
+// (Figure 5); see store.AnnotationQuery.
+type AnnotationQuery = store.AnnotationQuery
+
+// AnnotateStats reports what an annotation run did; see
+// store.AnnotateStats.
+type AnnotateStats = store.AnnotateStats
+
+// BuildAnnotationQuery implements Annotation-Queries for a policy (or for a
+// sub-policy of triggered rules during re-annotation), per the Table 2
+// semantics:
 //
 //	ds=− cr=− : update (grants EXCEPT denys) to '+'
 //	ds=− cr=+ : update grants to '+'
@@ -27,31 +36,18 @@ import (
 // Everything outside the update set keeps the default sign, which the paper
 // materializes at load time ("initialized to the default semantics of the
 // policy") and the native store leaves unannotated.
-type AnnotationQuery struct {
-	// Expr selects the nodes to update; nil when the rule sets make the
-	// update set trivially empty.
-	Expr *nativedb.SetExpr
-	// Sign is the annotation to write on the selected nodes (the opposite
-	// of the policy default).
-	Sign xmltree.Sign
-	// Default is the policy's default sign, for the remaining nodes.
-	Default xmltree.Sign
-}
-
-// BuildAnnotationQuery implements Annotation-Queries for a policy (or for a
-// sub-policy of triggered rules during re-annotation).
 func BuildAnnotationQuery(p *policy.Policy) AnnotationQuery {
-	var grantPaths, denyPaths []*nativedb.SetExpr
+	var grantPaths, denyPaths []*store.SetExpr
 	for _, r := range p.Rules {
-		leaf := nativedb.PathLeaf(r.Resource)
+		leaf := store.PathLeaf(r.Resource)
 		if r.Effect == policy.Allow {
 			grantPaths = append(grantPaths, leaf)
 		} else {
 			denyPaths = append(denyPaths, leaf)
 		}
 	}
-	grants := nativedb.Combine(nativedb.OpUnion, grantPaths...)
-	denys := nativedb.Combine(nativedb.OpUnion, denyPaths...)
+	grants := store.Combine(store.OpUnion, grantPaths...)
+	denys := store.Combine(store.OpUnion, denyPaths...)
 	q := AnnotationQuery{}
 	if p.Default == policy.Deny {
 		q.Sign, q.Default = xmltree.SignPlus, xmltree.SignMinus
@@ -71,94 +67,14 @@ func BuildAnnotationQuery(p *policy.Policy) AnnotationQuery {
 	return q
 }
 
-func exceptOf(a, b *nativedb.SetExpr) *nativedb.SetExpr {
+func exceptOf(a, b *store.SetExpr) *store.SetExpr {
 	if a == nil {
 		return nil
 	}
 	if b == nil {
 		return a
 	}
-	return &nativedb.SetExpr{Op: nativedb.OpExcept, Left: a, Right: b}
-}
-
-// XQueryText renders the annotation query as the mini-XQuery update the
-// native store executes, mirroring the paper's example
-//
-//	for $n := doc("xmlgen")((R1 union R2 union R6) except (R3 union R5))
-//	return xmlac:annotate($n, "+")
-func (q AnnotationQuery) XQueryText(docName string) string {
-	if q.Expr == nil {
-		return ""
-	}
-	return fmt.Sprintf(`for $n in doc(%q)(%s) return xmlac:annotate($n, %q)`,
-		docName, q.Expr, q.Sign.String())
-}
-
-// SQLText renders the annotation query as the compound SQL SELECT computing
-// the universal ids to update, e.g. the paper's
-//
-//	(Q1 UNION Q2 UNION Q6) EXCEPT (Q3 UNION Q5)
-func (q AnnotationQuery) SQLText(m *shred.Mapping) (string, error) {
-	if q.Expr == nil {
-		return "", nil
-	}
-	return setExprSQL(m, q.Expr)
-}
-
-func setExprSQL(m *shred.Mapping, e *nativedb.SetExpr) (string, error) {
-	if e.Path != nil {
-		return shred.Translate(m, e.Path)
-	}
-	l, err := setExprSQL(m, e.Left)
-	if err != nil {
-		return "", err
-	}
-	r, err := setExprSQL(m, e.Right)
-	if err != nil {
-		return "", err
-	}
-	var op string
-	switch e.Op {
-	case nativedb.OpUnion:
-		op = "UNION"
-	case nativedb.OpExcept:
-		op = "EXCEPT"
-	default:
-		op = "INTERSECT"
-	}
-	return "(" + l + ") " + op + " (" + r + ")", nil
-}
-
-// AnnotateStats reports what an annotation run did.
-type AnnotateStats struct {
-	// Updated is the number of nodes whose sign was set away from default.
-	Updated int
-	// Reset is the number of nodes whose sign was (re)set to the default
-	// (full annotation resets everything; re-annotation only the affected
-	// region).
-	Reset int
-	// Duration is the wall-clock time of the run (filled by System methods).
-	Duration time.Duration
-	// Phases is the per-stage time breakdown, recorded whether or not a
-	// tracer is attached.
-	Phases obs.Phases
-}
-
-// AnnotateNative performs full annotation of a document in the native
-// store: clear all annotations (back to the materialized default), then run
-// the annotation query. Mirroring the paper's native-store choice, only the
-// nodes on the non-default side carry explicit signs afterwards.
-func AnnotateNative(store *nativedb.Store, docName string, p *policy.Policy) (AnnotateStats, error) {
-	return annotateNative(store, docName, p, nil, nil)
-}
-
-// runnerOf adapts a pool to the native store's Runner shape; a nil pool
-// selects the sequential reference path.
-func runnerOf(pl *pool.Pool) nativedb.Runner {
-	if pl == nil {
-		return nil
-	}
-	return pl.ForEach
+	return &store.SetExpr{Op: store.OpExcept, Left: a, Right: b}
 }
 
 // stage runs one named pipeline stage: a span under parent when tracing,
@@ -170,315 +86,4 @@ func stage(parent *obs.Span, phases *obs.Phases, name string, f func() error) er
 	sp.Finish()
 	phases.Add(name, time.Since(start))
 	return err
-}
-
-func annotateNative(store *nativedb.Store, docName string, p *policy.Policy, parent *obs.Span, pl *pool.Pool) (AnnotateStats, error) {
-	doc := store.Doc(docName)
-	if doc == nil {
-		return AnnotateStats{}, fmt.Errorf("core: no document %q in native store", docName)
-	}
-	stats := AnnotateStats{Reset: doc.Size()}
-	_ = stage(parent, &stats.Phases, "clear-signs", func() error {
-		doc.ClearSigns()
-		return nil
-	})
-	var q AnnotationQuery
-	_ = stage(parent, &stats.Phases, "build-annotation-query", func() error {
-		q = BuildAnnotationQuery(p)
-		return nil
-	})
-	if q.Expr == nil {
-		return stats, nil
-	}
-	err := stage(parent, &stats.Phases, "apply-updates", func() error {
-		// The per-rule grant/deny paths of the annotation query are
-		// independent read-only XPath evaluations; the pool fans them out
-		// (see nativedb.EvalSetWith) before the sequential set-operator fold.
-		res, err := store.ExecWith(q.XQueryText(docName), runnerOf(pl))
-		if err != nil {
-			return err
-		}
-		stats.Updated = res.Count
-		return nil
-	})
-	return stats, err
-}
-
-// AnnotateRelational implements algorithm Annotate (Figure 6) as a full
-// annotation: reset every tuple's s column to the policy default, run the
-// annotation SQL to compute the id set S, then — exactly as the paper's
-// two-phase algorithm does — iterate over all tables, intersect each
-// table's ids with S, and issue one UPDATE per matching tuple.
-func AnnotateRelational(db *sqldb.Database, m *shred.Mapping, p *policy.Policy) (AnnotateStats, error) {
-	return annotateRelational(db, m, p, nil, nil)
-}
-
-func annotateRelational(db *sqldb.Database, m *shred.Mapping, p *policy.Policy, parent *obs.Span, pl *pool.Pool) (AnnotateStats, error) {
-	stats := AnnotateStats{}
-	q := BuildAnnotationQuery(p)
-	defSign := "'" + q.Default.String() + "'"
-	tables := m.Tables()
-	if err := stage(parent, &stats.Phases, "reset-signs", func() error {
-		// Per-table resets touch disjoint relations; fan them out and merge
-		// the counts from index-addressed slots so the total is deterministic.
-		resets := make([]int, len(tables))
-		if err := pl.ForEach(len(tables), func(i int) error {
-			res, err := db.Exec(fmt.Sprintf("UPDATE %s SET %s = %s", tables[i].Table, shred.SignColumn, defSign))
-			if err != nil {
-				return err
-			}
-			resets[i] = res.Affected
-			return nil
-		}); err != nil {
-			return err
-		}
-		for _, n := range resets {
-			stats.Reset += n
-		}
-		return nil
-	}); err != nil {
-		return stats, err
-	}
-	if q.Expr == nil {
-		return stats, nil
-	}
-	// With a pool, the per-rule leaf queries of the compound annotation SQL
-	// — independent read-only SELECTs — fan out and the UNION/EXCEPT/
-	// INTERSECT operators fold over the id sets in memory, mirroring the
-	// native store's EvalSetWith. Sequentially, the compound statement runs
-	// as one round trip, the paper's literal shape.
-	leaves := sqlLeaves(q.Expr)
-	parallelSet := pl != nil && len(leaves) > 1
-	var sqlText string
-	leafSQL := make([]string, len(leaves))
-	if err := stage(parent, &stats.Phases, "build-annotation-query", func() error {
-		if !parallelSet {
-			var err error
-			sqlText, err = q.SQLText(m)
-			return err
-		}
-		for i, l := range leaves {
-			var err error
-			if leafSQL[i], err = shred.Translate(m, l.Path); err != nil {
-				return err
-			}
-		}
-		return nil
-	}); err != nil {
-		return stats, err
-	}
-	var ids map[int64]bool
-	if err := stage(parent, &stats.Phases, "compute-update-set", func() error {
-		if !parallelSet {
-			var err error
-			ids, err = queryIDs(db, sqlText)
-			return err
-		}
-		sets := make([]map[int64]bool, len(leaves))
-		if err := pl.ForEach(len(leaves), func(i int) error {
-			var err error
-			sets[i], err = queryIDs(db, leafSQL[i])
-			return err
-		}); err != nil {
-			return err
-		}
-		byLeaf := make(map[*nativedb.SetExpr]map[int64]bool, len(leaves))
-		for i, l := range leaves {
-			byLeaf[l] = sets[i]
-		}
-		ids = foldIDSets(q.Expr, byLeaf)
-		return nil
-	}); err != nil {
-		return stats, err
-	}
-	err := stage(parent, &stats.Phases, "apply-updates", func() error {
-		n, err := updateSigns(db, m, ids, q.Sign, pl)
-		stats.Updated = n
-		return err
-	})
-	return stats, err
-}
-
-// sqlLeaves collects the per-rule path leaves of a set expression in
-// deterministic left-to-right order.
-func sqlLeaves(e *nativedb.SetExpr) []*nativedb.SetExpr {
-	if e == nil {
-		return nil
-	}
-	if e.Path != nil {
-		return []*nativedb.SetExpr{e}
-	}
-	return append(sqlLeaves(e.Left), sqlLeaves(e.Right)...)
-}
-
-// foldIDSets applies the set operators over the leaves' id sets. The leaf
-// sets are consumed in place (each leaf occurs once in the tree), so the
-// fold allocates nothing beyond what the leaf queries already returned.
-func foldIDSets(e *nativedb.SetExpr, byLeaf map[*nativedb.SetExpr]map[int64]bool) map[int64]bool {
-	if e.Path != nil {
-		return byLeaf[e]
-	}
-	l := foldIDSets(e.Left, byLeaf)
-	r := foldIDSets(e.Right, byLeaf)
-	switch e.Op {
-	case nativedb.OpUnion:
-		for id := range r {
-			l[id] = true
-		}
-	case nativedb.OpExcept:
-		for id := range r {
-			delete(l, id)
-		}
-	default: // intersect
-		for id := range l {
-			if !r[id] {
-				delete(l, id)
-			}
-		}
-	}
-	return l
-}
-
-// queryIDs runs a compound id query and returns the id set.
-func queryIDs(db *sqldb.Database, sqlText string) (map[int64]bool, error) {
-	res, err := db.Exec(sqlText)
-	if err != nil {
-		return nil, fmt.Errorf("core: annotation query failed: %w\nSQL: %s", err, truncateSQL(sqlText))
-	}
-	ids := make(map[int64]bool, len(res.Rows))
-	for _, row := range res.Rows {
-		ids[row[0].I] = true
-	}
-	return ids, nil
-}
-
-// updateSigns is the second phase of Figure 6: for each table, intersect
-// its ids with the computed set and update the matching tuples. The paper's
-// algorithm updated them one statement per tuple; here each table's matches
-// go out as bulk UPDATE … WHERE id IN (…) batches (the pk index resolves the
-// IN list), and the per-table units fan out on the pool. The id set is only
-// read, so sharing it across workers is safe.
-func updateSigns(db *sqldb.Database, m *shred.Mapping, ids map[int64]bool, sign xmltree.Sign, pl *pool.Pool) (int, error) {
-	signLit := "'" + sign.String() + "'"
-	tables := m.Tables()
-	counts := make([]int, len(tables))
-	err := pl.ForEach(len(tables), func(i int) error {
-		res, err := db.Exec("SELECT id FROM " + tables[i].Table)
-		if err != nil {
-			return err
-		}
-		matched := make([]int64, 0, len(res.Rows))
-		for _, row := range res.Rows {
-			if ids[row[0].I] {
-				matched = append(matched, row[0].I)
-			}
-		}
-		n, err := bulkUpdateSigns(db, tables[i].Table, signLit, matched)
-		counts[i] = n
-		return err
-	})
-	total := 0
-	for _, n := range counts {
-		total += n
-	}
-	return total, err
-}
-
-// bulkUpdateSigns sets one table's sign column for the given ids with
-// batched UPDATE … WHERE id IN (…) statements, replacing the former
-// one-UPDATE-per-tuple loop (the classic N+1 round-trip pattern).
-func bulkUpdateSigns(db *sqldb.Database, table, signLit string, ids []int64) (int, error) {
-	const batch = 256
-	total := 0
-	for start := 0; start < len(ids); start += batch {
-		end := start + batch
-		if end > len(ids) {
-			end = len(ids)
-		}
-		var b strings.Builder
-		fmt.Fprintf(&b, "UPDATE %s SET %s = %s WHERE id IN (", table, shred.SignColumn, signLit)
-		for i, id := range ids[start:end] {
-			if i > 0 {
-				b.WriteString(", ")
-			}
-			fmt.Fprintf(&b, "%d", id)
-		}
-		b.WriteString(")")
-		res, err := db.Exec(b.String())
-		if err != nil {
-			return total, err
-		}
-		total += res.Affected
-	}
-	return total, nil
-}
-
-func truncateSQL(s string) string {
-	if len(s) <= 400 {
-		return s
-	}
-	return s[:400] + " …"
-}
-
-// accessibleNative decides a node's accessibility in the native store:
-// explicit sign wins, absence means the policy default.
-func accessibleNative(n *xmltree.Node, def policy.Effect) bool {
-	switch n.Sign {
-	case xmltree.SignPlus:
-		return true
-	case xmltree.SignMinus:
-		return false
-	default:
-		return def == policy.Allow
-	}
-}
-
-// AccessibleIDsNative lists the accessible element ids of the annotated
-// native document under the given default.
-func AccessibleIDsNative(doc *xmltree.Document, def policy.Effect) map[int64]bool {
-	out := map[int64]bool{}
-	doc.Walk(func(n *xmltree.Node) bool {
-		if n.IsElement() && accessibleNative(n, def) {
-			out[n.ID] = true
-		}
-		return true
-	})
-	return out
-}
-
-// AccessibleIDsRelational lists the accessible tuple ids of the annotated
-// relational store (s = '+').
-func AccessibleIDsRelational(db *sqldb.Database, m *shred.Mapping) (map[int64]bool, error) {
-	out := map[int64]bool{}
-	for _, ti := range m.Tables() {
-		res, err := db.Exec(fmt.Sprintf("SELECT id FROM %s WHERE %s = '+'", ti.Table, shred.SignColumn))
-		if err != nil {
-			return nil, err
-		}
-		for _, row := range res.Rows {
-			out[row[0].I] = true
-		}
-	}
-	return out, nil
-}
-
-// CoverageNative returns the fraction of element nodes annotated accessible
-// — the paper "evaluated the actual coverage percents with XQuery after
-// each document annotation".
-func CoverageNative(doc *xmltree.Document, def policy.Effect) float64 {
-	total := 0
-	acc := 0
-	doc.Walk(func(n *xmltree.Node) bool {
-		if n.IsElement() {
-			total++
-			if accessibleNative(n, def) {
-				acc++
-			}
-		}
-		return true
-	})
-	if total == 0 {
-		return 0
-	}
-	return float64(acc) / float64(total)
 }

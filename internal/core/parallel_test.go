@@ -10,6 +10,7 @@ import (
 	"xmlac/internal/dtd"
 	"xmlac/internal/hospital"
 	"xmlac/internal/policy"
+	"xmlac/internal/store"
 	"xmlac/internal/xmark"
 	"xmlac/internal/xmltree"
 	"xmlac/internal/xpath"
@@ -43,9 +44,9 @@ rule d3 deny //person[creditcard]
 func signDump(t *testing.T, sys *System) string {
 	t.Helper()
 	var b strings.Builder
-	if sys.DB() != nil {
-		for _, ti := range sys.Mapping().Tables() {
-			res, err := sys.DB().Exec("SELECT id, s FROM " + ti.Table + " ORDER BY id")
+	if rel, ok := sys.Engine().(store.Relational); ok {
+		for _, ti := range rel.Mapping().Tables() {
+			res, err := rel.DB().Exec("SELECT id, s FROM " + ti.Table + " ORDER BY id")
 			if err != nil {
 				t.Fatal(err)
 			}

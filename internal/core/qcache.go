@@ -59,8 +59,8 @@ func (s *System) cachedCAM() (*cam.Map, bool, error) {
 	}
 	qc.inc(qc.misses)
 	def := s.policy.Default == policy.Allow
-	if s.db != nil {
-		accessible, err := AccessibleIDsRelational(s.db, s.mapping)
+	if s.engine.Relational() {
+		accessible, err := s.engine.AccessibleIDs()
 		if err != nil {
 			return nil, false, err
 		}
@@ -91,7 +91,7 @@ func (s *System) requestCached(q *xpath.Path, parent *obs.Span) (*RequestResult,
 	sp = obs.Start(parent, "check-access")
 	defer sp.Finish()
 	sp.SetAttr("mode", "qcache")
-	if s.db == nil {
+	if !s.engine.Relational() {
 		// Mirror requestNative: check in document order, report the first
 		// inaccessible node with its label.
 		for _, n := range nodes {

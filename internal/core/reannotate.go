@@ -3,14 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"time"
 
 	"xmlac/internal/audit"
-	"xmlac/internal/nativedb"
 	"xmlac/internal/obs"
-	"xmlac/internal/shred"
-	"xmlac/internal/sqldb"
+	"xmlac/internal/store"
 	"xmlac/internal/xmltree"
 	"xmlac/internal/xpath"
 )
@@ -27,6 +24,8 @@ import (
 //     the union of both scopes (restricted to surviving nodes), evaluate
 //     the sub-policy's annotation query, and rewrite signs only within N.
 //
+// Both phases speak only the store.Engine seam (EvalScope and
+// ApplySignsWithin), so one Reannotation type serves every backend.
 // The paper's full-annotation baseline instead clears everything and runs
 // the whole policy; Figure 12 compares the two.
 
@@ -89,161 +88,40 @@ func (s *System) auditUpdate(query string, rep *UpdateReport, d time.Duration, e
 	s.auditRecord(e)
 }
 
-// NativeReannotation is a prepared native-store re-annotation.
-type NativeReannotation struct {
-	reann     *Reannotator
+// Reannotation is a prepared re-annotation: one type for every backend,
+// built on the engine's EvalScope/ApplySignsWithin primitives.
+type Reannotation struct {
+	reann *Reannotator
+	// Triggered indexes the rules the Trigger algorithm selected.
 	Triggered []int
 	query     AnnotationQuery
-	scopeExpr *nativedb.SetExpr
+	scopeExpr *store.SetExpr
 	preIDs    map[int64]bool
 	phases    obs.Phases // prepare-stage breakdown, folded into Complete's stats
 }
 
-// PrepareNativeReannotation runs phase 1 against the native document. Call
-// it before applying the update to the tree.
-func PrepareNativeReannotation(doc *xmltree.Document, r *Reannotator, us ...*xpath.Path) (*NativeReannotation, error) {
-	return prepareNativeReannotation(doc, r, nil, us...)
+// PrepareReannotation runs phase 1 against an engine: Trigger selection,
+// the triggered sub-policy's annotation query, and the pre-update scope.
+// Call it before applying the update.
+func PrepareReannotation(eng store.Engine, r *Reannotator, us ...*xpath.Path) (*Reannotation, error) {
+	return prepareReannotation(eng, r, nil, us...)
 }
 
-func prepareNativeReannotation(doc *xmltree.Document, r *Reannotator, parent *obs.Span, us ...*xpath.Path) (*NativeReannotation, error) {
-	prep := &NativeReannotation{reann: r, preIDs: map[int64]bool{}}
+func prepareReannotation(eng store.Engine, r *Reannotator, parent *obs.Span, us ...*xpath.Path) (*Reannotation, error) {
+	prep := &Reannotation{reann: r, preIDs: map[int64]bool{}}
 	_ = stage(parent, &prep.phases, "trigger-selection", func() error {
 		prep.Triggered = r.TriggerAll(us)
 		sub := r.TriggeredPolicy(prep.Triggered)
-		var scopeLeaves []*nativedb.SetExpr
+		var scopeLeaves []*store.SetExpr
 		for _, rule := range sub.Rules {
-			scopeLeaves = append(scopeLeaves, nativedb.PathLeaf(rule.Resource))
+			scopeLeaves = append(scopeLeaves, store.PathLeaf(rule.Resource))
 		}
 		prep.query = BuildAnnotationQuery(sub)
-		prep.scopeExpr = nativedb.Combine(nativedb.OpUnion, scopeLeaves...)
+		prep.scopeExpr = store.Combine(store.OpUnion, scopeLeaves...)
 		return nil
 	})
 	if err := stage(parent, &prep.phases, "scope-pre", func() error {
-		if prep.scopeExpr == nil {
-			return nil
-		}
-		nodes, err := nativedb.EvalSet(prep.scopeExpr, doc)
-		if err != nil {
-			return err
-		}
-		for _, n := range nodes {
-			prep.preIDs[n.ID] = true
-		}
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	return prep, nil
-}
-
-// Complete runs phase 3 on the updated tree.
-func (p *NativeReannotation) Complete(doc *xmltree.Document) (AnnotateStats, error) {
-	return p.complete(doc, nil)
-}
-
-func (p *NativeReannotation) complete(doc *xmltree.Document, parent *obs.Span) (AnnotateStats, error) {
-	stats := AnnotateStats{Phases: p.phases}
-	if len(p.Triggered) == 0 {
-		return stats, nil
-	}
-	// Post-update scope.
-	affected := map[int64]bool{}
-	if err := stage(parent, &stats.Phases, "scope-post", func() error {
-		for id := range p.preIDs {
-			if doc.NodeByID(id) != nil {
-				affected[id] = true
-			}
-		}
-		if p.scopeExpr == nil {
-			return nil
-		}
-		nodes, err := nativedb.EvalSet(p.scopeExpr, doc)
-		if err != nil {
-			return err
-		}
-		for _, n := range nodes {
-			affected[n.ID] = true
-		}
-		return nil
-	}); err != nil {
-		return stats, err
-	}
-	// The sub-policy's update set.
-	updateSet := map[int64]bool{}
-	if err := stage(parent, &stats.Phases, "compute-update-set", func() error {
-		if p.query.Expr == nil {
-			return nil
-		}
-		nodes, err := nativedb.EvalSet(p.query.Expr, doc)
-		if err != nil {
-			return err
-		}
-		for _, n := range nodes {
-			updateSet[n.ID] = true
-		}
-		return nil
-	}); err != nil {
-		return stats, err
-	}
-	_ = stage(parent, &stats.Phases, "apply-signs", func() error {
-		for id := range affected {
-			n := doc.NodeByID(id)
-			if n == nil {
-				continue
-			}
-			if updateSet[id] {
-				nativedb.Annotate(n, p.query.Sign)
-				stats.Updated++
-			} else {
-				nativedb.Annotate(n, xmltree.SignNone) // back to the default
-				stats.Reset++
-			}
-		}
-		return nil
-	})
-	return stats, nil
-}
-
-// RelationalReannotation is a prepared relational re-annotation.
-type RelationalReannotation struct {
-	reann     *Reannotator
-	Triggered []int
-	query     AnnotationQuery
-	scopeSQL  string
-	preIDs    map[int64]bool
-	phases    obs.Phases // prepare-stage breakdown, folded into Complete's stats
-}
-
-// PrepareRelationalReannotation runs phase 1 against the relational store.
-// Call it before deleting the affected tuples.
-func PrepareRelationalReannotation(db *sqldb.Database, m *shred.Mapping, r *Reannotator, us ...*xpath.Path) (*RelationalReannotation, error) {
-	return prepareRelationalReannotation(db, m, r, nil, us...)
-}
-
-func prepareRelationalReannotation(db *sqldb.Database, m *shred.Mapping, r *Reannotator, parent *obs.Span, us ...*xpath.Path) (*RelationalReannotation, error) {
-	prep := &RelationalReannotation{reann: r, preIDs: map[int64]bool{}}
-	if err := stage(parent, &prep.phases, "trigger-selection", func() error {
-		prep.Triggered = r.TriggerAll(us)
-		sub := r.TriggeredPolicy(prep.Triggered)
-		prep.query = BuildAnnotationQuery(sub)
-		var scopeParts []string
-		for _, rule := range sub.Rules {
-			q, err := shred.Translate(m, rule.Resource)
-			if err != nil {
-				return err
-			}
-			scopeParts = append(scopeParts, "("+q+")")
-		}
-		prep.scopeSQL = strings.Join(scopeParts, " UNION ")
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	if err := stage(parent, &prep.phases, "scope-pre", func() error {
-		if prep.scopeSQL == "" {
-			return nil
-		}
-		ids, err := queryIDs(db, prep.scopeSQL)
+		ids, err := eng.EvalScope(prep.scopeExpr)
 		if err != nil {
 			return err
 		}
@@ -255,28 +133,29 @@ func prepareRelationalReannotation(db *sqldb.Database, m *shred.Mapping, r *Rean
 	return prep, nil
 }
 
-// Complete runs phase 3 on the updated database: it recomputes the scope,
-// forms the affected set, evaluates the sub-policy's annotation SQL, and —
-// following the two-phase discipline of Figure 6 — updates signs tuple by
-// tuple, but only within the affected set.
-func (p *RelationalReannotation) Complete(db *sqldb.Database, m *shred.Mapping) (AnnotateStats, error) {
-	return p.complete(db, m, nil)
+// Complete runs phase 3 on the updated store: it recomputes the scope,
+// forms the affected set (pre-update scope restricted to surviving
+// nodes, unioned with the post-update scope), evaluates the sub-policy's
+// annotation query, and rewrites signs only within the affected set.
+func (p *Reannotation) Complete(doc *xmltree.Document, eng store.Engine) (AnnotateStats, error) {
+	return p.complete(doc, eng, nil)
 }
 
-func (p *RelationalReannotation) complete(db *sqldb.Database, m *shred.Mapping, parent *obs.Span) (AnnotateStats, error) {
+func (p *Reannotation) complete(doc *xmltree.Document, eng store.Engine, parent *obs.Span) (AnnotateStats, error) {
 	stats := AnnotateStats{Phases: p.phases}
 	if len(p.Triggered) == 0 {
 		return stats, nil
 	}
 	affected := make(map[int64]bool, len(p.preIDs))
 	if err := stage(parent, &stats.Phases, "scope-post", func() error {
+		// The tree mirrors every backend's surviving nodes, so it filters
+		// the pre-update scope down to the nodes the update left alive.
 		for id := range p.preIDs {
-			affected[id] = true // dead ids are skipped by the table iteration
+			if doc.NodeByID(id) != nil {
+				affected[id] = true
+			}
 		}
-		if p.scopeSQL == "" {
-			return nil
-		}
-		post, err := queryIDs(db, p.scopeSQL)
+		post, err := eng.EvalScope(p.scopeExpr)
 		if err != nil {
 			return err
 		}
@@ -289,62 +168,26 @@ func (p *RelationalReannotation) complete(db *sqldb.Database, m *shred.Mapping, 
 	}
 	updateSet := map[int64]bool{}
 	if err := stage(parent, &stats.Phases, "compute-update-set", func() error {
-		if p.query.Expr == nil {
-			return nil
-		}
-		sqlText, err := p.query.SQLText(m)
-		if err != nil {
-			return err
-		}
-		updateSet, err = queryIDs(db, sqlText)
+		var err error
+		updateSet, err = eng.EvalScope(p.query.Expr)
 		return err
 	}); err != nil {
 		return stats, err
 	}
-	signLit := "'" + p.query.Sign.String() + "'"
-	defLit := "'" + p.query.Default.String() + "'"
 	err := stage(parent, &stats.Phases, "apply-signs", func() error {
-		// Split each table's affected ids by target sign and write them as
-		// bulk UPDATE … WHERE id IN (…) batches instead of one statement per
-		// tuple (the same N+1 fix as the full-annotation path).
-		for _, ti := range m.Tables() {
-			res, err := db.Exec("SELECT id FROM " + ti.Table)
-			if err != nil {
-				return err
-			}
-			var toSign, toDefault []int64
-			for _, row := range res.Rows {
-				id := row[0].I
-				if !affected[id] {
-					continue
-				}
-				if updateSet[id] {
-					toSign = append(toSign, id)
-				} else {
-					toDefault = append(toDefault, id)
-				}
-			}
-			n, err := bulkUpdateSigns(db, ti.Table, signLit, toSign)
-			stats.Updated += n
-			if err != nil {
-				return err
-			}
-			n, err = bulkUpdateSigns(db, ti.Table, defLit, toDefault)
-			stats.Reset += n
-			if err != nil {
-				return err
-			}
-		}
-		return nil
+		updated, reset, err := eng.ApplySignsWithin(affected, updateSet, p.query.Sign, p.query.Default)
+		stats.Updated += updated
+		stats.Reset += reset
+		return err
 	})
 	return stats, err
 }
 
 // ApplyDeleteTree applies a delete update to the document: every node
 // matched by u is removed with its subtree. It returns the deleted
-// *element* ids grouped by element label (the relational store needs them
-// grouped by table) and the total number of deleted nodes including text
-// nodes.
+// *element* ids grouped by element label (the relational engines need
+// them grouped by table) and the total number of deleted nodes including
+// text nodes.
 func ApplyDeleteTree(doc *xmltree.Document, u *xpath.Path) (map[string][]int64, int, error) {
 	matches, err := xpath.Eval(u, doc)
 	if err != nil {
@@ -376,41 +219,4 @@ func ApplyDeleteTree(doc *xmltree.Document, u *xpath.Path) (map[string][]int64, 
 		}
 	}
 	return byLabel, total, nil
-}
-
-// DeleteRelationalRows removes the tuples of deleted nodes from the
-// relational store, batching ids per table.
-func DeleteRelationalRows(db *sqldb.Database, m *shred.Mapping, byLabel map[string][]int64) (int, error) {
-	const batch = 256
-	total := 0
-	for label, ids := range byLabel {
-		ti := m.TableFor(label)
-		if ti == nil {
-			return total, fmt.Errorf("core: no table for element %q", label)
-		}
-		for start := 0; start < len(ids); start += batch {
-			end := start + batch
-			if end > len(ids) {
-				end = len(ids)
-			}
-			var b strings.Builder
-			fmt.Fprintf(&b, "DELETE FROM %s WHERE id IN (", ti.Table)
-			for i, id := range ids[start:end] {
-				if i > 0 {
-					b.WriteString(", ")
-				}
-				fmt.Fprintf(&b, "%d", id)
-			}
-			b.WriteString(")")
-			res, err := db.Exec(b.String())
-			if err != nil {
-				return total, err
-			}
-			total += res.Affected
-		}
-		// Keep the id→table routing index in sync. Dropping an id is always
-		// safe: an unknown id simply falls back to the all-tables probe.
-		m.ForgetOwner(ids...)
-	}
-	return total, nil
 }

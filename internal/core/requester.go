@@ -2,17 +2,10 @@ package core
 
 import (
 	"errors"
-	"fmt"
-	"slices"
-	"strings"
 	"time"
 
 	"xmlac/internal/audit"
-	"xmlac/internal/obs"
-	"xmlac/internal/policy"
-	"xmlac/internal/shred"
-	"xmlac/internal/sqldb"
-	"xmlac/internal/xmltree"
+	"xmlac/internal/store"
 	"xmlac/internal/xpath"
 )
 
@@ -20,35 +13,19 @@ import (
 // a user's read-only XPath query against an annotated store and applies the
 // paper's all-or-nothing semantics — "if all the nodes requested by the
 // XPath expression are accessible ... we return the requested nodes.
-// Otherwise, we deny access to the user request."
+// Otherwise, we deny access to the user request." The access check itself
+// runs inside the store engine; this file carries the shared result and
+// error types (aliases of the store seam's) and the audit wrapper.
 
 // ErrAccessDenied is returned when a request touches an inaccessible node.
-var ErrAccessDenied = fmt.Errorf("core: access denied")
+var ErrAccessDenied = store.ErrAccessDenied
 
-// DeniedError is the concrete denial returned by the request paths: it
-// wraps ErrAccessDenied (errors.Is keeps working) and carries the first
-// inaccessible node, so the audit trail can attribute the denial to the
-// deciding rule without parsing error text.
-type DeniedError struct {
-	// ID is the universal id of the inaccessible node.
-	ID int64
-	// Label is the node's element label; empty on relational denials,
-	// where the store only knows the id (matching the paper's
-	// universal-identifier iteration).
-	Label string
-}
+// DeniedError is the concrete denial returned by the request paths; see
+// store.DeniedError.
+type DeniedError = store.DeniedError
 
-// Error reproduces the exact denial texts the request paths have always
-// emitted — the golden reference-equivalence tests compare them verbatim.
-func (e *DeniedError) Error() string {
-	if e.Label != "" {
-		return fmt.Sprintf("%v: node %d (%s) is not accessible", ErrAccessDenied, e.ID, e.Label)
-	}
-	return fmt.Sprintf("%v: node %d is not accessible", ErrAccessDenied, e.ID)
-}
-
-// Unwrap makes errors.Is(err, ErrAccessDenied) hold.
-func (e *DeniedError) Unwrap() error { return ErrAccessDenied }
+// RequestResult is a granted request's answer; see store.RequestResult.
+type RequestResult = store.RequestResult
 
 // auditRequest records one request decision. Denials are attributed: the
 // denied node's matching rules are looked up in the attribution cache
@@ -75,194 +52,4 @@ func (s *System) auditRequest(q *xpath.Path, res *RequestResult, cacheHit bool, 
 		e.Err = err.Error()
 	}
 	s.auditRecord(e)
-}
-
-// RequestResult is a granted request's answer.
-type RequestResult struct {
-	// Nodes are the matched nodes (native store requests).
-	Nodes []*xmltree.Node
-	// IDs are the matched universal identifiers, ascending (relational
-	// requests).
-	IDs []int64
-	// Checked is how many distinct nodes were access-checked. A translated
-	// query may return the same universal id once per qualifier witness;
-	// matches are deduplicated before checking on every backend, so Checked
-	// always counts distinct matched nodes.
-	Checked int
-}
-
-// RequestNative evaluates a query against the annotated native document.
-// The policy default decides unannotated nodes. Returns ErrAccessDenied if
-// any matched node is inaccessible.
-func RequestNative(doc *xmltree.Document, q *xpath.Path, def policy.Effect) (*RequestResult, error) {
-	return requestNative(doc, q, def, nil)
-}
-
-func requestNative(doc *xmltree.Document, q *xpath.Path, def policy.Effect, parent *obs.Span) (*RequestResult, error) {
-	sp := obs.Start(parent, "eval-query")
-	nodes, err := xpath.Eval(q, doc)
-	sp.SetAttr("matched", len(nodes)).Finish()
-	if err != nil {
-		return nil, err
-	}
-	sp = obs.Start(parent, "check-access")
-	defer sp.Finish()
-	for _, n := range nodes {
-		if !accessibleNative(n, def) {
-			sp.SetAttr("outcome", "denied")
-			return nil, &DeniedError{ID: n.ID, Label: n.Label}
-		}
-	}
-	sp.SetAttr("outcome", "granted")
-	return &RequestResult{Nodes: nodes, Checked: len(nodes)}, nil
-}
-
-// relOpts selects which read-path optimizations a relational request uses.
-type relOpts struct {
-	// pushdown folds the sign check into the translated query
-	// (TranslateAccessible) instead of issuing per-table IN probes.
-	pushdown bool
-	// route restricts the fallback IN probes to each id's owning table
-	// (the mapping's OwnerIndex) instead of every table of the mapping.
-	route bool
-}
-
-// RequestRelational evaluates a query against the annotated relational
-// store: the query is translated to SQL, and every returned tuple's sign is
-// checked. Returns ErrAccessDenied if any matched tuple has s ≠ '+'.
-//
-// This is the reference path (probe every table of the mapping, no
-// pushdown); the optimized variants behind Config.PushdownSigns and id
-// routing must stay result-identical to it.
-//
-// Note that the relational store materializes all signs at annotation time
-// (Figure 6 initializes every tuple to the default), so unlike the native
-// store no default needs consulting here.
-func RequestRelational(db *sqldb.Database, m *shred.Mapping, q *xpath.Path) (*RequestResult, error) {
-	return requestRelational(db, m, q, nil, relOpts{})
-}
-
-func requestRelational(db *sqldb.Database, m *shred.Mapping, q *xpath.Path, parent *obs.Span, o relOpts) (*RequestResult, error) {
-	sp := obs.Start(parent, "translate-sql")
-	sqlText, err := shred.Translate(m, q)
-	sp.Finish()
-	if err != nil {
-		return nil, err
-	}
-	sp = obs.Start(parent, "eval-query")
-	ids, err := queryIDs(db, sqlText)
-	sp.SetAttr("matched", len(ids)).Finish()
-	if err != nil {
-		return nil, err
-	}
-	idList := make([]int64, 0, len(ids))
-	for id := range ids {
-		idList = append(idList, id)
-	}
-	slices.Sort(idList)
-
-	sp = obs.Start(parent, "check-access")
-	defer sp.Finish()
-	var accessible map[int64]bool
-	switch {
-	case o.pushdown:
-		sp.SetAttr("mode", "pushdown")
-		signedSQL, err := shred.TranslateAccessible(m, q)
-		if err != nil {
-			return nil, err
-		}
-		accessible, err = queryIDs(db, signedSQL)
-		if err != nil {
-			return nil, err
-		}
-	case o.route:
-		sp.SetAttr("mode", "routed")
-		accessible, err = probeSignsRouted(db, m, idList)
-		if err != nil {
-			return nil, err
-		}
-	default:
-		sp.SetAttr("mode", "all-tables")
-		accessible, err = probeSigns(db, m.Tables(), idList)
-		if err != nil {
-			return nil, err
-		}
-	}
-	for _, id := range idList {
-		if !accessible[id] {
-			sp.SetAttr("outcome", "denied")
-			return nil, &DeniedError{ID: id}
-		}
-	}
-	sp.SetAttr("outcome", "granted")
-	return &RequestResult{IDs: idList, Checked: len(ids)}, nil
-}
-
-// probeSigns checks signs table by table with batched IN probes (the
-// paper's universal-identifier iteration: an id alone does not identify its
-// table); the IN lists resolve through the primary-key index.
-func probeSigns(db *sqldb.Database, tables []*shred.TableInfo, idList []int64) (map[int64]bool, error) {
-	accessible := map[int64]bool{}
-	for _, ti := range tables {
-		if err := probeSignsTable(db, ti.Table, idList, accessible); err != nil {
-			return nil, err
-		}
-	}
-	return accessible, nil
-}
-
-// probeSignsRouted probes each id's owning table only, falling back to the
-// full cross-product for ids the owner index does not know (databases
-// populated outside the shredder).
-func probeSignsRouted(db *sqldb.Database, m *shred.Mapping, idList []int64) (map[int64]bool, error) {
-	owned, unknown := m.GroupByOwner(idList)
-	accessible := map[int64]bool{}
-	// Deterministic table order keeps the probe sequence stable.
-	tables := make([]string, 0, len(owned))
-	for t := range owned {
-		tables = append(tables, t)
-	}
-	slices.Sort(tables)
-	for _, t := range tables {
-		if err := probeSignsTable(db, t, owned[t], accessible); err != nil {
-			return nil, err
-		}
-	}
-	if len(unknown) > 0 {
-		for _, ti := range m.Tables() {
-			if err := probeSignsTable(db, ti.Table, unknown, accessible); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return accessible, nil
-}
-
-// probeSignsTable issues the batched sign probes for one table, adding the
-// accessible ids to the shared set.
-func probeSignsTable(db *sqldb.Database, table string, idList []int64, accessible map[int64]bool) error {
-	const batch = 256
-	for start := 0; start < len(idList); start += batch {
-		end := start + batch
-		if end > len(idList) {
-			end = len(idList)
-		}
-		var b strings.Builder
-		fmt.Fprintf(&b, "SELECT id FROM %s WHERE %s = '+' AND id IN (", table, shred.SignColumn)
-		for i, id := range idList[start:end] {
-			if i > 0 {
-				b.WriteString(", ")
-			}
-			fmt.Fprintf(&b, "%d", id)
-		}
-		b.WriteString(")")
-		res, err := db.Exec(b.String())
-		if err != nil {
-			return err
-		}
-		for _, row := range res.Rows {
-			accessible[row[0].I] = true
-		}
-	}
-	return nil
 }

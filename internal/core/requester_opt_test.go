@@ -12,6 +12,7 @@ import (
 	"xmlac/internal/obs"
 	"xmlac/internal/policy"
 	"xmlac/internal/shred"
+	"xmlac/internal/store"
 	"xmlac/internal/xmltree"
 	"xmlac/internal/xpath"
 )
@@ -191,11 +192,12 @@ rule R1 allow //r
 				sys := build(t, b, mod)
 				// The raw translated SQL really does return duplicate rows
 				// (one per witness t); that is what Checked must not count.
-				sqlText, err := shred.Translate(sys.mapping, q)
+				rel := sys.Engine().(store.Relational)
+				sqlText, err := shred.Translate(rel.Mapping(), q)
 				if err != nil {
 					t.Fatal(err)
 				}
-				raw, err := sys.db.Exec(sqlText)
+				raw, err := rel.DB().Exec(sqlText)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -311,7 +313,7 @@ func TestRoutedRequestsSurviveDeletes(t *testing.T) {
 				return sys
 			}
 			ref, routed := build(true), build(false)
-			if got := routed.mapping.OwnerRanges(); got == 0 {
+			if got := routed.Engine().(store.Relational).Mapping().OwnerRanges(); got == 0 {
 				t.Fatal("owner index is empty after load")
 			}
 			del := xpath.MustParse("//patient/treatment")

@@ -9,13 +9,11 @@ import (
 
 	"xmlac/internal/audit"
 	"xmlac/internal/dtd"
-	"xmlac/internal/nativedb"
 	"xmlac/internal/obs"
 	"xmlac/internal/pattern"
 	"xmlac/internal/policy"
 	"xmlac/internal/pool"
-	"xmlac/internal/shred"
-	"xmlac/internal/sqldb"
+	"xmlac/internal/store"
 	"xmlac/internal/xmltree"
 	"xmlac/internal/xpath"
 )
@@ -33,6 +31,8 @@ const (
 )
 
 // String names the backend as the evaluation figures label the series.
+// The names double as store-registry keys: store.Open resolves them
+// directly ("xquery" is a registered alias of the native engine).
 func (b Backend) String() string {
 	switch b {
 	case BackendNative:
@@ -73,8 +73,9 @@ type Config struct {
 	// annotation, re-annotation and request processing; nil disables
 	// tracing (the stages still record their Phases breakdown).
 	Tracer *obs.Tracer
-	// Metrics is attached to the backend store, feeding the sqldb_* or
-	// nativedb_* counters and histograms; nil disables collection.
+	// Metrics is attached to the backend store, feeding the store_*
+	// counters and histograms (plus the legacy sqldb_*/nativedb_* names);
+	// nil disables collection.
 	Metrics *obs.Registry
 	// Parallelism bounds the worker pool the annotation engine fans its
 	// independent units out on (per-rule node-set queries on the native
@@ -112,24 +113,24 @@ func (c Config) WithParallelism(n int) Config {
 
 // System is the assembled access-control system of Section 4: optimizer,
 // annotator, reannotator and requester wired over one backend. The XML
-// tree is always kept (it is the document being protected); relational
-// backends additionally maintain the shredded representation and run all
-// annotation and request processing through SQL.
+// tree is always kept (it is the document being protected); everything
+// backend-specific — how signs are materialized, how requests are
+// checked, how updates are mirrored — lives behind the store.Engine
+// seam.
 type System struct {
 	// mu guards the protected document tree and the loaded flag: annotation
 	// and updates take it exclusively, requests and coverage reads share it.
-	// The backend stores carry their own finer-grained locks underneath.
+	// The backend engines carry their own finer-grained locks underneath.
 	mu      sync.RWMutex
 	cfg     Config
 	policy  *policy.Policy // optimized read policy (drives annotation)
 	write   *policy.Policy // write rules (drive update checks)
 	removed []policy.Rule
 	reann   *Reannotator
-	mapping *shred.Mapping
-	store   *nativedb.Store
-	db      *sqldb.Database // nil for BackendNative
-	tracer  *obs.Tracer     // nil when tracing is off
-	pool    *pool.Pool      // nil forces the sequential reference path
+	doc     *xmltree.Document // installed by Load
+	engine  store.Engine
+	tracer  *obs.Tracer // nil when tracing is off
+	pool    *pool.Pool  // nil forces the sequential reference path
 	loaded  bool
 	// version stamps the store's accessibility state: bumped (under the
 	// exclusive lock) by every load, annotation and update, it invalidates
@@ -160,12 +161,8 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg:    cfg,
 		policy: cfg.Policy.ForAction(policy.ActionRead),
 		write:  cfg.Policy.ForAction(policy.ActionWrite),
-		store:  nativedb.OpenStore(),
 		tracer: cfg.Tracer,
 		aud:    cfg.Audit,
-	}
-	if cfg.Metrics != nil {
-		s.store.SetMetrics(cfg.Metrics)
 	}
 	if cfg.Parallelism != 1 {
 		s.pool = pool.New(cfg.Parallelism)
@@ -188,21 +185,19 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s.reann = reann
-	if cfg.Backend != BackendNative {
-		m, err := shred.BuildMapping(cfg.Schema)
-		if err != nil {
-			return nil, err
-		}
-		s.mapping = m
-		engine := sqldb.EngineRow
-		if cfg.Backend == BackendColumn {
-			engine = sqldb.EngineColumn
-		}
-		s.db = sqldb.Open(engine)
-		if cfg.Metrics != nil {
-			s.db.SetMetrics(cfg.Metrics)
-		}
+	eng, err := store.Open(cfg.Backend.String(), store.Options{
+		DocName:       cfg.DocName,
+		Schema:        cfg.Schema,
+		Default:       defaultSign(s.policy),
+		Metrics:       cfg.Metrics,
+		Pool:          s.pool,
+		PushdownSigns: cfg.PushdownSigns,
+		NoIDRouting:   cfg.NoIDRouting,
+	})
+	if err != nil {
+		return nil, err
 	}
+	s.engine = eng
 	return s, nil
 }
 
@@ -275,6 +270,9 @@ func (s *System) auditRecord(e audit.Event) {
 		return
 	}
 	e.Backend = s.cfg.Backend.String()
+	if e.Doc == "" {
+		e.Doc = s.cfg.DocName
+	}
 	if e.Semantics == "" {
 		e.Semantics = s.SemanticsLabel()
 	}
@@ -287,22 +285,20 @@ func (s *System) RemovedRules() []policy.Rule { return s.removed }
 // Backend returns the configured backend.
 func (s *System) Backend() Backend { return s.cfg.Backend }
 
-// Mapping returns the relational mapping (nil for the native backend).
-func (s *System) Mapping() *shred.Mapping { return s.mapping }
-
-// DB returns the relational database (nil for the native backend).
-func (s *System) DB() *sqldb.Database { return s.db }
+// Engine returns the backend store engine. Tools that need the concrete
+// relational internals assert the optional interface:
+//
+//	if r, ok := sys.Engine().(store.Relational); ok { db := r.DB() }
+func (s *System) Engine() store.Engine { return s.engine }
 
 // SetSlowQueryLog logs every backend SQL statement slower than threshold to
 // w (one line per statement). A no-op on the native backend.
 func (s *System) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
-	if s.db != nil {
-		s.db.SetSlowQueryLog(w, threshold)
-	}
+	s.engine.SetSlowQueryLog(w, threshold)
 }
 
 // Document returns the protected document tree.
-func (s *System) Document() *xmltree.Document { return s.store.Doc(s.cfg.DocName) }
+func (s *System) Document() *xmltree.Document { return s.doc }
 
 // Audit returns the attached audit log (nil when auditing is off).
 func (s *System) Audit() *audit.Log { return s.aud }
@@ -327,25 +323,20 @@ func (s *System) Loaded() bool {
 // benchmark harness).
 func (s *System) Reannotator() *Reannotator { return s.reann }
 
-// Load installs the document: it is validated against the schema, stored in
-// the native store and — for relational backends — shredded into the
-// database with signs initialized to the policy default.
+// Load installs the document: it is validated against the schema and
+// handed to the engine — kept as the annotated tree on the native
+// backend, shredded into tables with signs initialized to the policy
+// default on the relational ones.
 func (s *System) Load(doc *xmltree.Document) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if errs := s.cfg.Schema.Validate(doc); len(errs) > 0 {
 		return fmt.Errorf("core: document does not conform to schema: %v (and %d more)", errs[0], len(errs)-1)
 	}
-	if err := s.store.Load(s.cfg.DocName, doc); err != nil {
+	if err := s.engine.Load(doc); err != nil {
 		return err
 	}
-	if s.db != nil {
-		sh := shred.NewShredder(s.mapping)
-		sh.DefaultSign = defaultSign(s.policy)
-		if err := sh.IntoDB(s.db, doc); err != nil {
-			return err
-		}
-	}
+	s.doc = doc
 	s.loaded = true
 	s.version++
 	return nil
@@ -375,13 +366,7 @@ func (s *System) annotateLocked() (AnnotateStats, error) {
 	s.version++ // signs are about to change; invalidate the query cache
 	sp := s.tracer.Start("annotate").SetAttr("backend", s.cfg.Backend.String())
 	start := time.Now()
-	var stats AnnotateStats
-	var err error
-	if s.db != nil {
-		stats, err = annotateRelational(s.db, s.mapping, s.policy, sp, s.pool)
-	} else {
-		stats, err = annotateNative(s.store, s.cfg.DocName, s.policy, sp, s.pool)
-	}
+	stats, err := s.engine.Annotate(BuildAnnotationQuery(s.policy), sp)
 	stats.Duration = time.Since(start)
 	sp.SetAttr("updated", stats.Updated).SetAttr("reset", stats.Reset)
 	sp.Finish()
@@ -434,7 +419,6 @@ func (s *System) deleteAndReannotate(u *xpath.Path) (*UpdateReport, error) {
 	if !s.loaded {
 		return nil, fmt.Errorf("core: no document loaded")
 	}
-	doc := s.Document()
 	if err := s.checkWriteDelete(u); err != nil {
 		return nil, err
 	}
@@ -443,67 +427,50 @@ func (s *System) deleteAndReannotate(u *xpath.Path) (*UpdateReport, error) {
 	defer root.Finish()
 
 	start := time.Now()
-	var prepN *NativeReannotation
-	var prepR *RelationalReannotation
-	var err error
-	if s.db != nil {
-		prepR, err = prepareRelationalReannotation(s.db, s.mapping, s.reann, root, u)
-		if err != nil {
-			return nil, err
-		}
-		rep.Triggered = s.reann.RuleNames(prepR.Triggered)
-	} else {
-		prepN, err = prepareNativeReannotation(doc, s.reann, root, u)
-		if err != nil {
-			return nil, err
-		}
-		rep.Triggered = s.reann.RuleNames(prepN.Triggered)
+	prep, err := prepareReannotation(s.engine, s.reann, root, u)
+	if err != nil {
+		return nil, err
 	}
+	rep.Triggered = s.reann.RuleNames(prep.Triggered)
 	rep.PrepareTime = time.Since(start)
 
-	// The relational tuple deletions and per-tuple sign updates form one
-	// atomic unit: a failure mid-way must not leave the store half-updated.
-	if s.db != nil {
-		if err := s.db.Begin(); err != nil {
-			return nil, err
-		}
+	// The tuple deletions and per-tuple sign updates form one atomic unit:
+	// a failure mid-way must not leave the store half-updated. The native
+	// engine's transaction scope is an accepted no-op (the tree update is
+	// the commit).
+	if err := s.engine.Begin(); err != nil {
+		return nil, err
 	}
 	start = time.Now()
 	sp := obs.Start(root, "apply-delete")
 	_, total, err := s.applyDelete(u)
 	sp.Finish()
 	if err != nil {
-		return nil, s.abortRelational(err)
+		return nil, s.abortEngine(err)
 	}
 	rep.DeletedNodes = total
 	rep.UpdateTime = time.Since(start)
 
 	start = time.Now()
-	if s.db != nil {
-		rep.Stats, err = prepR.complete(s.db, s.mapping, root)
-	} else {
-		rep.Stats, err = prepN.complete(doc, root)
-	}
+	rep.Stats, err = prep.complete(s.doc, s.engine, root)
 	rep.ReannotateTime = time.Since(start)
 	if err != nil {
-		return nil, s.abortRelational(err)
+		return nil, s.abortEngine(err)
 	}
-	if s.db != nil {
-		if err := s.db.Commit(); err != nil {
-			return nil, err
-		}
+	if err := s.engine.Commit(); err != nil {
+		return nil, err
 	}
 	rep.finishPhases()
 	return rep, nil
 }
 
-// abortRelational rolls the relational store back after a mid-update
-// failure; the error is returned enriched if the rollback itself fails.
-func (s *System) abortRelational(err error) error {
-	if s.db == nil || !s.db.InTransaction() {
+// abortEngine rolls the engine back after a mid-update failure; the error
+// is returned enriched if the rollback itself fails.
+func (s *System) abortEngine(err error) error {
+	if !s.engine.InTransaction() {
 		return err
 	}
-	if rbErr := s.db.Rollback(); rbErr != nil {
+	if rbErr := s.engine.Rollback(); rbErr != nil {
 		return fmt.Errorf("%w (relational rollback also failed: %v)", err, rbErr)
 	}
 	return err
@@ -520,10 +487,8 @@ func (s *System) deleteAndFullAnnotate(u *xpath.Path) (*UpdateReport, error) {
 	if err := s.checkWriteDelete(u); err != nil {
 		return nil, err
 	}
-	if s.db != nil {
-		if err := s.db.Begin(); err != nil {
-			return nil, err
-		}
+	if err := s.engine.Begin(); err != nil {
+		return nil, err
 	}
 	rep := &UpdateReport{}
 	root := s.tracer.Start("delete-fannot").SetAttr("update", u.String())
@@ -533,7 +498,7 @@ func (s *System) deleteAndFullAnnotate(u *xpath.Path) (*UpdateReport, error) {
 	_, total, err := s.applyDelete(u)
 	sp.Finish()
 	if err != nil {
-		return nil, s.abortRelational(err)
+		return nil, s.abortEngine(err)
 	}
 	rep.DeletedNodes = total
 	rep.UpdateTime = time.Since(start)
@@ -542,12 +507,10 @@ func (s *System) deleteAndFullAnnotate(u *xpath.Path) (*UpdateReport, error) {
 	rep.Stats = stats
 	rep.ReannotateTime = stats.Duration
 	if err != nil {
-		return nil, s.abortRelational(err)
+		return nil, s.abortEngine(err)
 	}
-	if s.db != nil {
-		if err := s.db.Commit(); err != nil {
-			return nil, err
-		}
+	if err := s.engine.Commit(); err != nil {
+		return nil, err
 	}
 	rep.finishPhases()
 	return rep, nil
@@ -568,18 +531,17 @@ func (s *System) checkWriteDelete(u *xpath.Path) error {
 	return s.checkWriteAccess(u.String(), targets)
 }
 
-// applyDelete removes the matched subtrees from the tree and, for
-// relational backends, the corresponding tuples.
+// applyDelete removes the matched subtrees from the tree and hands the
+// deleted element ids to the engine (relational backends drop the
+// corresponding tuples; the native engine has nothing further to do).
 func (s *System) applyDelete(u *xpath.Path) (map[string][]int64, int, error) {
 	s.version++ // the accessible set is about to change
 	byLabel, total, err := ApplyDeleteTree(s.Document(), u)
 	if err != nil {
 		return nil, 0, err
 	}
-	if s.db != nil {
-		if _, err := DeleteRelationalRows(s.db, s.mapping, byLabel); err != nil {
-			return nil, 0, err
-		}
+	if _, err := s.engine.DeleteRows(byLabel); err != nil {
+		return nil, 0, err
 	}
 	return byLabel, total, nil
 }
@@ -602,22 +564,11 @@ func (s *System) insertAndReannotate(parentPath *xpath.Path, tmpl *xmltree.Node)
 	defer root.Finish()
 
 	start := time.Now()
-	var prepN *NativeReannotation
-	var prepR *RelationalReannotation
-	var err error
-	if s.db != nil {
-		prepR, err = prepareRelationalReannotation(s.db, s.mapping, s.reann, root, us...)
-	} else {
-		prepN, err = prepareNativeReannotation(doc, s.reann, root, us...)
-	}
+	prep, err := prepareReannotation(s.engine, s.reann, root, us...)
 	if err != nil {
 		return nil, err
 	}
-	if prepR != nil {
-		rep.Triggered = s.reann.RuleNames(prepR.Triggered)
-	} else {
-		rep.Triggered = s.reann.RuleNames(prepN.Triggered)
-	}
+	rep.Triggered = s.reann.RuleNames(prep.Triggered)
 	rep.PrepareTime = time.Since(start)
 
 	start = time.Now()
@@ -632,42 +583,32 @@ func (s *System) insertAndReannotate(parentPath *xpath.Path, tmpl *xmltree.Node)
 		sp.Finish()
 		return nil, err
 	}
-	if s.db != nil {
-		if err := s.db.Begin(); err != nil {
-			sp.Finish()
-			return nil, err
-		}
+	if err := s.engine.Begin(); err != nil {
+		sp.Finish()
+		return nil, err
 	}
 	for _, p := range parents {
 		n, err := doc.InsertSubtree(p, tmpl)
 		if err != nil {
 			sp.Finish()
-			return nil, s.abortRelational(err)
+			return nil, s.abortEngine(err)
 		}
-		if s.db != nil {
-			if err := insertRelationalSubtree(s.db, s.mapping, n, defaultSign(s.policy)); err != nil {
-				sp.Finish()
-				return nil, s.abortRelational(err)
-			}
+		if err := s.engine.InsertSubtree(n); err != nil {
+			sp.Finish()
+			return nil, s.abortEngine(err)
 		}
 	}
 	sp.Finish()
 	rep.UpdateTime = time.Since(start)
 
 	start = time.Now()
-	if s.db != nil {
-		rep.Stats, err = prepR.complete(s.db, s.mapping, root)
-	} else {
-		rep.Stats, err = prepN.complete(doc, root)
-	}
+	rep.Stats, err = prep.complete(doc, s.engine, root)
 	rep.ReannotateTime = time.Since(start)
 	if err != nil {
-		return nil, s.abortRelational(err)
+		return nil, s.abortEngine(err)
 	}
-	if s.db != nil {
-		if err := s.db.Commit(); err != nil {
-			return nil, err
-		}
+	if err := s.engine.Commit(); err != nil {
+		return nil, err
 	}
 	rep.finishPhases()
 	return rep, nil
@@ -699,13 +640,6 @@ func insertLocators(parentPath *xpath.Path, tmpl *xmltree.Node) []*xpath.Path {
 	return out
 }
 
-// insertRelationalSubtree mirrors a freshly inserted subtree into the
-// relational store.
-func insertRelationalSubtree(db *sqldb.Database, m *shred.Mapping, n *xmltree.Node, def xmltree.Sign) error {
-	sh := &shred.Shredder{Mapping: m, DefaultSign: def}
-	return sh.InsertSubtree(db, n)
-}
-
 // Request evaluates a user query with all-or-nothing access checking on the
 // configured backend. Every request lands in the audit trail (when a log
 // is attached): outcome, counts, cache hit and — for denials — the rule
@@ -724,16 +658,10 @@ func (s *System) Request(q *xpath.Path) (*RequestResult, error) {
 		hit bool
 		err error
 	)
-	switch {
-	case s.qc != nil:
+	if s.qc != nil {
 		res, hit, err = s.requestCached(q, sp)
-	case s.db != nil:
-		res, err = requestRelational(s.db, s.mapping, q, sp, relOpts{
-			pushdown: s.cfg.PushdownSigns,
-			route:    !s.cfg.NoIDRouting,
-		})
-	default:
-		res, err = requestNative(s.Document(), q, s.policy.Default, sp)
+	} else {
+		res, err = s.engine.Request(q, sp)
 	}
 	s.auditRequest(q, res, hit, time.Since(start), err)
 	return res, err
@@ -748,25 +676,10 @@ func (s *System) Explain(q *xpath.Path) (string, error) {
 	if !s.loaded {
 		return "", fmt.Errorf("core: no document loaded")
 	}
-	if s.db == nil {
+	if !s.engine.Relational() {
 		return "", fmt.Errorf("core: EXPLAIN requires a relational backend, not %s", s.cfg.Backend)
 	}
-	sqlText, err := shred.Translate(s.mapping, q)
-	if err != nil {
-		return "", err
-	}
-	res, err := s.db.Exec("EXPLAIN " + sqlText)
-	if err != nil {
-		return "", err
-	}
-	var b []byte
-	for i, row := range res.Rows {
-		if i > 0 {
-			b = append(b, '\n')
-		}
-		b = append(b, row[0].S...)
-	}
-	return string(b), nil
+	return s.engine.Explain(q)
 }
 
 // AccessibleIDs returns the currently accessible universal ids on the
@@ -793,10 +706,7 @@ func (s *System) accessibleIDsLocked() (map[int64]bool, error) {
 		}
 		return acc.AccessibleIDs(s.Document()), nil
 	}
-	if s.db != nil {
-		return AccessibleIDsRelational(s.db, s.mapping)
-	}
-	return AccessibleIDsNative(s.Document(), s.policy.Default), nil
+	return s.engine.AccessibleIDs()
 }
 
 // Coverage returns the accessible fraction of element nodes.

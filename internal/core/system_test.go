@@ -454,20 +454,20 @@ func TestRelationalUpdatesLeaveNoOpenTransaction(t *testing.T) {
 		if _, err := sys.DeleteAndReannotate(xpath.MustParse("//regular")); err != nil {
 			t.Fatal(err)
 		}
-		if sys.DB().InTransaction() {
+		if sys.Engine().InTransaction() {
 			t.Fatalf("backend %v: transaction left open after reannotate", b)
 		}
 		if _, err := sys.DeleteAndFullAnnotate(xpath.MustParse("//experimental")); err != nil {
 			t.Fatal(err)
 		}
-		if sys.DB().InTransaction() {
+		if sys.Engine().InTransaction() {
 			t.Fatalf("backend %v: transaction left open after full annotate", b)
 		}
 		tmpl := xmltree.NewSubtree("treatment")
 		if _, err := sys.InsertAndReannotate(xpath.MustParse(`//patient[psn = "099"]`), tmpl); err != nil {
 			t.Fatal(err)
 		}
-		if sys.DB().InTransaction() {
+		if sys.Engine().InTransaction() {
 			t.Fatalf("backend %v: transaction left open after insert", b)
 		}
 		// The stores still agree after the whole sequence.

@@ -11,16 +11,19 @@ import (
 // signs were written. Off until SetMetrics attaches a registry; Run then
 // evaluates with an xpath.EvalStats counter attached.
 
-// storeMetrics caches the store's metric handles.
+// storeMetrics caches the store's metric handles. Each series is a
+// MultiCounter feeding both the backend-neutral store_* name — with the
+// engine="native" label — and the legacy nativedb_* alias.
 type storeMetrics struct {
-	queries   *obs.Counter
-	visited   *obs.Counter
-	matched   *obs.Counter
-	annotated *obs.Counter
+	queries   obs.MultiCounter
+	visited   obs.MultiCounter
+	matched   obs.MultiCounter
+	annotated obs.MultiCounter
 }
 
 // SetMetrics attaches a metrics registry to the store. Query execution
-// then feeds the nativedb_* counters; nil detaches.
+// then feeds the shared store_* counters (labeled engine="native") plus
+// the legacy nativedb_* names; nil detaches.
 func (s *Store) SetMetrics(r *obs.Registry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -29,10 +32,22 @@ func (s *Store) SetMetrics(r *obs.Registry) {
 		return
 	}
 	s.m = &storeMetrics{
-		queries:   r.Counter("nativedb_queries_total"),
-		visited:   r.Counter("nativedb_nodes_visited_total"),
-		matched:   r.Counter("nativedb_nodes_matched_total"),
-		annotated: r.Counter("nativedb_nodes_annotated_total"),
+		queries: obs.MultiCounter{
+			r.Counter(`store_queries_total{engine="native"}`),
+			r.Counter("nativedb_queries_total"),
+		},
+		visited: obs.MultiCounter{
+			r.Counter(`store_rows_scanned_total{engine="native"}`),
+			r.Counter("nativedb_nodes_visited_total"),
+		},
+		matched: obs.MultiCounter{
+			r.Counter(`store_rows_matched_total{engine="native"}`),
+			r.Counter("nativedb_nodes_matched_total"),
+		},
+		annotated: obs.MultiCounter{
+			r.Counter(`store_signs_written_total{engine="native"}`),
+			r.Counter("nativedb_nodes_annotated_total"),
+		},
 	}
 }
 

@@ -37,6 +37,22 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// MultiCounter fans every increment out to a set of counters — the
+// aliasing device that keeps a legacy metric name (sqldb_*, nativedb_*)
+// ticking next to its backend-neutral store_* replacement. A nil or empty
+// MultiCounter no-ops, like a nil *Counter.
+type MultiCounter []*Counter
+
+// Add adds n to every aliased counter.
+func (m MultiCounter) Add(n int64) {
+	for _, c := range m {
+		c.Add(n)
+	}
+}
+
+// Inc adds 1 to every aliased counter.
+func (m MultiCounter) Inc() { m.Add(1) }
+
 // Gauge is a metric that can go up and down. Nil gauges no-op.
 type Gauge struct {
 	bits atomic.Uint64 // float64 bits
@@ -256,17 +272,46 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// metricBase strips an inline label set from a metric name:
+// `store_queries_total{engine="native"}` → `store_queries_total`. The
+// registry has no first-class label support — labeled series are distinct
+// names carrying their label set inline — so the exposition writer derives
+// the metric family from the base name.
+func metricBase(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
 // WritePrometheus renders the registry in the Prometheus text exposition
-// format (metric names are emitted verbatim; choose them accordingly).
+// format. Metric names are emitted verbatim (choose them accordingly);
+// names sharing a base before an inline `{label}` set form one metric
+// family and get a single # TYPE header (sorted emission keeps them
+// adjacent, as `{` sorts after every identifier character).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
+	lastBase := ""
 	for _, name := range sortedKeys(s.Counters) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+		if base := metricBase(name); base != lastBase {
+			lastBase = base
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", base); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
 			return err
 		}
 	}
+	lastBase = ""
 	for _, name := range sortedKeys(s.Gauges) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(s.Gauges[name])); err != nil {
+		if base := metricBase(name); base != lastBase {
+			lastBase = base
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", base); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(s.Gauges[name])); err != nil {
 			return err
 		}
 	}

@@ -16,11 +16,14 @@ import (
 // pay only nil checks otherwise.
 
 // dbMetrics caches the engine's metric handles so the per-statement hot
-// path does not hit the registry's map.
+// path does not hit the registry's map. The cross-engine series
+// (statements, rows) are MultiCounters feeding both the backend-neutral
+// store_* names — with an inline engine label — and the legacy sqldb_*
+// aliases.
 type dbMetrics struct {
-	statements      *obs.Counter
-	rowsReturned    *obs.Counter
-	rowsScanned     *obs.Counter
+	statements      obs.MultiCounter
+	rowsReturned    obs.MultiCounter
+	rowsScanned     obs.MultiCounter
 	joinTuples      *obs.Counter
 	slowQueries     *obs.Counter
 	planCacheHits   *obs.Counter
@@ -31,8 +34,17 @@ type dbMetrics struct {
 	execSeconds     *obs.Histogram
 }
 
+// engineLabel is the store_* engine label value ("row" or "column").
+func (db *Database) engineLabel() string {
+	if db.engine == EngineColumn {
+		return "column"
+	}
+	return "row"
+}
+
 // SetMetrics attaches a metrics registry to the database. Statement
-// execution then feeds the sqldb_* counters and histograms; nil detaches.
+// execution then feeds the shared store_* counters (labeled by engine)
+// plus the legacy sqldb_* names and histograms; nil detaches.
 func (db *Database) SetMetrics(r *obs.Registry) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -40,10 +52,20 @@ func (db *Database) SetMetrics(r *obs.Registry) {
 		db.m = nil
 		return
 	}
+	lbl := db.engineLabel()
 	db.m = &dbMetrics{
-		statements:      r.Counter("sqldb_statements_total"),
-		rowsReturned:    r.Counter("sqldb_rows_returned_total"),
-		rowsScanned:     r.Counter("sqldb_rows_scanned_total"),
+		statements: obs.MultiCounter{
+			r.Counter(fmt.Sprintf("store_queries_total{engine=%q}", lbl)),
+			r.Counter("sqldb_statements_total"),
+		},
+		rowsReturned: obs.MultiCounter{
+			r.Counter(fmt.Sprintf("store_rows_matched_total{engine=%q}", lbl)),
+			r.Counter("sqldb_rows_returned_total"),
+		},
+		rowsScanned: obs.MultiCounter{
+			r.Counter(fmt.Sprintf("store_rows_scanned_total{engine=%q}", lbl)),
+			r.Counter("sqldb_rows_scanned_total"),
+		},
 		joinTuples:      r.Counter("sqldb_join_tuples_total"),
 		slowQueries:     r.Counter("sqldb_slow_queries_total"),
 		planCacheHits:   r.Counter("sqldb_plan_cache_hits_total"),

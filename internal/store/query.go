@@ -1,0 +1,130 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"xmlac/internal/nativedb"
+	"xmlac/internal/obs"
+	"xmlac/internal/shred"
+	"xmlac/internal/xmltree"
+	"xmlac/internal/xpath"
+)
+
+// The node-set algebra of the annotation queries (Figure 5) is defined by
+// the native store — an XPath leaf or a union/except/intersect over two
+// subexpressions — and re-exported here so the policy layer can build
+// annotation queries against the store seam alone, without naming either
+// backend package.
+
+// SetExpr is a node-set expression: an XPath leaf or a set operation.
+type SetExpr = nativedb.SetExpr
+
+// SetOp combines node sets.
+type SetOp = nativedb.SetOp
+
+// Set operators of the annotation-query algebra.
+const (
+	// OpUnion is the union operator.
+	OpUnion = nativedb.OpUnion
+	// OpExcept is the except operator.
+	OpExcept = nativedb.OpExcept
+	// OpIntersect is the intersect operator.
+	OpIntersect = nativedb.OpIntersect
+)
+
+// PathLeaf wraps an XPath expression as a set expression.
+func PathLeaf(p *xpath.Path) *SetExpr { return nativedb.PathLeaf(p) }
+
+// Combine folds expressions with one operator; nil when the list is empty.
+func Combine(op SetOp, exprs ...*SetExpr) *SetExpr { return nativedb.Combine(op, exprs...) }
+
+// AnnotationQuery is the output of algorithm Annotation-Queries
+// (Figure 5): the node-set expression designating the nodes whose sign
+// must be flipped away from the policy default, together with that sign.
+// The policy layer compiles one from the Table 2 semantics; every engine
+// executes it in its own idiom (mini-XQuery update or compound SQL).
+type AnnotationQuery struct {
+	// Expr selects the nodes to update; nil when the rule sets make the
+	// update set trivially empty.
+	Expr *SetExpr
+	// Sign is the annotation to write on the selected nodes (the
+	// opposite of the policy default).
+	Sign xmltree.Sign
+	// Default is the policy's default sign, for the remaining nodes.
+	Default xmltree.Sign
+}
+
+// XQueryText renders the annotation query as the mini-XQuery update the
+// native store executes, mirroring the paper's example
+//
+//	for $n := doc("xmlgen")((R1 union R2 union R6) except (R3 union R5))
+//	return xmlac:annotate($n, "+")
+func (q AnnotationQuery) XQueryText(docName string) string {
+	if q.Expr == nil {
+		return ""
+	}
+	return fmt.Sprintf(`for $n in doc(%q)(%s) return xmlac:annotate($n, %q)`,
+		docName, q.Expr, q.Sign.String())
+}
+
+// SQLText renders the annotation query as the compound SQL SELECT
+// computing the universal ids to update, e.g. the paper's
+//
+//	(Q1 UNION Q2 UNION Q6) EXCEPT (Q3 UNION Q5)
+func (q AnnotationQuery) SQLText(m *shred.Mapping) (string, error) {
+	if q.Expr == nil {
+		return "", nil
+	}
+	return setExprSQL(m, q.Expr)
+}
+
+func setExprSQL(m *shred.Mapping, e *SetExpr) (string, error) {
+	if e.Path != nil {
+		return shred.Translate(m, e.Path)
+	}
+	l, err := setExprSQL(m, e.Left)
+	if err != nil {
+		return "", err
+	}
+	r, err := setExprSQL(m, e.Right)
+	if err != nil {
+		return "", err
+	}
+	var op string
+	switch e.Op {
+	case OpUnion:
+		op = "UNION"
+	case OpExcept:
+		op = "EXCEPT"
+	default:
+		op = "INTERSECT"
+	}
+	return "(" + l + ") " + op + " (" + r + ")", nil
+}
+
+// AnnotateStats reports what an annotation run did.
+type AnnotateStats struct {
+	// Updated is the number of nodes whose sign was set away from default.
+	Updated int
+	// Reset is the number of nodes whose sign was (re)set to the default
+	// (full annotation resets everything; re-annotation only the
+	// affected region).
+	Reset int
+	// Duration is the wall-clock time of the run (filled by the caller).
+	Duration time.Duration
+	// Phases is the per-stage time breakdown, recorded whether or not a
+	// tracer is attached.
+	Phases obs.Phases
+}
+
+// stage runs one named pipeline stage: a span under parent when tracing,
+// and a Phases entry on the stats either way.
+func stage(parent *obs.Span, phases *obs.Phases, name string, f func() error) error {
+	start := time.Now()
+	sp := obs.Start(parent, name)
+	err := f()
+	sp.Finish()
+	phases.Add(name, time.Since(start))
+	return err
+}

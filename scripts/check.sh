@@ -12,6 +12,14 @@ if [ -n "$unformatted" ]; then
 	exit 1
 fi
 
+# The store seam is load-bearing: core must speak only store.Engine, never
+# a concrete backend package. A direct import would silently reintroduce
+# the per-backend dispatch branches this layering removed.
+if grep -rn '"xmlac/internal/sqldb"\|"xmlac/internal/nativedb"' internal/core/*.go; then
+	echo "check.sh: internal/core must not import sqldb or nativedb (use store.Engine)" >&2
+	exit 1
+fi
+
 go vet ./...
 go build ./...
 go test ./...

@@ -48,7 +48,7 @@ import (
 )
 
 // Version identifies this release of the library and its commands.
-const Version = "0.3.0"
+const Version = "0.4.0"
 
 // Core model types, re-exported for the public API. See the internal
 // packages for full method documentation.
