@@ -1,11 +1,13 @@
 package xmlac
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
 	"xmlac/internal/core"
+	"xmlac/internal/obs"
 	"xmlac/internal/pool"
 	"xmlac/internal/store"
 )
@@ -152,16 +154,26 @@ func (c *Catalog) Place(doc, shard string) error { return c.shards.Place(doc, sh
 // sharing a shard run on one worker in name order. The first error (by
 // shard order) is returned.
 func (c *Catalog) ForEach(fn func(name string, sys *core.System) error) error {
+	return c.forEachCtx(context.Background(),
+		func(_ context.Context, name string, sys *core.System) error { return fn(name, sys) })
+}
+
+// forEachCtx is the ctx-threaded fan-out behind every catalog-wide
+// operation: the shard router creates one "shard" child span per
+// fan-out unit under the span carried in ctx, and each document callback
+// receives that unit's context, so per-document spans nest under their
+// shard.
+func (c *Catalog) forEachCtx(ctx context.Context, fn func(ctx context.Context, name string, sys *core.System) error) error {
 	c.mu.RLock()
 	systems := make(map[string]*core.System, len(c.systems))
 	for d, s := range c.systems {
 		systems[d] = s
 	}
 	c.mu.RUnlock()
-	return c.shards.ForEachShard(func(_ string, docs []string) error {
+	return c.shards.ForEachShard(ctx, func(ctx context.Context, _ string, docs []string) error {
 		for _, d := range docs {
 			if sys := systems[d]; sys != nil {
-				if err := fn(d, sys); err != nil {
+				if err := fn(ctx, d, sys); err != nil {
 					return err
 				}
 			}
@@ -170,13 +182,32 @@ func (c *Catalog) ForEach(fn func(name string, sys *core.System) error) error {
 	})
 }
 
+// startSpan roots a catalog-wide operation: under the span carried in
+// ctx when the caller is itself traced, as a fresh root on the catalog's
+// tracer otherwise.
+func (c *Catalog) startSpan(ctx context.Context, name string) *Span {
+	if parent := obs.FromContext(ctx); parent != nil {
+		return obs.Start(parent, name)
+	}
+	return c.cfg.Tracer.Start(name)
+}
+
 // AnnotateAll annotates every document, shards in parallel, and returns
-// the per-document statistics.
+// the per-document statistics. The run traces as one "catalog-annotate"
+// tree: one shard child per fan-out unit, one annotate span per document.
 func (c *Catalog) AnnotateAll() (map[string]AnnotateStats, error) {
+	return c.AnnotateAllCtx(context.Background())
+}
+
+// AnnotateAllCtx is AnnotateAll under a caller's context (see RequestAllCtx).
+func (c *Catalog) AnnotateAllCtx(ctx context.Context) (map[string]AnnotateStats, error) {
+	sp := c.startSpan(ctx, "catalog-annotate")
+	defer sp.Finish()
+	ctx = obs.ContextWithSpan(ctx, sp)
 	var mu sync.Mutex
 	out := map[string]AnnotateStats{}
-	err := c.ForEach(func(name string, sys *core.System) error {
-		stats, err := sys.Annotate()
+	err := c.forEachCtx(ctx, func(ctx context.Context, name string, sys *core.System) error {
+		stats, err := sys.AnnotateCtx(ctx)
 		if err != nil {
 			return fmt.Errorf("xmlac: annotate %q: %w", name, err)
 		}
@@ -185,6 +216,7 @@ func (c *Catalog) AnnotateAll() (map[string]AnnotateStats, error) {
 		mu.Unlock()
 		return nil
 	})
+	sp.SetAttr("docs", len(out))
 	return out, err
 }
 
@@ -195,6 +227,43 @@ func (c *Catalog) Request(doc string, q *Path) (*RequestResult, error) {
 		return nil, err
 	}
 	return sys.Request(q)
+}
+
+// RequestAll broadcasts one user query to every document of the catalog,
+// fanned out shard-by-shard. It returns the granted results and the
+// per-document failures (including policy denials) keyed by document
+// name; a denial in one document does not stop the broadcast. The whole
+// broadcast traces as a single "catalog-request" tree — one root, one
+// shard child per fan-out unit, one request span per document, all
+// sharing the root's trace id — and every per-document audit event
+// carries that trace id.
+func (c *Catalog) RequestAll(q *Path) (map[string]*RequestResult, map[string]error) {
+	return c.RequestAllCtx(context.Background(), q)
+}
+
+// RequestAllCtx is RequestAll under a caller's context: a span carried
+// in ctx (xmlac.ContextWithSpan) parents the broadcast root instead of a
+// fresh trace being started.
+func (c *Catalog) RequestAllCtx(ctx context.Context, q *Path) (map[string]*RequestResult, map[string]error) {
+	sp := c.startSpan(ctx, "catalog-request").SetAttr("query", q.String())
+	defer sp.Finish()
+	ctx = obs.ContextWithSpan(ctx, sp)
+	var mu sync.Mutex
+	results := map[string]*RequestResult{}
+	errs := map[string]error{}
+	_ = c.forEachCtx(ctx, func(ctx context.Context, name string, sys *core.System) error {
+		res, err := sys.RequestCtx(ctx, q)
+		mu.Lock()
+		if err != nil {
+			errs[name] = err
+		} else {
+			results[name] = res
+		}
+		mu.Unlock()
+		return nil // per-document outcomes are reported, not propagated
+	})
+	sp.SetAttr("granted", len(results)).SetAttr("denied-or-failed", len(errs))
+	return results, errs
 }
 
 // Why explains the accessibility of every node the query matches in the

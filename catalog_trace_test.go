@@ -1,0 +1,163 @@
+package xmlac_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmlac"
+)
+
+// collectSpans flattens a span tree, root included.
+func collectSpans(root *xmlac.Span) []*xmlac.Span {
+	out := []*xmlac.Span{root}
+	for _, c := range root.Children() {
+		out = append(out, collectSpans(c)...)
+	}
+	return out
+}
+
+// TestCatalogRequestTraceTree is the golden cross-shard propagation test:
+// one RequestAll against a 4-shard catalog must produce exactly one
+// connected span tree — a single "catalog-request" root, one "shard"
+// child per shard, a "request" span per document — all sharing the
+// root's trace id, and every per-document audit event must carry that
+// same id.
+func TestCatalogRequestTraceTree(t *testing.T) {
+	schema, err := xmlac.ParseDTD(xmlac.HospitalDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := xmlac.NewTraceCollector(0)
+	aud := xmlac.NewAuditLog(0)
+	reg := xmlac.NewMetricsRegistry()
+	cat, err := xmlac.OpenCatalog(xmlac.Config{
+		Schema: schema, Policy: xmlac.HospitalPolicy(),
+		Backend: xmlac.BackendNative, Optimize: true,
+		Tracer: xmlac.NewTracer(col), Audit: aud, Metrics: reg,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := cat.Shards()
+	if len(shards) != 4 {
+		t.Fatalf("shards = %v, want 4", shards)
+	}
+	docs := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	for i, name := range docs {
+		doc := xmlac.GenerateHospital(xmlac.HospitalGenOptions{
+			Seed: uint64(i + 1), Departments: 1, PatientsPerDept: 4, StaffPerDept: 2,
+		})
+		if err := cat.AddDocument(name, doc); err != nil {
+			t.Fatal(err)
+		}
+		// Pin documents round-robin so every shard holds at least one.
+		if err := cat.Place(name, shards[i%len(shards)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cat.AnnotateAll(); err != nil {
+		t.Fatal(err)
+	}
+	audBefore := aud.Total()
+	col.Reset()
+
+	results, errs := cat.RequestAll(xmlac.MustParseXPath("//patient/name"))
+	if len(errs) != 0 {
+		t.Fatalf("broadcast failures: %v", errs)
+	}
+	if len(results) != len(docs) {
+		t.Fatalf("granted %d of %d documents", len(results), len(docs))
+	}
+
+	// Exactly one root span tree came out of the broadcast.
+	roots := []*xmlac.Span{}
+	for _, r := range col.Roots() {
+		if r.Name() == "catalog-request" {
+			roots = append(roots, r)
+		}
+	}
+	if len(roots) != 1 {
+		t.Fatalf("collector holds %d catalog-request roots, want exactly 1 (all roots: %d)",
+			len(roots), col.Len())
+	}
+	root := roots[0]
+	if root.TraceID() == 0 {
+		t.Fatal("root span has no trace id")
+	}
+	if root.ParentID() != 0 {
+		t.Fatal("root span has a parent id")
+	}
+
+	// The tree is connected: one shard child per shard, every document's
+	// request span under a shard, every span sharing the root's trace id.
+	shardChildren := 0
+	requestSpans := 0
+	for _, c := range root.Children() {
+		if c.Name() == "shard" {
+			shardChildren++
+			for _, g := range c.Children() {
+				if g.Name() == "request" {
+					requestSpans++
+				}
+			}
+		}
+	}
+	if shardChildren != 4 {
+		t.Fatalf("root has %d shard children, want 4:\n%s", shardChildren, root.Tree())
+	}
+	if requestSpans != len(docs) {
+		t.Fatalf("tree holds %d request spans, want %d:\n%s", requestSpans, len(docs), root.Tree())
+	}
+	for _, s := range collectSpans(root) {
+		if s.TraceID() != root.TraceID() {
+			t.Fatalf("span %q trace %s != root trace %s", s.Name(), s.TraceID(), root.TraceID())
+		}
+		if s != root && s.ParentID() == 0 {
+			t.Fatalf("span %q is disconnected from the tree", s.Name())
+		}
+	}
+	if !strings.Contains(root.Tree(), "trace="+root.TraceID().String()) {
+		t.Fatalf("rendered tree does not carry the trace id:\n%s", root.Tree())
+	}
+
+	// Every per-document audit event of the broadcast carries the trace id.
+	requestEvents := aud.Filter(0, func(e xmlac.AuditEvent) bool {
+		return e.Kind == "request" && e.Seq > audBefore
+	})
+	if len(requestEvents) != len(docs) {
+		t.Fatalf("audited %d request events, want %d", len(requestEvents), len(docs))
+	}
+	for _, e := range requestEvents {
+		if e.Trace != root.TraceID().String() {
+			t.Fatalf("audit event for %q carries trace %q, want %q", e.Query, e.Trace, root.TraceID())
+		}
+	}
+
+	// The fan-out fed one catalog_shard_seconds series per shard.
+	snap := reg.Snapshot()
+	for _, s := range shards {
+		h, ok := snap.Histograms[`catalog_shard_seconds{shard="`+s+`"}`]
+		if !ok || h.Count == 0 {
+			t.Fatalf("no catalog_shard_seconds samples for shard %q", s)
+		}
+	}
+}
+
+// TestCatalogBroadcastDenials: a denial in every document classifies the
+// per-document outcomes without aborting the broadcast, and the denial
+// audit events still join the one broadcast trace.
+func TestCatalogBroadcastDenials(t *testing.T) {
+	cat := testCatalog(t, xmlac.BackendNative, 2, "one", "two", "three")
+	results, errs := cat.RequestAll(xmlac.MustParseXPath("//patient"))
+	if len(results) != 0 {
+		t.Fatalf("//patient granted in %d documents, want 0", len(results))
+	}
+	if len(errs) != 3 {
+		t.Fatalf("denials in %d documents, want 3", len(errs))
+	}
+	for doc, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "denied") {
+			t.Fatalf("document %q: %v, want a denial", doc, err)
+		}
+	}
+}

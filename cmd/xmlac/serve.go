@@ -9,16 +9,22 @@
 //	GET /healthz        liveness + document/annotation state (JSON)
 //	GET /metrics        metrics registry (Prometheus text; JSON via Accept
 //	                    or ?format=json)
+//	GET /dashboard      the HTML ops dashboard: latency quantiles, shard
+//	                    heat, top rules, slow traces, recent denials
 //	GET /audit          recent decisions, newest last (JSON);
 //	                    ?outcome=deny filters, ?n= bounds the count
 //	GET /traces         recent root span trees, newest last (text)
 //	GET /catalog        shard placement and per-document state (JSON;
 //	                    catalog mode only)
 //	GET /request?q=     run an all-or-nothing request (&doc= selects the
-//	                    document in catalog mode)
+//	                    document in catalog mode; without doc the query
+//	                    broadcasts to every document as one trace)
 //	GET /why?q=         per-node rule attribution for the matched nodes
 //	                    (&doc= in catalog mode)
 //	GET /debug/pprof/   the Go runtime profiler
+//
+// Every route feeds a per-route http_request_seconds{route=...} histogram
+// in the registry, so the endpoint observes itself.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"xmlac"
 )
@@ -46,13 +53,13 @@ func (t teeSink) Emit(root *xmlac.Span) {
 // serve blocks on the ops endpoint over one system; it only returns on
 // listener failure.
 func serve(addr string, sys *xmlac.System, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) error {
-	fmt.Printf("serving on %s (/healthz /metrics /audit /traces /request /why /debug/pprof/)\n", addr)
+	fmt.Printf("serving on %s (/healthz /metrics /dashboard /audit /traces /request /why /debug/pprof/)\n", addr)
 	return http.ListenAndServe(addr, newServeMux(sys, reg, aud, col))
 }
 
 // serveCatalog blocks on the ops endpoint over a sharded catalog.
 func serveCatalog(addr string, cat *xmlac.Catalog, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) error {
-	fmt.Printf("serving on %s (/healthz /metrics /audit /traces /catalog /request /why /debug/pprof/)\n", addr)
+	fmt.Printf("serving on %s (/healthz /metrics /dashboard /audit /traces /catalog /request /why /debug/pprof/)\n", addr)
 	return http.ListenAndServe(addr, newCatalogMux(cat, reg, aud, col))
 }
 
@@ -87,8 +94,19 @@ func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, reg *xmlac.MetricsRegistry
 		return s, true
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	// route wraps a handler with the per-route latency histogram; the
+	// handle is resolved once, so serving pays no registry lookups.
+	route := func(name string, h http.HandlerFunc) http.HandlerFunc {
+		hist := reg.Histogram(fmt.Sprintf("http_request_seconds{route=%q}", name))
+		return func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			h(w, r)
+			hist.ObserveDuration(time.Since(start))
+		}
+	}
+	mux.HandleFunc("/metrics", route("/metrics", reg.ServeHTTP))
+	mux.HandleFunc("/dashboard", route("/dashboard", dashboardHandler(sys, cat, reg, aud, col)))
+	mux.HandleFunc("/healthz", route("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		health := map[string]any{
 			"status":  "ok",
 			"version": xmlac.Version,
@@ -110,9 +128,9 @@ func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, reg *xmlac.MetricsRegistry
 			}
 		}
 		writeJSON(w, health)
-	})
+	}))
 	if cat != nil {
-		mux.HandleFunc("/catalog", func(w http.ResponseWriter, r *http.Request) {
+		mux.HandleFunc("/catalog", route("/catalog", func(w http.ResponseWriter, r *http.Request) {
 			docs := map[string]any{}
 			for _, name := range cat.Docs() {
 				d := map[string]any{"shard": cat.ShardOf(name)}
@@ -130,9 +148,9 @@ func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, reg *xmlac.MetricsRegistry
 				"placement": cat.Placement(),
 				"docs":      docs,
 			})
-		})
+		}))
 	}
-	mux.HandleFunc("/audit", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/audit", route("/audit", func(w http.ResponseWriter, r *http.Request) {
 		n := 100
 		if s := r.URL.Query().Get("n"); s != "" {
 			v, err := strconv.Atoi(s)
@@ -156,16 +174,40 @@ func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, reg *xmlac.MetricsRegistry
 			"evicted": aud.Evicted(),
 			"dropped": aud.Dropped(),
 		})
-	})
-	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/traces", route("/traces", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		for _, root := range col.Roots() {
 			fmt.Fprint(w, root.Tree())
 		}
-	})
-	mux.HandleFunc("/request", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/request", route("/request", func(w http.ResponseWriter, r *http.Request) {
 		q, ok := parseQueryParam(w, r)
 		if !ok {
+			return
+		}
+		// Catalog mode without a doc parameter broadcasts the query to
+		// every document — one trace covering the whole fan-out.
+		if cat != nil && r.URL.Query().Get("doc") == "" {
+			results, errs := cat.RequestAll(q)
+			granted := map[string]any{}
+			for doc, res := range results {
+				g := map[string]any{"checked": res.Checked}
+				if len(res.IDs) > 0 {
+					g["ids"] = res.IDs
+				}
+				granted[doc] = g
+			}
+			failed := map[string]string{}
+			for doc, err := range errs {
+				failed[doc] = err.Error()
+			}
+			writeJSON(w, map[string]any{
+				"query":     q.String(),
+				"broadcast": true,
+				"granted":   granted,
+				"denied":    failed,
+			})
 			return
 		}
 		s, ok := target(w, r)
@@ -192,8 +234,8 @@ func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, reg *xmlac.MetricsRegistry
 			}
 		}
 		writeJSON(w, out)
-	})
-	mux.HandleFunc("/why", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/why", route("/why", func(w http.ResponseWriter, r *http.Request) {
 		q, ok := parseQueryParam(w, r)
 		if !ok {
 			return
@@ -212,7 +254,7 @@ func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, reg *xmlac.MetricsRegistry
 			out["doc"] = r.URL.Query().Get("doc")
 		}
 		writeJSON(w, out)
-	})
+	}))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -157,3 +157,128 @@ func TestServeEndpoints(t *testing.T) {
 		}
 	}
 }
+
+// TestServeDashboard: the HTML view renders the live stores — latency
+// quantiles from the request histograms, the denial with its rules, and
+// a trace id that also appears on the corresponding audit event — and
+// every route feeds its http_request_seconds series.
+func TestServeDashboard(t *testing.T) {
+	srv := testMux(t)
+
+	res, err := httpGet(srv.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != 200 {
+		t.Fatalf("GET /dashboard: %s", res.Status)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Fatalf("dashboard Content-Type = %q", ct)
+	}
+	body := readAll(t, res)
+	for _, want := range []string{
+		"xmlac " + xmlac.Version, // header
+		"document mode",
+		"Request latency", "native / grant", "native / deny", // quantile rows
+		"Slow traces", "Recent denials",
+		"//patient", "R3", // the denial with its attribution
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("dashboard lacks %q:\n%.2000s", want, body)
+		}
+	}
+
+	// The denial row carries a trace id that joins the audit stream.
+	var auditResp struct {
+		Events []xmlac.AuditEvent `json:"events"`
+	}
+	getJSON(t, srv.URL+"/audit?outcome=deny", &auditResp)
+	if len(auditResp.Events) == 0 || auditResp.Events[0].Trace == "" {
+		t.Fatalf("denial event has no trace id: %+v", auditResp.Events)
+	}
+	if !strings.Contains(body, auditResp.Events[0].Trace) {
+		t.Fatalf("dashboard does not show denial trace %q", auditResp.Events[0].Trace)
+	}
+
+	// Every served route observed itself.
+	res, err = httpGet(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := readAll(t, res)
+	for _, series := range []string{
+		`http_request_seconds_count{route="/dashboard"}`,
+		`http_request_seconds_count{route="/audit"}`,
+		`http_request_seconds_p95{route="/dashboard"}`,
+		`store_request_seconds_p99{engine="native",outcome="grant"}`,
+	} {
+		if !strings.Contains(metrics, series) {
+			t.Fatalf("metrics lack %q", series)
+		}
+	}
+}
+
+// TestServeCatalogBroadcast: catalog mode serves /dashboard with shard
+// heat, and /request without a doc parameter broadcasts the query to
+// every document as one trace.
+func TestServeCatalogBroadcast(t *testing.T) {
+	schema, err := xmlac.ParseDTD(xmlac.HospitalDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := xmlac.NewMetricsRegistry()
+	aud := xmlac.NewAuditLog(0)
+	col := xmlac.NewTraceCollector(0)
+	cat, err := xmlac.OpenCatalog(xmlac.Config{
+		Schema: schema, Policy: xmlac.HospitalPolicy(),
+		Backend: xmlac.BackendNative, Optimize: true,
+		Metrics: reg, Audit: aud, Tracer: xmlac.NewTracer(col),
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"ward-a", "ward-b", "ward-c"} {
+		doc := xmlac.GenerateHospital(xmlac.HospitalGenOptions{
+			Seed: uint64(i + 1), Departments: 1, PatientsPerDept: 3, StaffPerDept: 1,
+		})
+		if err := cat.AddDocument(name, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cat.AnnotateAll(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newCatalogMux(cat, reg, aud, col))
+	t.Cleanup(srv.Close)
+
+	var broadcast struct {
+		Broadcast bool                      `json:"broadcast"`
+		Granted   map[string]map[string]any `json:"granted"`
+		Denied    map[string]string         `json:"denied"`
+	}
+	getJSON(t, srv.URL+"/request?q=//patient/name", &broadcast)
+	if !broadcast.Broadcast || len(broadcast.Granted) != 3 || len(broadcast.Denied) != 0 {
+		t.Fatalf("broadcast = %+v", broadcast)
+	}
+
+	// A doc-addressed request still routes to one document.
+	var single struct {
+		Outcome string `json:"outcome"`
+		Doc     string `json:"doc"`
+	}
+	getJSON(t, srv.URL+"/request?q=//patient/name&doc=ward-b", &single)
+	if single.Outcome != "grant" || single.Doc != "ward-b" {
+		t.Fatalf("single request = %+v", single)
+	}
+
+	res, err := httpGet(srv.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, res)
+	for _, want := range []string{"catalog mode", "Shard heat", "shard0", "shard1"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("catalog dashboard lacks %q", want)
+		}
+	}
+}

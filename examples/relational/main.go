@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -93,7 +94,7 @@ func main() {
 	fmt.Printf("  SQL form:      %.220s …\n\n", sqlText)
 
 	// Run the full Figure 6 annotation and show the signs.
-	if _, err := eng.Annotate(q, nil); err != nil {
+	if _, err := eng.Annotate(context.Background(), q); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("== Signs after annotation ==")
@@ -117,7 +118,7 @@ func main() {
 	if err := eng2.Load(hospital.Document()); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := eng2.Annotate(q, nil); err != nil {
+	if _, err := eng2.Annotate(context.Background(), q); err != nil {
 		log.Fatal(err)
 	}
 	a1, err := eng.AccessibleIDs()

@@ -74,6 +74,10 @@ type Event struct {
 	// Rules are the attributing rule ids: the deciding rule of a denial,
 	// or the triggered rules of a re-annotation.
 	Rules []string `json:"rules,omitempty"`
+	// Trace is the trace id of the span tree that produced the decision
+	// (16 hex digits; empty without a tracer). Looking the id up on the
+	// /traces endpoint yields the decision's latency breakdown.
+	Trace string `json:"trace,omitempty"`
 	// Err is the error text of an OutcomeError event.
 	Err string `json:"error,omitempty"`
 }

@@ -72,6 +72,9 @@ func (s *System) auditUpdate(query string, rep *UpdateReport, d time.Duration, e
 		return
 	}
 	e := audit.Event{Kind: "reannotate", Query: query, Duration: d}
+	if rep != nil {
+		e.Trace = rep.TraceID
+	}
 	switch {
 	case err == nil:
 		e.Outcome = audit.OutcomeOK

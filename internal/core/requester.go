@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"xmlac/internal/audit"
+	"xmlac/internal/obs"
 	"xmlac/internal/store"
 	"xmlac/internal/xpath"
 )
@@ -30,12 +31,15 @@ type RequestResult = store.RequestResult
 // auditRequest records one request decision. Denials are attributed: the
 // denied node's matching rules are looked up in the attribution cache
 // (built lazily once per store version) and the deciding plus overridden
-// rule ids land on the event. Callers hold at least s.mu.RLock.
-func (s *System) auditRequest(q *xpath.Path, res *RequestResult, cacheHit bool, d time.Duration, err error) {
+// rule ids land on the event. The request span's trace id is stamped on
+// the event so /audit entries join /traces output. Callers hold at least
+// s.mu.RLock.
+func (s *System) auditRequest(q *xpath.Path, res *RequestResult, cacheHit bool, d time.Duration, sp *obs.Span, err error) {
 	if s.aud == nil {
 		return
 	}
-	e := audit.Event{Kind: "request", Query: q.String(), CacheHit: cacheHit, Duration: d}
+	e := audit.Event{Kind: "request", Query: q.String(), CacheHit: cacheHit,
+		Duration: d, Trace: sp.TraceID().String()}
 	var denied *DeniedError
 	switch {
 	case err == nil:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -141,7 +142,19 @@ type System struct {
 	// attr caches per-rule sign provenance (which rules match each node),
 	// keyed by version like the query cache; System.Why serves from it.
 	attr attribution
+	// reqHist (indexed grant/deny/error) and annHist are the RED latency
+	// histograms behind store_request_seconds{engine,outcome} and
+	// store_annotate_seconds{engine}; nil without Config.Metrics.
+	reqHist [3]*obs.Histogram
+	annHist *obs.Histogram
 }
+
+// reqHist outcome indexes.
+const (
+	outGrant = iota
+	outDeny
+	outError
+)
 
 // NewSystem validates the configuration and builds the system.
 func NewSystem(cfg Config) (*System, error) {
@@ -198,6 +211,14 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s.engine = eng
+	if cfg.Metrics != nil {
+		lbl := store.EngineLabel(eng)
+		for i, outcome := range []string{"grant", "deny", "error"} {
+			s.reqHist[i] = cfg.Metrics.Histogram(
+				fmt.Sprintf("store_request_seconds{engine=%q,outcome=%q}", lbl, outcome))
+		}
+		s.annHist = cfg.Metrics.Histogram(fmt.Sprintf("store_annotate_seconds{engine=%q}", lbl))
+	}
 	return s, nil
 }
 
@@ -353,33 +374,54 @@ func defaultSign(p *policy.Policy) xmltree.Sign {
 // returned statistics carry the total duration and the per-stage phase
 // breakdown; with a Tracer configured the same stages emit a span tree.
 func (s *System) Annotate() (AnnotateStats, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.annotateLocked()
+	return s.AnnotateCtx(context.Background())
 }
 
-// annotateLocked is Annotate for callers already holding s.mu.
-func (s *System) annotateLocked() (AnnotateStats, error) {
+// AnnotateCtx is Annotate under a caller's context: a span carried in
+// ctx (obs.ContextWithSpan) parents the annotation span, keeping e.g. a
+// catalog-wide fan-out one connected trace instead of per-document
+// roots.
+func (s *System) AnnotateCtx(ctx context.Context) (AnnotateStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.annotateLocked(ctx)
+}
+
+// startSpan begins the named span as a child of the context's span when
+// one is present (a catalog or caller trace) and as a tracer root
+// otherwise — the rule that makes every operation appear in exactly one
+// tree.
+func (s *System) startSpan(ctx context.Context, name string) *obs.Span {
+	if parent := obs.FromContext(ctx); parent != nil {
+		return obs.Start(parent, name)
+	}
+	return s.tracer.Start(name)
+}
+
+// annotateLocked is AnnotateCtx for callers already holding s.mu.
+func (s *System) annotateLocked(ctx context.Context) (AnnotateStats, error) {
 	if !s.loaded {
 		return AnnotateStats{}, fmt.Errorf("core: no document loaded")
 	}
 	s.version++ // signs are about to change; invalidate the query cache
-	sp := s.tracer.Start("annotate").SetAttr("backend", s.cfg.Backend.String())
+	sp := s.startSpan(ctx, "annotate").SetAttr("backend", s.cfg.Backend.String())
 	start := time.Now()
-	stats, err := s.engine.Annotate(BuildAnnotationQuery(s.policy), sp)
+	stats, err := s.engine.Annotate(obs.ContextWithSpan(ctx, sp), BuildAnnotationQuery(s.policy))
 	stats.Duration = time.Since(start)
 	sp.SetAttr("updated", stats.Updated).SetAttr("reset", stats.Reset)
 	sp.Finish()
-	s.auditAnnotate(stats, err)
+	s.annHist.ObserveDuration(stats.Duration)
+	s.auditAnnotate(stats, sp, err)
 	return stats, err
 }
 
-// auditAnnotate records one full-annotation run.
-func (s *System) auditAnnotate(stats AnnotateStats, err error) {
+// auditAnnotate records one full-annotation run, stamped with the
+// annotation span's trace id.
+func (s *System) auditAnnotate(stats AnnotateStats, sp *obs.Span, err error) {
 	if s.aud == nil {
 		return
 	}
-	e := audit.Event{Kind: "annotate", Outcome: audit.OutcomeOK,
+	e := audit.Event{Kind: "annotate", Outcome: audit.OutcomeOK, Trace: sp.TraceID().String(),
 		Updated: stats.Updated, Reset: stats.Reset, Duration: stats.Duration}
 	if err != nil {
 		e.Outcome = audit.OutcomeError
@@ -402,6 +444,9 @@ type UpdateReport struct {
 	// Phases is the coarse round-trip breakdown (prepare, apply-update,
 	// reannotate) in obs form.
 	Phases obs.Phases
+	// TraceID is the round trip's trace id (empty without a tracer); the
+	// audit wrapper stamps it on the "reannotate" event.
+	TraceID string
 }
 
 // finishPhases derives the coarse phase list from the recorded times.
@@ -425,6 +470,7 @@ func (s *System) deleteAndReannotate(u *xpath.Path) (*UpdateReport, error) {
 	rep := &UpdateReport{}
 	root := s.tracer.Start("delete-reannotate").SetAttr("update", u.String())
 	defer root.Finish()
+	rep.TraceID = root.TraceID().String()
 
 	start := time.Now()
 	prep, err := prepareReannotation(s.engine, s.reann, root, u)
@@ -493,6 +539,7 @@ func (s *System) deleteAndFullAnnotate(u *xpath.Path) (*UpdateReport, error) {
 	rep := &UpdateReport{}
 	root := s.tracer.Start("delete-fannot").SetAttr("update", u.String())
 	defer root.Finish()
+	rep.TraceID = root.TraceID().String()
 	start := time.Now()
 	sp := obs.Start(root, "apply-delete")
 	_, total, err := s.applyDelete(u)
@@ -503,7 +550,9 @@ func (s *System) deleteAndFullAnnotate(u *xpath.Path) (*UpdateReport, error) {
 	rep.DeletedNodes = total
 	rep.UpdateTime = time.Since(start)
 
-	stats, err := s.annotateLocked()
+	// The inner full annotation runs as a child of this round trip's root,
+	// so the baseline path renders as one tree too.
+	stats, err := s.annotateLocked(obs.ContextWithSpan(context.Background(), root))
 	rep.Stats = stats
 	rep.ReannotateTime = stats.Duration
 	if err != nil {
@@ -562,6 +611,7 @@ func (s *System) insertAndReannotate(parentPath *xpath.Path, tmpl *xmltree.Node)
 	rep := &UpdateReport{}
 	root := s.tracer.Start("insert-reannotate").SetAttr("parent", parentPath.String())
 	defer root.Finish()
+	rep.TraceID = root.TraceID().String()
 
 	start := time.Now()
 	prep, err := prepareReannotation(s.engine, s.reann, root, us...)
@@ -645,13 +695,20 @@ func insertLocators(parentPath *xpath.Path, tmpl *xmltree.Node) []*xpath.Path {
 // is attached): outcome, counts, cache hit and — for denials — the rule
 // that decided against the first inaccessible node.
 func (s *System) Request(q *xpath.Path) (*RequestResult, error) {
+	return s.RequestCtx(context.Background(), q)
+}
+
+// RequestCtx is Request under a caller's context: a span carried in ctx
+// parents the request span (a catalog broadcast's shard span, say), so
+// cross-document fan-outs trace as one connected tree.
+func (s *System) RequestCtx(ctx context.Context, q *xpath.Path) (*RequestResult, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if !s.loaded {
 		return nil, fmt.Errorf("core: no document loaded")
 	}
 	start := time.Now()
-	sp := s.tracer.Start("request").SetAttr("query", q.String()).SetAttr("backend", s.cfg.Backend.String())
+	sp := s.startSpan(ctx, "request").SetAttr("query", q.String()).SetAttr("backend", s.cfg.Backend.String())
 	defer sp.Finish()
 	var (
 		res *RequestResult
@@ -661,10 +718,26 @@ func (s *System) Request(q *xpath.Path) (*RequestResult, error) {
 	if s.qc != nil {
 		res, hit, err = s.requestCached(q, sp)
 	} else {
-		res, err = s.engine.Request(q, sp)
+		res, err = s.engine.Request(obs.ContextWithSpan(ctx, sp), q)
 	}
-	s.auditRequest(q, res, hit, time.Since(start), err)
+	d := time.Since(start)
+	s.observeRequest(d, err)
+	s.auditRequest(q, res, hit, d, sp, err)
 	return res, err
+}
+
+// observeRequest feeds the request's latency into the histogram of its
+// outcome (grant, deny or error).
+func (s *System) observeRequest(d time.Duration, err error) {
+	var denied *DeniedError
+	switch {
+	case err == nil:
+		s.reqHist[outGrant].ObserveDuration(d)
+	case errors.As(err, &denied):
+		s.reqHist[outDeny].ObserveDuration(d)
+	default:
+		s.reqHist[outError].ObserveDuration(d)
+	}
 }
 
 // Explain translates an XPath query to SQL and returns the relational

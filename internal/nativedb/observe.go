@@ -12,8 +12,9 @@ import (
 // evaluates with an xpath.EvalStats counter attached.
 
 // storeMetrics caches the store's metric handles. Each series is a
-// MultiCounter feeding both the backend-neutral store_* name — with the
-// engine="native" label — and the legacy nativedb_* alias.
+// MultiCounter feeding the backend-neutral store_* name — with the
+// engine="native" label — and, while the registry's LegacyNames switch
+// is on, the deprecated nativedb_* alias.
 type storeMetrics struct {
 	queries   obs.MultiCounter
 	visited   obs.MultiCounter
@@ -22,8 +23,9 @@ type storeMetrics struct {
 }
 
 // SetMetrics attaches a metrics registry to the store. Query execution
-// then feeds the shared store_* counters (labeled engine="native") plus
-// the legacy nativedb_* names; nil detaches.
+// then feeds the shared store_* counters (labeled engine="native"); the
+// deprecated nativedb_* aliases ride along while the registry's
+// LegacyNames switch is on. nil detaches.
 func (s *Store) SetMetrics(r *obs.Registry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -32,22 +34,10 @@ func (s *Store) SetMetrics(r *obs.Registry) {
 		return
 	}
 	s.m = &storeMetrics{
-		queries: obs.MultiCounter{
-			r.Counter(`store_queries_total{engine="native"}`),
-			r.Counter("nativedb_queries_total"),
-		},
-		visited: obs.MultiCounter{
-			r.Counter(`store_rows_scanned_total{engine="native"}`),
-			r.Counter("nativedb_nodes_visited_total"),
-		},
-		matched: obs.MultiCounter{
-			r.Counter(`store_rows_matched_total{engine="native"}`),
-			r.Counter("nativedb_nodes_matched_total"),
-		},
-		annotated: obs.MultiCounter{
-			r.Counter(`store_signs_written_total{engine="native"}`),
-			r.Counter("nativedb_nodes_annotated_total"),
-		},
+		queries:   r.CounterAliased(`store_queries_total{engine="native"}`, "nativedb_queries_total"),
+		visited:   r.CounterAliased(`store_rows_scanned_total{engine="native"}`, "nativedb_nodes_visited_total"),
+		matched:   r.CounterAliased(`store_rows_matched_total{engine="native"}`, "nativedb_nodes_matched_total"),
+		annotated: r.CounterAliased(`store_signs_written_total{engine="native"}`, "nativedb_nodes_annotated_total"),
 	}
 }
 

@@ -127,6 +127,55 @@ type HistogramSnapshot struct {
 	Buckets []BucketCount `json:"buckets"`
 	Count   uint64        `json:"count"`
 	Sum     float64       `json:"sum"`
+	// P50/P95/P99 are the interpolated latency quantiles (see Quantile),
+	// precomputed so JSON consumers need no bucket math.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// Quantile estimates the p-quantile (p in [0,1], clamped) from the
+// cumulative buckets by linear interpolation inside the bucket holding
+// the target rank — the same estimate Prometheus's histogram_quantile
+// computes server-side. Values beyond the highest finite bound (the +Inf
+// bucket) report that highest finite bound: the histogram cannot resolve
+// further. An empty histogram reports 0; p=0 reports the lower edge of
+// the first occupied bucket.
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(s.Count)
+	var prevCum uint64
+	var lower float64
+	for i, b := range s.Buckets {
+		if i > 0 {
+			lower = s.Buckets[i-1].UpperBound
+			prevCum = s.Buckets[i-1].Count
+		}
+		in := b.Count - prevCum
+		if in == 0 || float64(b.Count) < rank {
+			continue
+		}
+		if math.IsInf(b.UpperBound, 1) {
+			return lower
+		}
+		frac := (rank - float64(prevCum)) / float64(in)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lower + (b.UpperBound-lower)*frac
+	}
+	return lower
 }
 
 // BucketCount is one cumulative histogram bucket.
@@ -159,6 +208,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	}
 	cum += h.counts[len(h.bounds)]
 	s.Buckets = append(s.Buckets, BucketCount{UpperBound: math.Inf(1), Count: cum})
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
 
@@ -166,6 +218,11 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 // concurrent use; a nil registry hands out nil (no-op) metrics so
 // instrumented code needs no enabled-checks.
 type Registry struct {
+	// legacyOff gates the deprecated sqldb_*/nativedb_* alias series (see
+	// SetLegacyNames); stored inverted so the zero value keeps them on,
+	// matching NewRegistry's default for this release.
+	legacyOff atomic.Bool
+
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -179,6 +236,37 @@ func NewRegistry() *Registry {
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 	}
+}
+
+// SetLegacyNames chooses whether the deprecated backend-specific alias
+// series (sqldb_*, nativedb_*) are still dual-written next to their
+// backend-neutral store_* replacements. The default is on for one more
+// release; dashboards should migrate to the store_* names.
+func (r *Registry) SetLegacyNames(on bool) {
+	if r == nil {
+		return
+	}
+	r.legacyOff.Store(!on)
+}
+
+// LegacyNames reports whether the deprecated alias series are written
+// (false on a nil registry).
+func (r *Registry) LegacyNames() bool {
+	return r != nil && !r.legacyOff.Load()
+}
+
+// CounterAliased returns a MultiCounter ticking the canonical name and —
+// while LegacyNames is on — the deprecated legacy alias alongside it.
+// Backends use this for their dual-written series so that turning the
+// aliases off is one registry switch.
+func (r *Registry) CounterAliased(name, legacy string) MultiCounter {
+	if r == nil {
+		return nil
+	}
+	if r.LegacyNames() {
+		return MultiCounter{r.Counter(name), r.Counter(legacy)}
+	}
+	return MultiCounter{r.Counter(name)}
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -278,10 +366,20 @@ func (r *Registry) Snapshot() Snapshot {
 // names carrying their label set inline — so the exposition writer derives
 // the metric family from the base name.
 func metricBase(name string) string {
-	if i := strings.IndexByte(name, '{'); i >= 0 {
-		return name[:i]
+	base, _ := splitMetricName(name)
+	return base
+}
+
+// splitMetricName splits an inline-labeled name into its family base and
+// the bare label list: `x{a="b"}` → ("x", `a="b"`); an unlabeled name
+// yields ("x", ""). The histogram writer needs the pieces separately to
+// splice the `le` label in and to hang the _sum/_count/_pNN suffixes on
+// the base rather than after the closing brace.
+func splitMetricName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
 	}
-	return name
+	return name, ""
 }
 
 // WritePrometheus renders the registry in the Prometheus text exposition
@@ -315,22 +413,67 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	lastBase = ""
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
-			return err
+		base, labels := splitMetricName(name)
+		if base != lastBase {
+			lastBase = base
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
+				return err
+			}
+		}
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
 		}
 		for _, b := range h.Buckets {
 			le := formatFloat(b.UpperBound)
 			if math.IsInf(b.UpperBound, 1) {
 				le = "+Inf"
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, b.Count); err != nil {
+			series := fmt.Sprintf("%s_bucket{le=%q}", base, le)
+			if labels != "" {
+				series = fmt.Sprintf("%s_bucket{%s,le=%q}", base, labels, le)
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", series, b.Count); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(h.Sum), name, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+			base, suffix, formatFloat(h.Sum), base, suffix, h.Count); err != nil {
 			return err
+		}
+	}
+	// Interpolated latency quantiles, derived per histogram series. Each
+	// suffix is its own gauge family (a histogram family may not carry
+	// extra sample suffixes), emitted in one pass per suffix so label
+	// variants of a base stay adjacent under a single TYPE header.
+	for _, q := range []struct {
+		suffix string
+		p      float64
+	}{{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}} {
+		lastBase = ""
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			if h.Count == 0 {
+				continue
+			}
+			base, labels := splitMetricName(name)
+			fam := base + q.suffix
+			if fam != lastBase {
+				lastBase = fam
+				if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", fam); err != nil {
+					return err
+				}
+			}
+			series := fam
+			if labels != "" {
+				series = fam + "{" + labels + "}"
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", series, formatFloat(h.Quantile(q.p))); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -9,16 +9,92 @@
 // nil spans, and every method on a nil *Span, *Counter, *Gauge or
 // *Histogram returns immediately, so instrumented code pays only a nil
 // check when observation is disabled.
+//
+// # Trace propagation
+//
+// Every root span carries a process-unique TraceID shared by all of its
+// descendants, and each span a SpanID. ContextWithSpan/FromContext carry
+// the current span across API boundaries (engine calls, catalog shard
+// fan-out, pool tasks), so one logical operation spread over goroutines
+// still forms a single connected tree, and the trace ID stamped on audit
+// events correlates decisions with their traces.
+//
+// # Collector ring semantics
+//
+// Collector retains the most recent root spans in a bounded ring: Emit
+// appends until the capacity is reached, then each further Emit
+// overwrites the oldest retained root and increments the Evicted
+// counter. Roots returns the retained spans oldest-first, Len the number
+// currently retained, and Reset drops all retained spans and zeroes the
+// eviction counter while keeping the capacity.
 package obs
 
 import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// TraceID identifies one trace: a root span and every descendant share
+// it. The zero value means "no trace" (nil/no-op spans).
+type TraceID uint64
+
+// SpanID identifies one span within a trace. The zero value means "no
+// span".
+type SpanID uint64
+
+// String renders the id as 16 lowercase hex digits ("" for the zero id),
+// the form used on /traces, /audit and the dashboard.
+func (t TraceID) String() string {
+	if t == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", uint64(t))
+}
+
+// String renders the id as 16 lowercase hex digits ("" for the zero id).
+func (s SpanID) String() string {
+	if s == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", uint64(s))
+}
+
+// idState seeds id generation once per process so ids from different
+// runs don't collide in aggregated logs; newID then walks a splitmix64
+// sequence from it, which is cheap, lock-free and never yields zero
+// twice in any realistic horizon.
+var idState atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		idState.Store(binary.LittleEndian.Uint64(b[:]))
+	} else {
+		idState.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+func newID() uint64 {
+	for {
+		x := idState.Add(0x9e3779b97f4a7c15) // splitmix64 increment
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 { // zero is reserved for "no id"
+			return x
+		}
+	}
+}
 
 // Attr is one key/value annotation on a span.
 type Attr struct {
@@ -31,6 +107,12 @@ type Attr struct {
 // (later Finishes are no-ops). A finished root span is delivered to the
 // tracer's sink.
 type Span struct {
+	// Identity is fixed at creation and read without the lock: traceID is
+	// shared with every descendant, parentID is zero on roots.
+	traceID  TraceID
+	spanID   SpanID
+	parentID SpanID
+
 	mu       sync.Mutex
 	name     string
 	start    time.Time
@@ -50,25 +132,73 @@ type Tracer struct {
 // NewTracer returns a tracer delivering finished root spans to sink.
 func NewTracer(sink Sink) *Tracer { return &Tracer{sink: sink} }
 
-// Start begins a root span. Returns nil (a no-op span) on a nil tracer.
+// Start begins a root span with a fresh trace id. Returns nil (a no-op
+// span) on a nil tracer.
 func (t *Tracer) Start(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return &Span{name: name, start: time.Now(), sink: t.sink}
+	return &Span{
+		traceID: TraceID(newID()),
+		spanID:  SpanID(newID()),
+		name:    name,
+		start:   time.Now(),
+		sink:    t.sink,
+	}
 }
 
-// Start begins a child span under parent. A nil parent yields a nil
-// (no-op) span, so instrumented code needs no enabled-checks.
+// Start begins a child span under parent, inheriting its trace id. A nil
+// parent yields a nil (no-op) span, so instrumented code needs no
+// enabled-checks.
 func Start(parent *Span, name string) *Span {
 	if parent == nil {
 		return nil
 	}
-	child := &Span{name: name, start: time.Now()}
+	child := &Span{
+		traceID:  parent.traceID,
+		spanID:   SpanID(newID()),
+		parentID: parent.spanID,
+		name:     name,
+		start:    time.Now(),
+	}
 	parent.mu.Lock()
 	parent.children = append(parent.children, child)
 	parent.mu.Unlock()
 	return child
+}
+
+// spanCtxKey keys the current span in a context.Context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying s as the current span. A
+// nil span returns ctx unchanged, so disabled tracing threads no value.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// FromContext returns the current span carried by ctx, or nil when none
+// (including a nil ctx). The result feeds Start directly: a nil span
+// yields nil no-op children.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartCtx begins a child span under the context's current span and
+// returns it together with a derived context carrying the child. With no
+// span in ctx both the span and the context pass through untouched.
+func StartCtx(ctx context.Context, name string) (*Span, context.Context) {
+	sp := Start(FromContext(ctx), name)
+	if sp == nil {
+		return nil, ctx
+	}
+	return sp, ContextWithSpan(ctx, sp)
 }
 
 // SetAttr records a key/value annotation and returns the span for
@@ -110,6 +240,31 @@ func (s *Span) Name() string {
 		return ""
 	}
 	return s.name
+}
+
+// TraceID returns the trace id shared by the span's whole tree (zero on
+// nil). Identity is immutable after creation, so no lock is taken.
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return 0
+	}
+	return s.traceID
+}
+
+// SpanID returns the span's own id (zero on nil).
+func (s *Span) SpanID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.spanID
+}
+
+// ParentID returns the parent span's id (zero on nil and on roots).
+func (s *Span) ParentID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.parentID
 }
 
 // Duration returns the finished duration (elapsed time when still open).
@@ -199,6 +354,11 @@ func renderSpan(w io.Writer, s *Span, prefix, childPrefix string) {
 	for _, a := range s.Attrs() {
 		fmt.Fprintf(w, " %s=%v", a.Key, a.Value)
 	}
+	// Roots carry the trace id so rendered trees (-trace, /traces) can be
+	// joined with the audit log's trace field.
+	if s.ParentID() == 0 && s.TraceID() != 0 {
+		fmt.Fprintf(w, " trace=%s", s.TraceID())
+	}
 	fmt.Fprintln(w)
 	children := s.Children()
 	for i, c := range children {
@@ -282,6 +442,13 @@ func (c *Collector) Evicted() uint64 {
 	return c.evicted
 }
 
+// Len returns how many roots are currently retained.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.roots)
+}
+
 // Root returns the most recently emitted root with the given name, or nil.
 func (c *Collector) Root(name string) *Span {
 	roots := c.Roots()
@@ -293,11 +460,13 @@ func (c *Collector) Root(name string) *Span {
 	return nil
 }
 
-// Reset drops all collected spans (the capacity is kept).
+// Reset drops all collected spans and zeroes the eviction counter (the
+// capacity is kept), returning the ring to its initial state.
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	c.roots = nil
 	c.next = 0
+	c.evicted = 0
 	c.mu.Unlock()
 }
 

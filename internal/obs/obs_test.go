@@ -154,6 +154,12 @@ func TestPrometheusExposition(t *testing.T) {
 		`sqldb_exec_seconds_bucket{le="+Inf"} 2`,
 		"sqldb_exec_seconds_sum 0.505",
 		"sqldb_exec_seconds_count 2",
+		"# TYPE sqldb_exec_seconds_p50 gauge",
+		"sqldb_exec_seconds_p50 0.01",
+		"# TYPE sqldb_exec_seconds_p95 gauge",
+		"sqldb_exec_seconds_p95 0.1",
+		"# TYPE sqldb_exec_seconds_p99 gauge",
+		"sqldb_exec_seconds_p99 0.1",
 		"",
 	}, "\n")
 	if got != want {

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestTraceIdentityPropagation(t *testing.T) {
+	tr := NewTracer(NewCollector(4))
+	root := tr.Start("request")
+	if root.TraceID() == 0 || root.SpanID() == 0 {
+		t.Fatal("root span missing identity")
+	}
+	if root.ParentID() != 0 {
+		t.Fatalf("root has a parent id %v", root.ParentID())
+	}
+	child := Start(root, "shard")
+	grand := Start(child, "eval-query")
+	for _, s := range []*Span{child, grand} {
+		if s.TraceID() != root.TraceID() {
+			t.Errorf("%s trace id %v, want root's %v", s.Name(), s.TraceID(), root.TraceID())
+		}
+	}
+	if child.ParentID() != root.SpanID() || grand.ParentID() != child.SpanID() {
+		t.Error("parent ids do not chain")
+	}
+	ids := map[SpanID]bool{root.SpanID(): true, child.SpanID(): true, grand.SpanID(): true}
+	if len(ids) != 3 {
+		t.Fatalf("span ids collide: %v", ids)
+	}
+	second := tr.Start("request")
+	if second.TraceID() == root.TraceID() {
+		t.Fatal("distinct roots share a trace id")
+	}
+}
+
+func TestTraceIDString(t *testing.T) {
+	if TraceID(0).String() != "" || SpanID(0).String() != "" {
+		t.Fatal("zero ids must render empty")
+	}
+	if got := TraceID(0xabc).String(); got != "0000000000000abc" {
+		t.Fatalf("TraceID.String = %q", got)
+	}
+	if len(TraceID(newID()).String()) != 16 {
+		t.Fatal("trace ids must render as 16 hex digits")
+	}
+}
+
+func TestContextCarrier(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context carries a span")
+	}
+	if FromContext(nil) != nil { //nolint:staticcheck // nil ctx tolerated by design
+		t.Fatal("nil context carries a span")
+	}
+	tr := NewTracer(nil)
+	root := tr.Start("op")
+	ctx := ContextWithSpan(context.Background(), root)
+	if FromContext(ctx) != root {
+		t.Fatal("context does not return the stored span")
+	}
+	// A nil span threads no value.
+	if ctx2 := ContextWithSpan(context.Background(), nil); FromContext(ctx2) != nil {
+		t.Fatal("nil span was stored in context")
+	}
+	// StartCtx derives a child and re-carries it.
+	sp, ctx3 := StartCtx(ctx, "child")
+	if sp == nil || sp.ParentID() != root.SpanID() {
+		t.Fatalf("StartCtx child = %v", sp)
+	}
+	if FromContext(ctx3) != sp {
+		t.Fatal("StartCtx context does not carry the child")
+	}
+	// With no span in ctx, StartCtx passes through untouched.
+	sp2, ctx4 := StartCtx(context.Background(), "orphan")
+	if sp2 != nil || FromContext(ctx4) != nil {
+		t.Fatal("StartCtx on a bare context created a span")
+	}
+}
+
+// TestConcurrentChildSpans hammers child creation on one parent from many
+// goroutines; run under -race this guards the span tree's locking.
+func TestConcurrentChildSpans(t *testing.T) {
+	tr := NewTracer(NewCollector(1))
+	root := tr.Start("fan-out")
+	const workers, perWorker = 16, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := ContextWithSpan(context.Background(), root)
+			for i := 0; i < perWorker; i++ {
+				sp, c := StartCtx(ctx, "task")
+				grand, _ := StartCtx(c, "step")
+				grand.SetAttr("i", i).Finish()
+				sp.Finish()
+			}
+		}()
+	}
+	wg.Wait()
+	root.Finish()
+	if got := len(root.Children()); got != workers*perWorker {
+		t.Fatalf("children = %d, want %d", got, workers*perWorker)
+	}
+	for _, c := range root.Children() {
+		if c.TraceID() != root.TraceID() {
+			t.Fatal("child escaped the trace")
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -147,4 +148,13 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// ForEachCtx is ForEach with a context handed to every task — the trace
+// propagation seam: the submitter's context (typically carrying a span
+// via obs.ContextWithSpan) crosses the goroutine boundary with each
+// task, so children started from it stay in the submitter's trace tree
+// no matter which worker runs them.
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	return p.ForEach(n, func(i int) error { return fn(ctx, i) })
 }

@@ -1,0 +1,91 @@
+package pool
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"xmlac/internal/obs"
+)
+
+// sinkFunc adapts a function to obs.Sink.
+type sinkFunc func(*obs.Span)
+
+func (f sinkFunc) Emit(root *obs.Span) { f(root) }
+
+// TestForEachCtxTracePropagation: the context handed to each fan-out
+// task carries the caller's span across the goroutine boundary, so child
+// spans started inside tasks land in the caller's tree.
+func TestForEachCtxTracePropagation(t *testing.T) {
+	var root *obs.Span
+	tr := obs.NewTracer(sinkFunc(func(r *obs.Span) { root = r }))
+	sp := tr.Start("fan-out")
+	ctx := obs.ContextWithSpan(context.Background(), sp)
+	p := New(4)
+	err := p.ForEach(8, func(i int) error { return nil }) // plain path still works
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ForEachCtx(ctx, 8, func(ctx context.Context, i int) error {
+		got := obs.FromContext(ctx)
+		if got != sp {
+			t.Errorf("task %d: context carries %v, want the fan-out span", i, got)
+		}
+		task, _ := obs.StartCtx(ctx, "task")
+		task.Finish()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sp.Finish()
+	if root == nil {
+		t.Fatal("root never emitted")
+	}
+	if got := len(root.Children()); got != 8 {
+		t.Fatalf("root has %d children, want 8", got)
+	}
+	for _, c := range root.Children() {
+		if c.TraceID() != root.TraceID() {
+			t.Fatalf("child trace %s != root trace %s", c.TraceID(), root.TraceID())
+		}
+	}
+}
+
+// TestForEachCtxConcurrentSpanHammer hammers concurrent child-span
+// creation under pool fan-out — the -race check that one shared parent
+// span tolerates children being attached from every worker at once.
+func TestForEachCtxConcurrentSpanHammer(t *testing.T) {
+	tr := obs.NewTracer(sinkFunc(func(*obs.Span) {}))
+	sp := tr.Start("hammer")
+	ctx := obs.ContextWithSpan(context.Background(), sp)
+	p := New(8)
+	var started atomic.Int64
+	const tasks, spansPerTask = 64, 25
+	if err := p.ForEachCtx(ctx, tasks, func(ctx context.Context, i int) error {
+		for j := 0; j < spansPerTask; j++ {
+			child, cctx := obs.StartCtx(ctx, "work")
+			// A second level, to race sibling attachment under the
+			// freshly created child too.
+			leaf, _ := obs.StartCtx(cctx, "leaf")
+			leaf.Finish()
+			child.SetAttr("task", i)
+			child.Finish()
+			started.Add(1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sp.Finish()
+	if started.Load() != tasks*spansPerTask {
+		t.Fatalf("started %d spans, want %d", started.Load(), tasks*spansPerTask)
+	}
+	if got := len(sp.Children()); got != tasks*spansPerTask {
+		t.Fatalf("root has %d children, want %d", got, tasks*spansPerTask)
+	}
+	for _, c := range sp.Children() {
+		if c.TraceID() != sp.TraceID() {
+			t.Fatal("child escaped the root's trace")
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
 	"sync"
+	"time"
 
 	"xmlac/internal/obs"
 	"xmlac/internal/pool"
@@ -30,6 +32,7 @@ type Catalog struct {
 
 	docsGauge, shardsGauge *obs.Gauge
 	ops                    *obs.Counter
+	reg                    *obs.Registry // per-shard latency histograms
 }
 
 // NewCatalog creates a catalog with n shards (named "shard0"…"shardN-1";
@@ -47,11 +50,14 @@ func NewCatalog(n int, pl *pool.Pool) *Catalog {
 	return c
 }
 
-// SetMetrics attaches a registry: catalog_docs and catalog_shards gauges
-// plus a catalog_shard_ops_total counter of per-shard work units.
+// SetMetrics attaches a registry: catalog_docs and catalog_shards gauges,
+// a catalog_shard_ops_total counter of per-shard work units, and
+// per-shard catalog_shard_seconds{shard=...} latency histograms recorded
+// by ForEachShard (the dashboard's shard-heat source).
 func (c *Catalog) SetMetrics(r *obs.Registry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.reg = r
 	if r == nil {
 		c.docsGauge, c.shardsGauge, c.ops = nil, nil, nil
 		return
@@ -215,7 +221,14 @@ func (c *Catalog) Placement() map[string][]string {
 // the shard name and its sorted document list. Documents within a shard
 // are processed by one worker — the shard is the unit of parallelism.
 // The first error (by shard order) is returned.
-func (c *Catalog) ForEachShard(fn func(shard string, docs []string) error) error {
+//
+// A span carried in ctx (obs.ContextWithSpan) parents one "shard" child
+// span per fan-out unit — carrying the shard name and document count —
+// and each unit's context hands that child to fn, so a catalog-wide
+// operation renders as a single connected tree no matter how the pool
+// schedules the shards. Each unit's wall time also feeds the shard's
+// catalog_shard_seconds histogram when metrics are attached.
+func (c *Catalog) ForEachShard(ctx context.Context, fn func(ctx context.Context, shard string, docs []string) error) error {
 	placement := c.Placement()
 	shards := make([]string, 0, len(placement))
 	for s := range placement {
@@ -223,10 +236,21 @@ func (c *Catalog) ForEachShard(fn func(shard string, docs []string) error) error
 	}
 	sort.Strings(shards)
 	c.mu.RLock()
-	pl, ops := c.pl, c.ops
+	pl, ops, reg := c.pl, c.ops, c.reg
 	c.mu.RUnlock()
-	return pl.ForEach(len(shards), func(i int) error {
+	return pl.ForEachCtx(ctx, len(shards), func(ctx context.Context, i int) error {
 		ops.Inc()
-		return fn(shards[i], placement[shards[i]])
+		shard := shards[i]
+		sp, ctx := obs.StartCtx(ctx, "shard")
+		sp.SetAttr("shard", shard).SetAttr("docs", len(placement[shard]))
+		start := time.Now()
+		err := fn(ctx, shard, placement[shard])
+		reg.Histogram(fmt.Sprintf("catalog_shard_seconds{shard=%q}", shard)).
+			ObserveDuration(time.Since(start))
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.Finish()
+		return err
 	})
 }

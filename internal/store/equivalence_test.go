@@ -9,6 +9,7 @@
 package store_test
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"sort"
@@ -138,7 +139,7 @@ func TestGoldenEquivalence(t *testing.T) {
 				q := core.BuildAnnotationQuery(pol)
 				for _, name := range store.Engines() {
 					eng := openEngine(t, name, wl, signOf(ds))
-					if _, err := eng.Annotate(q, nil); err != nil {
+					if _, err := eng.Annotate(context.Background(), q); err != nil {
 						t.Fatalf("%s/%s ds=%v cr=%v: annotate: %v", wl.name, name, ds, cr, err)
 					}
 					ids, err := eng.AccessibleIDs()
@@ -164,7 +165,7 @@ type requestOutcome struct {
 
 func probe(t *testing.T, eng store.Engine, q *xpath.Path) requestOutcome {
 	t.Helper()
-	res, err := eng.Request(q, nil)
+	res, err := eng.Request(context.Background(), q)
 	switch {
 	case errors.Is(err, store.ErrAccessDenied):
 		return requestOutcome{Granted: false}
@@ -201,7 +202,7 @@ func TestGoldenRequestsAgree(t *testing.T) {
 				engs := make([]store.Engine, 0, 3)
 				for _, name := range store.Engines() {
 					eng := openEngine(t, name, wl, signOf(ds))
-					if _, err := eng.Annotate(q, nil); err != nil {
+					if _, err := eng.Annotate(context.Background(), q); err != nil {
 						t.Fatal(err)
 					}
 					engs = append(engs, eng)

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -65,7 +66,8 @@ func (e *nativeEngine) runner() nativedb.Runner {
 // annotations (back to the materialized default), then run the
 // annotation query. Mirroring the paper's native-store choice, only the
 // nodes on the non-default side carry explicit signs afterwards.
-func (e *nativeEngine) Annotate(q AnnotationQuery, parent *obs.Span) (AnnotateStats, error) {
+func (e *nativeEngine) Annotate(ctx context.Context, q AnnotationQuery) (AnnotateStats, error) {
+	parent := obs.FromContext(ctx)
 	doc := e.st.Doc(e.docName)
 	if doc == nil {
 		return AnnotateStats{}, fmt.Errorf("core: no document %q in native store", e.docName)
@@ -149,7 +151,8 @@ func (e *nativeEngine) accessible(n *xmltree.Node) bool {
 
 // Request evaluates a query against the annotated tree; the policy
 // default decides unannotated nodes.
-func (e *nativeEngine) Request(q *xpath.Path, parent *obs.Span) (*RequestResult, error) {
+func (e *nativeEngine) Request(ctx context.Context, q *xpath.Path) (*RequestResult, error) {
+	parent := obs.FromContext(ctx)
 	sp := obs.Start(parent, "eval-query")
 	nodes, err := xpath.Eval(q, e.doc)
 	sp.SetAttr("matched", len(nodes)).Finish()

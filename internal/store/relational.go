@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"slices"
@@ -87,7 +88,8 @@ func (e *relationalEngine) Load(doc *xmltree.Document) error {
 // the annotation SQL to compute the id set S, then — exactly as the
 // paper's two-phase algorithm does — iterate over all tables, intersect
 // each table's ids with S, and issue bulk UPDATEs for the matches.
-func (e *relationalEngine) Annotate(q AnnotationQuery, parent *obs.Span) (AnnotateStats, error) {
+func (e *relationalEngine) Annotate(ctx context.Context, q AnnotationQuery) (AnnotateStats, error) {
+	parent := obs.FromContext(ctx)
 	stats := AnnotateStats{}
 	defSign := "'" + q.Default.String() + "'"
 	tables := e.m.Tables()
@@ -355,7 +357,8 @@ func (e *relationalEngine) ApplySignsWithin(affected, update map[int64]bool, sig
 // Note that the relational store materializes all signs at annotation
 // time (Figure 6 initializes every tuple to the default), so unlike the
 // native store no default needs consulting here.
-func (e *relationalEngine) Request(q *xpath.Path, parent *obs.Span) (*RequestResult, error) {
+func (e *relationalEngine) Request(ctx context.Context, q *xpath.Path) (*RequestResult, error) {
+	parent := obs.FromContext(ctx)
 	sp := obs.Start(parent, "translate-sql")
 	sqlText, err := shred.Translate(e.m, q)
 	sp.Finish()
@@ -574,15 +577,7 @@ func (e *relationalEngine) SetMetrics(r *obs.Registry) {
 		e.signs = nil
 		return
 	}
-	e.signs = r.Counter(fmt.Sprintf("store_signs_written_total{engine=%q}", e.label()))
-}
-
-// label is the storage-family value of the engine metric label.
-func (e *relationalEngine) label() string {
-	if e.name == "monetsql" {
-		return "column"
-	}
-	return "row"
+	e.signs = r.Counter(fmt.Sprintf("store_signs_written_total{engine=%q}", EngineLabel(e)))
 }
 
 // SetSlowQueryLog forwards to the database's slow-query log.

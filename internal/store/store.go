@@ -18,6 +18,7 @@
 package store
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -51,8 +52,9 @@ type Engine interface {
 	// Annotate performs full annotation from a compiled annotation query
 	// (Figure 5): reset to the default, compute the update set, flip the
 	// selected signs. Stats carry the per-stage phase breakdown; with a
-	// parent span the same stages emit a span subtree.
-	Annotate(q AnnotationQuery, parent *obs.Span) (AnnotateStats, error)
+	// span in ctx (obs.FromContext) the same stages emit a span subtree
+	// under it, keeping the caller's trace connected across the seam.
+	Annotate(ctx context.Context, q AnnotationQuery) (AnnotateStats, error)
 
 	// EvalScope evaluates a node-set expression and returns the matched
 	// universal ids — the re-annotation machinery's scope probe
@@ -66,8 +68,9 @@ type Engine interface {
 
 	// Request evaluates a user query and applies the paper's
 	// all-or-nothing check, returning ErrAccessDenied (wrapped in a
-	// DeniedError) when any matched node is inaccessible.
-	Request(q *xpath.Path, parent *obs.Span) (*RequestResult, error)
+	// DeniedError) when any matched node is inaccessible. A span in ctx
+	// parents the evaluation's phase spans.
+	Request(ctx context.Context, q *xpath.Path) (*RequestResult, error)
 	// AccessibleIDs lists the currently accessible element ids.
 	AccessibleIDs() (map[int64]bool, error)
 
@@ -144,4 +147,21 @@ func (o Options) withDefaults() Options {
 		o.DocName = "doc"
 	}
 	return o
+}
+
+// EngineLabel is the storage-family value engines use for their `engine`
+// metric label: "native" for the tree store, "row"/"column" for the
+// relational layouts. Core uses it to label its per-engine latency
+// series consistently with the engines' own store_* series.
+func EngineLabel(e Engine) string {
+	switch {
+	case e == nil:
+		return ""
+	case !e.Relational():
+		return "native"
+	case e.Name() == "monetsql":
+		return "column"
+	default:
+		return "row"
+	}
 }

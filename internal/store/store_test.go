@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -229,7 +230,7 @@ func TestCatalogForEachShard(t *testing.T) {
 		seen := map[string]bool{}
 		var mu = make(chan struct{}, 1)
 		mu <- struct{}{}
-		err := c.ForEachShard(func(shard string, docs []string) error {
+		err := c.ForEachShard(context.Background(), func(_ context.Context, shard string, docs []string) error {
 			<-mu
 			for _, d := range docs {
 				seen[d] = true

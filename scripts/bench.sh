@@ -8,10 +8,35 @@
 # read path: sign-predicate pushdown + id routing + query cache, XMark
 # f = 0.1) and records both sides to BENCH_request.json.
 #
+# The `diff` mode is the perf-regression observatory: it runs the same
+# benchmarks, compares each case against the recorded baselines via
+# scripts/bench_diff.go, appends a timestamped entry to
+# BENCH_trajectory.json, and exits non-zero on a regression beyond the
+# threshold. Knobs come from the environment: BENCH_THRESHOLD (default
+# 0.25), BENCH_INJECT (scales measurements, for testing the gate),
+# BENCH_TRAJECTORY (history file).
+#
 # Usage: scripts/bench.sh [annotation.json] [request.json]
+#        scripts/bench.sh diff
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "diff" ]; then
+	tmp=$(mktemp)
+	trap 'rm -f "$tmp"' EXIT
+	go test -bench 'BenchmarkFig11_Annotation(MonetSQL|Postgres)' \
+		-benchtime 10x -run '^$' . | tee "$tmp"
+	go test -bench 'BenchmarkFig10_Request(MonetSQL|Postgres)' \
+		-benchtime 110x -run '^$' . | tee -a "$tmp"
+	go run ./scripts \
+		-threshold "${BENCH_THRESHOLD:-0.25}" \
+		-inject "${BENCH_INJECT:-1}" \
+		-trajectory "${BENCH_TRAJECTORY:-BENCH_trajectory.json}" \
+		"$tmp"
+	exit 0
+fi
+
 out="${1:-BENCH_annotation.json}"
 reqout="${2:-BENCH_request.json}"
 

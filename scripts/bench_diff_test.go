@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const rawBench = `goos: linux
+goarch: amd64
+pkg: xmlac
+BenchmarkFig11_AnnotationMonetSQL/c1-8         	      10	   2811845 ns/op
+BenchmarkFig11_AnnotationPostgres/c5-8         	      10	  10656062 ns/op
+BenchmarkFig10_RequestMonetSQL/reference-8     	     110	  72062605 ns/op
+BenchmarkFig10_RequestMonetSQL/optimized-8     	     110	   3829984 ns/op
+BenchmarkUnrelated/thing-8                     	    1000	      1234 ns/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(rawBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("parsed %d results, want 5: %+v", len(results), results)
+	}
+	if results[0].Name != "BenchmarkFig11_AnnotationMonetSQL/c1" || results[0].NsOp != 2811845 {
+		t.Fatalf("first result = %+v", results[0])
+	}
+	if results[3].Name != "BenchmarkFig10_RequestMonetSQL/optimized" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %+v", results[3])
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	results, err := parseBench(strings.NewReader("PASS\nok xmlac 0.1s\n"))
+	if err != nil || len(results) != 0 {
+		t.Fatalf("results = %v, err = %v", results, err)
+	}
+}
+
+func TestBaselineKey(t *testing.T) {
+	for _, tc := range []struct {
+		name, file, key string
+		ok              bool
+	}{
+		{"BenchmarkFig11_AnnotationMonetSQL/c1", "annotation", "MonetSQL/c1", true},
+		{"BenchmarkFig11_AnnotationPostgres/c5", "annotation", "Postgres/c5", true},
+		{"BenchmarkFig10_RequestMonetSQL/optimized", "request", "MonetSQL", true},
+		{"BenchmarkFig10_RequestMonetSQL/reference", "", "", false},
+		{"BenchmarkUnrelated/thing", "", "", false},
+	} {
+		file, key, ok := baselineKey(tc.name)
+		if file != tc.file || key != tc.key || ok != tc.ok {
+			t.Errorf("baselineKey(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				tc.name, file, key, ok, tc.file, tc.key, tc.ok)
+		}
+	}
+}
+
+func testBaselines() map[string]map[string]int64 {
+	return map[string]map[string]int64{
+		"annotation": {"MonetSQL/c1": 2800000, "Postgres/c5": 10600000},
+		"request":    {"MonetSQL": 3800000},
+	}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	results, _ := parseBench(strings.NewReader(rawBench))
+	cases := compare(results, testBaselines(), 0.25, 1.0)
+	if len(cases) != 3 {
+		t.Fatalf("compared %d cases, want 3 (reference and unrelated skipped): %+v", len(cases), cases)
+	}
+	for _, c := range cases {
+		if c.Regressed {
+			t.Errorf("case %s regressed at ratio %.2f under a 25%% threshold", c.Case, c.Ratio)
+		}
+	}
+}
+
+func TestCompareInjectedRegression(t *testing.T) {
+	results, _ := parseBench(strings.NewReader(rawBench))
+	cases := compare(results, testBaselines(), 0.25, 1.5)
+	if len(cases) != 3 {
+		t.Fatalf("compared %d cases, want 3", len(cases))
+	}
+	regressed := 0
+	for _, c := range cases {
+		if c.Regressed {
+			regressed++
+		}
+		if c.Ratio <= 1.25 {
+			t.Errorf("case %s ratio %.2f after a 1.5x injection, want > 1.25", c.Case, c.Ratio)
+		}
+	}
+	if regressed != 3 {
+		t.Fatalf("%d of 3 cases regressed under a 1.5x injection", regressed)
+	}
+}
+
+func TestAppendTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.json")
+	e1 := trajEntry{Time: "2026-08-08T00:00:00Z", Threshold: 0.25, Pass: true,
+		Cases: []trajCase{{Case: "annotation:MonetSQL/c1", Baseline: 2800000, Measured: 2811845, Ratio: 1.004}}}
+	if err := appendTrajectory(path, e1); err != nil {
+		t.Fatal(err)
+	}
+	e2 := e1
+	e2.Pass = false
+	if err := appendTrajectory(path, e2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history []trajEntry
+	if err := json.Unmarshal(data, &history); err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 2 || !history[0].Pass || history[1].Pass {
+		t.Fatalf("history = %+v", history)
+	}
+	if err := appendTrajectory(filepath.Join(t.TempDir(), "x", "missing-dir", "t.json"),
+		e1); err == nil {
+		t.Fatal("append into a missing directory succeeded")
+	}
+}
+
+func TestAppendTrajectoryCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendTrajectory(path, trajEntry{}); err == nil {
+		t.Fatal("append to a corrupt history succeeded")
+	}
+}

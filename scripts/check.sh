@@ -29,6 +29,10 @@ go test -race ./...
 # a broken bench is otherwise only caught when scripts/bench.sh runs.
 go test -short -bench 'BenchmarkFig10_Request(MonetSQL|Postgres)' -benchtime 1x -run '^$' .
 
+# Quantile sanity: the bucket-interpolation math behind the /metrics and
+# /dashboard p50/p95/p99 figures.
+go test -short -run TestHistogramQuantile ./internal/obs
+
 # Smoke the ops endpoint: build the CLI, serve the bundled hospital system
 # on a fixed port, and hit /healthz and /metrics with curl.
 if command -v curl >/dev/null 2>&1; then
@@ -49,6 +53,8 @@ if command -v curl >/dev/null 2>&1; then
 	[ -n "$ok" ] || { echo "check.sh: /healthz never became ready" >&2; exit 1; }
 	curl -sf "http://127.0.0.1:$serve_port/metrics" | grep -q 'core_qcache' \
 		|| { echo "check.sh: /metrics missing expected counters" >&2; exit 1; }
+	curl -sf "http://127.0.0.1:$serve_port/dashboard" | grep -q 'Request latency' \
+		|| { echo "check.sh: /dashboard did not render" >&2; exit 1; }
 	kill $serve_pid 2>/dev/null || true
 	wait $serve_pid 2>/dev/null || true
 	trap - EXIT

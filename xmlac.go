@@ -34,6 +34,7 @@
 package xmlac
 
 import (
+	"context"
 	"io"
 
 	"xmlac/internal/audit"
@@ -48,7 +49,7 @@ import (
 )
 
 // Version identifies this release of the library and its commands.
-const Version = "0.4.0"
+const Version = "0.5.0"
 
 // Core model types, re-exported for the public API. See the internal
 // packages for full method documentation.
@@ -96,8 +97,14 @@ type (
 	// Tracer creates trace spans; attach one via Config.Tracer to see a
 	// per-phase breakdown of annotation, re-annotation and requests.
 	Tracer = obs.Tracer
-	// Span is one timed region of a trace.
+	// Span is one timed region of a trace. Every span carries a TraceID
+	// shared by its whole tree and a unique SpanID.
 	Span = obs.Span
+	// TraceID identifies one span tree; it renders as 16 hex digits and
+	// is stamped on the tree's audit events for correlation.
+	TraceID = obs.TraceID
+	// SpanID identifies one span within its trace.
+	SpanID = obs.SpanID
 	// TraceSink receives finished root spans from a Tracer.
 	TraceSink = obs.Sink
 	// MetricsRegistry holds named counters, gauges and histograms; attach
@@ -215,6 +222,18 @@ func NewTraceCollector(capacity int) *TraceCollector { return obs.NewCollector(c
 // Prometheus text format (MetricsRegistry.WritePrometheus), as JSON
 // (WriteJSON), or over HTTP (it implements http.Handler).
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ContextWithSpan returns a context carrying the span, parenting every
+// traced operation run under it: System.RequestCtx, System.AnnotateCtx and
+// the Catalog's *Ctx fan-outs attach their spans as children of the span
+// carried in their context, so one caller-rooted trace covers the whole
+// operation. A nil span leaves ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return obs.ContextWithSpan(ctx, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span { return obs.FromContext(ctx) }
 
 // ParseXML parses an XML document into the tree model.
 func ParseXML(r io.Reader) (*Document, error) { return xmltree.Parse(r) }
