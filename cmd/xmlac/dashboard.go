@@ -37,6 +37,13 @@ type shardRow struct {
 	HeatPct int // bar width, share of the busiest shard's total time
 }
 
+// vecRow is one vectorized-executor table row.
+type vecRow struct {
+	Engine  string
+	Rows    int64
+	Batches int64
+}
+
 // ruleRow is one top-rules table row.
 type ruleRow struct {
 	Rule    string
@@ -68,6 +75,7 @@ type dashData struct {
 	Docs      []string
 	Shards    []string
 	Latency   []latRow
+	Vector    []vecRow
 	ShardHeat []shardRow
 	TopRules  []ruleRow
 	Slow      []traceRow
@@ -157,6 +165,18 @@ func dashboardData(sys *xmlac.System, cat *xmlac.Catalog, reg *xmlac.MetricsRegi
 			Series: series, Count: h.Count,
 			P50: fmtSeconds(h.P50), P95: fmtSeconds(h.P95), P99: fmtSeconds(h.P99),
 		})
+	}
+
+	// Vectorized-executor throughput: rows and batches the batch operators
+	// processed, per engine (zero rows means the row reference path served
+	// everything).
+	for _, name := range sortedNames(snap.Counters) {
+		base, labels := parseLabels(name)
+		if base != "store_vector_rows_total" {
+			continue
+		}
+		batches := snap.Counters[fmt.Sprintf("store_vector_batches_total{engine=%q}", labels["engine"])]
+		d.Vector = append(d.Vector, vecRow{Engine: labels["engine"], Rows: snap.Counters[name], Batches: batches})
 	}
 
 	// Shard heat: catalog_shard_seconds{shard=...} against the placement.
@@ -283,6 +303,12 @@ backend {{.Backend}}, semantics {{.Semantics}}
 <tr><th>engine / outcome</th><th class="num">count</th><th class="num">p50</th><th class="num">p95</th><th class="num">p99</th></tr>
 {{range .Latency}}<tr><td>{{.Series}}</td><td class="num">{{.Count}}</td><td class="num">{{.P50}}</td><td class="num">{{.P95}}</td><td class="num">{{.P99}}</td></tr>
 {{end}}</table>{{else}}<p class="muted">no requests observed yet</p>{{end}}
+
+<h2>Vectorized executor</h2>
+{{if .Vector}}<table>
+<tr><th>engine</th><th class="num">rows</th><th class="num">batches</th></tr>
+{{range .Vector}}<tr><td>{{.Engine}}</td><td class="num">{{.Rows}}</td><td class="num">{{.Batches}}</td></tr>
+{{end}}</table>{{else}}<p class="muted">no vectorized operators ran (row reference path)</p>{{end}}
 
 {{if eq .Mode "catalog"}}<h2>Shard heat</h2>
 {{if .ShardHeat}}<table>

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	xmlac [-dtd file] [-policy file] [-doc file] [-backend xquery|monetsql|postgres]
+//	xmlac [-dtd file] [-policy file] [-doc file] [-backend xquery|monetsql|monetcol|postgres]
 //	      [-trace] [-explain] [-slowquery dur] [-pushdown] [-qcache]
 //	      [-audit file] [-serve addr] [-version] op...
 //
@@ -52,7 +52,7 @@ func main() {
 		dtdFile    = flag.String("dtd", "", "DTD file (default: the bundled hospital schema)")
 		policyFile = flag.String("policy", "", "policy file (default: the bundled Table 1 policy)")
 		docFile    = flag.String("doc", "", "XML document file (default: the bundled Figure 2 document)")
-		backend    = flag.String("backend", "xquery", "backend: xquery, monetsql or postgres")
+		backend    = flag.String("backend", "xquery", "backend: xquery, monetsql, monetcol or postgres")
 		optimize   = flag.Bool("optimize", true, "run redundancy elimination on the policy")
 		trace      = flag.Bool("trace", false, "print a span tree for each operation to stderr")
 		explain    = flag.Bool("explain", false, "print the SQL plan before each query (relational backends)")
@@ -92,6 +92,8 @@ func main() {
 		be = xmlac.BackendNative
 	case "monetsql":
 		be = xmlac.BackendColumn
+	case "monetcol":
+		be = xmlac.BackendVector
 	case "postgres":
 		be = xmlac.BackendRow
 	default:

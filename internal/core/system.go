@@ -29,6 +29,10 @@ const (
 	BackendRow
 	// BackendColumn is the relational column store (the MonetDB/SQL role).
 	BackendColumn
+	// BackendVector is the relational column store driven by the
+	// vectorized batch executor (the real-MonetDB role; see
+	// internal/sqldb/vector.go).
+	BackendVector
 )
 
 // String names the backend as the evaluation figures label the series.
@@ -40,6 +44,8 @@ func (b Backend) String() string {
 		return "xquery"
 	case BackendColumn:
 		return "monetsql"
+	case BackendVector:
+		return "monetcol"
 	default:
 		return "postgres"
 	}

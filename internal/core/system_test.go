@@ -12,7 +12,7 @@ import (
 	"xmlac/internal/xpath"
 )
 
-var allBackends = []Backend{BackendNative, BackendRow, BackendColumn}
+var allBackends = []Backend{BackendNative, BackendRow, BackendColumn, BackendVector}
 
 func newHospitalSystem(t *testing.T, b Backend, doc *xmltree.Document) *System {
 	t.Helper()
@@ -394,7 +394,7 @@ func TestSystemRejectsRootDeletion(t *testing.T) {
 }
 
 func TestBackendNames(t *testing.T) {
-	names := map[Backend]string{BackendNative: "xquery", BackendRow: "postgres", BackendColumn: "monetsql"}
+	names := map[Backend]string{BackendNative: "xquery", BackendRow: "postgres", BackendColumn: "monetsql", BackendVector: "monetcol"}
 	for b, want := range names {
 		if b.String() != want {
 			t.Errorf("%d.String() = %q, want %q", b, b.String(), want)

@@ -75,9 +75,9 @@ func TestExplainJoinChain(t *testing.T) {
 	// Without a secondary index, the value predicate runs as a column scan;
 	// the join starts from the single-row root relation.
 	checkPlan(t, explainLines(t, db, sql), []string{
-		"scan t1 (a): full scan → 1 rows",
-		"scan t2 (b): full scan → 2 rows",
-		"scan t3 (c): column scan on v → 2 rows",
+		"scan t1 (a): full scan [scan=row] → 1 rows",
+		"scan t2 (b): full scan [scan=row] → 2 rows",
+		"scan t3 (c): column scan on v [scan=row] → 2 rows",
 		"join: start t1 → 1 tuples",
 		"join: hash t2 on t2.pid = t1.id → 2 tuples",
 		"join: hash t3 on t3.pid = t2.id → 2 tuples",
@@ -91,9 +91,9 @@ func TestExplainJoinChain(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkPlan(t, explainLines(t, db, sql), []string{
-		"scan t1 (a): full scan → 1 rows",
-		"scan t2 (b): full scan → 2 rows",
-		"scan t3 (c): secondary index on v → 2 rows",
+		"scan t1 (a): full scan [scan=row] → 1 rows",
+		"scan t2 (b): full scan [scan=row] → 2 rows",
+		"scan t3 (c): secondary index on v [scan=row] → 2 rows",
 		"join: start t1 → 1 tuples",
 		"join: hash t2 on t2.pid = t1.id → 2 tuples",
 		"join: hash t3 on t3.pid = t2.id → 2 tuples",
@@ -107,22 +107,22 @@ func TestExplainCompoundAndPointLookup(t *testing.T) {
 
 	checkPlan(t, explainLines(t, db, `SELECT id FROM b UNION SELECT id FROM c`), []string{
 		"UNION",
-		"  scan b (b): full scan → 2 rows",
-		"  scan c (c): full scan → 3 rows",
+		"  scan b (b): full scan [scan=row] → 2 rows",
+		"  scan c (c): full scan [scan=row] → 3 rows",
 		"output: 5 rows",
 	})
 
 	checkPlan(t, explainLines(t, db, `SELECT id FROM c EXCEPT SELECT id FROM c WHERE id = 3`), []string{
 		"EXCEPT",
-		"  scan c (c): full scan → 3 rows",
-		"  scan c (c): pk index point lookup → 1 rows",
+		"  scan c (c): full scan [scan=row] → 3 rows",
+		"  scan c (c): pk index point lookup [scan=row] → 1 rows",
 		"output: 2 rows",
 	})
 
 	// EXPLAIN DELETE is a dry run: it reports the access path and match
 	// count without removing anything.
 	checkPlan(t, explainLines(t, db, `DELETE FROM c WHERE id = 3`), []string{
-		"delete c: pk index point lookup → 1 rows (dry run)",
+		"delete c: pk index point lookup [scan=row] → 1 rows (dry run)",
 	})
 	if res, err := db.Exec(`SELECT id FROM c`); err != nil || len(res.Rows) != 3 {
 		t.Fatalf("EXPLAIN DELETE mutated the table: rows=%v err=%v", res, err)

@@ -1,0 +1,214 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Statement auto-parameterization. The store layer issues batched id
+// probes — "SELECT id FROM t WHERE s = '+' AND id IN (…256 ids…)" — whose
+// texts are unique per batch, so a text-keyed plan cache never hits and
+// every probe pays a full lex+parse over kilobytes of SQL. Real databases
+// solve this with prepared statements or automatic parameterization; we do
+// the latter: a statement whose text ends in a pure-integer IN list is
+// cached under a template key with the list replaced by "?", and later
+// executions bind the fresh id list into a shallow clone of the cached AST
+// (cached statements are shared across executions and must never be
+// mutated in place).
+
+// PreparedIn is a statement template whose trailing IN list is bound per
+// execution — the explicit (prepared-statement) counterpart of the
+// automatic parameterization below. Store-layer probe loops prepare one
+// template per table and push raw id batches through it with no SQL text
+// on the per-batch path at all. A PreparedIn is immutable and safe for
+// concurrent use.
+type PreparedIn struct {
+	db *Database
+	st Statement
+}
+
+// PrepareIn parses a statement template ending in an IN-list placeholder —
+// "… WHERE s = '+' AND id IN (?)" — for repeated execution with bound id
+// lists. The parse goes through the plan cache, so re-preparing the same
+// template text is cheap.
+func (db *Database) PrepareIn(src string) (*PreparedIn, error) {
+	cache, _, _, _ := db.execState()
+	st, _, err := db.parseCached(cache, src)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := bindInParam(st, []Value{}); !ok {
+		return nil, fmt.Errorf("sqldb: PrepareIn: statement does not end in a bindable IN list: %s", truncate(src, 80))
+	}
+	return &PreparedIn{db: db, st: st}, nil
+}
+
+// ExecInts executes the template with the IN list bound to ids.
+func (p *PreparedIn) ExecInts(ids []int64) (*Result, error) {
+	vals := make([]Value, len(ids))
+	for i, id := range ids {
+		vals[i] = Value{Kind: KindInt, I: id}
+	}
+	st, ok := bindInParam(p.st, vals)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: PrepareIn: template no longer bindable")
+	}
+	return p.db.ExecStmt(st)
+}
+
+// autoParam splits src into a template cache key and the trailing integer
+// IN-list values. It succeeds only when the statement's last token run is
+// exactly "IN ( int [, int]* )" — anything else (strings in the list,
+// trailing ORDER BY/LIMIT, malformed items) falls back to the full parser.
+func autoParam(src string) (key string, ids []Value, ok bool) {
+	i := len(src) - 1
+	for i >= 0 && (src[i] == ' ' || src[i] == '\t' || src[i] == '\n' || src[i] == '\r' || src[i] == ';') {
+		i--
+	}
+	if i < 0 || src[i] != ')' {
+		return "", nil, false
+	}
+	end := i
+	j := end - 1
+	digits := false
+	commas := 0
+	for j >= 0 {
+		c := src[j]
+		switch {
+		case c >= '0' && c <= '9':
+			digits = true
+			j--
+		case c == ',':
+			commas++
+			j--
+		case c == ' ' || c == '-':
+			j--
+		default:
+			goto scanned
+		}
+	}
+scanned:
+	if !digits || j < 0 || src[j] != '(' {
+		return "", nil, false
+	}
+	open := j
+	k := open - 1
+	for k >= 0 && src[k] == ' ' {
+		k--
+	}
+	if k < 1 || (src[k] != 'N' && src[k] != 'n') || (src[k-1] != 'I' && src[k-1] != 'i') {
+		return "", nil, false
+	}
+	if k >= 2 && isSQLIdentChar(src[k-2]) {
+		return "", nil, false
+	}
+	ids = make([]Value, 0, commas+1)
+	pos := open + 1
+	for {
+		for pos < end && src[pos] == ' ' {
+			pos++
+		}
+		start := pos
+		if pos < end && src[pos] == '-' {
+			pos++
+		}
+		d0 := pos
+		for pos < end && src[pos] >= '0' && src[pos] <= '9' {
+			pos++
+		}
+		if pos == d0 {
+			return "", nil, false
+		}
+		var n int64
+		if pos-d0 < 19 {
+			for p := d0; p < pos; p++ {
+				n = n*10 + int64(src[p]-'0')
+			}
+			if start < d0 {
+				n = -n
+			}
+		} else {
+			var err error
+			n, err = strconv.ParseInt(src[start:pos], 10, 64)
+			if err != nil {
+				return "", nil, false
+			}
+		}
+		ids = append(ids, Value{Kind: KindInt, I: n})
+		for pos < end && src[pos] == ' ' {
+			pos++
+		}
+		if pos == end {
+			break
+		}
+		if src[pos] != ',' {
+			return "", nil, false
+		}
+		pos++
+	}
+	return src[:open+1] + "?)", ids, true
+}
+
+// bindInParam returns a shallow clone of a cached template statement with
+// the trailing IN list rebound to ids. The trailing list always belongs to
+// the last WHERE predicate of the statement's rightmost SELECT block (by
+// construction: the template's text ends at the list, so nothing — no
+// ORDER BY, no further predicate — follows it). Shapes that violate that
+// expectation return false and the caller re-parses the original text.
+func bindInParam(st Statement, ids []Value) (Statement, bool) {
+	switch s := st.(type) {
+	case *Query:
+		return bindQueryIn(s, ids)
+	case *UpdateStmt:
+		nw, ok := bindWhereIn(s.Where, ids)
+		if !ok {
+			return nil, false
+		}
+		ns := *s
+		ns.Where = nw
+		return &ns, true
+	case *DeleteStmt:
+		nw, ok := bindWhereIn(s.Where, ids)
+		if !ok {
+			return nil, false
+		}
+		ns := *s
+		ns.Where = nw
+		return &ns, true
+	}
+	return nil, false
+}
+
+func bindQueryIn(q *Query, ids []Value) (*Query, bool) {
+	if len(q.OrderBy) > 0 || q.Limit >= 0 {
+		// A trailing IN list cannot coexist with ORDER BY/LIMIT text.
+		return nil, false
+	}
+	nq := *q
+	if q.Simple != nil {
+		nw, ok := bindWhereIn(q.Simple.Where, ids)
+		if !ok {
+			return nil, false
+		}
+		ns := *q.Simple
+		ns.Where = nw
+		nq.Simple = &ns
+		return &nq, true
+	}
+	nr, ok := bindQueryIn(q.Right, ids)
+	if !ok {
+		return nil, false
+	}
+	nq.Right = nr
+	return &nq, true
+}
+
+func bindWhereIn(where []Predicate, ids []Value) ([]Predicate, bool) {
+	if len(where) == 0 || where[len(where)-1].In == nil {
+		return nil, false
+	}
+	nw := make([]Predicate, len(where))
+	copy(nw, where)
+	nw[len(nw)-1].In = ids
+	return nw, true
+}

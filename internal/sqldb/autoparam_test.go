@@ -1,0 +1,168 @@
+package sqldb
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// Auto-parameterization and prepared IN-list tests: the template split, the
+// shapes that must fall back to the full parser, result equivalence between
+// textual and bound execution, and plan-cache sharing across probes that
+// differ only in their id lists.
+
+func TestAutoParamSplit(t *testing.T) {
+	cases := []struct {
+		src  string
+		key  string
+		ids  []int64
+		ok   bool
+		note string
+	}{
+		{src: "SELECT id FROM t WHERE s = '+' AND id IN (1, 2, 3)",
+			key: "SELECT id FROM t WHERE s = '+' AND id IN (?)", ids: []int64{1, 2, 3}, ok: true},
+		{src: "UPDATE t SET s = '-' WHERE id IN (42)",
+			key: "UPDATE t SET s = '-' WHERE id IN (?)", ids: []int64{42}, ok: true},
+		{src: "DELETE FROM t WHERE id IN (7,8,  9) ; ",
+			key: "DELETE FROM t WHERE id IN (?)", ids: []int64{7, 8, 9}, ok: true},
+		{src: "SELECT id FROM t WHERE pid IN (-5, 6)",
+			key: "SELECT id FROM t WHERE pid IN (?)", ids: []int64{-5, 6}, ok: true},
+		{src: "INSERT INTO t (id, pid) VALUES (1, 2)", ok: false, note: "VALUES list is not an IN list"},
+		{src: "SELECT id FROM t WHERE s IN ('+', '-')", ok: false, note: "string list"},
+		{src: "SELECT id FROM t WHERE id IN (1, 2) ORDER BY id", ok: false, note: "trailing clause"},
+		{src: "SELECT id FROM t WHERE id IN ()", ok: false, note: "empty list"},
+		{src: "CREATE TABLE t (id INT PRIMARY KEY, pid INT)", ok: false, note: "DDL column list"},
+		{src: "SELECT id FROM t WHERE id IN (1,,2)", ok: false, note: "malformed list"},
+		{src: "SELECT id FROM t", ok: false, note: "no list at all"},
+	}
+	for _, c := range cases {
+		key, vals, ok := autoParam(c.src)
+		if ok != c.ok {
+			t.Errorf("autoParam(%q) ok = %v, want %v (%s)", c.src, ok, c.ok, c.note)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if key != c.key {
+			t.Errorf("autoParam(%q) key = %q, want %q", c.src, key, c.key)
+		}
+		got := make([]int64, len(vals))
+		for i, v := range vals {
+			if v.Kind != KindInt {
+				t.Fatalf("autoParam(%q) value %d kind = %v", c.src, i, v.Kind)
+			}
+			got[i] = v.I
+		}
+		if !reflect.DeepEqual(got, c.ids) {
+			t.Errorf("autoParam(%q) ids = %v, want %v", c.src, got, c.ids)
+		}
+	}
+}
+
+// TestAutoParamSharesTemplatePlan checks that probes differing only in
+// their trailing id lists share one cached plan and still return the rows
+// of their own list — the bound clone must never leak another probe's ids.
+func TestAutoParamSharesTemplatePlan(t *testing.T) {
+	both(t, func(t *testing.T, db *Database) {
+		setupPeople(t, db)
+		base := db.PlanCacheStats()
+		r1 := mustExec(t, db, "SELECT name FROM people WHERE id IN (1, 2)")
+		r2 := mustExec(t, db, "SELECT name FROM people WHERE id IN (3)")
+		r3 := mustExec(t, db, "SELECT name FROM people WHERE id IN (1, 2)")
+		if len(r1.Rows) != 2 || len(r2.Rows) != 1 || len(r3.Rows) != 2 {
+			t.Fatalf("rows = %d/%d/%d, want 2/1/2", len(r1.Rows), len(r2.Rows), len(r3.Rows))
+		}
+		if !reflect.DeepEqual(r1, r3) {
+			t.Fatalf("identical probe diverged: %v vs %v", r1, r3)
+		}
+		st := db.PlanCacheStats()
+		if miss := st.Misses - base.Misses; miss != 1 {
+			t.Fatalf("template misses = %d, want 1 (one template for all three probes)", miss)
+		}
+		if hit := st.Hits - base.Hits; hit != 2 {
+			t.Fatalf("template hits = %d, want 2", hit)
+		}
+	})
+}
+
+func TestPrepareIn(t *testing.T) {
+	both(t, func(t *testing.T, db *Database) {
+		setupPeople(t, db)
+		probe, err := db.PrepareIn("SELECT name FROM people WHERE id IN (?)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := probe.ExecInts([]int64{1, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mustExec(t, db, "SELECT name FROM people WHERE id IN (1, 3)")
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("prepared result %v, want %v", got, want)
+		}
+
+		upd, err := db.PrepareIn("UPDATE people SET age = 99 WHERE id IN (?)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := upd.ExecInts([]int64{2, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Affected != 2 {
+			t.Fatalf("affected = %d, want 2", res.Affected)
+		}
+		aged := mustExec(t, db, "SELECT id FROM people WHERE age = 99")
+		if len(aged.Rows) != 2 {
+			t.Fatalf("rows at age 99 = %d, want 2", len(aged.Rows))
+		}
+
+		if _, err := db.PrepareIn("SELECT name FROM people"); err == nil {
+			t.Fatal("PrepareIn accepted a statement without an IN placeholder")
+		}
+	})
+}
+
+// TestInPlaceholderDirectExec: executing a template without binding is the
+// empty IN list — it matches nothing rather than failing.
+func TestInPlaceholderDirectExec(t *testing.T) {
+	both(t, func(t *testing.T, db *Database) {
+		setupPeople(t, db)
+		r := mustExec(t, db, "SELECT name FROM people WHERE id IN (?)")
+		if len(r.Rows) != 0 {
+			t.Fatalf("unbound placeholder matched %d rows, want 0", len(r.Rows))
+		}
+	})
+}
+
+// TestAutoParamConcurrentBind hammers one shared template from many
+// goroutines with distinct id lists; under -race this proves bound clones
+// never share or mutate the cached AST.
+func TestAutoParamConcurrentBind(t *testing.T) {
+	both(t, func(t *testing.T, db *Database) {
+		setupPeople(t, db)
+		done := make(chan error, 8)
+		for g := 0; g < 8; g++ {
+			go func(g int) {
+				id := int64(g%4 + 1)
+				for i := 0; i < 200; i++ {
+					r, err := db.Exec(fmt.Sprintf("SELECT name FROM people WHERE id IN (%d, %d)", id, id))
+					if err == nil && len(r.Rows) != 1 {
+						err = fmt.Errorf("goroutine %d: rows = %d, want 1", g, len(r.Rows))
+					}
+					if err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- nil
+			}(g)
+		}
+		for g := 0; g < 8; g++ {
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

@@ -18,17 +18,32 @@ const (
 	// configuration of the evaluation).
 	EngineRow Engine = iota
 	// EngineColumn is the column-major layout ("monetsim", the
-	// MonetDB/SQL-like configuration).
+	// MonetDB/SQL-like configuration). It shares the row-at-a-time
+	// reference executor; only the physical layout differs.
 	EngineColumn
+	// EngineColumnVector is the column-major layout with typed column
+	// vectors and the vectorized batch executor ("monetvec", the real
+	// MonetDB role — see vector.go). Results are byte-identical to the
+	// other engines; only the physical operators differ.
+	EngineColumnVector
 )
 
 // String names the engine as the benchmark harness prints it.
 func (e Engine) String() string {
-	if e == EngineColumn {
+	switch e {
+	case EngineColumn:
 		return "monetsim"
+	case EngineColumnVector:
+		return "monetvec"
+	default:
+		return "pgsim"
 	}
-	return "pgsim"
 }
+
+// Vectorized reports whether the engine opts into the vectorized executor
+// (the planner's per-table row-vs-vector decision also requires the
+// table's physical store to support typed vectors).
+func (e Engine) Vectorized() bool { return e == EngineColumnVector }
 
 // Column describes one column of a table.
 type Column struct {
@@ -168,6 +183,8 @@ func (db *Database) createTable(name string, cols []Column, fks []ForeignKey) er
 	switch db.engine {
 	case EngineColumn:
 		t.store = newColStore(len(cols))
+	case EngineColumnVector:
+		t.store = newVecStore(cols)
 	default:
 		t.store = newRowStore(len(cols))
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -25,32 +26,18 @@ type Result struct {
 func (db *Database) Exec(src string) (*Result, error) {
 	cache, m, slowLog, slowThresh := db.execState()
 	if m == nil && slowLog == nil {
-		st, hit := cache.get(src)
-		if !hit {
-			var err error
-			st, err = ParseStatement(src)
-			if err != nil {
-				return nil, err
-			}
-			if cacheable(st) {
-				cache.put(src, st)
-			}
+		st, _, err := db.parseCached(cache, src)
+		if err != nil {
+			return nil, err
 		}
 		return db.ExecStmt(st)
 	}
 	parseStart := time.Now()
-	st, hit := cache.get(src)
-	var err error
-	if !hit {
-		st, err = ParseStatement(src)
-	}
+	st, hit, err := db.parseCached(cache, src)
 	parseD := time.Since(parseStart)
 	if err != nil {
 		db.observeStatement(m, slowLog, slowThresh, src, nil, parseD, 0, err)
 		return nil, err
-	}
-	if !hit && cacheable(st) {
-		cache.put(src, st)
 	}
 	if m != nil && cache != nil {
 		if hit {
@@ -64,6 +51,37 @@ func (db *Database) Exec(src string) (*Result, error) {
 	res, err := db.ExecStmt(st)
 	db.observeStatement(m, slowLog, slowThresh, src, res, parseD, time.Since(execStart), err)
 	return res, err
+}
+
+// parseCached resolves SQL text to an executable statement through the plan
+// cache. Statements ending in an integer IN list are auto-parameterized:
+// the cache key replaces the list with "?" so batched probes differing only
+// in their ids share one cached plan, and a hit binds the fresh id list
+// into a shallow clone of the template (cached ASTs are shared across
+// executions and never mutated in place).
+func (db *Database) parseCached(cache *planCache, src string) (Statement, bool, error) {
+	key := src
+	var ids []Value
+	if k, vals, ok := autoParam(src); ok {
+		key, ids = k, vals
+	}
+	if st, hit := cache.get(key); hit {
+		if ids == nil {
+			return st, true, nil
+		}
+		if bound, ok := bindInParam(st, ids); ok {
+			return bound, true, nil
+		}
+		// A template shape we cannot rebind: re-parse the original text.
+	}
+	st, err := ParseStatement(src)
+	if err != nil {
+		return nil, false, err
+	}
+	if cacheable(st) {
+		cache.put(key, st)
+	}
+	return st, false, nil
 }
 
 // execState snapshots the per-statement configuration (cache and observer
@@ -426,6 +444,20 @@ func (db *Database) execQueryBody(q *Query, rec *planRec) (*Result, error) {
 			q.Op, len(left.Columns), len(right.Columns))
 	}
 	// Set semantics: dedup both sides.
+	out := &Result{Columns: left.Columns}
+	// Vectorized set semantics: the annotation workload's compound queries
+	// are single int-column id lists (SELECT id FROM … UNION …). Those
+	// dedup through an int64 set instead of a formatted string key per row.
+	// Equality matches the generic path exactly: a single-column key is
+	// "\x00N" for NULL or "\x00I" + itoa(v), both bijective with the cell.
+	if db.engine.Vectorized() && singleIntColumn(left.Rows) && singleIntColumn(right.Rows) {
+		setOpInts(q.Op, left.Rows, right.Rows, out)
+		if len(out.Rows) == 0 {
+			out.Rows = nil // an empty result is nil on the reference path
+		}
+		db.noteVector(len(left.Rows) + len(right.Rows))
+		return out, nil
+	}
 	key := func(row []Value) string {
 		var b strings.Builder
 		for _, v := range row {
@@ -433,7 +465,6 @@ func (db *Database) execQueryBody(q *Query, rec *planRec) (*Result, error) {
 		}
 		return b.String()
 	}
-	out := &Result{Columns: left.Columns}
 	switch q.Op {
 	case OpUnion:
 		seen := map[string]bool{}
@@ -476,6 +507,91 @@ func (db *Database) execQueryBody(q *Query, rec *planRec) (*Result, error) {
 	return out, nil
 }
 
+// singleIntColumn reports whether every row is a single int-or-NULL cell —
+// the shape the vectorized set-operation dedup handles.
+func singleIntColumn(rows [][]Value) bool {
+	for _, r := range rows {
+		if len(r) != 1 || (r[0].Kind != KindInt && r[0].Kind != KindNull) {
+			return false
+		}
+	}
+	return true
+}
+
+// setOpInts is execQueryBody's set-semantics dedup specialized to single
+// int-column operands: int64 set membership, with the lone possible NULL
+// key tracked as a flag. Output row order is identical to the generic
+// string-keyed path.
+func setOpInts(op SetOp, left, right [][]Value, out *Result) {
+	add := func(seen map[int64]bool, nullSeen *bool, r []Value) bool {
+		if r[0].Kind == KindNull {
+			if *nullSeen {
+				return false
+			}
+			*nullSeen = true
+			return true
+		}
+		if seen[r[0].I] {
+			return false
+		}
+		seen[r[0].I] = true
+		return true
+	}
+	has := func(m map[int64]bool, null bool, r []Value) bool {
+		if r[0].Kind == KindNull {
+			return null
+		}
+		return m[r[0].I]
+	}
+	switch op {
+	case OpUnion:
+		seen := make(map[int64]bool, len(left)+len(right))
+		var nullSeen bool
+		out.Rows = make([][]Value, 0, len(left)+len(right))
+		for _, rows := range [][][]Value{left, right} {
+			for _, r := range rows {
+				if add(seen, &nullSeen, r) {
+					out.Rows = append(out.Rows, r)
+				}
+			}
+		}
+	case OpExcept:
+		drop := make(map[int64]bool, len(right))
+		var nullDrop bool
+		for _, r := range right {
+			add(drop, &nullDrop, r)
+		}
+		seen := make(map[int64]bool, len(left))
+		var nullSeen bool
+		out.Rows = make([][]Value, 0, len(left))
+		for _, r := range left {
+			if has(drop, nullDrop, r) {
+				continue
+			}
+			if add(seen, &nullSeen, r) {
+				out.Rows = append(out.Rows, r)
+			}
+		}
+	case OpIntersect:
+		keep := make(map[int64]bool, len(right))
+		var nullKeep bool
+		for _, r := range right {
+			add(keep, &nullKeep, r)
+		}
+		seen := make(map[int64]bool, len(left))
+		var nullSeen bool
+		out.Rows = make([][]Value, 0, len(left))
+		for _, r := range left {
+			if !has(keep, nullKeep, r) {
+				continue
+			}
+			if add(seen, &nullSeen, r) {
+				out.Rows = append(out.Rows, r)
+			}
+		}
+	}
+}
+
 func (db *Database) execSelect(s *SelectStmt, rec *planRec) (*Result, error) {
 	var planStart time.Time
 	if db.m != nil {
@@ -506,17 +622,47 @@ func (db *Database) execSelect(s *SelectStmt, rec *planRec) (*Result, error) {
 		db.m.planSeconds.ObserveDuration(time.Since(planStart))
 	}
 
-	tuples, err := db.joinPlan(b, preds, rec)
-	if err != nil {
-		return nil, err
+	// Vectorized single-table scan: when the lone FROM table is a vector
+	// store and every predicate is local to it, the scan's selection vector
+	// feeds the projection directly — no per-row [1]int tuple is ever
+	// materialized. This is the shape of annotation's per-table id sweeps
+	// (SELECT id FROM <table>), the hottest statement of the workload.
+	var singleRids []int
+	useSingle := false
+	if len(b.items) == 1 && !s.Star && db.vectorTable(b.tables[0]) != nil {
+		useSingle = true
+		for _, pp := range preds {
+			if pp.leftAlias != 0 || (pp.src.In == nil && pp.src.Right.IsCol) {
+				useSingle = false
+				break
+			}
+		}
+	}
+	var tuples [][]int
+	if useSingle {
+		rids, desc, err := db.baseScan(b, 0, preds)
+		if err != nil {
+			return nil, err
+		}
+		rec.linef("scan %s (%s): %s → %d rows", b.items[0].Alias, b.items[0].Table, desc, len(rids))
+		singleRids = rids
+	} else {
+		tuples, err = db.joinPlan(b, preds, rec)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Projection.
 	out := &Result{}
 	switch {
 	case s.CountStar:
+		n := len(tuples)
+		if useSingle {
+			n = len(singleRids)
+		}
 		out.Columns = []string{"count"}
-		out.Rows = [][]Value{{NewInt(int64(len(tuples)))}}
+		out.Rows = [][]Value{{NewInt(int64(n))}}
 		return out, nil
 	case s.Star:
 		for i, t := range b.tables {
@@ -543,6 +689,41 @@ func (db *Database) execSelect(s *SelectStmt, rec *planRec) (*Result, error) {
 			}
 			projs = append(projs, proj{ai, ci})
 			out.Columns = append(out.Columns, c.String())
+		}
+		if useSingle {
+			if len(singleRids) > 0 {
+				vs := b.tables[0].store.(*vecStore)
+				arena := make([]Value, len(singleRids)*len(projs))
+				out.Rows = make([][]Value, 0, len(singleRids))
+				for _, rid := range singleRids {
+					row := arena[:len(projs):len(projs)]
+					arena = arena[len(projs):]
+					for k, pj := range projs {
+						row[k] = vs.cols[pj.col].get(rid)
+					}
+					out.Rows = append(out.Rows, row)
+				}
+				db.noteVector(len(singleRids))
+			}
+			break
+		}
+		// Vectorized projection: when every table in FROM exposes typed
+		// vectors, result rows are carved from one arena allocation and the
+		// cells read straight off the vectors — no interface call per cell,
+		// no slice allocation per row.
+		if vecs, ok := db.vectorProjTables(b); ok && len(tuples) > 0 {
+			arena := make([]Value, len(tuples)*len(projs))
+			out.Rows = make([][]Value, 0, len(tuples))
+			for _, tu := range tuples {
+				row := arena[:len(projs):len(projs)]
+				arena = arena[len(projs):]
+				for k, pj := range projs {
+					row[k] = vecs[pj.alias].cols[pj.col].get(tu[pj.alias])
+				}
+				out.Rows = append(out.Rows, row)
+			}
+			db.noteVector(len(tuples))
+			break
 		}
 		for _, tu := range tuples {
 			row := make([]Value, len(projs))
@@ -652,7 +833,7 @@ func (db *Database) joinPlan(b *binding, preds []*planPred, rec *planRec) ([][]i
 			}
 			joinOn = nil
 		}
-		tuples = hashJoin(b, tuples, base[next], next, joinOn)
+		tuples = db.hashJoin(b, tuples, base[next], next, joinOn)
 		if len(joinOn) > 0 {
 			rec.linef("join: hash %s on %s → %d tuples", b.items[next].Alias, predNames(joinOn), len(tuples))
 		} else {
@@ -690,6 +871,73 @@ func (db *Database) baseScan(b *binding, alias int, preds []*planPred) ([]int, s
 	return rids, desc, err
 }
 
+// scanTag is the EXPLAIN annotation naming which executor scans (and
+// refines index results for) a table: the vectorized batch executor or
+// the row-at-a-time reference executor. The decision is per table — the
+// engine must opt in and the table's physical store must expose typed
+// vectors — and is re-made on every execution, so plans cached by SQL
+// text stay valid across engine or storage changes.
+func (db *Database) scanTag(t *Table) string {
+	if db.vectorTable(t) != nil {
+		return " [scan=vector]"
+	}
+	return " [scan=row]"
+}
+
+// vectorTable returns the table's typed-vector store when the planner may
+// use the vectorized path for it, else nil.
+func (db *Database) vectorTable(t *Table) *vecStore {
+	if !db.engine.Vectorized() {
+		return nil
+	}
+	vs, _ := t.store.(*vecStore)
+	return vs
+}
+
+// vectorProjTables returns every bound table's typed-vector store when the
+// vectorized projection may run — the engine opts in and all FROM tables
+// are vector stores — else ok is false.
+func (db *Database) vectorProjTables(b *binding) (vecs []*vecStore, ok bool) {
+	if !db.engine.Vectorized() {
+		return nil, false
+	}
+	vecs = make([]*vecStore, len(b.tables))
+	for i, t := range b.tables {
+		vs, isVec := t.store.(*vecStore)
+		if !isVec {
+			return nil, false
+		}
+		vecs[i] = vs
+	}
+	return vecs, true
+}
+
+// vecPKInts returns an int64 → rid map over the live rows' primary keys,
+// rebuilt lazily under the table's index mutex when the version moves (the
+// same protocol as secondaryFor). nil when the pk column is not an int
+// vector. The bulk sign-update IN-lookups use it to skip the per-key
+// string formatting of Value.key.
+func (db *Database) vecPKInts(t *Table, vs *vecStore) map[int64]int {
+	c := &vs.cols[t.pkCol]
+	if c.kind != vInt {
+		return nil
+	}
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if !vs.pkBuilt || vs.pkVer != t.version {
+		m := make(map[int64]int, vs.nlive)
+		for rid, dead := range vs.dead {
+			if !dead && !c.nulls[rid] {
+				m[c.ints[rid]] = rid
+			}
+		}
+		vs.pkCache = m
+		vs.pkVer = t.version
+		vs.pkBuilt = true
+	}
+	return vs.pkCache
+}
+
 // baseScanPath chooses and runs the access path; scanned is how many rows
 // (or index keys) were examined, which the metrics layer accumulates.
 func (db *Database) baseScanPath(b *binding, alias int, preds []*planPred) (rids []int, desc string, scanned int, err error) {
@@ -702,29 +950,42 @@ func (db *Database) baseScanPath(b *binding, alias int, preds []*planPred) (rids
 			local = append(local, pp)
 		}
 	}
-	// IN-list lookup via primary key index.
+	// IN-list lookup via primary key index. On the vectorized path int keys
+	// probe the typed pk cache directly, skipping Value.key's per-key
+	// string allocation.
 	for _, pp := range local {
 		if pp.src.In != nil && t.pkCol == pp.leftCol && t.pkIndex != nil {
+			var pkInts map[int64]int
+			if vs := db.vectorTable(t); vs != nil {
+				pkInts = db.vecPKInts(t, vs)
+			}
 			seen := map[int]bool{}
 			for _, v := range pp.src.In {
 				cv, err := coerce(v, t.Columns[t.pkCol].Type)
 				if err != nil {
 					continue // untypable key matches nothing
 				}
-				if rid, ok := t.pkIndex.lookup(cv.key()); ok && t.store.live(rid) && !seen[rid] {
+				var rid int
+				var ok bool
+				if pkInts != nil && cv.Kind == KindInt {
+					rid, ok = pkInts[cv.I]
+				} else {
+					rid, ok = t.pkIndex.lookup(cv.key())
+				}
+				if ok && t.store.live(rid) && !seen[rid] {
 					seen[rid] = true
 					rids = append(rids, rid)
 				}
 			}
 			pp.applied = true
-			desc = fmt.Sprintf("pk index IN-lookup (%d keys)", len(pp.src.In))
-			return filterRids(t, rids, local, pp), desc, len(pp.src.In), nil
+			desc = fmt.Sprintf("pk index IN-lookup (%d keys)%s", len(pp.src.In), db.scanTag(t))
+			return db.filterRids(t, rids, local, pp), desc, len(pp.src.In), nil
 		}
 	}
 	// Point lookup via primary key index.
 	for _, pp := range local {
 		if pp.src.In == nil && pp.src.Op == CmpEq && t.pkCol == pp.leftCol && t.pkIndex != nil {
-			desc = "pk index point lookup"
+			desc = "pk index point lookup" + db.scanTag(t)
 			lit, err := coerce(pp.src.Right.Lit, t.Columns[t.pkCol].Type)
 			if err != nil {
 				return nil, desc, 0, nil //nolint:nilerr // untypable key matches nothing
@@ -735,7 +996,7 @@ func (db *Database) baseScanPath(b *binding, alias int, preds []*planPred) (rids
 				rids = []int{rid}
 			}
 			// Remaining local predicates still apply.
-			return filterRids(t, rids, local, pp), desc, 1, nil
+			return db.filterRids(t, rids, local, pp), desc, 1, nil
 		}
 	}
 	// Equality against a constant through a registered secondary index.
@@ -768,8 +1029,8 @@ func (db *Database) baseScanPath(b *binding, alias int, preds []*planPred) (rids
 	}
 	if bestEq != nil {
 		bestEq.applied = true
-		desc = fmt.Sprintf("secondary index on %s", t.Columns[bestEq.leftCol].Name)
-		return filterRids(t, bestRids, local, bestEq), desc, len(bestRids), nil
+		desc = fmt.Sprintf("secondary index on %s%s", t.Columns[bestEq.leftCol].Name, db.scanTag(t))
+		return db.filterRids(t, bestRids, local, bestEq), desc, len(bestRids), nil
 	}
 	// IN-list lookup through a registered secondary index.
 	for _, pp := range local {
@@ -794,8 +1055,19 @@ func (db *Database) baseScanPath(b *binding, alias int, preds []*planPred) (rids
 			}
 		}
 		pp.applied = true
-		desc = fmt.Sprintf("secondary index IN-lookup on %s (%d keys)", t.Columns[pp.leftCol].Name, len(pp.src.In))
-		return filterRids(t, rids, local, pp), desc, len(pp.src.In), nil
+		desc = fmt.Sprintf("secondary index IN-lookup on %s (%d keys)%s", t.Columns[pp.leftCol].Name, len(pp.src.In), db.scanTag(t))
+		return db.filterRids(t, rids, local, pp), desc, len(pp.src.In), nil
+	}
+	// Table scan. The vectorized path runs the first predicate as a
+	// full-column filter over the typed vector, producing a selection
+	// vector that the remaining predicates narrow batch-at-a-time; the
+	// row path walks the store row at a time through the interface.
+	if vs := db.vectorTable(t); vs != nil {
+		rids, desc = db.vectorScan(t, vs, local)
+		for _, pp := range local {
+			pp.applied = true
+		}
+		return rids, desc, t.RowCount(), nil
 	}
 	if len(local) == 1 && local[0].src.In == nil {
 		// Single-column filter: use the engine's column scan.
@@ -807,7 +1079,7 @@ func (db *Database) baseScanPath(b *binding, alias int, preds []*planPred) (rids
 			return true
 		})
 		pp.applied = true
-		desc = fmt.Sprintf("column scan on %s", t.Columns[pp.leftCol].Name)
+		desc = fmt.Sprintf("column scan on %s [scan=row]", t.Columns[pp.leftCol].Name)
 		return rids, desc, t.RowCount(), nil
 	}
 	t.store.scan(func(rid int) bool {
@@ -827,14 +1099,77 @@ func (db *Database) baseScanPath(b *binding, alias int, preds []*planPred) (rids
 		pp.applied = true
 	}
 	if len(local) > 0 {
-		desc = fmt.Sprintf("full scan (%d filters)", len(local))
+		desc = fmt.Sprintf("full scan (%d filters) [scan=row]", len(local))
 	} else {
-		desc = "full scan"
+		desc = "full scan [scan=row]"
 	}
 	return rids, desc, t.RowCount(), nil
 }
 
-func filterRids(t *Table, rids []int, local []*planPred, skip *planPred) []int {
+// vectorScan is the planner's vectorized table-scan operator: the first
+// predicate filters the whole typed column into a selection vector, and
+// each further predicate refines the selection in place.
+func (db *Database) vectorScan(t *Table, vs *vecStore, local []*planPred) (rids []int, desc string) {
+	if len(local) == 0 {
+		rids = vs.liveRids()
+		db.noteVector(len(rids))
+		return rids, "full scan [scan=vector]"
+	}
+	processed := 0
+	pp := local[0]
+	var n int
+	if pp.src.In != nil {
+		rids, n = vs.filterIn(pp.leftCol, pp.src.In)
+	} else {
+		rids, n = vs.filterColumn(pp.leftCol, pp.src.Op, pp.src.Right.Lit)
+	}
+	processed += n
+	for _, pp := range local[1:] {
+		if pp.src.In != nil {
+			rids, n = vs.refineIn(rids, pp.leftCol, pp.src.In)
+		} else {
+			rids, n = vs.refineColumn(rids, pp.leftCol, pp.src.Op, pp.src.Right.Lit)
+		}
+		processed += n
+	}
+	db.noteVector(processed)
+	if len(local) == 1 && local[0].src.In == nil {
+		return rids, fmt.Sprintf("column scan on %s [scan=vector]", t.Columns[local[0].leftCol].Name)
+	}
+	return rids, fmt.Sprintf("full scan (%d filters) [scan=vector]", len(local))
+}
+
+// filterRids applies the residual local predicates to an index lookup's
+// rid list. On a vectorized table the residual predicates refine a copy
+// of the list as a selection vector; otherwise each rid is checked row at
+// a time.
+func (db *Database) filterRids(t *Table, rids []int, local []*planPred, skip *planPred) []int {
+	residual := len(local)
+	if skip != nil {
+		residual--
+	}
+	if vs := db.vectorTable(t); vs != nil && residual > 0 && len(rids) > 0 {
+		sel := append(make([]int, 0, len(rids)), rids...) // never mutate index buckets
+		processed := 0
+		for _, pp := range local {
+			if pp == skip {
+				continue
+			}
+			var n int
+			if pp.src.In != nil {
+				sel, n = vs.refineIn(sel, pp.leftCol, pp.src.In)
+			} else {
+				sel, n = vs.refineColumn(sel, pp.leftCol, pp.src.Op, pp.src.Right.Lit)
+			}
+			processed += n
+			pp.applied = true
+		}
+		db.noteVector(processed)
+		for _, pp := range local {
+			pp.applied = true
+		}
+		return sel
+	}
 	var out []int
 	for _, rid := range rids {
 		ok := true
@@ -874,7 +1209,7 @@ func evalLocal(t *Table, rid int, pp *planPred) bool {
 
 // hashJoin joins the current tuples with relation `next` on the given
 // equality predicates (nil means cross product).
-func hashJoin(b *binding, tuples [][]int, rids []int, next int, on []*planPred) [][]int {
+func (db *Database) hashJoin(b *binding, tuples [][]int, rids []int, next int, on []*planPred) [][]int {
 	t := b.tables[next]
 	if len(on) == 0 {
 		out := make([][]int, 0, len(tuples)*len(rids))
@@ -902,8 +1237,12 @@ func hashJoin(b *binding, tuples [][]int, rids []int, next int, on []*planPred) 
 	}
 	// Single-column joins between int columns — the shredder's pid = id
 	// chains, which is nearly every join this engine sees — hash the raw
-	// int64 instead of a formatted string key.
+	// int64 instead of a formatted string key. On the vectorized engine the
+	// build and probe read the typed []int64 vectors directly.
 	if len(on) == 1 {
+		if out, ok := db.vecIntHashJoin(b, t, tuples, rids, next, newCols[0], boundSide[0]); ok {
+			return out
+		}
 		if out, ok := intHashJoin(b, t, tuples, rids, next, newCols[0], boundSide[0]); ok {
 			return out
 		}
@@ -942,6 +1281,140 @@ func hashJoin(b *binding, tuples [][]int, rids []int, next int, on []*planPred) 
 	}
 	return out
 }
+
+// vecIntHashJoin is the vectorized int hash join: when both join columns
+// are typed int64 vectors, the build and probe phases run over the raw
+// arrays — no boxed Values, no interface calls per row. Output tuple order
+// is identical to intHashJoin (probe in tuple order, build buckets in rid
+// order). ok is false when either table is not vectorized or either column
+// is not an int vector; the row fast path then gets its turn.
+func (db *Database) vecIntHashJoin(b *binding, t *Table, tuples [][]int, rids []int, next, newCol int,
+	bs struct{ alias, col int }) ([][]int, bool) {
+	vs := db.vectorTable(t)
+	pvs := db.vectorTable(b.tables[bs.alias])
+	if vs == nil || pvs == nil {
+		return nil, false
+	}
+	bvals, bnulls, ok := vs.intColumn(newCol)
+	if !ok {
+		return nil, false
+	}
+	pvals, pnulls, ok := pvs.intColumn(bs.col)
+	if !ok {
+		return nil, false
+	}
+	// Flat build table: open addressing (linear probing) into a power-of-two
+	// slot array, with the rids of equal keys threaded through a parallel
+	// chain array. Compared to a map[int64][]int this needs three flat
+	// slices total instead of a map plus a slice per distinct key — and the
+	// slices come from a pool, so steady-state joins allocate nothing for
+	// the build side. Build entries are inserted in reverse so each chain
+	// walks rids in build order, keeping the output tuple order identical
+	// to intHashJoin.
+	size := 1
+	for size < 2*len(rids)+2 {
+		size <<= 1
+	}
+	mask := uint64(size - 1)
+	sc := joinScratchPool.Get().(*joinScratch)
+	defer joinScratchPool.Put(sc)
+	if cap(sc.slotKey) < size {
+		sc.slotKey = make([]int64, size)
+		sc.slotHead = make([]int32, size)
+	}
+	slotKey := sc.slotKey[:size]
+	slotHead := sc.slotHead[:size]
+	for i := range slotHead {
+		slotHead[i] = -1
+	}
+	if cap(sc.chain) < len(rids) {
+		sc.chain = make([]int32, len(rids))
+	}
+	chain := sc.chain[:len(rids)]
+	for i := len(rids) - 1; i >= 0; i-- {
+		rid := rids[i]
+		if bnulls[rid] {
+			continue // NULL never joins
+		}
+		k := bvals[rid]
+		h := hashInt64(k) & mask
+		for {
+			if slotHead[h] < 0 {
+				slotKey[h] = k
+				chain[i] = -1
+				slotHead[h] = int32(i)
+				break
+			}
+			if slotKey[h] == k {
+				chain[i] = slotHead[h]
+				slotHead[h] = int32(i)
+				break
+			}
+			h = (h + 1) & mask
+		}
+	}
+	probe := func(prid int) int32 {
+		k := pvals[prid]
+		h := hashInt64(k) & mask
+		for {
+			head := slotHead[h]
+			if head < 0 {
+				return -1
+			}
+			if slotKey[h] == k {
+				return head
+			}
+			h = (h + 1) & mask
+		}
+	}
+	// Counting pass sizes the output exactly, so every result tuple is
+	// carved from one arena allocation instead of a make per tuple.
+	total := 0
+	for _, tu := range tuples {
+		prid := tu[bs.alias]
+		if pnulls[prid] {
+			continue
+		}
+		for e := probe(prid); e >= 0; e = chain[e] {
+			total++
+		}
+	}
+	width := len(b.tables)
+	out := make([][]int, 0, total)
+	arena := make([]int, total*width)
+	for _, tu := range tuples {
+		prid := tu[bs.alias]
+		if pnulls[prid] {
+			continue
+		}
+		for e := probe(prid); e >= 0; e = chain[e] {
+			ntu := arena[:width:width]
+			arena = arena[width:]
+			copy(ntu, tu)
+			ntu[next] = rids[e]
+			out = append(out, ntu)
+		}
+	}
+	db.noteVector(len(rids) + len(tuples))
+	return out, true
+}
+
+// hashInt64 mixes an int64 join key for the flat build table (Fibonacci
+// hashing plus an avalanche shift).
+func hashInt64(k int64) uint64 {
+	h := uint64(k) * 0x9E3779B97F4A7C15
+	return h ^ (h >> 31)
+}
+
+// joinScratch holds the flat build-table arrays vecIntHashJoin reuses
+// across executions; concurrent readers each take their own from the pool.
+type joinScratch struct {
+	slotKey  []int64
+	slotHead []int32
+	chain    []int32
+}
+
+var joinScratchPool = sync.Pool{New: func() any { return &joinScratch{} }}
 
 // intHashJoin is hashJoin's fast path for a single equi-join between int
 // values: int64 map keys skip the per-row string formatting of Value.key.
@@ -1073,6 +1546,35 @@ func (db *Database) execUpdate(s *UpdateStmt) (*Result, error) {
 		}
 		sets[i] = setOp{ci, v}
 	}
+	// Vectorized bulk update: outside a transaction (no undo log to feed)
+	// and with no primary-key assignment (no pk index to maintain), each
+	// SET column rewrites as one tight typed loop — annotation's sign
+	// reset (WHERE-less UPDATE → fillColumn over the whole byte vector)
+	// and sign rewrite (id IN (…) batches → assignColumn over the
+	// selection) — instead of per-rid boxed set calls.
+	if vs := db.vectorTable(t); vs != nil && db.tx == nil {
+		touchesPK := false
+		for _, so := range sets {
+			if so.col == t.pkCol {
+				touchesPK = true
+				break
+			}
+		}
+		if !touchesPK {
+			if len(rids) > 0 {
+				for _, so := range sets {
+					if len(s.Where) == 0 {
+						vs.fillColumn(so.col, so.val)
+					} else {
+						vs.assignColumn(rids, so.col, so.val)
+					}
+				}
+				t.bump()
+				db.noteVector(len(rids) * len(sets))
+			}
+			return &Result{Affected: len(rids)}, nil
+		}
+	}
 	for _, rid := range rids {
 		for _, so := range sets {
 			old := t.store.get(rid, so.col)
@@ -1146,14 +1648,24 @@ func (db *Database) filterSingle(t *Table, where []Predicate) (rids []int, desc 
 	// issues UPDATE … WHERE id IN (…) batches, which must not full-scan.
 	for _, pp := range preds {
 		if pp.src.In != nil && t.pkIndex != nil && pp.leftCol == t.pkCol {
-			desc = fmt.Sprintf("pk index IN-lookup (%d keys)", len(pp.src.In))
+			desc = fmt.Sprintf("pk index IN-lookup (%d keys)%s", len(pp.src.In), db.scanTag(t))
+			var pkInts map[int64]int
+			if vs := db.vectorTable(t); vs != nil {
+				pkInts = db.vecPKInts(t, vs)
+			}
 			seen := map[int]bool{}
 			for _, v := range pp.src.In {
 				cv, cerr := coerce(v, t.Columns[t.pkCol].Type)
 				if cerr != nil {
 					continue // untypable key matches nothing
 				}
-				rid, ok := t.pkIndex.lookup(cv.key())
+				var rid int
+				var ok bool
+				if pkInts != nil && cv.Kind == KindInt {
+					rid, ok = pkInts[cv.I]
+				} else {
+					rid, ok = t.pkIndex.lookup(cv.key())
+				}
 				if !ok || !t.store.live(rid) || seen[rid] {
 					continue
 				}
@@ -1175,7 +1687,7 @@ func (db *Database) filterSingle(t *Table, where []Predicate) (rids []int, desc 
 	// Point lookup.
 	for _, pp := range preds {
 		if pp.src.In == nil && pp.src.Op == CmpEq && t.pkIndex != nil && pp.leftCol == t.pkCol {
-			desc = "pk index point lookup"
+			desc = "pk index point lookup" + db.scanTag(t)
 			lit, cerr := coerce(pp.src.Right.Lit, t.Columns[t.pkCol].Type)
 			if cerr != nil {
 				return nil, desc, nil // untypable key matches nothing
@@ -1192,6 +1704,10 @@ func (db *Database) filterSingle(t *Table, where []Predicate) (rids []int, desc 
 			return []int{rid}, desc, nil
 		}
 	}
+	if vs := db.vectorTable(t); vs != nil {
+		rids, desc = db.vectorScan(t, vs, preds)
+		return rids, desc, nil
+	}
 	t.store.scan(func(rid int) bool {
 		for _, pp := range preds {
 			if !evalLocal(t, rid, pp) {
@@ -1202,9 +1718,9 @@ func (db *Database) filterSingle(t *Table, where []Predicate) (rids []int, desc 
 		return true
 	})
 	if len(preds) > 0 {
-		desc = fmt.Sprintf("full scan (%d filters)", len(preds))
+		desc = fmt.Sprintf("full scan (%d filters) [scan=row]", len(preds))
 	} else {
-		desc = "full scan"
+		desc = "full scan [scan=row]"
 	}
 	return rids, desc, nil
 }

@@ -64,12 +64,18 @@ func (t *Table) secondaryFor(col int) *secIndex {
 		}
 		t.idxMu.Lock()
 		if !ix.built || ix.version != t.version {
-			ix.buckets = map[string][]int{}
-			t.store.scanColumn(col, func(rid int, v Value) bool {
-				k := v.key()
-				ix.buckets[k] = append(ix.buckets[k], rid)
-				return true
-			})
+			if vs, ok := t.store.(*vecStore); ok {
+				// Vectorized rebuild: typed loop over the column vector,
+				// same keys and rid order as the reference build.
+				ix.buckets = vs.indexBuckets(col)
+			} else {
+				ix.buckets = map[string][]int{}
+				t.store.scanColumn(col, func(rid int, v Value) bool {
+					k := v.key()
+					ix.buckets[k] = append(ix.buckets[k], rid)
+					return true
+				})
+			}
 			ix.version = t.version
 			ix.built = true
 		}

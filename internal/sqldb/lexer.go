@@ -46,7 +46,17 @@ type sqlLexer struct {
 }
 
 func lexSQL(src string) ([]sqlToken, error) {
-	l := &sqlLexer{src: src}
+	// Size the token slice up front: batched IN probes produce thousands of
+	// short tokens and repeated growslice copies otherwise dominate lexing.
+	return lexSQLInto(src, make([]sqlToken, 0, len(src)/3+8))
+}
+
+// lexSQLInto lexes src appending to buf (len 0), letting callers recycle the
+// token array across statements. Tokens never alias buf's memory — their
+// text fields point into src or at interned keyword strings — so the array
+// can be reused as soon as parsing finishes.
+func lexSQLInto(src string, buf []sqlToken) ([]sqlToken, error) {
+	l := &sqlLexer{src: src, toks: buf}
 	n := len(src)
 	for l.pos < n {
 		c := src[l.pos]
@@ -87,11 +97,21 @@ func lexSQL(src string) ([]sqlToken, error) {
 			for l.pos < n && src[l.pos] >= '0' && src[l.pos] <= '9' {
 				l.pos++
 			}
-			v, err := strconv.ParseInt(src[start:l.pos], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("sqldb: offset %d: bad number %q", start, src[start:l.pos])
+			lit := src[start:l.pos]
+			var v int64
+			if len(lit) < 19 && lit[0] != '-' {
+				// Fits in int64 without overflow checks; digits only.
+				for i := 0; i < len(lit); i++ {
+					v = v*10 + int64(lit[i]-'0')
+				}
+			} else {
+				var err error
+				v, err = strconv.ParseInt(lit, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("sqldb: offset %d: bad number %q", start, lit)
+				}
 			}
-			l.emit(sqlToken{kind: sqlTokNumber, text: src[start:l.pos], num: v, pos: start})
+			l.emit(sqlToken{kind: sqlTokNumber, text: lit, num: v, pos: start})
 		case isSQLIdentStart(c):
 			start := l.pos
 			for l.pos < n && isSQLIdentChar(src[l.pos]) {
@@ -127,7 +147,7 @@ func lexSQL(src string) ([]sqlToken, error) {
 				continue
 			}
 			switch c {
-			case '(', ')', ',', '.', ';', '=', '<', '>', '*':
+			case '(', ')', ',', '.', ';', '=', '<', '>', '*', '?':
 				l.emit(sqlToken{kind: sqlTokSymbol, text: string(c), pos: start})
 				l.pos++
 			default:

@@ -32,14 +32,24 @@ type dbMetrics struct {
 	parseSeconds    *obs.Histogram
 	planSeconds     *obs.Histogram
 	execSeconds     *obs.Histogram
+
+	// Vectorized-executor series (vector.go): batches and rows processed
+	// by vectorized operators. Zero on the row reference executor.
+	vectorBatches *obs.Counter
+	vectorRows    *obs.Counter
 }
 
-// engineLabel is the store_* engine label value ("row" or "column").
+// engineLabel is the store_* engine label value ("row", "column" or
+// "vector").
 func (db *Database) engineLabel() string {
-	if db.engine == EngineColumn {
+	switch db.engine {
+	case EngineColumn:
 		return "column"
+	case EngineColumnVector:
+		return "vector"
+	default:
+		return "row"
 	}
-	return "row"
 }
 
 // SetMetrics attaches a metrics registry to the database. Statement
@@ -69,6 +79,8 @@ func (db *Database) SetMetrics(r *obs.Registry) {
 		parseSeconds:    r.Histogram("sqldb_parse_seconds"),
 		planSeconds:     r.Histogram("sqldb_plan_seconds"),
 		execSeconds:     r.Histogram("sqldb_exec_seconds"),
+		vectorBatches:   r.Counter(fmt.Sprintf("store_vector_batches_total{engine=%q}", lbl)),
+		vectorRows:      r.Counter(fmt.Sprintf("store_vector_rows_total{engine=%q}", lbl)),
 	}
 }
 

@@ -2,23 +2,36 @@ package sqldb
 
 import (
 	"fmt"
+	"sync"
 )
+
+// tokPool recycles token arrays across ParseStatement calls. The parsed AST
+// copies token values out (their strings alias the source text, not this
+// array), so returning the array after parsing is safe.
+var tokPool = sync.Pool{New: func() any { return new([]sqlToken) }}
 
 // ParseStatement parses a single SQL statement (an optional trailing ';' is
 // accepted).
 func ParseStatement(src string) (Statement, error) {
-	toks, err := lexSQL(src)
+	tp := tokPool.Get().(*[]sqlToken)
+	toks, err := lexSQLInto(src, (*tp)[:0])
 	if err != nil {
+		*tp = toks
+		tokPool.Put(tp)
 		return nil, err
 	}
 	p := &sqlParser{src: src, toks: toks}
 	st, err := p.parseStatement()
+	if err == nil {
+		p.acceptSym(";")
+		if !p.atEOF() {
+			err = p.errf("trailing input after statement")
+		}
+	}
+	*tp = toks
+	tokPool.Put(tp)
 	if err != nil {
 		return nil, err
-	}
-	p.acceptSym(";")
-	if !p.atEOF() {
-		return nil, p.errf("trailing input after statement")
 	}
 	return st, nil
 }
@@ -532,7 +545,32 @@ func (p *sqlParser) parsePredicate() (Predicate, error) {
 		if err := p.expectSym("("); err != nil {
 			return Predicate{}, err
 		}
-		var vals []Value
+		// "IN (?)" is a prepared-statement placeholder (see PrepareIn): the
+		// parsed predicate carries an empty-but-non-nil list that execution
+		// binds per call. Executed directly it matches nothing, the SQL
+		// semantics of an empty IN list.
+		if p.acceptSym("?") {
+			if err := p.expectSym(")"); err != nil {
+				return Predicate{}, err
+			}
+			return Predicate{Left: left, In: []Value{}}, nil
+		}
+		// Size the list by counting commas up to the closing paren: batched
+		// id probes carry hundreds of literals and growslice would otherwise
+		// recopy the accumulated values log-many times.
+		count := 1
+		for i := p.pos; i < len(p.toks); i++ {
+			t := p.toks[i]
+			if t.kind != sqlTokSymbol {
+				continue
+			}
+			if t.text == "," {
+				count++
+			} else if t.text == ")" {
+				break
+			}
+		}
+		vals := make([]Value, 0, count)
 		for {
 			v, err := p.parseLiteral()
 			if err != nil {

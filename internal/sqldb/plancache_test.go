@@ -176,7 +176,7 @@ func TestExplainUpdateInLookup(t *testing.T) {
 	if len(res.Rows) != 1 {
 		t.Fatalf("plan rows = %d", len(res.Rows))
 	}
-	want := "update people: pk index IN-lookup (3 keys) → 2 rows (dry run)"
+	want := "update people: pk index IN-lookup (3 keys) [scan=row] → 2 rows (dry run)"
 	if got := res.Rows[0][0].S; got != want {
 		t.Fatalf("plan = %q, want %q", got, want)
 	}

@@ -11,10 +11,11 @@ import (
 )
 
 // both runs the subtest under each storage engine; the engines must be
-// semantically identical.
+// semantically identical (the vectorized engine included — its batch
+// operators are a fast path, never a semantic fork).
 func both(t *testing.T, fn func(t *testing.T, db *Database)) {
 	t.Helper()
-	for _, e := range []Engine{EngineRow, EngineColumn} {
+	for _, e := range []Engine{EngineRow, EngineColumn, EngineColumnVector} {
 		t.Run(e.String(), func(t *testing.T) {
 			fn(t, Open(e))
 		})

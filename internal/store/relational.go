@@ -18,7 +18,11 @@ import (
 
 func init() {
 	Register("postgres", openerFor(sqldb.EngineRow))
-	Register("monetsql", openerFor(sqldb.EngineColumn), "monetcol")
+	Register("monetsql", openerFor(sqldb.EngineColumn))
+	// monetcol was an alias of monetsql while the two differed only in
+	// physical layout; with the vectorized executor it is its own backend
+	// (the "real MonetDB" role — typed vectors plus batch operators).
+	Register("monetcol", openerFor(sqldb.EngineColumnVector))
 }
 
 // relationalEngine shreds the document ShreX-style into one table per
@@ -52,8 +56,11 @@ func openerFor(kind sqldb.Engine) Opener {
 			return nil, err
 		}
 		name := "postgres"
-		if kind == sqldb.EngineColumn {
+		switch kind {
+		case sqldb.EngineColumn:
 			name = "monetsql"
+		case sqldb.EngineColumnVector:
+			name = "monetcol"
 		}
 		e := &relationalEngine{
 			name: name, db: sqldb.Open(kind), m: m, def: o.Default,
@@ -268,21 +275,16 @@ func (e *relationalEngine) updateSigns(ids map[int64]bool, sign xmltree.Sign) (i
 func (e *relationalEngine) bulkUpdateSigns(table, signLit string, ids []int64) (int, error) {
 	const batch = 256
 	total := 0
+	probe, err := e.db.PrepareIn("UPDATE " + table + " SET " + shred.SignColumn + " = " + signLit + " WHERE id IN (?)")
+	if err != nil {
+		return 0, err
+	}
 	for start := 0; start < len(ids); start += batch {
 		end := start + batch
 		if end > len(ids) {
 			end = len(ids)
 		}
-		var b strings.Builder
-		fmt.Fprintf(&b, "UPDATE %s SET %s = %s WHERE id IN (", table, shred.SignColumn, signLit)
-		for i, id := range ids[start:end] {
-			if i > 0 {
-				b.WriteString(", ")
-			}
-			fmt.Fprintf(&b, "%d", id)
-		}
-		b.WriteString(")")
-		res, err := e.db.Exec(b.String())
+		res, err := probe.ExecInts(ids[start:end])
 		if err != nil {
 			return total, err
 		}
@@ -458,21 +460,16 @@ func (e *relationalEngine) probeSignsRouted(idList []int64) (map[int64]bool, err
 // accessible ids to the shared set.
 func (e *relationalEngine) probeSignsTable(table string, idList []int64, accessible map[int64]bool) error {
 	const batch = 256
+	probe, err := e.db.PrepareIn("SELECT id FROM " + table + " WHERE " + shred.SignColumn + " = '+' AND id IN (?)")
+	if err != nil {
+		return err
+	}
 	for start := 0; start < len(idList); start += batch {
 		end := start + batch
 		if end > len(idList) {
 			end = len(idList)
 		}
-		var b strings.Builder
-		fmt.Fprintf(&b, "SELECT id FROM %s WHERE %s = '+' AND id IN (", table, shred.SignColumn)
-		for i, id := range idList[start:end] {
-			if i > 0 {
-				b.WriteString(", ")
-			}
-			fmt.Fprintf(&b, "%d", id)
-		}
-		b.WriteString(")")
-		res, err := e.db.Exec(b.String())
+		res, err := probe.ExecInts(idList[start:end])
 		if err != nil {
 			return err
 		}

@@ -12,7 +12,7 @@ import (
 // name the evaluation figures use, including the aliases.
 
 func TestRegistryNamesAndAliases(t *testing.T) {
-	want := []string{"monetsql", "native", "postgres"}
+	want := []string{"monetcol", "monetsql", "native", "postgres"}
 	got := Engines()
 	if len(got) != len(want) {
 		t.Fatalf("Engines() = %v, want %v", got, want)
@@ -25,7 +25,7 @@ func TestRegistryNamesAndAliases(t *testing.T) {
 	for alias, canonical := range map[string]string{
 		"xquery":   "native",
 		"native":   "native",
-		"monetcol": "monetsql",
+		"monetcol": "monetcol",
 		"monetsql": "monetsql",
 		"postgres": "postgres",
 	} {

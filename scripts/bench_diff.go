@@ -39,9 +39,14 @@ type benchResult struct {
 	NsOp float64
 }
 
-// trajCase is one case's comparison in a trajectory entry.
+// trajCase is one case's comparison in a trajectory entry. Engine and Path
+// identify which storage engine and executor produced the measurement, so
+// the observatory can tell the vectorized path's trajectory apart from the
+// row executor's on the same workload.
 type trajCase struct {
 	Case      string  `json:"case"`
+	Engine    string  `json:"engine,omitempty"`
+	Path      string  `json:"path,omitempty"` // "row" or "vector"
 	Baseline  int64   `json:"baseline"`
 	Measured  int64   `json:"measured"`
 	Ratio     float64 `json:"ratio"`
@@ -99,6 +104,21 @@ func baselineKey(name string) (file, caseKey string, ok bool) {
 	return "", "", false
 }
 
+// enginePath maps a benchmark name to the engine it measures and that
+// engine's executor path: monetcol runs the vectorized batch executor,
+// monetsql and postgres the row-at-a-time reference executor.
+func enginePath(name string) (engine, path string) {
+	switch {
+	case strings.Contains(name, "MonetCol"):
+		return "monetcol", "vector"
+	case strings.Contains(name, "MonetSQL"):
+		return "monetsql", "row"
+	case strings.Contains(name, "Postgres"):
+		return "postgres", "row"
+	}
+	return "", ""
+}
+
 // compare joins the measurements against the baselines. inject scales
 // every measurement before comparison — the fault-injection knob the
 // observatory's own tests (and CI smoke) use to prove a slowdown trips
@@ -116,8 +136,11 @@ func compare(results []benchResult, baselines map[string]map[string]int64, thres
 		}
 		measured := r.NsOp * inject
 		ratio := measured / float64(base)
+		engine, path := enginePath(r.Name)
 		out = append(out, trajCase{
 			Case:      file + ":" + key,
+			Engine:    engine,
+			Path:      path,
 			Baseline:  base,
 			Measured:  int64(measured),
 			Ratio:     ratio,

@@ -15,6 +15,8 @@ BenchmarkFig11_AnnotationMonetSQL/c1-8         	      10	   2811845 ns/op
 BenchmarkFig11_AnnotationPostgres/c5-8         	      10	  10656062 ns/op
 BenchmarkFig10_RequestMonetSQL/reference-8     	     110	  72062605 ns/op
 BenchmarkFig10_RequestMonetSQL/optimized-8     	     110	   3829984 ns/op
+BenchmarkFig11_AnnotationMonetCol/c1-8         	      10	   1251664 ns/op
+BenchmarkFig10_RequestMonetCol/optimized-8     	     110	   3111211 ns/op
 BenchmarkUnrelated/thing-8                     	    1000	      1234 ns/op
 PASS
 `
@@ -24,8 +26,8 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 5 {
-		t.Fatalf("parsed %d results, want 5: %+v", len(results), results)
+	if len(results) != 7 {
+		t.Fatalf("parsed %d results, want 7: %+v", len(results), results)
 	}
 	if results[0].Name != "BenchmarkFig11_AnnotationMonetSQL/c1" || results[0].NsOp != 2811845 {
 		t.Fatalf("first result = %+v", results[0])
@@ -50,6 +52,8 @@ func TestBaselineKey(t *testing.T) {
 		{"BenchmarkFig11_AnnotationMonetSQL/c1", "annotation", "MonetSQL/c1", true},
 		{"BenchmarkFig11_AnnotationPostgres/c5", "annotation", "Postgres/c5", true},
 		{"BenchmarkFig10_RequestMonetSQL/optimized", "request", "MonetSQL", true},
+		{"BenchmarkFig11_AnnotationMonetCol/c1", "annotation", "MonetCol/c1", true},
+		{"BenchmarkFig10_RequestMonetCol/optimized", "request", "MonetCol", true},
 		{"BenchmarkFig10_RequestMonetSQL/reference", "", "", false},
 		{"BenchmarkUnrelated/thing", "", "", false},
 	} {
@@ -63,16 +67,16 @@ func TestBaselineKey(t *testing.T) {
 
 func testBaselines() map[string]map[string]int64 {
 	return map[string]map[string]int64{
-		"annotation": {"MonetSQL/c1": 2800000, "Postgres/c5": 10600000},
-		"request":    {"MonetSQL": 3800000},
+		"annotation": {"MonetSQL/c1": 2800000, "Postgres/c5": 10600000, "MonetCol/c1": 1250000},
+		"request":    {"MonetSQL": 3800000, "MonetCol": 3100000},
 	}
 }
 
 func TestCompareWithinThreshold(t *testing.T) {
 	results, _ := parseBench(strings.NewReader(rawBench))
 	cases := compare(results, testBaselines(), 0.25, 1.0)
-	if len(cases) != 3 {
-		t.Fatalf("compared %d cases, want 3 (reference and unrelated skipped): %+v", len(cases), cases)
+	if len(cases) != 5 {
+		t.Fatalf("compared %d cases, want 5 (reference and unrelated skipped): %+v", len(cases), cases)
 	}
 	for _, c := range cases {
 		if c.Regressed {
@@ -84,8 +88,8 @@ func TestCompareWithinThreshold(t *testing.T) {
 func TestCompareInjectedRegression(t *testing.T) {
 	results, _ := parseBench(strings.NewReader(rawBench))
 	cases := compare(results, testBaselines(), 0.25, 1.5)
-	if len(cases) != 3 {
-		t.Fatalf("compared %d cases, want 3", len(cases))
+	if len(cases) != 5 {
+		t.Fatalf("compared %d cases, want 5", len(cases))
 	}
 	regressed := 0
 	for _, c := range cases {
@@ -96,8 +100,53 @@ func TestCompareInjectedRegression(t *testing.T) {
 			t.Errorf("case %s ratio %.2f after a 1.5x injection, want > 1.25", c.Case, c.Ratio)
 		}
 	}
-	if regressed != 3 {
-		t.Fatalf("%d of 3 cases regressed under a 1.5x injection", regressed)
+	if regressed != 5 {
+		t.Fatalf("%d of 5 cases regressed under a 1.5x injection", regressed)
+	}
+}
+
+// TestCompareEnginePathTags: every trajectory case carries the engine name
+// and executor path, and monetcol is the only vector-path engine.
+func TestCompareEnginePathTags(t *testing.T) {
+	results, _ := parseBench(strings.NewReader(rawBench))
+	cases := compare(results, testBaselines(), 0.25, 1.0)
+	want := map[string][2]string{
+		"annotation:MonetSQL/c1": {"monetsql", "row"},
+		"annotation:Postgres/c5": {"postgres", "row"},
+		"request:MonetSQL":       {"monetsql", "row"},
+		"annotation:MonetCol/c1": {"monetcol", "vector"},
+		"request:MonetCol":       {"monetcol", "vector"},
+	}
+	seen := map[string]bool{}
+	for _, c := range cases {
+		w, ok := want[c.Case]
+		if !ok {
+			t.Errorf("unexpected case %q", c.Case)
+			continue
+		}
+		seen[c.Case] = true
+		if c.Engine != w[0] || c.Path != w[1] {
+			t.Errorf("case %s tagged (%q, %q), want (%q, %q)", c.Case, c.Engine, c.Path, w[0], w[1])
+		}
+	}
+	for k := range want {
+		if !seen[k] {
+			t.Errorf("case %q missing from comparison", k)
+		}
+	}
+}
+
+func TestEnginePath(t *testing.T) {
+	for _, tc := range []struct{ name, engine, path string }{
+		{"BenchmarkFig11_AnnotationMonetCol/c3", "monetcol", "vector"},
+		{"BenchmarkFig10_RequestMonetSQL/optimized", "monetsql", "row"},
+		{"BenchmarkFig11_AnnotationPostgres/c1", "postgres", "row"},
+		{"BenchmarkUnrelated/thing", "", ""},
+	} {
+		engine, path := enginePath(tc.name)
+		if engine != tc.engine || path != tc.path {
+			t.Errorf("enginePath(%q) = (%q, %q), want (%q, %q)", tc.name, engine, path, tc.engine, tc.path)
+		}
 	}
 }
 

@@ -25,9 +25,15 @@ go build ./...
 go test ./...
 go test -race ./...
 
+# Differential fuzzing: replay generated statement scripts against the row,
+# column and vectorized engines and require identical results and errors.
+# `go test ./...` above runs the full version; this keeps the -short form
+# exercised so CI can call it standalone.
+go test -short -run TestDifferentialEngines ./internal/sqldb
+
 # Smoke the benchmark harness itself (tiny -short documents, one iteration):
 # a broken bench is otherwise only caught when scripts/bench.sh runs.
-go test -short -bench 'BenchmarkFig10_Request(MonetSQL|Postgres)' -benchtime 1x -run '^$' .
+go test -short -bench 'BenchmarkFig10_Request(MonetSQL|Postgres|MonetCol)' -benchtime 1x -run '^$' .
 
 # Quantile sanity: the bucket-interpolation math behind the /metrics and
 # /dashboard p50/p95/p99 figures.

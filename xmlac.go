@@ -165,6 +165,9 @@ const (
 	// BackendColumn shreds into a column-oriented relational store (the
 	// paper's MonetDB/SQL configuration).
 	BackendColumn = core.BackendColumn
+	// BackendVector shreds into the column-oriented store driven by the
+	// vectorized batch executor (the real-MonetDB role, "monetcol").
+	BackendVector = core.BackendVector
 )
 
 // Effects, actions and signs.

@@ -137,7 +137,7 @@ func TestOptimizedRequestPathsMatchReference(t *testing.T) {
 	}
 	for _, fx := range requestFixtures() {
 		for _, sem := range semantics {
-			for _, b := range []xmlac.Backend{xmlac.BackendColumn, xmlac.BackendRow} {
+			for _, b := range []xmlac.Backend{xmlac.BackendColumn, xmlac.BackendVector, xmlac.BackendRow} {
 				t.Run(fx.name+"/"+sem.name+"/"+b.String(), func(t *testing.T) {
 					ref := buildRequestSystem(t, fx, sem.def, sem.conflict, b,
 						func(c *xmlac.Config) { c.NoIDRouting = true })
@@ -197,7 +197,7 @@ func TestCachedNativeRequestsMatchReference(t *testing.T) {
 func TestCachedRequestsSurviveUpdates(t *testing.T) {
 	fx := requestFixtures()[0] // hospital
 	del := xmlac.MustParseXPath("//patient/treatment")
-	for _, b := range []xmlac.Backend{xmlac.BackendNative, xmlac.BackendColumn, xmlac.BackendRow} {
+	for _, b := range []xmlac.Backend{xmlac.BackendNative, xmlac.BackendColumn, xmlac.BackendVector, xmlac.BackendRow} {
 		t.Run(b.String(), func(t *testing.T) {
 			ref := buildRequestSystem(t, fx, xmlac.Deny, xmlac.Deny, b, nil)
 			cached := buildRequestSystem(t, fx, xmlac.Deny, xmlac.Deny, b,
