@@ -16,6 +16,7 @@ package xmlac_test
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -461,3 +462,131 @@ func benchCatalog(b *testing.B, shards int) {
 func BenchmarkCatalogAnnotate1Shard(b *testing.B)  { benchCatalog(b, 1) }
 func BenchmarkCatalogAnnotate2Shards(b *testing.B) { benchCatalog(b, 2) }
 func BenchmarkCatalogAnnotate4Shards(b *testing.B) { benchCatalog(b, 4) }
+
+// ---- Multi-user scale: policy-cohort compression ----
+
+// multiUserScale is the subject population of the cohort benchmarks: 10k
+// users sharing 100 distinct policies (the acceptance point of the cohort
+// layer); -short drops to a smoke-test population.
+func multiUserScale() (users, policies int) {
+	if testing.Short() {
+		return 200, 10
+	}
+	return 10000, 100
+}
+
+var multiUserVariants = []struct {
+	name    string
+	cohorts bool
+}{
+	{"peruser", false}, // pre-cohort O(users) layout
+	{"cohort", true},
+}
+
+// BenchmarkMultiUserRebuild measures a full accessibility-map rebuild
+// across the whole population — the cost a Delete-triggered reannotation
+// pays. Per-user it is O(users) semantics sweeps; with cohorts it is
+// O(distinct policies).
+func BenchmarkMultiUserRebuild(b *testing.B) {
+	users, k := multiUserScale()
+	for _, v := range multiUserVariants {
+		b.Run(v.name, func(b *testing.B) {
+			m, err := bench.BuildMultiUser(users, k, v.cohorts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.RebuildAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMultiUserMemory reports live heap bytes per registered subject
+// after building the full population.
+func BenchmarkMultiUserMemory(b *testing.B) {
+	users, k := multiUserScale()
+	for _, v := range multiUserVariants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runtime.GC()
+				var before runtime.MemStats
+				runtime.ReadMemStats(&before)
+				m, err := bench.BuildMultiUser(users, k, v.cohorts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runtime.GC()
+				var after runtime.MemStats
+				runtime.ReadMemStats(&after)
+				grew := float64(0)
+				if after.HeapAlloc > before.HeapAlloc {
+					grew = float64(after.HeapAlloc - before.HeapAlloc)
+				}
+				b.ReportMetric(grew/float64(users), "bytes/user")
+				runtime.KeepAlive(m)
+			}
+		})
+	}
+}
+
+// BenchmarkMultiUserRequest measures request latency under concurrent load
+// over the full population; p99 is attached as a custom metric.
+func BenchmarkMultiUserRequest(b *testing.B) {
+	users, k := multiUserScale()
+	queries := bench.MultiUserQueries()
+	total := 4096
+	if testing.Short() {
+		total = 512
+	}
+	for _, v := range multiUserVariants {
+		b.Run(v.name, func(b *testing.B) {
+			m, err := bench.BuildMultiUser(users, k, v.cohorts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var p99 int64
+			for i := 0; i < b.N; i++ {
+				p99 = bench.MultiUserP99(m, users, queries, 16, total)
+			}
+			b.ReportMetric(float64(p99), "p99_ns")
+		})
+	}
+}
+
+// BenchmarkMultiUserMillion is the million-subject register: 1M users over
+// 100 distinct policies, cohort compression on (the per-user baseline at
+// this scale is exactly the O(users) blowup the layer removes). Reports
+// bytes/user and the resulting cohort count.
+func BenchmarkMultiUserMillion(b *testing.B) {
+	if testing.Short() {
+		b.Skip("million-subject register skipped in -short mode")
+	}
+	const users, k = 1_000_000, 100
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		m, err := bench.BuildMultiUser(users, k, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := m.CohortCount(); got != k {
+			b.Fatalf("cohorts = %d, want %d", got, k)
+		}
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		grew := float64(0)
+		if after.HeapAlloc > before.HeapAlloc {
+			grew = float64(after.HeapAlloc - before.HeapAlloc)
+		}
+		b.ReportMetric(grew/float64(users), "bytes/user")
+		b.ReportMetric(float64(m.CohortCount()), "cohorts")
+		runtime.KeepAlive(m)
+	}
+}

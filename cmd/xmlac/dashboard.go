@@ -44,6 +44,16 @@ type vecRow struct {
 	Batches int64
 }
 
+// cohortRow is one multi-user cohort table row.
+type cohortRow struct {
+	ID       string
+	Members  int
+	Rules    int
+	Default  string
+	Conflict string
+	Marks    int
+}
+
 // ruleRow is one top-rules table row.
 type ruleRow struct {
 	Rule    string
@@ -68,18 +78,24 @@ type denialRow struct {
 }
 
 type dashData struct {
-	Version   string
-	Mode      string // "document" or "catalog"
-	Backend   string
-	Semantics string
-	Docs      []string
-	Shards    []string
-	Latency   []latRow
-	Vector    []vecRow
-	ShardHeat []shardRow
-	TopRules  []ruleRow
-	Slow      []traceRow
-	Denials   []denialRow
+	Version    string
+	Mode       string // "document" or "catalog"
+	Backend    string
+	Semantics  string
+	Docs       []string
+	Shards     []string
+	Latency    []latRow
+	Vector     []vecRow
+	ShardHeat  []shardRow
+	TopRules   []ruleRow
+	Slow       []traceRow
+	Denials    []denialRow
+	MultiUser  bool // the -users layer is active
+	MUUsers    int
+	MUCohorts  int
+	MUDedup    string // users per cohort, e.g. "3.0x"
+	MUHits     int64  // registrations that joined an existing cohort
+	MUCohortTb []cohortRow
 }
 
 // parseLabels reads the inline label set of a registry metric name:
@@ -129,8 +145,9 @@ func countSpans(s *xmlac.Span) int {
 }
 
 // dashboardData assembles the page model from the live observability
-// stores. Exactly one of sys and cat is non-nil, as in newOpsMux.
-func dashboardData(sys *xmlac.System, cat *xmlac.Catalog, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) dashData {
+// stores. Exactly one of sys and cat is non-nil, as in newOpsMux; mu is
+// the optional multi-user layer.
+func dashboardData(sys *xmlac.System, cat *xmlac.Catalog, mu *xmlac.MultiUser, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) dashData {
 	d := dashData{Version: xmlac.Version}
 	if cat != nil {
 		d.Mode = "catalog"
@@ -210,6 +227,26 @@ func dashboardData(sys *xmlac.System, cat *xmlac.Catalog, reg *xmlac.MetricsRegi
 			}
 		}
 		d.ShardHeat = rows
+	}
+
+	// Multi-user cohort compression: population, distinct policies, and
+	// how many registrations the shared maps absorbed.
+	if mu != nil {
+		st := mu.Stats()
+		d.MultiUser = true
+		d.MUUsers = st.Users
+		d.MUCohorts = st.Cohorts
+		d.MUDedup = fmt.Sprintf("%.1fx", st.DedupRatio)
+		d.MUHits = snap.Counters["core_multiuser_cohort_hits_total"]
+		for _, c := range st.CohortList {
+			d.MUCohortTb = append(d.MUCohortTb, cohortRow{
+				ID: c.ID, Members: c.Members, Rules: c.Rules,
+				Default: c.Default, Conflict: c.Conflict, Marks: c.Marks,
+			})
+		}
+		if len(d.MUCohortTb) > 10 {
+			d.MUCohortTb = d.MUCohortTb[:10]
+		}
 	}
 
 	// Busiest policy rules by attribution matches.
@@ -316,6 +353,13 @@ backend {{.Backend}}, semantics {{.Semantics}}
 {{range .ShardHeat}}<tr><td>{{.Shard}}</td><td class="num">{{.Docs}}</td><td class="num">{{.Ops}}</td><td class="num">{{.P95}}</td><td class="num">{{.Total}}</td><td><span class="heat" style="width:{{.HeatPct}}px"></span></td></tr>
 {{end}}</table>{{else}}<p class="muted">no fan-outs observed yet</p>{{end}}{{end}}
 
+{{if .MultiUser}}<h2>Multi-user cohorts</h2>
+<p class="muted">{{.MUUsers}} users share {{.MUCohorts}} cohorts ({{.MUDedup}} dedup) · {{.MUHits}} registrations joined an existing cohort</p>
+{{if .MUCohortTb}}<table>
+<tr><th>cohort</th><th class="num">members</th><th class="num">rules</th><th>default</th><th>conflict</th><th class="num">CAM marks</th></tr>
+{{range .MUCohortTb}}<tr><td><code>{{.ID}}</code></td><td class="num">{{.Members}}</td><td class="num">{{.Rules}}</td><td>{{.Default}}</td><td>{{.Conflict}}</td><td class="num">{{.Marks}}</td></tr>
+{{end}}</table>{{end}}{{end}}
+
 <h2>Top rules</h2>
 {{if .TopRules}}<table>
 <tr><th>rule</th><th class="num">node matches</th></tr>
@@ -338,10 +382,10 @@ backend {{.Backend}}, semantics {{.Semantics}}
 `))
 
 // dashboardHandler serves the HTML dashboard.
-func dashboardHandler(sys *xmlac.System, cat *xmlac.Catalog, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) http.HandlerFunc {
+func dashboardHandler(sys *xmlac.System, cat *xmlac.Catalog, mu *xmlac.MultiUser, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		if err := dashTmpl.Execute(w, dashboardData(sys, cat, reg, aud, col)); err != nil {
+		if err := dashTmpl.Execute(w, dashboardData(sys, cat, mu, reg, aud, col)); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	}

@@ -6,7 +6,7 @@
 //
 //	xmlac [-dtd file] [-policy file] [-doc file] [-backend xquery|monetsql|monetcol|postgres]
 //	      [-trace] [-explain] [-slowquery dur] [-pushdown] [-qcache]
-//	      [-audit file] [-serve addr] [-version] op...
+//	      [-audit file] [-serve addr] [-users list|demo] [-version] op...
 //
 // With no -dtd/-policy/-doc, the paper's hospital example is used.
 // -trace prints a span tree per operation to stderr, -explain prints the
@@ -16,7 +16,10 @@
 // as JSON lines to the given file; -serve starts a long-lived ops endpoint
 // on addr (e.g. -serve :8080) after the operations run — see serve.go for
 // the routes (/healthz, /metrics, /audit, /traces, /request, /why,
-// /debug/pprof/).
+// /debug/pprof/). -users registers per-requester policies over the same
+// document (comma-separated name=policyfile pairs, or 'demo' for bundled
+// hospital roles); subjects with equivalent policies share one cohort, and
+// -serve then also exposes the /multiuser cohort view.
 //
 // Operations (executed left to right):
 //
@@ -62,6 +65,7 @@ func main() {
 		qcache     = flag.Bool("qcache", false, "serve request access checks from a compressed accessibility map")
 		auditFile  = flag.String("audit", "", "append audit events as JSON lines to this file")
 		serveAddr  = flag.String("serve", "", "serve the ops endpoint on this address (e.g. :8080) after the operations run")
+		usersList  = flag.String("users", "", "multi-user mode: comma-separated name=policyfile subjects, or 'demo' for bundled hospital roles (adds /multiuser to -serve)")
 		docsList   = flag.String("docs", "", "catalog mode: comma-separated name[=file] document list (file defaults to -doc)")
 		shards     = flag.Int("shards", 2, "catalog mode: number of shards documents hash onto")
 		version    = flag.Bool("version", false, "print the version and exit")
@@ -142,6 +146,9 @@ func main() {
 		cfg.Tracer = xmlac.NewTracer(teeSink(sinks))
 	}
 	if *docsList != "" {
+		if *usersList != "" {
+			fail(fmt.Errorf("-users is not supported in catalog mode"))
+		}
 		runCatalog(cfg, *docsList, *shards, docText, *serveAddr, reg, aud, col)
 		return
 	}
@@ -298,10 +305,86 @@ func main() {
 		}
 	}
 
+	var mu *xmlac.MultiUser
+	if *usersList != "" {
+		mu = buildMultiUser(schema, docText, *usersList, reg)
+		st := mu.Stats()
+		fmt.Printf("multiuser: %d users in %d cohorts (%.1fx dedup)\n", st.Users, st.Cohorts, st.DedupRatio)
+	}
+
 	if *serveAddr != "" {
 		ensureAnnotated()
-		fail(serve(*serveAddr, sys, reg, aud, col))
+		fail(serve(*serveAddr, sys, mu, reg, aud, col))
 	}
+}
+
+// demoUsers are the bundled -users=demo hospital subjects. The two doctors
+// carry the same policy spelled differently, so the demo shows a cohort
+// absorbing a registration (3 cohorts for 4 users).
+var demoUsers = []struct{ name, policy string }{
+	{"dr-grey", `
+default deny
+conflict deny
+rule P allow //patient
+rule PS allow //patient//*
+rule X deny //experimental
+`},
+	{"dr-house", `
+default deny
+conflict deny
+rule R1 deny //experimental
+rule R2 allow //patient//*
+rule R3 allow //patient
+`},
+	{"frontdesk", `
+default deny
+conflict deny
+rule N allow //patient/name
+rule S deny //psn
+`},
+	{"auditor", `
+default deny
+conflict deny
+rule B allow //bill
+rule T allow //treatment//*
+`},
+}
+
+// buildMultiUser assembles the -users layer over its own parse of the
+// served document: either the bundled demo roles or name=policyfile pairs.
+func buildMultiUser(schema *xmlac.Schema, docText, usersList string, reg *xmlac.MetricsRegistry) *xmlac.MultiUser {
+	doc, err := xmlac.ParseXMLString(docText)
+	if err != nil {
+		fail(err)
+	}
+	mu, err := xmlac.NewMultiUser(schema, doc)
+	if err != nil {
+		fail(err)
+	}
+	mu.SetMetrics(reg)
+	add := func(name, policyText string) {
+		pol, err := xmlac.ParsePolicy(policyText)
+		if err != nil {
+			fail(fmt.Errorf("user %s: %w", name, err))
+		}
+		if err := mu.AddUser(name, pol); err != nil {
+			fail(err)
+		}
+	}
+	if usersList == "demo" {
+		for _, u := range demoUsers {
+			add(u.name, u.policy)
+		}
+		return mu
+	}
+	for _, ent := range strings.Split(usersList, ",") {
+		name, file, ok := strings.Cut(strings.TrimSpace(ent), "=")
+		if !ok || name == "" || file == "" {
+			fail(fmt.Errorf("-users entries must be name=policyfile (or the single word 'demo')"))
+		}
+		add(name, readFile(file))
+	}
+	return mu
 }
 
 // runCatalog is the -docs mode: many named documents sharded across

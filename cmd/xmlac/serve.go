@@ -16,6 +16,9 @@
 //	GET /traces         recent root span trees, newest last (text)
 //	GET /catalog        shard placement and per-document state (JSON;
 //	                    catalog mode only)
+//	GET /multiuser      policy-cohort statistics: users, cohorts, dedup
+//	                    ratio and the per-cohort breakdown (JSON; -users
+//	                    mode only)
 //	GET /request?q=     run an all-or-nothing request (&doc= selects the
 //	                    document in catalog mode; without doc the query
 //	                    broadcasts to every document as one trace)
@@ -51,10 +54,15 @@ func (t teeSink) Emit(root *xmlac.Span) {
 }
 
 // serve blocks on the ops endpoint over one system; it only returns on
-// listener failure.
-func serve(addr string, sys *xmlac.System, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) error {
-	fmt.Printf("serving on %s (/healthz /metrics /dashboard /audit /traces /request /why /debug/pprof/)\n", addr)
-	return http.ListenAndServe(addr, newServeMux(sys, reg, aud, col))
+// listener failure. mu is the optional -users multi-user layer sharing the
+// same document.
+func serve(addr string, sys *xmlac.System, mu *xmlac.MultiUser, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) error {
+	extra := ""
+	if mu != nil {
+		extra = " /multiuser"
+	}
+	fmt.Printf("serving on %s (/healthz /metrics /dashboard /audit /traces%s /request /why /debug/pprof/)\n", addr, extra)
+	return http.ListenAndServe(addr, newServeMux(sys, mu, reg, aud, col))
 }
 
 // serveCatalog blocks on the ops endpoint over a sharded catalog.
@@ -63,18 +71,19 @@ func serveCatalog(addr string, cat *xmlac.Catalog, reg *xmlac.MetricsRegistry, a
 	return http.ListenAndServe(addr, newCatalogMux(cat, reg, aud, col))
 }
 
-func newServeMux(sys *xmlac.System, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) *http.ServeMux {
-	return newOpsMux(sys, nil, reg, aud, col)
+func newServeMux(sys *xmlac.System, mu *xmlac.MultiUser, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) *http.ServeMux {
+	return newOpsMux(sys, nil, mu, reg, aud, col)
 }
 
 func newCatalogMux(cat *xmlac.Catalog, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) *http.ServeMux {
-	return newOpsMux(nil, cat, reg, aud, col)
+	return newOpsMux(nil, cat, nil, reg, aud, col)
 }
 
 // newOpsMux builds the endpoint routes. Exactly one of sys and cat is
 // non-nil: single-document mode serves sys directly; catalog mode routes
-// /request and /why by the doc parameter and adds /catalog.
-func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) *http.ServeMux {
+// /request and /why by the doc parameter and adds /catalog. mu, when
+// non-nil, adds the /multiuser cohort view.
+func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, mu *xmlac.MultiUser, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) *http.ServeMux {
 	// target resolves the system a request addresses, writing the HTTP
 	// error itself on failure.
 	target := func(w http.ResponseWriter, r *http.Request) (*xmlac.System, bool) {
@@ -105,7 +114,7 @@ func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, reg *xmlac.MetricsRegistry
 		}
 	}
 	mux.HandleFunc("/metrics", route("/metrics", reg.ServeHTTP))
-	mux.HandleFunc("/dashboard", route("/dashboard", dashboardHandler(sys, cat, reg, aud, col)))
+	mux.HandleFunc("/dashboard", route("/dashboard", dashboardHandler(sys, cat, mu, reg, aud, col)))
 	mux.HandleFunc("/healthz", route("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		health := map[string]any{
 			"status":  "ok",
@@ -119,6 +128,10 @@ func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, reg *xmlac.MetricsRegistry
 		}
 		health["backend"] = sys.Backend().String()
 		health["semantics"] = sys.SemanticsLabel()
+		if mu != nil {
+			health["multiuser_users"] = mu.UserCount()
+			health["multiuser_cohorts"] = mu.CohortCount()
+		}
 		health["loaded"] = sys.Loaded()
 		health["annotation_version"] = sys.Version()
 		if sys.Loaded() {
@@ -148,6 +161,11 @@ func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, reg *xmlac.MetricsRegistry
 				"placement": cat.Placement(),
 				"docs":      docs,
 			})
+		}))
+	}
+	if mu != nil {
+		mux.HandleFunc("/multiuser", route("/multiuser", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, mu.Stats())
 		}))
 	}
 	mux.HandleFunc("/audit", route("/audit", func(w http.ResponseWriter, r *http.Request) {

@@ -54,7 +54,27 @@ func testMux(t *testing.T) *httptest.Server {
 	if _, err := sys.Annotate(); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServeMux(sys, reg, aud, col))
+	// The multi-user layer rides along on its own parse of the document,
+	// with the bundled demo roles (two of which share a policy).
+	mudoc, err := xmlac.ParseXMLString(xmlac.HospitalDocumentText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := xmlac.NewMultiUser(schema, mudoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.SetMetrics(reg)
+	for _, u := range demoUsers {
+		pol, err := xmlac.ParsePolicy(u.policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mu.AddUser(u.name, pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(newServeMux(sys, mu, reg, aud, col))
 	t.Cleanup(srv.Close)
 	// One grant and one denial so /audit and /traces have content.
 	if _, err := sys.Request(xmlac.MustParseXPath("//patient/name")); err != nil {
@@ -158,6 +178,54 @@ func TestServeEndpoints(t *testing.T) {
 	}
 }
 
+// TestServeMultiUser: the /multiuser route reports the cohort compression
+// of the demo roles (the two doctors share one cohort), healthz carries
+// the population counts, and the registry exposes the cohort gauges.
+func TestServeMultiUser(t *testing.T) {
+	srv := testMux(t)
+
+	var stats xmlac.MultiUserStats
+	getJSON(t, srv.URL+"/multiuser", &stats)
+	if stats.Users != len(demoUsers) || stats.Cohorts != len(demoUsers)-1 {
+		t.Fatalf("multiuser stats = %+v, want %d users in %d cohorts", stats, len(demoUsers), len(demoUsers)-1)
+	}
+	if stats.DedupRatio <= 1 || stats.TotalMarks <= 0 || len(stats.CohortList) != stats.Cohorts {
+		t.Fatalf("multiuser stats = %+v", stats)
+	}
+	shared := 0
+	for _, c := range stats.CohortList {
+		if c.Members == 2 {
+			shared++
+		}
+	}
+	if shared != 1 {
+		t.Fatalf("want exactly one 2-member cohort (the doctors): %+v", stats.CohortList)
+	}
+
+	var health struct {
+		Users   int `json:"multiuser_users"`
+		Cohorts int `json:"multiuser_cohorts"`
+	}
+	getJSON(t, srv.URL+"/healthz", &health)
+	if health.Users != stats.Users || health.Cohorts != stats.Cohorts {
+		t.Fatalf("healthz multiuser counts = %+v, stats = %+v", health, stats)
+	}
+
+	res, err := httpGet(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, res)
+	for _, series := range []string{
+		"core_multiuser_users", "core_multiuser_cohorts",
+		"core_multiuser_cohort_hits_total", "core_multiuser_dedup_ratio",
+	} {
+		if !strings.Contains(body, series) {
+			t.Fatalf("metrics lack %s:\n%.1000s", series, body)
+		}
+	}
+}
+
 // TestServeDashboard: the HTML view renders the live stores — latency
 // quantiles from the request histograms, the denial with its rules, and
 // a trace id that also appears on the corresponding audit event — and
@@ -180,6 +248,7 @@ func TestServeDashboard(t *testing.T) {
 		"xmlac " + xmlac.Version, // header
 		"document mode",
 		"Request latency", "native / grant", "native / deny", // quantile rows
+		"Multi-user cohorts", "share 3 cohorts", // the demo roles dedup
 		"Slow traces", "Recent denials",
 		"//patient", "R3", // the denial with its attribution
 	} {

@@ -1,9 +1,10 @@
 // Command multiuser serves one shared hospital document to several
 // requesters, each with their own policy — the requester dimension the
-// paper's general model includes but its system fixes. Per-user
-// accessibility is stored as compressed accessibility maps, and a document
-// update re-annotates only the users whose rules the Trigger algorithm
-// selects.
+// paper's general model includes but its system fixes. Accessibility is
+// stored as compressed accessibility maps shared per policy-equivalence
+// cohort (users with the same effective policy pay for one map), and a
+// document update re-annotates only the cohorts whose rules the Trigger
+// algorithm selects.
 //
 //	go run ./examples/multiuser
 package main
@@ -25,6 +26,13 @@ conflict deny
 rule D1 allow //patient
 rule D2 allow //patient//*
 rule D3 allow //treatment//*
+`},
+	{"dr-house", `
+default deny
+conflict deny
+rule H1 allow //treatment//*
+rule H2 allow //patient//*
+rule H3 allow //patient
 `},
 	{"frontdesk", `
 default deny
@@ -61,7 +69,13 @@ func main() {
 		}
 	}
 	total := m.Document().ElementCount()
-	fmt.Printf("document: %d elements; users: %v\n\n", total, m.Users())
+	fmt.Printf("document: %d elements; users: %v\n", total, m.Users())
+	// The two doctors spell the same rule set differently; the cohort
+	// layer canonicalizes both to one fingerprint, so they share a single
+	// accessibility map and reannotator.
+	st := m.Stats()
+	fmt.Printf("cohorts: %d users share %d cohorts (%.1fx dedup, %d total marks)\n\n",
+		st.Users, st.Cohorts, st.DedupRatio, st.TotalMarks)
 
 	fmt.Println("== per-user accessibility (compressed maps) ==")
 	for _, u := range m.Users() {

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"xmlac/internal/core"
+	"xmlac/internal/hospital"
+	"xmlac/internal/policy"
+	"xmlac/internal/xmltree"
+	"xmlac/internal/xpath"
+)
+
+// Multi-user scale harness: K distinct policies handed out round-robin to
+// N subjects, so the cohort layer should collapse N per-user accessibility
+// maps to K shared ones. Policies are built from disjoint label sets, which
+// keeps them semantically distinct (the containment fallback must never
+// merge two of them) and makes K the true cohort count.
+
+// multiUserPaths are label-disjoint resources of the hospital DTD: any two
+// distinct subsets of them grant different node sets, so each subset is its
+// own equivalence class.
+var multiUserPaths = []string{
+	"//psn", "//name", "//med", "//bill", "//test", "//sid", "//phone",
+	"//regular", "//experimental", "//patient", "//staff", "//nurse",
+	"//doctor", "//treatment",
+}
+
+// MultiUserPolicies builds k semantically distinct read policies (default
+// deny, conflict deny). k must be at most 2^len(multiUserPaths)-1 = 16383.
+func MultiUserPolicies(k int) []*policy.Policy {
+	max := 1<<len(multiUserPaths) - 1
+	if k < 1 || k > max {
+		panic(fmt.Sprintf("bench: MultiUserPolicies(%d): want 1..%d", k, max))
+	}
+	pols := make([]*policy.Policy, 0, k)
+	for i := 1; i <= k; i++ {
+		p := &policy.Policy{Default: policy.Deny, Conflict: policy.Deny}
+		for b := 0; b < len(multiUserPaths); b++ {
+			if i&(1<<b) != 0 {
+				p.Rules = append(p.Rules, policy.Rule{
+					Name:     fmt.Sprintf("R%d", b),
+					Resource: xpath.MustParse(multiUserPaths[b]),
+					Effect:   policy.Allow,
+					Action:   policy.ActionRead,
+				})
+			}
+		}
+		pols = append(pols, p)
+	}
+	return pols
+}
+
+// MultiUserDoc generates the shared hospital document the scale benchmarks
+// annotate. Deliberately small: the per-user baseline pays one full
+// semantics sweep per registered subject, and the benchmark sweeps up to
+// 10k subjects on that side.
+func MultiUserDoc() *xmltree.Document {
+	return hospital.Generate(hospital.GenOptions{Seed: 7, Departments: 2, PatientsPerDept: 12, StaffPerDept: 6})
+}
+
+// BuildMultiUser registers users subjects over k distinct policies
+// (round-robin) against a fresh hospital document. cohorts toggles the
+// compression layer; false reproduces the pre-cohort O(users) layout.
+func BuildMultiUser(users, k int, cohorts bool) (*core.MultiUser, error) {
+	doc := MultiUserDoc()
+	m, err := core.NewMultiUser(hospital.Schema(), doc)
+	if err != nil {
+		return nil, err
+	}
+	m.SetCohortCompression(cohorts)
+	pols := MultiUserPolicies(k)
+	for i := 0; i < users; i++ {
+		if err := m.AddUser(fmt.Sprintf("u%06d", i), pols[i%k].Clone()); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// MultiUserP99 fires total requests from workers goroutines, spread over
+// the registered subjects and query set, and returns the p99 latency in
+// nanoseconds. Denials count as served requests (they exercise the same
+// map lookup path).
+func MultiUserP99(m *core.MultiUser, users int, queries []*xpath.Path, workers, total int) int64 {
+	if workers < 1 {
+		workers = 1
+	}
+	lat := make([][]int64, workers)
+	per := total / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat[w] = make([]int64, 0, per)
+			for i := 0; i < per; i++ {
+				user := fmt.Sprintf("u%06d", (w*per+i)%users)
+				q := queries[(w+i)%len(queries)]
+				start := time.Now()
+				m.Request(user, q) //nolint:errcheck // denial is a valid outcome
+				lat[w] = append(lat[w], time.Since(start).Nanoseconds())
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all []int64
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	idx := len(all) * 99 / 100
+	if idx >= len(all) {
+		idx = len(all) - 1
+	}
+	return all[idx]
+}
+
+// MultiUserQueries is the request mix of the scale benchmark.
+func MultiUserQueries() []*xpath.Path {
+	return []*xpath.Path{
+		xpath.MustParse("//patient/name"),
+		xpath.MustParse("//psn"),
+		xpath.MustParse("//bill"),
+		xpath.MustParse("//staffinfo//*"),
+	}
+}

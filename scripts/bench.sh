@@ -20,7 +20,16 @@
 # 0.25), BENCH_INJECT (scales measurements, for testing the gate),
 # BENCH_TRAJECTORY (history file).
 #
+# The `multiuser` mode runs the policy-cohort scale benchmarks (K distinct
+# policies x N subjects; rebuild wall-time, live bytes/user, request p99
+# under concurrent load) and records the per-user baseline as "before" and
+# the cohort-compressed run as "after" in BENCH_multiuser.json. Set
+# BENCH_SHORT=1 to run the -short population (200 users / 10 policies,
+# million-subject register skipped) — that is what CI's non-blocking
+# multiuser-scale job does.
+#
 # Usage: scripts/bench.sh [annotation.json] [request.json]
+#        scripts/bench.sh multiuser [multiuser.json]
 #        scripts/bench.sh diff
 set -eu
 
@@ -33,11 +42,65 @@ if [ "${1:-}" = "diff" ]; then
 		-benchtime 30x -run '^$' . | tee "$tmp"
 	go test -bench 'BenchmarkFig10_Request(MonetSQL|Postgres|MonetCol)' \
 		-benchtime 110x -run '^$' . | tee -a "$tmp"
+	go test -bench 'BenchmarkMultiUser(Rebuild|Request)' \
+		-benchtime 3x -run '^$' . | tee -a "$tmp"
 	go run ./scripts \
 		-threshold "${BENCH_THRESHOLD:-0.25}" \
 		-inject "${BENCH_INJECT:-1}" \
 		-trajectory "${BENCH_TRAJECTORY:-BENCH_trajectory.json}" \
 		"$tmp"
+	exit 0
+fi
+
+if [ "${1:-}" = "multiuser" ]; then
+	out="${2:-BENCH_multiuser.json}"
+	short=""
+	[ "${BENCH_SHORT:-}" = "1" ] && short="-short"
+	tmp=$(mktemp)
+	trap 'rm -f "$tmp"' EXIT
+	go test $short -bench 'BenchmarkMultiUserRebuild' \
+		-benchtime 3x -run '^$' . | tee "$tmp"
+	go test $short -bench 'BenchmarkMultiUser(Memory|Request|Million)' \
+		-benchtime 1x -run '^$' . | tee -a "$tmp"
+	awk '
+	/^BenchmarkMultiUser/ {
+		name = $1
+		sub(/^BenchmarkMultiUser/, "", name)
+		sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+		split(name, parts, "/")     # Kind / peruser|cohort
+		kind = parts[1]; variant = parts[2]
+		ns[kind, variant] = $3
+		# Custom metrics trail ns/op as "value unit" pairs.
+		for (i = 4; i < NF; i++) {
+			if ($(i+1) == "bytes/user") bytes[kind, variant] = $i
+			if ($(i+1) == "p99_ns")     p99[kind, variant] = $i
+		}
+	}
+	END {
+		if (!(("Rebuild", "cohort") in ns)) {
+			print "bench.sh: no multiuser benchmark output parsed" > "/dev/stderr"
+			exit 1
+		}
+		printf "{\n  \"benchmark\": \"BenchmarkMultiUser{Rebuild,Memory,Request,Million}\",\n"
+		printf "  \"unit\": \"ns/op (bytes/user, p99_ns where noted)\",\n  \"cases\": [\n"
+		n = 0
+		out[n++] = line("Rebuild", ns["Rebuild", "peruser"], ns["Rebuild", "cohort"])
+		out[n++] = line("Request", ns["Request", "peruser"], ns["Request", "cohort"])
+		out[n++] = line("MemoryBytesPerUser", bytes["Memory", "peruser"], bytes["Memory", "cohort"])
+		out[n++] = line("RequestP99", p99["Request", "peruser"], p99["Request", "cohort"])
+		# The million-subject register has no peruser side at that scale;
+		# its "before" is the 10k-population per-user bytes/user figure.
+		if (("Million", "") in bytes)
+			out[n++] = line("MillionBytesPerUser", bytes["Memory", "peruser"], bytes["Million", ""])
+		for (i = 0; i < n; i++)
+			printf "    %s%s\n", out[i], (i < n-1) ? "," : ""
+		printf "  ]\n}\n"
+	}
+	function line(case_, b, a) {
+		s = (a > 0 && b > 0) ? b / a : 0
+		return sprintf("{\"case\": \"%s\", \"before\": %d, \"after\": %d, \"speedup\": %.2f}", case_, b, a, s)
+	}' "$tmp" > "$out"
+	echo "bench.sh: wrote $out"
 	exit 0
 fi
 

@@ -101,6 +101,15 @@ func baselineKey(name string) (file, caseKey string, ok bool) {
 			return "request", backend, true
 		}
 	}
+	if rest, found := strings.CutPrefix(name, "BenchmarkMultiUser"); found {
+		kind, variant, _ := strings.Cut(rest, "/")
+		// Only the cohort side has a recorded ns/op baseline; the peruser
+		// side is the "before" column, and Memory's figure of merit is the
+		// bytes/user custom metric, not ns/op.
+		if variant == "cohort" && (kind == "Rebuild" || kind == "Request") {
+			return "multiuser", kind, true
+		}
+	}
 	return "", "", false
 }
 
@@ -193,6 +202,7 @@ func main() {
 		trajectory = flag.String("trajectory", "BENCH_trajectory.json", "trajectory history file to append to")
 		annotation = flag.String("annotation", "BENCH_annotation.json", "Figure 11 baseline file")
 		request    = flag.String("request", "BENCH_request.json", "Figure 10 baseline file")
+		multiuser  = flag.String("multiuser", "BENCH_multiuser.json", "multi-user cohort baseline file (optional)")
 	)
 	flag.Parse()
 
@@ -204,6 +214,14 @@ func main() {
 			os.Exit(2)
 		}
 		baselines[name] = b
+	}
+	// The multi-user baseline is optional: repos recorded before the cohort
+	// layer landed have no BENCH_multiuser.json, and the gate must keep
+	// working for them.
+	if b, err := loadBaseline(*multiuser); err == nil {
+		baselines["multiuser"] = b
+	} else {
+		fmt.Fprintf(os.Stderr, "bench_diff: skipping multi-user baseline: %v\n", err)
 	}
 
 	var results []benchResult

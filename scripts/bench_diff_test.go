@@ -55,6 +55,11 @@ func TestBaselineKey(t *testing.T) {
 		{"BenchmarkFig11_AnnotationMonetCol/c1", "annotation", "MonetCol/c1", true},
 		{"BenchmarkFig10_RequestMonetCol/optimized", "request", "MonetCol", true},
 		{"BenchmarkFig10_RequestMonetSQL/reference", "", "", false},
+		{"BenchmarkMultiUserRebuild/cohort", "multiuser", "Rebuild", true},
+		{"BenchmarkMultiUserRequest/cohort", "multiuser", "Request", true},
+		{"BenchmarkMultiUserRebuild/peruser", "", "", false},
+		{"BenchmarkMultiUserMemory/cohort", "", "", false},
+		{"BenchmarkMultiUserMillion", "", "", false},
 		{"BenchmarkUnrelated/thing", "", "", false},
 	} {
 		file, key, ok := baselineKey(tc.name)
@@ -102,6 +107,35 @@ func TestCompareInjectedRegression(t *testing.T) {
 	}
 	if regressed != 5 {
 		t.Fatalf("%d of 5 cases regressed under a 1.5x injection", regressed)
+	}
+}
+
+// TestCompareMultiUserBaseline: cohort-side multi-user measurements are
+// gated against the optional multiuser baseline; the peruser side and the
+// custom-metric benchmarks stay out of the gate.
+func TestCompareMultiUserBaseline(t *testing.T) {
+	raw := strings.Join([]string{
+		"BenchmarkMultiUserRebuild/peruser-8   3  200000000 ns/op",
+		"BenchmarkMultiUserRebuild/cohort-8    3    2100000 ns/op",
+		"BenchmarkMultiUserRequest/cohort-8    1    3700000 ns/op  21000 p99_ns",
+		"BenchmarkMultiUserMemory/cohort-8     1    1900000 ns/op  405.0 bytes/user",
+	}, "\n")
+	results, _ := parseBench(strings.NewReader(raw))
+	baselines := map[string]map[string]int64{
+		"multiuser": {"Rebuild": 2000000, "Request": 3800000},
+	}
+	cases := compare(results, baselines, 0.25, 1.0)
+	if len(cases) != 2 {
+		t.Fatalf("compared %d cases, want 2: %+v", len(cases), cases)
+	}
+	for _, c := range cases {
+		if c.Regressed {
+			t.Errorf("case %s regressed at ratio %.2f", c.Case, c.Ratio)
+		}
+	}
+	// A missing multiuser baseline silently skips those cases.
+	if got := compare(results, map[string]map[string]int64{}, 0.25, 1.0); len(got) != 0 {
+		t.Fatalf("compared %d cases without baselines, want 0", len(got))
 	}
 }
 

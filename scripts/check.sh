@@ -35,6 +35,10 @@ go test -short -run TestDifferentialEngines ./internal/sqldb
 # a broken bench is otherwise only caught when scripts/bench.sh runs.
 go test -short -bench 'BenchmarkFig10_Request(MonetSQL|Postgres|MonetCol)' -benchtime 1x -run '^$' .
 
+# Smoke the multi-user cohort scale benchmarks (-short population: 200
+# users over 10 distinct policies; the million-subject register skips).
+go test -short -bench 'BenchmarkMultiUser(Rebuild|Memory|Request)' -benchtime 1x -run '^$' .
+
 # Quantile sanity: the bucket-interpolation math behind the /metrics and
 # /dashboard p50/p95/p99 figures.
 go test -short -run TestHistogramQuantile ./internal/obs
@@ -45,7 +49,7 @@ if command -v curl >/dev/null 2>&1; then
 	serve_port=18765
 	serve_bin=$(mktemp -d)/xmlac
 	go build -o "$serve_bin" ./cmd/xmlac
-	"$serve_bin" -serve 127.0.0.1:$serve_port -qcache >/dev/null 2>&1 &
+	"$serve_bin" -serve 127.0.0.1:$serve_port -qcache -users demo >/dev/null 2>&1 &
 	serve_pid=$!
 	trap 'kill $serve_pid 2>/dev/null || true' EXIT
 	ok=""
@@ -61,6 +65,8 @@ if command -v curl >/dev/null 2>&1; then
 		|| { echo "check.sh: /metrics missing expected counters" >&2; exit 1; }
 	curl -sf "http://127.0.0.1:$serve_port/dashboard" | grep -q 'Request latency' \
 		|| { echo "check.sh: /dashboard did not render" >&2; exit 1; }
+	curl -sf "http://127.0.0.1:$serve_port/multiuser" | grep -q '"cohorts": 3' \
+		|| { echo "check.sh: /multiuser missing the demo cohorts" >&2; exit 1; }
 	kill $serve_pid 2>/dev/null || true
 	wait $serve_pid 2>/dev/null || true
 	trap - EXIT

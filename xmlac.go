@@ -49,7 +49,7 @@ import (
 )
 
 // Version identifies this release of the library and its commands.
-const Version = "0.5.0"
+const Version = "0.6.0"
 
 // Core model types, re-exported for the public API. See the internal
 // packages for full method documentation.
@@ -92,6 +92,12 @@ type (
 	MultiUser = core.MultiUser
 	// MultiUpdateReport describes a shared update across all users.
 	MultiUpdateReport = core.MultiUpdateReport
+	// MultiUserStats summarizes the policy-cohort compression of a
+	// MultiUser: population, distinct cohorts, dedup ratio and the
+	// per-cohort breakdown.
+	MultiUserStats = core.MultiUserStats
+	// CohortInfo is one cohort's entry in MultiUserStats.
+	CohortInfo = core.CohortInfo
 	// XMarkOptions scales the bundled XMark-like document generator.
 	XMarkOptions = xmark.Options
 	// Tracer creates trace spans; attach one via Config.Tracer to see a
@@ -284,7 +290,9 @@ func RemoveRedundant(p *Policy) (*Policy, []Rule) { return core.RemoveRedundant(
 
 // NewMultiUser wraps one document for per-requester access control: add
 // users with their own policies via MultiUser.AddUser, then serve requests
-// per requester. Updates re-annotate only the users whose rules trigger.
+// per requester. Users with equivalent policies share one cohort (one
+// accessibility map and reannotator for the whole equivalence class), and
+// updates re-annotate only the cohorts whose rules trigger.
 func NewMultiUser(schema *Schema, doc *Document) (*MultiUser, error) {
 	return core.NewMultiUser(schema, doc)
 }
