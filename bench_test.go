@@ -26,6 +26,8 @@ import (
 	"xmlac/internal/cam"
 	"xmlac/internal/core"
 	"xmlac/internal/nativedb"
+	"xmlac/internal/obs"
+	"xmlac/internal/observatory"
 	"xmlac/internal/shred"
 	"xmlac/internal/sqldb"
 	"xmlac/internal/xmark"
@@ -238,6 +240,54 @@ func BenchmarkRequest_AuditOverhead(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) { run(b, nil) })
 	b.Run("ring", func(b *testing.B) { run(b, audit.NewLog(0)) })
+}
+
+// BenchmarkRequest_ObservatoryOverhead measures what the access
+// observatory adds on top of the ring log: the same Figure 10 workload
+// with the ring alone versus the ring with the observatory listening —
+// outcome counters, denial-forensics windows and the live-stream
+// publish (no subscribers, the serving steady state). The SLO engine
+// ticks off the hot path, so its cost is not request-borne.
+// EXPERIMENTS.md records the acceptance bound (<2% over ring-only).
+func BenchmarkRequest_ObservatoryOverhead(b *testing.B) {
+	run := func(b *testing.B, attach bool) {
+		log := audit.NewLog(0)
+		if attach {
+			o := observatory.New(observatory.Options{Metrics: obs.NewRegistry()})
+			if err := o.EnableSLOs("request_p99<5ms,error_rate<1%", 0, 0); err != nil {
+				b.Fatal(err)
+			}
+			o.Attach(log)
+		}
+		cfg := core.Config{
+			Schema:        xmark.Schema(),
+			Policy:        bench.MidPolicy().Clone(),
+			Backend:       xmlac.BackendColumn,
+			Optimize:      true,
+			PushdownSigns: true,
+			QueryCache:    true,
+			Audit:         log,
+		}
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		doc := xmark.Generate(xmark.Options{Factor: requestBenchFactor(), Seed: 1})
+		if err := sys.Load(doc); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Annotate(); err != nil {
+			b.Fatal(err)
+		}
+		queries := bench.Queries()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			_, _ = sys.Request(q) // denials are expected outcomes, not errors
+		}
+	}
+	b.Run("ring", func(b *testing.B) { run(b, false) })
+	b.Run("observatory", func(b *testing.B) { run(b, true) })
 }
 
 // ---- Figure 11: annotation across the coverage dataset ----

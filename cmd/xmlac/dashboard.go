@@ -68,6 +68,27 @@ type traceRow struct {
 	Spans    int
 }
 
+// alertRow is one SLO burn-rate table row.
+type alertRow struct {
+	SLO      string
+	Raw      string
+	State    string
+	Firing   bool
+	FastBurn string
+	SlowBurn string
+}
+
+// forensicRow is one denial-forensics window row.
+type forensicRow struct {
+	Window  string
+	Count   int64
+	Prev    int64
+	Rate    string
+	TopUser string
+	TopRule string
+	TopDoc  string
+}
+
 // denialRow is one recent-denials table row.
 type denialRow struct {
 	Time  string
@@ -96,6 +117,10 @@ type dashData struct {
 	MUDedup    string // users per cohort, e.g. "3.0x"
 	MUHits     int64  // registrations that joined an existing cohort
 	MUCohortTb []cohortRow
+	SLOOn      bool // the burn-rate engine is installed
+	Alerts     []alertRow
+	Forensics  []forensicRow
+	StreamSubs int
 }
 
 // parseLabels reads the inline label set of a registry metric name:
@@ -147,7 +172,7 @@ func countSpans(s *xmlac.Span) int {
 // dashboardData assembles the page model from the live observability
 // stores. Exactly one of sys and cat is non-nil, as in newOpsMux; mu is
 // the optional multi-user layer.
-func dashboardData(sys *xmlac.System, cat *xmlac.Catalog, mu *xmlac.MultiUser, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) dashData {
+func dashboardData(sys *xmlac.System, cat *xmlac.Catalog, mu *xmlac.MultiUser, obsy *xmlac.Observatory, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) dashData {
 	d := dashData{Version: xmlac.Version}
 	if cat != nil {
 		d.Mode = "catalog"
@@ -249,6 +274,32 @@ func dashboardData(sys *xmlac.System, cat *xmlac.Catalog, mu *xmlac.MultiUser, r
 		}
 	}
 
+	// SLO burn-rate alerts and denial forensics from the observatory.
+	if obsy != nil {
+		if slo := obsy.SLO(); slo != nil {
+			d.SLOOn = true
+			for _, a := range slo.Alerts() {
+				d.Alerts = append(d.Alerts, alertRow{
+					SLO: a.SLO, Raw: a.Raw, State: a.State, Firing: a.State == "firing",
+					FastBurn: fmt.Sprintf("%.2f", a.FastBurn),
+					SlowBurn: fmt.Sprintf("%.2f", a.SlowBurn),
+				})
+			}
+		}
+		for _, w := range obsy.Forensics().Report() {
+			row := forensicRow{Window: w.Window, Count: w.Count, Prev: w.Prev, Rate: fmt.Sprintf("%.3f/s", w.Rate)}
+			top := func(dim string) string {
+				if es := w.Top[dim]; len(es) > 0 {
+					return fmt.Sprintf("%s (%d)", es[0].Key, es[0].Count)
+				}
+				return ""
+			}
+			row.TopUser, row.TopRule, row.TopDoc = top("user"), top("rule"), top("doc")
+			d.Forensics = append(d.Forensics, row)
+		}
+		d.StreamSubs = obsy.Stream().Subscribers()
+	}
+
 	// Busiest policy rules by attribution matches.
 	for name, v := range snap.Counters {
 		base, labels := parseLabels(name)
@@ -322,6 +373,7 @@ th { font-weight: 600; color: #555; }
 td.num, th.num { text-align: right; }
 .muted { color: #888; }
 .heat { display: inline-block; height: 0.7em; background: #e2574c; vertical-align: baseline; }
+.firing { color: #fff; background: #c0392b; padding: 0 0.4em; border-radius: 2px; font-weight: 600; }
 code { background: #f4f4f4; padding: 0 0.25em; }
 </style>
 </head>
@@ -360,6 +412,20 @@ backend {{.Backend}}, semantics {{.Semantics}}
 {{range .MUCohortTb}}<tr><td><code>{{.ID}}</code></td><td class="num">{{.Members}}</td><td class="num">{{.Rules}}</td><td>{{.Default}}</td><td>{{.Conflict}}</td><td class="num">{{.Marks}}</td></tr>
 {{end}}</table>{{end}}{{end}}
 
+{{if .SLOOn}}<h2>SLO burn-rate alerts</h2>
+{{if .Alerts}}<table>
+<tr><th>objective</th><th>state</th><th class="num">fast burn</th><th class="num">slow burn</th></tr>
+{{range .Alerts}}<tr><td><code>{{.Raw}}</code></td><td>{{if .Firing}}<span class="firing">firing</span>{{else}}{{.State}}{{end}}</td><td class="num">{{.FastBurn}}</td><td class="num">{{.SlowBurn}}</td></tr>
+{{end}}</table>{{else}}<p class="muted">no objectives configured</p>{{end}}{{end}}
+
+<h2>Denial forensics</h2>
+{{if .Forensics}}<table>
+<tr><th>window</th><th class="num">denials</th><th class="num">prev</th><th class="num">rate</th><th>top subject</th><th>top rule</th><th>top doc</th></tr>
+{{range .Forensics}}<tr><td>{{.Window}}</td><td class="num">{{.Count}}</td><td class="num">{{.Prev}}</td><td class="num">{{.Rate}}</td><td>{{.TopUser}}</td><td><code>{{.TopRule}}</code></td><td>{{.TopDoc}}</td></tr>
+{{end}}</table>
+<p class="muted">{{.StreamSubs}} live <a href="/stream">/stream</a> subscriber(s) · details at <a href="/forensics">/forensics</a> and <a href="/alerts">/alerts</a></p>
+{{else}}<p class="muted">observatory not attached</p>{{end}}
+
 <h2>Top rules</h2>
 {{if .TopRules}}<table>
 <tr><th>rule</th><th class="num">node matches</th></tr>
@@ -382,10 +448,10 @@ backend {{.Backend}}, semantics {{.Semantics}}
 `))
 
 // dashboardHandler serves the HTML dashboard.
-func dashboardHandler(sys *xmlac.System, cat *xmlac.Catalog, mu *xmlac.MultiUser, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) http.HandlerFunc {
+func dashboardHandler(sys *xmlac.System, cat *xmlac.Catalog, mu *xmlac.MultiUser, obsy *xmlac.Observatory, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		if err := dashTmpl.Execute(w, dashboardData(sys, cat, mu, reg, aud, col)); err != nil {
+		if err := dashTmpl.Execute(w, dashboardData(sys, cat, mu, obsy, reg, aud, col)); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	}

@@ -6,20 +6,27 @@
 //
 //	xmlac [-dtd file] [-policy file] [-doc file] [-backend xquery|monetsql|monetcol|postgres]
 //	      [-trace] [-explain] [-slowquery dur] [-pushdown] [-qcache]
-//	      [-audit file] [-serve addr] [-users list|demo] [-version] op...
+//	      [-audit file] [-audit-max-bytes n] [-audit-max-files n]
+//	      [-serve addr] [-slo spec] [-users list|demo] [-version] op...
 //
 // With no -dtd/-policy/-doc, the paper's hospital example is used.
 // -trace prints a span tree per operation to stderr, -explain prints the
 // relational engine's plan before each query, and -slowquery logs SQL
 // statements slower than the given duration (e.g. -slowquery 1ms).
 // -audit appends every decision (requests, write checks, annotation runs)
-// as JSON lines to the given file; -serve starts a long-lived ops endpoint
-// on addr (e.g. -serve :8080) after the operations run — see serve.go for
-// the routes (/healthz, /metrics, /audit, /traces, /request, /why,
-// /debug/pprof/). -users registers per-requester policies over the same
-// document (comma-separated name=policyfile pairs, or 'demo' for bundled
-// hospital roles); subjects with equivalent policies share one cohort, and
-// -serve then also exposes the /multiuser cohort view.
+// as JSON lines to the given file; -audit-max-bytes rotates the file
+// in place once it would exceed the given size, keeping -audit-max-files
+// generations (audit.log, audit.log.1, ...) and counting rotations as
+// audit_rotations_total. -serve starts a long-lived ops endpoint on addr
+// (e.g. -serve :8080) after the operations run — see serve.go for the
+// routes (/healthz, /metrics, /audit, /traces, /coverage, /forensics,
+// /alerts, /stream, /request, /why, /debug/pprof/). -slo declares the
+// burn-rate service-level objectives the /alerts state machines evaluate
+// (comma-separated name<value; 'off' disables). -users registers
+// per-requester policies over the same document (comma-separated
+// name=policyfile pairs, or 'demo' for bundled hospital roles); subjects
+// with equivalent policies share one cohort, and -serve then also exposes
+// the /multiuser cohort view.
 //
 // Operations (executed left to right):
 //
@@ -45,7 +52,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"xmlac"
 )
@@ -64,7 +73,12 @@ func main() {
 		pushdown   = flag.Bool("pushdown", false, "fold the sign check into translated queries (relational backends)")
 		qcache     = flag.Bool("qcache", false, "serve request access checks from a compressed accessibility map")
 		auditFile  = flag.String("audit", "", "append audit events as JSON lines to this file")
+		auditMaxB  = flag.Int64("audit-max-bytes", 0, "rotate the -audit file once it would exceed this size (0 = never rotate)")
+		auditMaxF  = flag.Int("audit-max-files", 0, "rotated -audit generations to keep, including the live file (0 = package default)")
 		serveAddr  = flag.String("serve", "", "serve the ops endpoint on this address (e.g. :8080) after the operations run")
+		sloSpec    = flag.String("slo", "request_p99<5ms,error_rate<1%", "burn-rate objectives for /alerts, e.g. 'request_p99<5ms,error_rate<1%' ('off' disables)")
+		sloFast    = flag.Duration("slo-fast", 0, "fast burn-rate window (0 = 5m default)")
+		sloSlow    = flag.Duration("slo-slow", 0, "slow burn-rate window (0 = 1h default)")
 		usersList  = flag.String("users", "", "multi-user mode: comma-separated name=policyfile subjects, or 'demo' for bundled hospital roles (adds /multiuser to -serve)")
 		docsList   = flag.String("docs", "", "catalog mode: comma-separated name[=file] document list (file defaults to -doc)")
 		shards     = flag.Int("shards", 2, "catalog mode: number of shards documents hash onto")
@@ -124,14 +138,27 @@ func main() {
 		cfg.Audit = aud
 	}
 	if *auditFile != "" {
-		f, err := os.OpenFile(*auditFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			fail(err)
+		if *auditMaxB > 0 || *auditMaxF > 0 {
+			rf, err := xmlac.OpenRotatingAuditFile(*auditFile, *auditMaxB, *auditMaxF)
+			if err != nil {
+				fail(err)
+			}
+			rotations := reg.Counter("audit_rotations_total")
+			rf.OnRotate(func(uint64) { rotations.Inc() })
+			// LIFO: Close drains the queue first, then the file closes.
+			defer rf.Close()
+			defer aud.Close()
+			aud.AttachJSONL(rf, 0)
+		} else {
+			f, err := os.OpenFile(*auditFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fail(err)
+			}
+			// LIFO: Close drains the queue first, then the file closes.
+			defer f.Close()
+			defer aud.Close()
+			aud.AttachJSONL(f, 0)
 		}
-		// LIFO: Close drains the queue first, then the file closes.
-		defer f.Close()
-		defer aud.Close()
-		aud.AttachJSONL(f, 0)
 	}
 	var col *xmlac.TraceCollector
 	var sinks []xmlac.TraceSink
@@ -149,7 +176,7 @@ func main() {
 		if *usersList != "" {
 			fail(fmt.Errorf("-users is not supported in catalog mode"))
 		}
-		runCatalog(cfg, *docsList, *shards, docText, *serveAddr, reg, aud, col)
+		runCatalog(cfg, *docsList, *shards, docText, *serveAddr, *sloSpec, *sloFast, *sloSlow, reg, aud, col)
 		return
 	}
 	sys, err := xmlac.New(cfg)
@@ -314,8 +341,36 @@ func main() {
 
 	if *serveAddr != "" {
 		ensureAnnotated()
-		fail(serve(*serveAddr, sys, mu, reg, aud, col))
+		if mu != nil {
+			mu.SetAudit(aud)
+		}
+		obsy := buildObservatory(reg, aud, nil, *sloSpec, *sloFast, *sloSlow)
+		fail(serve(*serveAddr, sys, mu, obsy, reg, aud, col))
 	}
+}
+
+// buildObservatory assembles and starts the serve-mode analytics engine:
+// attached to the audit log, SLOs per the -slo flag, burn multiplier from
+// the BENCH_INJECT fault-injection knob, ticked once per second for the
+// life of the server.
+func buildObservatory(reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, shardOf func(string) string,
+	sloSpec string, fast, slow time.Duration) *xmlac.Observatory {
+	obsy := xmlac.NewObservatory(xmlac.ObservatoryOptions{Metrics: reg, ShardOf: shardOf})
+	obsy.Attach(aud)
+	if sloSpec != "" && sloSpec != "off" {
+		if err := obsy.EnableSLOs(sloSpec, fast, slow); err != nil {
+			fail(err)
+		}
+		if env := os.Getenv("BENCH_INJECT"); env != "" {
+			f, err := strconv.ParseFloat(env, 64)
+			if err != nil {
+				fail(fmt.Errorf("BENCH_INJECT: %w", err))
+			}
+			obsy.SetInject(f)
+		}
+	}
+	go obsy.Run(make(chan struct{}), time.Second)
+	return obsy
 }
 
 // demoUsers are the bundled -users=demo hospital subjects. The two doctors
@@ -390,8 +445,8 @@ func buildMultiUser(schema *xmlac.Schema, docText, usersList string, reg *xmlac.
 // runCatalog is the -docs mode: many named documents sharded across
 // independent engines, annotated shard-parallel, with the operation list
 // applied to every document ("[name] ..." output lines).
-func runCatalog(cfg xmlac.Config, docsList string, shards int, defaultDocText, serveAddr string,
-	reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) {
+func runCatalog(cfg xmlac.Config, docsList string, shards int, defaultDocText, serveAddr, sloSpec string,
+	sloFast, sloSlow time.Duration, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) {
 	cat, err := xmlac.OpenCatalog(cfg, shards)
 	if err != nil {
 		fail(err)
@@ -490,7 +545,8 @@ func runCatalog(cfg xmlac.Config, docsList string, shards int, defaultDocText, s
 		}
 	}
 	if serveAddr != "" {
-		fail(serveCatalog(serveAddr, cat, reg, aud, col))
+		obsy := buildObservatory(reg, aud, cat.ShardOf, sloSpec, sloFast, sloSlow)
+		fail(serveCatalog(serveAddr, cat, obsy, reg, aud, col))
 	}
 }
 

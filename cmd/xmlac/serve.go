@@ -12,8 +12,21 @@
 //	GET /dashboard      the HTML ops dashboard: latency quantiles, shard
 //	                    heat, top rules, slow traces, recent denials
 //	GET /audit          recent decisions, newest last (JSON);
-//	                    ?outcome=deny filters, ?n= bounds the count
-//	GET /traces         recent root span trees, newest last (text)
+//	                    ?outcome= filters by outcome, ?since= (RFC3339)
+//	                    by time, ?limit= (alias ?n=) bounds the count
+//	GET /traces         recent root span trees, newest last (text);
+//	                    ?limit= and ?since= (RFC3339) filter
+//	GET /coverage       policy coverage analytics: per-rule fire counts,
+//	                    dead and always-losing rules, allow/deny mix —
+//	                    per cohort with a per-semantics rollup in -users
+//	                    mode, per document in catalog mode (JSON)
+//	GET /forensics      denial forensics: tumbling 1m/5m/1h windows of
+//	                    denials by subject/doc/rule/backend/shard with
+//	                    top-K and rate-of-change (JSON)
+//	GET /alerts         SLO burn-rate state: objectives, fast/slow burn,
+//	                    firing state and recent transitions (JSON)
+//	GET /stream         live decision stream (SSE): every audit event
+//	                    and alert transition as it happens
 //	GET /catalog        shard placement and per-document state (JSON;
 //	                    catalog mode only)
 //	GET /multiuser      policy-cohort statistics: users, cohorts, dedup
@@ -21,7 +34,8 @@
 //	                    mode only)
 //	GET /request?q=     run an all-or-nothing request (&doc= selects the
 //	                    document in catalog mode; without doc the query
-//	                    broadcasts to every document as one trace)
+//	                    broadcasts to every document as one trace;
+//	                    &user= requests as a -users subject)
 //	GET /why?q=         per-node rule attribution for the matched nodes
 //	                    (&doc= in catalog mode)
 //	GET /debug/pprof/   the Go runtime profiler
@@ -34,6 +48,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -56,34 +71,35 @@ func (t teeSink) Emit(root *xmlac.Span) {
 // serve blocks on the ops endpoint over one system; it only returns on
 // listener failure. mu is the optional -users multi-user layer sharing the
 // same document.
-func serve(addr string, sys *xmlac.System, mu *xmlac.MultiUser, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) error {
+func serve(addr string, sys *xmlac.System, mu *xmlac.MultiUser, obsy *xmlac.Observatory, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) error {
 	extra := ""
 	if mu != nil {
 		extra = " /multiuser"
 	}
-	fmt.Printf("serving on %s (/healthz /metrics /dashboard /audit /traces%s /request /why /debug/pprof/)\n", addr, extra)
-	return http.ListenAndServe(addr, newServeMux(sys, mu, reg, aud, col))
+	fmt.Printf("serving on %s (/healthz /metrics /dashboard /audit /traces /coverage /forensics /alerts /stream%s /request /why /debug/pprof/)\n", addr, extra)
+	return http.ListenAndServe(addr, newServeMux(sys, mu, obsy, reg, aud, col))
 }
 
 // serveCatalog blocks on the ops endpoint over a sharded catalog.
-func serveCatalog(addr string, cat *xmlac.Catalog, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) error {
-	fmt.Printf("serving on %s (/healthz /metrics /dashboard /audit /traces /catalog /request /why /debug/pprof/)\n", addr)
-	return http.ListenAndServe(addr, newCatalogMux(cat, reg, aud, col))
+func serveCatalog(addr string, cat *xmlac.Catalog, obsy *xmlac.Observatory, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) error {
+	fmt.Printf("serving on %s (/healthz /metrics /dashboard /audit /traces /coverage /forensics /alerts /stream /catalog /request /why /debug/pprof/)\n", addr)
+	return http.ListenAndServe(addr, newCatalogMux(cat, obsy, reg, aud, col))
 }
 
-func newServeMux(sys *xmlac.System, mu *xmlac.MultiUser, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) *http.ServeMux {
-	return newOpsMux(sys, nil, mu, reg, aud, col)
+func newServeMux(sys *xmlac.System, mu *xmlac.MultiUser, obsy *xmlac.Observatory, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) *http.ServeMux {
+	return newOpsMux(sys, nil, mu, obsy, reg, aud, col)
 }
 
-func newCatalogMux(cat *xmlac.Catalog, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) *http.ServeMux {
-	return newOpsMux(nil, cat, nil, reg, aud, col)
+func newCatalogMux(cat *xmlac.Catalog, obsy *xmlac.Observatory, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) *http.ServeMux {
+	return newOpsMux(nil, cat, nil, obsy, reg, aud, col)
 }
 
 // newOpsMux builds the endpoint routes. Exactly one of sys and cat is
 // non-nil: single-document mode serves sys directly; catalog mode routes
 // /request and /why by the doc parameter and adds /catalog. mu, when
-// non-nil, adds the /multiuser cohort view.
-func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, mu *xmlac.MultiUser, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) *http.ServeMux {
+// non-nil, adds the /multiuser cohort view; obsy feeds the /coverage,
+// /forensics, /alerts and /stream observatory routes.
+func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, mu *xmlac.MultiUser, obsy *xmlac.Observatory, reg *xmlac.MetricsRegistry, aud *xmlac.AuditLog, col *xmlac.TraceCollector) *http.ServeMux {
 	// target resolves the system a request addresses, writing the HTTP
 	// error itself on failure.
 	target := func(w http.ResponseWriter, r *http.Request) (*xmlac.System, bool) {
@@ -114,7 +130,7 @@ func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, mu *xmlac.MultiUser, reg *
 		}
 	}
 	mux.HandleFunc("/metrics", route("/metrics", reg.ServeHTTP))
-	mux.HandleFunc("/dashboard", route("/dashboard", dashboardHandler(sys, cat, mu, reg, aud, col)))
+	mux.HandleFunc("/dashboard", route("/dashboard", dashboardHandler(sys, cat, mu, obsy, reg, aud, col)))
 	mux.HandleFunc("/healthz", route("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		health := map[string]any{
 			"status":  "ok",
@@ -169,23 +185,21 @@ func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, mu *xmlac.MultiUser, reg *
 		}))
 	}
 	mux.HandleFunc("/audit", route("/audit", func(w http.ResponseWriter, r *http.Request) {
-		n := 100
-		if s := r.URL.Query().Get("n"); s != "" {
-			v, err := strconv.Atoi(s)
-			if err != nil || v <= 0 {
-				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
-				return
+		n, ok := parseLimitParam(w, r, 100)
+		if !ok {
+			return
+		}
+		since, ok := parseSinceParam(w, r)
+		if !ok {
+			return
+		}
+		outcome := r.URL.Query().Get("outcome")
+		events := aud.Filter(n, func(e xmlac.AuditEvent) bool {
+			if outcome != "" && e.Outcome != xmlac.AuditOutcome(outcome) {
+				return false
 			}
-			n = v
-		}
-		events := []xmlac.AuditEvent{}
-		if outcome := r.URL.Query().Get("outcome"); outcome != "" {
-			events = aud.Filter(n, func(e xmlac.AuditEvent) bool {
-				return e.Outcome == xmlac.AuditOutcome(outcome)
-			})
-		} else {
-			events = aud.Recent(n)
-		}
+			return since.IsZero() || !e.Time.Before(since)
+		})
 		writeJSON(w, map[string]any{
 			"events":  events,
 			"total":   aud.Total(),
@@ -194,14 +208,115 @@ func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, mu *xmlac.MultiUser, reg *
 		})
 	}))
 	mux.HandleFunc("/traces", route("/traces", func(w http.ResponseWriter, r *http.Request) {
+		n, ok := parseLimitParam(w, r, 0)
+		if !ok {
+			return
+		}
+		since, ok := parseSinceParam(w, r)
+		if !ok {
+			return
+		}
+		roots := col.Roots()
+		if !since.IsZero() {
+			kept := roots[:0]
+			for _, root := range roots {
+				if !root.StartTime().Before(since) {
+					kept = append(kept, root)
+				}
+			}
+			roots = kept
+		}
+		if n > 0 && len(roots) > n {
+			roots = roots[len(roots)-n:] // newest last, like /audit
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		for _, root := range col.Roots() {
+		for _, root := range roots {
 			fmt.Fprint(w, root.Tree())
 		}
 	}))
+	mux.HandleFunc("/coverage", route("/coverage", func(w http.ResponseWriter, r *http.Request) {
+		out := map[string]any{}
+		if cat != nil {
+			docs := map[string]any{}
+			for _, name := range cat.Docs() {
+				s, err := cat.System(name)
+				if err != nil {
+					continue
+				}
+				rep, err := s.PolicyCoverage()
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+				docs[name] = rep
+			}
+			out["docs"] = docs
+			writeJSON(w, out)
+			return
+		}
+		rep, err := sys.PolicyCoverage()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out["system"] = rep
+		if mu != nil {
+			cohorts, err := mu.CoverageByCohort()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			out["cohorts"] = cohorts
+			out["rollup"] = xmlac.RollupCoverage(cohorts)
+		}
+		writeJSON(w, out)
+	}))
+	mux.HandleFunc("/forensics", route("/forensics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"windows": obsy.Forensics().Report()})
+	}))
+	mux.HandleFunc("/alerts", route("/alerts", func(w http.ResponseWriter, r *http.Request) {
+		slo := obsy.SLO()
+		if slo == nil {
+			writeJSON(w, map[string]any{"enabled": false})
+			return
+		}
+		fast, slow := slo.Windows()
+		writeJSON(w, map[string]any{
+			"enabled":     true,
+			"fast_window": fast.String(),
+			"slow_window": slow.String(),
+			"objectives":  slo.Objectives(),
+			"alerts":      slo.Alerts(),
+			"transitions": slo.Transitions(),
+		})
+	}))
+	mux.HandleFunc("/stream", route("/stream", streamHandler(obsy)))
 	mux.HandleFunc("/request", route("/request", func(w http.ResponseWriter, r *http.Request) {
 		q, ok := parseQueryParam(w, r)
 		if !ok {
+			return
+		}
+		// A user parameter routes the request through the multi-user layer
+		// as that subject (its own audit event, stamped with the user).
+		if user := r.URL.Query().Get("user"); user != "" {
+			if mu == nil {
+				http.Error(w, "user parameter requires -users mode", http.StatusBadRequest)
+				return
+			}
+			res, err := mu.Request(user, q)
+			out := map[string]any{"query": q.String(), "user": user}
+			switch {
+			case errors.Is(err, xmlac.ErrAccessDenied):
+				out["outcome"] = "deny"
+				out["error"] = err.Error()
+			case err != nil:
+				out["outcome"] = "error"
+				out["error"] = err.Error()
+			default:
+				out["outcome"] = "grant"
+				out["checked"] = res.Checked
+			}
+			writeJSON(w, out)
 			return
 		}
 		// Catalog mode without a doc parameter broadcasts the query to
@@ -279,6 +394,87 @@ func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, mu *xmlac.MultiUser, reg *
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// streamHandler serves the SSE live decision stream: a hello frame with
+// the current alert states, then every audit event and alert transition
+// as it is published, until the client disconnects. Each connection has
+// a bounded queue; a slow consumer loses frames (counted, and reported
+// in the periodic keepalive comment) rather than stalling the hub.
+func streamHandler(obsy *xmlac.Observatory) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+		sub := obsy.Stream().Subscribe()
+		defer sub.Close()
+		hello := map[string]any{"version": xmlac.Version}
+		if slo := obsy.SLO(); slo != nil {
+			hello["alerts"] = slo.Alerts()
+		}
+		writeSSE(w, "hello", hello)
+		fl.Flush()
+		keepalive := time.NewTicker(15 * time.Second)
+		defer keepalive.Stop()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-keepalive.C:
+				fmt.Fprintf(w, ": keepalive dropped=%d\n\n", sub.Dropped())
+				fl.Flush()
+			case ev := <-sub.C():
+				writeSSE(w, ev.Type, ev)
+				fl.Flush()
+			}
+		}
+	}
+}
+
+func writeSSE(w io.Writer, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(`{"error":"marshal failed"}`)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
+// parseLimitParam reads the limit= (alias n=) count parameter, writing
+// the HTTP error itself when malformed. def is returned when absent.
+func parseLimitParam(w http.ResponseWriter, r *http.Request, def int) (int, bool) {
+	s := r.URL.Query().Get("limit")
+	if s == "" {
+		s = r.URL.Query().Get("n")
+	}
+	if s == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v <= 0 {
+		http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+		return 0, false
+	}
+	return v, true
+}
+
+// parseSinceParam reads the since= RFC3339 time parameter, writing the
+// HTTP error itself when malformed. Zero time when absent.
+func parseSinceParam(w http.ResponseWriter, r *http.Request) (time.Time, bool) {
+	s := r.URL.Query().Get("since")
+	if s == "" {
+		return time.Time{}, true
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		http.Error(w, "since must be RFC3339, e.g. 2026-01-02T15:04:05Z", http.StatusBadRequest)
+		return time.Time{}, false
+	}
+	return t, true
 }
 
 // parseQueryParam reads and parses the q= XPath parameter, writing the

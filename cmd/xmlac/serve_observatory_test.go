@@ -1,0 +1,353 @@
+// Serve-layer tests for the access observatory: the /coverage,
+// /forensics, /alerts and /stream routes, the audit/trace query filters,
+// per-user requests, and the burn-rate fault-injection round trip the CI
+// exercises with BENCH_INJECT.
+package main
+
+import (
+	"bufio"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"xmlac"
+)
+
+func TestServeCoverageRoute(t *testing.T) {
+	srv := testMux(t)
+
+	var cov struct {
+		System struct {
+			Semantics string               `json:"semantics"`
+			Nodes     int                  `json:"nodes"`
+			Rules     []xmlac.RuleCoverage `json:"rules"`
+			DeadRules []string             `json:"dead_rules"`
+		} `json:"system"`
+		Cohorts map[string]*xmlac.CoverageReport `json:"cohorts"`
+		Rollup  *xmlac.CoverageRollup            `json:"rollup"`
+	}
+	getJSON(t, srv.URL+"/coverage", &cov)
+	if cov.System.Semantics == "" || cov.System.Nodes == 0 || len(cov.System.Rules) == 0 {
+		t.Fatalf("system coverage = %+v", cov.System)
+	}
+	for _, r := range cov.System.Rules {
+		if r.Matched != r.Deciding+r.CoMatched+r.Losing {
+			t.Fatalf("rule %s: matched %d != deciding %d + co %d + losing %d",
+				r.Name, r.Matched, r.Deciding, r.CoMatched, r.Losing)
+		}
+	}
+	// The demo roles form 3 cohorts over 4 users; the rollup re-aggregates
+	// them weighted by membership.
+	if len(cov.Cohorts) != 3 {
+		t.Fatalf("cohorts = %d, want 3", len(cov.Cohorts))
+	}
+	if cov.Rollup == nil || cov.Rollup.Cohorts != 3 || cov.Rollup.Users != 4 {
+		t.Fatalf("rollup = %+v", cov.Rollup)
+	}
+}
+
+func TestServeForensicsRoute(t *testing.T) {
+	srv := testMux(t) // issues one grant and one denial
+
+	var resp struct {
+		Windows []xmlac.ForensicsWindow `json:"windows"`
+	}
+	getJSON(t, srv.URL+"/forensics", &resp)
+	if len(resp.Windows) != 3 {
+		t.Fatalf("windows = %d, want 3 (1m/5m/1h)", len(resp.Windows))
+	}
+	for _, w := range resp.Windows {
+		if w.Count < 1 {
+			t.Fatalf("window %s count = %d, want >= 1", w.Window, w.Count)
+		}
+		tops := w.Top["rule"]
+		if len(tops) == 0 || tops[0].Key != "R3" {
+			t.Fatalf("window %s top rules = %+v, want R3 first", w.Window, tops)
+		}
+	}
+}
+
+func TestServeAlertsRoute(t *testing.T) {
+	srv := testMux(t)
+
+	var resp struct {
+		Enabled    bool   `json:"enabled"`
+		FastWindow string `json:"fast_window"`
+		SlowWindow string `json:"slow_window"`
+		Objectives []xmlac.SLOObjective
+		Alerts     []xmlac.AlertState `json:"alerts"`
+	}
+	getJSON(t, srv.URL+"/alerts", &resp)
+	if !resp.Enabled || resp.FastWindow != "5m0s" || resp.SlowWindow != "1h0m0s" {
+		t.Fatalf("alerts header = %+v", resp)
+	}
+	if len(resp.Alerts) != 2 {
+		t.Fatalf("alerts = %+v, want request_p99 and error_rate", resp.Alerts)
+	}
+	for _, a := range resp.Alerts {
+		if a.State != "ok" {
+			t.Fatalf("alert %s starts %q, want ok", a.SLO, a.State)
+		}
+	}
+}
+
+func TestServeAuditTraceFilters(t *testing.T) {
+	srv := testMux(t)
+
+	var auditResp struct {
+		Events []xmlac.AuditEvent `json:"events"`
+	}
+	getJSON(t, srv.URL+"/audit?limit=1", &auditResp)
+	if len(auditResp.Events) != 1 {
+		t.Fatalf("limit=1 returned %d events", len(auditResp.Events))
+	}
+	past := time.Now().Add(-time.Hour).UTC().Format(time.RFC3339)
+	getJSON(t, srv.URL+"/audit?since="+past, &auditResp)
+	if len(auditResp.Events) < 2 {
+		t.Fatalf("since(past) returned %d events, want all", len(auditResp.Events))
+	}
+	future := time.Now().Add(time.Hour).UTC().Format(time.RFC3339)
+	getJSON(t, srv.URL+"/audit?since="+future, &auditResp)
+	if len(auditResp.Events) != 0 {
+		t.Fatalf("since(future) returned %d events, want 0", len(auditResp.Events))
+	}
+
+	res, err := httpGet(srv.URL + "/audit?since=yesterday")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 400 {
+		t.Fatalf("bad since: %s, want 400", res.Status)
+	}
+
+	res, err = httpGet(srv.URL + "/traces?since=" + future)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, res); strings.TrimSpace(body) != "" {
+		t.Fatalf("traces since(future) = %q, want empty", body)
+	}
+	res, err = httpGet(srv.URL + "/traces?limit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, res); strings.Count(body, "trace=") > 1 {
+		t.Fatalf("traces limit=1 returned more than one root:\n%s", body)
+	}
+}
+
+func TestServeRequestUser(t *testing.T) {
+	srv := testMux(t)
+
+	var resp struct {
+		Outcome string `json:"outcome"`
+		User    string `json:"user"`
+		Error   string `json:"error"`
+	}
+	getJSON(t, srv.URL+"/request?q=//patient/name&user=dr-grey", &resp)
+	if resp.Outcome != "grant" || resp.User != "dr-grey" {
+		t.Fatalf("dr-grey request = %+v", resp)
+	}
+	getJSON(t, srv.URL+"/request?q=//patient/name&user=nobody", &resp)
+	if resp.Outcome != "error" || resp.Error == "" {
+		t.Fatalf("unknown user request = %+v", resp)
+	}
+
+	// The multi-user request is audited with the subject stamped on it.
+	var auditResp struct {
+		Events []xmlac.AuditEvent `json:"events"`
+	}
+	getJSON(t, srv.URL+"/audit?limit=500", &auditResp)
+	found := false
+	for _, e := range auditResp.Events {
+		if e.User == "dr-grey" && e.Backend == "cam" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no audit event stamped user=dr-grey: %+v", auditResp.Events)
+	}
+}
+
+// readSSEFrame reads one "event:"/"data:" frame, skipping comments and
+// blank keepalive lines.
+func readSSEFrame(t *testing.T, sc *bufio.Scanner) (event, data string) {
+	t.Helper()
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && event != "":
+			return event, data
+		}
+	}
+	t.Fatalf("stream closed mid-frame: %v", sc.Err())
+	return "", ""
+}
+
+func TestServeStreamSSE(t *testing.T) {
+	srv := testMux(t)
+
+	res, err := httpGet(srv.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(res.Body)
+	event, data := readSSEFrame(t, sc)
+	if event != "hello" || !strings.Contains(data, xmlac.Version) {
+		t.Fatalf("first frame = %s %q, want hello with version", event, data)
+	}
+
+	// A denial decided after the subscription arrives as an audit frame.
+	denyRes, err := httpGet(srv.URL + "/request?q=//patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	denyRes.Body.Close()
+	event, data = readSSEFrame(t, sc)
+	if event != "audit" || !strings.Contains(data, `"deny"`) {
+		t.Fatalf("frame = %s %q, want audit deny", event, data)
+	}
+}
+
+// TestSLOBurnRateFaultInjection is the golden burn-rate round trip: a
+// denial burst under an injected burn multiplier (BENCH_INJECT in CI)
+// flips deny_rate to firing within one fast window, and a quiet window
+// recovers it — with both transitions visible on /alerts and the live
+// stream.
+func TestSLOBurnRateFaultInjection(t *testing.T) {
+	inject := 25.0
+	if env := os.Getenv("BENCH_INJECT"); env != "" {
+		f, err := strconv.ParseFloat(env, 64)
+		if err != nil {
+			t.Fatalf("BENCH_INJECT=%q: %v", env, err)
+		}
+		inject = f
+	}
+
+	schema, err := xmlac.ParseDTD(xmlac.HospitalDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := xmlac.NewMetricsRegistry()
+	aud := xmlac.NewAuditLog(0)
+	col := xmlac.NewTraceCollector(0)
+	sys, err := xmlac.New(xmlac.Config{
+		Schema: schema, Policy: xmlac.HospitalPolicy(), Backend: xmlac.BackendNative,
+		Optimize: true, Metrics: reg, Audit: aud,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmlac.ParseXMLString(xmlac.HospitalDocumentText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Load(doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Annotate(); err != nil {
+		t.Fatal(err)
+	}
+
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	obsy := xmlac.NewObservatory(xmlac.ObservatoryOptions{
+		Metrics: reg,
+		Now:     func() time.Time { return now },
+	})
+	obsy.Attach(aud)
+	if err := obsy.EnableSLOs("deny_rate<1%", time.Minute, 10*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	obsy.SetInject(inject)
+	sub := obsy.Stream().Subscribe()
+	defer sub.Close()
+
+	// The burst: denials dominate the request mix for one fast window.
+	deny := xmlac.MustParseXPath("//patient")
+	grant := xmlac.MustParseXPath("//patient/name")
+	for i := 0; i < 20; i++ {
+		if _, err := sys.Request(deny); err == nil {
+			t.Fatal("//patient unexpectedly granted")
+		}
+	}
+	if _, err := sys.Request(grant); err != nil {
+		t.Fatal(err)
+	}
+
+	now = now.Add(time.Minute)
+	trans := obsy.Tick()
+	if len(trans) != 1 || trans[0].To != "firing" {
+		t.Fatalf("transitions after burst = %+v, want -> firing", trans)
+	}
+
+	// Firing is visible on /alerts and in the stream hello snapshot.
+	srv := httptest.NewServer(newServeMux(sys, nil, obsy, reg, aud, col))
+	t.Cleanup(srv.Close)
+	var alerts struct {
+		Alerts []xmlac.AlertState `json:"alerts"`
+	}
+	getJSON(t, srv.URL+"/alerts", &alerts)
+	if len(alerts.Alerts) != 1 || alerts.Alerts[0].State != "firing" || alerts.Alerts[0].FastBurn < 1 {
+		t.Fatalf("/alerts during burst = %+v", alerts.Alerts)
+	}
+	res, err := httpGet(srv.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(res.Body)
+	if event, data := readSSEFrame(t, sc); event != "hello" || !strings.Contains(data, "firing") {
+		t.Fatalf("hello frame = %s %q, want firing alert snapshot", event, data)
+	}
+	res.Body.Close()
+
+	// A quiet fast window recovers the objective even with the burst
+	// still inside the slow window.
+	for i := 0; i < 10; i++ {
+		if _, err := sys.Request(grant); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now = now.Add(2 * time.Minute)
+	trans = obsy.Tick()
+	if len(trans) != 1 || trans[0].To != "ok" {
+		t.Fatalf("transitions after quiet window = %+v, want -> ok", trans)
+	}
+	getJSON(t, srv.URL+"/alerts", &alerts)
+	if alerts.Alerts[0].State != "ok" || alerts.Alerts[0].Transitions != 2 {
+		t.Fatalf("/alerts after recovery = %+v", alerts.Alerts)
+	}
+
+	// Both edges were published to live subscribers.
+	edges := []string{}
+	for done := false; !done; {
+		select {
+		case ev := <-sub.C():
+			if ev.Type == "alert" && ev.Alert != nil {
+				edges = append(edges, ev.Alert.To)
+			}
+		default:
+			done = true
+		}
+	}
+	if len(edges) != 2 || edges[0] != "firing" || edges[1] != "ok" {
+		t.Fatalf("streamed alert edges = %v, want [firing ok]", edges)
+	}
+
+	// The gauges mirror the state machine.
+	snap := reg.Snapshot()
+	if v := snap.Gauges[`observatory_slo_firing{slo="deny_rate"}`]; v != 0 {
+		t.Fatalf("firing gauge after recovery = %v, want 0", v)
+	}
+}

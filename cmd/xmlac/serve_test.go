@@ -74,7 +74,13 @@ func testMux(t *testing.T) *httptest.Server {
 			t.Fatal(err)
 		}
 	}
-	srv := httptest.NewServer(newServeMux(sys, mu, reg, aud, col))
+	mu.SetAudit(aud)
+	obsy := xmlac.NewObservatory(xmlac.ObservatoryOptions{Metrics: reg})
+	obsy.Attach(aud)
+	if err := obsy.EnableSLOs("request_p99<5ms,error_rate<1%", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServeMux(sys, mu, obsy, reg, aud, col))
 	t.Cleanup(srv.Close)
 	// One grant and one denial so /audit and /traces have content.
 	if _, err := sys.Request(xmlac.MustParseXPath("//patient/name")); err != nil {
@@ -317,7 +323,9 @@ func TestServeCatalogBroadcast(t *testing.T) {
 	if _, err := cat.AnnotateAll(); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newCatalogMux(cat, reg, aud, col))
+	obsy := xmlac.NewObservatory(xmlac.ObservatoryOptions{Metrics: reg, ShardOf: cat.ShardOf})
+	obsy.Attach(aud)
+	srv := httptest.NewServer(newCatalogMux(cat, obsy, reg, aud, col))
 	t.Cleanup(srv.Close)
 
 	var broadcast struct {

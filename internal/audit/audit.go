@@ -46,6 +46,10 @@ type Event struct {
 	// Kind names the audited operation: "request", "write-check",
 	// "annotate" or "reannotate".
 	Kind string `json:"kind"`
+	// User is the requesting subject, stamped by the multi-user layer
+	// (empty on single-subject systems, where the paper fixes the
+	// requester).
+	User string `json:"user,omitempty"`
 	// Backend is the store that served the decision (xquery, monetsql,
 	// postgres).
 	Backend string `json:"backend,omitempty"`
@@ -102,6 +106,8 @@ type Log struct {
 
 	evicted atomic.Uint64 // ring overwrites
 	dropped atomic.Uint64 // JSONL queue overflows
+
+	listeners []func(Event)
 }
 
 // NewLog returns an audit log retaining the newest capacity events
@@ -149,6 +155,20 @@ func (l *Log) Close() {
 	}
 }
 
+// Listen registers fn to be called synchronously with every subsequently
+// recorded event, after it is stamped and stored. Listeners run on the
+// recording goroutine outside the log's lock, so they may read the log
+// but must be fast — a slow listener stalls the decision path it audits.
+// Listeners cannot be removed; attach them for the log's lifetime.
+func (l *Log) Listen(fn func(Event)) {
+	if l == nil || fn == nil {
+		return
+	}
+	l.mu.Lock()
+	l.listeners = append(l.listeners, fn)
+	l.mu.Unlock()
+}
+
 // Record appends an event: it is stamped with the next sequence number
 // (and the current time when e.Time is zero), stored in the ring —
 // evicting the oldest event when full — and offered to the JSONL queue
@@ -178,7 +198,13 @@ func (l *Log) Record(e Event) {
 			l.dropped.Add(1)
 		}
 	}
+	fns := l.listeners
 	l.mu.Unlock()
+	// Concurrent Records may deliver to listeners out of Seq order; the
+	// observatory consumers aggregate and do not rely on ordering.
+	for _, fn := range fns {
+		fn(e)
+	}
 }
 
 // Recent returns up to n of the newest events in chronological order

@@ -1,0 +1,132 @@
+package audit
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMaxBytes is the rotation threshold of OpenRotatingFile(path, 0, n).
+const DefaultMaxBytes = 64 << 20 // 64 MiB
+
+// DefaultMaxFiles is the retained-file count of OpenRotatingFile(path, n, 0):
+// the live file plus two rotated generations.
+const DefaultMaxFiles = 3
+
+// RotatingFile is an io.Writer over a JSONL audit file with size-based
+// rotation: once a write would push the live file past MaxBytes, the file
+// is closed and renamed path -> path.1 (shifting path.1 -> path.2, ...)
+// and a fresh file opened at path. At most MaxFiles files are kept (the
+// live file plus MaxFiles-1 rotated generations); older generations are
+// deleted. A long-running -serve process therefore holds at most
+// MaxBytes*MaxFiles of audit history on disk.
+//
+// Writes are line-atomic as long as callers write whole lines, which the
+// Log's JSONL encoder does: rotation happens only between Write calls.
+type RotatingFile struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	maxFiles int
+	f        *os.File
+	size     int64
+	rotated  atomic.Uint64
+	onRotate func(n uint64)
+}
+
+// OpenRotatingFile opens (appending, creating if missing) a rotating
+// audit file at path. maxBytes <= 0 defaults to DefaultMaxBytes and
+// maxFiles <= 0 to DefaultMaxFiles; maxFiles == 1 keeps only the live
+// file, truncating in place on rotation.
+func OpenRotatingFile(path string, maxBytes int64, maxFiles int) (*RotatingFile, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if maxFiles <= 0 {
+		maxFiles = DefaultMaxFiles
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &RotatingFile{path: path, maxBytes: maxBytes, maxFiles: maxFiles, f: f, size: st.Size()}, nil
+}
+
+// OnRotate registers fn to be called (on the writing goroutine, outside
+// the lock) after each rotation with the total rotation count. Used to
+// export audit_rotations_total.
+func (r *RotatingFile) OnRotate(fn func(n uint64)) {
+	r.mu.Lock()
+	r.onRotate = fn
+	r.mu.Unlock()
+}
+
+// Rotations returns how many times the file has been rotated.
+func (r *RotatingFile) Rotations() uint64 { return r.rotated.Load() }
+
+// Write appends p, rotating first if the live file would exceed MaxBytes.
+// A single record larger than MaxBytes is still written whole.
+func (r *RotatingFile) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	var notify func(n uint64)
+	var count uint64
+	if r.size > 0 && r.size+int64(len(p)) > r.maxBytes {
+		if err := r.rotateLocked(); err != nil {
+			r.mu.Unlock()
+			return 0, err
+		}
+		count = r.rotated.Add(1)
+		notify = r.onRotate
+	}
+	n, err := r.f.Write(p)
+	r.size += int64(n)
+	r.mu.Unlock()
+	if notify != nil {
+		notify(count)
+	}
+	return n, err
+}
+
+// rotateLocked shifts path.(maxFiles-2) -> ... -> path.1 -> gone, renames
+// path to path.1 and reopens a fresh live file. With maxFiles == 1 it
+// truncates the live file instead.
+func (r *RotatingFile) rotateLocked() error {
+	if err := r.f.Close(); err != nil {
+		return err
+	}
+	if r.maxFiles == 1 {
+		f, err := os.OpenFile(r.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		r.f, r.size = f, 0
+		return nil
+	}
+	// Delete the oldest retained generation, then shift the rest up.
+	os.Remove(fmt.Sprintf("%s.%d", r.path, r.maxFiles-1))
+	for i := r.maxFiles - 2; i >= 1; i-- {
+		os.Rename(fmt.Sprintf("%s.%d", r.path, i), fmt.Sprintf("%s.%d", r.path, i+1))
+	}
+	if err := os.Rename(r.path, r.path+".1"); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(r.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	r.f, r.size = f, 0
+	return nil
+}
+
+// Close closes the live file. Further writes fail.
+func (r *RotatingFile) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.f.Close()
+}

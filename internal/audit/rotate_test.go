@@ -1,0 +1,211 @@
+package audit
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRotatingFileShifts: writes past maxBytes rotate path -> path.1 ->
+// path.2, the oldest generation is deleted, and OnRotate sees every
+// rotation count.
+func TestRotatingFileShifts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	rf, err := OpenRotatingFile(path, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	var counts []uint64
+	rf.OnRotate(func(n uint64) { counts = append(counts, n) })
+
+	line := func(s string) { // 8 bytes each, two fit under maxBytes=10
+		t.Helper()
+		if _, err := rf.Write([]byte(s + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	line("aaaaaaa")
+	line("bbbbbbb") // 8+8 > 10: rotates first
+	line("ccccccc") // rotates again
+	line("ddddddd") // rotates: the "a" generation falls off the end
+
+	if got := rf.Rotations(); got != 3 {
+		t.Fatalf("rotations = %d, want 3", got)
+	}
+	if len(counts) != 3 || counts[2] != 3 {
+		t.Fatalf("OnRotate counts = %v, want [1 2 3]", counts)
+	}
+	read := func(p string) string {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("read %s: %v", p, err)
+		}
+		return strings.TrimSpace(string(data))
+	}
+	if got := read(path); got != "ddddddd" {
+		t.Fatalf("live file = %q", got)
+	}
+	if got := read(path + ".1"); got != "ccccccc" {
+		t.Fatalf("path.1 = %q", got)
+	}
+	if got := read(path + ".2"); got != "bbbbbbb" {
+		t.Fatalf("path.2 = %q", got)
+	}
+	if _, err := os.Stat(path + ".3"); !os.IsNotExist(err) {
+		t.Fatalf("path.3 exists: the maxFiles bound leaked a generation")
+	}
+}
+
+// TestRotatingFileSingleRecordOversized: one record larger than maxBytes
+// is still written whole (after rotating away whatever preceded it).
+func TestRotatingFileSingleRecordOversized(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	rf, err := OpenRotatingFile(path, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	big := strings.Repeat("x", 32) + "\n"
+	if _, err := rf.Write([]byte(big)); err != nil {
+		t.Fatal(err)
+	}
+	if rf.Rotations() != 0 {
+		t.Fatal("an oversized first record must not rotate an empty file")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != big {
+		t.Fatalf("oversized record truncated: %d bytes", len(data))
+	}
+}
+
+// TestRotatingFileTruncateInPlace: maxFiles == 1 keeps only the live
+// file, truncating on rotation instead of renaming.
+func TestRotatingFileTruncateInPlace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	rf, err := OpenRotatingFile(path, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	for _, s := range []string{"aaaaaaa\n", "bbbbbbb\n"} {
+		if _, err := rf.Write([]byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rf.Rotations() != 1 {
+		t.Fatalf("rotations = %d, want 1", rf.Rotations())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "bbbbbbb\n" {
+		t.Fatalf("live file = %q, want the post-truncate record only", data)
+	}
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Fatal("maxFiles=1 created a rotated generation")
+	}
+}
+
+// TestRotatingFileResumesSize: reopening an existing file counts its
+// current size toward the threshold.
+func TestRotatingFileResumesSize(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	if err := os.WriteFile(path, []byte("aaaaaaa\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := OpenRotatingFile(path, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	if _, err := rf.Write([]byte("bbbbbbb\n")); err != nil {
+		t.Fatal(err)
+	}
+	if rf.Rotations() != 1 {
+		t.Fatalf("rotations = %d, want 1 (pre-existing bytes ignored)", rf.Rotations())
+	}
+}
+
+// TestLogThroughRotatingFile: the Log's JSONL sink drains whole events
+// through rotation; every line in every generation parses.
+func TestLogThroughRotatingFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	rf, err := OpenRotatingFile(path, 256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLog(0)
+	l.AttachJSONL(rf, 0)
+	for i := 0; i < 32; i++ {
+		l.Record(Event{Kind: "request", Outcome: OutcomeGrant, Query: "//patient/name"})
+	}
+	l.Close()
+	if err := rf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rf.Rotations() == 0 {
+		t.Fatal("32 events under a 256-byte cap should have rotated")
+	}
+	lines := 0
+	for _, p := range []string{path, path + ".1", path + ".2"} {
+		data, err := os.ReadFile(p)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if line == "" {
+				continue
+			}
+			if !strings.HasPrefix(line, "{") || !strings.HasSuffix(line, "}") {
+				t.Fatalf("%s holds a torn line: %q", p, line)
+			}
+			lines++
+		}
+	}
+	if lines == 0 {
+		t.Fatal("no events survived on disk")
+	}
+}
+
+// TestListen: listeners see every recorded event, delivered outside the
+// ring lock (a listener can re-enter the log).
+func TestListen(t *testing.T) {
+	l := NewLog(4)
+	var got []Event
+	l.Listen(func(e Event) { got = append(got, e) })
+	var reentered bool
+	l.Listen(func(e Event) {
+		if e.Kind == "request" && !reentered {
+			reentered = true
+			l.Record(Event{Kind: "echo", Outcome: OutcomeOK})
+		}
+	})
+	l.Record(Event{Kind: "request", Outcome: OutcomeDeny, Time: time.Now()})
+	if len(got) != 2 {
+		t.Fatalf("listener saw %d events, want the original and the re-entrant echo", len(got))
+	}
+	if got[0].Kind != "request" || got[1].Kind != "echo" {
+		t.Fatalf("events = %q, %q", got[0].Kind, got[1].Kind)
+	}
+
+	// Nil funcs and nil logs are inert.
+	l.Listen(nil)
+	var nilLog *Log
+	nilLog.Listen(func(Event) {})
+	nilLog.Record(Event{})
+}

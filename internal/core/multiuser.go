@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xmlac/internal/audit"
 	"xmlac/internal/cam"
 	"xmlac/internal/dtd"
 	"xmlac/internal/obs"
@@ -78,6 +79,10 @@ type MultiUser struct {
 	usersGauge   *obs.Gauge
 	cohortsGauge *obs.Gauge
 	dedupGauge   *obs.Gauge
+
+	// aud, when set, records every Request with the requesting subject
+	// stamped — the multi-user feed of the denial forensics. Nil no-ops.
+	aud *audit.Log
 }
 
 // cohort is one policy-equivalence class: the shared optimized policy, its
@@ -518,9 +523,19 @@ func (m *MultiUser) user(name string) (*cohort, error) {
 	return c, nil
 }
 
+// SetAudit attaches an audit log: every subsequent Request is recorded
+// with the requesting subject stamped on the event (User), feeding the
+// per-subject denial forensics. Pass nil to detach.
+func (m *MultiUser) SetAudit(l *audit.Log) {
+	m.mu.Lock()
+	m.aud = l
+	m.mu.Unlock()
+}
+
 // Request answers a query for one requester with the paper's all-or-nothing
 // semantics, checked against the requester's cohort accessibility map.
 func (m *MultiUser) Request(user string, q *xpath.Path) (*RequestResult, error) {
+	start := time.Now()
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	c, err := m.user(user)
@@ -529,15 +544,52 @@ func (m *MultiUser) Request(user string, q *xpath.Path) (*RequestResult, error) 
 	}
 	nodes, err := xpath.Eval(q, m.doc)
 	if err != nil {
+		m.auditRequestLocked(user, c, q, start, 0, nil, err)
 		return nil, err
 	}
 	m.lookups.Add(int64(len(nodes)))
 	for _, n := range nodes {
 		if !c.acc.Accessible(n) {
-			return nil, fmt.Errorf("%w: node %d (%s) is not accessible to %s", ErrAccessDenied, n.ID, n.Label, user)
+			err := fmt.Errorf("%w: node %d (%s) is not accessible to %s", ErrAccessDenied, n.ID, n.Label, user)
+			m.auditRequestLocked(user, c, q, start, len(nodes), n, err)
+			return nil, err
 		}
 	}
+	m.auditRequestLocked(user, c, q, start, len(nodes), nil, nil)
 	return &RequestResult{Nodes: nodes, Checked: len(nodes)}, nil
+}
+
+// auditRequestLocked records one multi-user request outcome. denied is
+// the first inaccessible node of a denial (its deciding/losing rules are
+// attributed on the fly against the cohort policy); err classifies the
+// outcome. Callers hold at least the read lock. No-op without SetAudit.
+func (m *MultiUser) auditRequestLocked(user string, c *cohort, q *xpath.Path, start time.Time, matched int, denied *xmltree.Node, err error) {
+	if m.aud == nil {
+		return
+	}
+	e := audit.Event{
+		Kind:      "request",
+		User:      user,
+		Backend:   "cam",
+		Semantics: semanticsLabel(c.pol),
+		Query:     q.String(),
+		Matched:   matched,
+		Checked:   matched,
+		Duration:  time.Since(start),
+	}
+	switch {
+	case err == nil:
+		e.Outcome = audit.OutcomeGrant
+	case denied != nil:
+		e.Outcome = audit.OutcomeDeny
+		if d, derr := decideOnFly(c.pol, m.doc, denied); derr == nil {
+			e.Rules = d.AttributingRules()
+		}
+	default:
+		e.Outcome = audit.OutcomeError
+		e.Err = err.Error()
+	}
+	m.aud.Record(e)
 }
 
 // RequestFiltered returns only the matches accessible to the requester.

@@ -276,5 +276,5 @@ func decideOnFly(pol *policy.Policy, doc *xmltree.Document, n *xmltree.Node) (Wh
 // SemanticsLabel renders the active (default semantics, conflict
 // resolution) pair as the audit trail records it, e.g. "ds=-,cr=-".
 func (s *System) SemanticsLabel() string {
-	return "ds=" + s.policy.Default.String() + ",cr=" + s.policy.Conflict.String()
+	return semanticsLabel(s.policy)
 }

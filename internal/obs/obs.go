@@ -267,6 +267,16 @@ func (s *Span) ParentID() SpanID {
 	return s.parentID
 }
 
+// StartTime returns when the span was started (zero on nil).
+func (s *Span) StartTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.start
+}
+
 // Duration returns the finished duration (elapsed time when still open).
 func (s *Span) Duration() time.Duration {
 	if s == nil {

@@ -85,6 +85,25 @@ func TestHistogramQuantileExtremes(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileAllZeroCounts(t *testing.T) {
+	// A snapshot whose buckets all hold zero is the empty case even when
+	// the bucket list is fully materialized.
+	s := HistogramSnapshot{Buckets: []BucketCount{
+		{UpperBound: 0.01}, {UpperBound: 0.1}, {UpperBound: math.Inf(1)},
+	}}
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(p); got != 0 {
+			t.Errorf("Quantile(%g) over all-zero buckets = %g, want 0", p, got)
+		}
+	}
+	// A corrupt snapshot (Count > 0 but no bucket reaches the rank) must
+	// degrade to the last finite lower edge instead of panicking.
+	s.Count = 5
+	if got := s.Quantile(0.9); got != 0.1 {
+		t.Errorf("Quantile on rankless snapshot = %g, want 0.1", got)
+	}
+}
+
 func TestLabeledHistogramExposition(t *testing.T) {
 	r := NewRegistry()
 	r.Histogram(`req_seconds{engine="row"}`, 0.1).Observe(0.05)

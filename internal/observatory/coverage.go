@@ -1,0 +1,147 @@
+// Package observatory is the analytics layer over the access-control
+// system's decision telemetry: policy coverage (which rules ever decide
+// anything), denial forensics (who is being denied what, right now), SLO
+// burn-rate alerting over the latency/error series, and live streaming of
+// decisions to connected operators. It is fed by the audit.Log listener
+// fan-out and the obs metrics registry and depends on nothing else — the
+// same zero-dependency discipline as the rest of the repo.
+package observatory
+
+import "sort"
+
+// RuleCoverage is the decision-analytics row of one policy rule: how
+// often it matched a node at all, and in which Table 2 conflict-
+// resolution role it appeared when it did.
+type RuleCoverage struct {
+	// Index is the rule's position in the loaded policy; Name its label
+	// ("#i" for unnamed rules, matching Why output).
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	// Effect is the rule's sign, "+" (allow) or "-" (deny).
+	Effect string `json:"effect"`
+	// Matched counts the document nodes the rule's resource path matched.
+	Matched int `json:"matched"`
+	// Deciding counts nodes where this rule alone determined the label;
+	// CoMatched nodes where it agreed with the winning side; Losing nodes
+	// where conflict resolution overrode it. Matched = Deciding +
+	// CoMatched + Losing.
+	Deciding  int `json:"deciding"`
+	CoMatched int `json:"co_matched"`
+	Losing    int `json:"losing"`
+	// Dead marks a rule that matched no node at all — it can never fire
+	// under the loaded document (Cheney's statically-unenforceable case
+	// caught dynamically).
+	Dead bool `json:"dead"`
+	// AlwaysLosing marks a rule that matched nodes but only ever appeared
+	// on the losing side of conflict resolution: its effect never reaches
+	// the accessibility map.
+	AlwaysLosing bool `json:"always_losing"`
+}
+
+// CoverageReport joins a loaded policy against the annotated document:
+// per-rule fire counts, the allow/deny node mix, and the rules that are
+// dead weight under the active Table 2 semantics.
+type CoverageReport struct {
+	// Semantics is the active (default, conflict-resolution) pair,
+	// e.g. "ds=-,cr=-".
+	Semantics string `json:"semantics"`
+	// Members counts the subjects sharing this policy — 1 for a
+	// single-subject System, the cohort's refcount in a MultiUser rollup.
+	Members int `json:"members,omitempty"`
+	// Nodes is the number of element nodes labeled; AllowedNodes and
+	// DeniedNodes its accessibility split; DefaultDecided how many nodes
+	// no rule matched (the default semantics decided them).
+	Nodes          int `json:"nodes"`
+	AllowedNodes   int `json:"allowed_nodes"`
+	DeniedNodes    int `json:"denied_nodes"`
+	DefaultDecided int `json:"default_decided"`
+	// AccessibleFraction is AllowedNodes/Nodes — the same figure the
+	// paper's Fig. 9 coverage experiments report.
+	AccessibleFraction float64 `json:"accessible_fraction"`
+	// Rules holds one row per loaded rule, in policy order.
+	Rules []RuleCoverage `json:"rules"`
+	// DeadRules and AlwaysLosingRules list the names of the flagged rows.
+	DeadRules         []string `json:"dead_rules"`
+	AlwaysLosingRules []string `json:"always_losing_rules"`
+	// RemovedRules names rules the optimizer eliminated before annotation
+	// (statically redundant under the schema) — dead before ever being
+	// evaluated.
+	RemovedRules []string `json:"removed_rules,omitempty"`
+}
+
+// Finish derives the per-rule flags, the name lists and the accessible
+// fraction from the raw tallies. Callers populate the counts, then call
+// Finish once.
+func (r *CoverageReport) Finish() {
+	r.DeadRules = r.DeadRules[:0]
+	r.AlwaysLosingRules = r.AlwaysLosingRules[:0]
+	for i := range r.Rules {
+		rc := &r.Rules[i]
+		rc.Dead = rc.Matched == 0
+		rc.AlwaysLosing = rc.Matched > 0 && rc.Deciding == 0 && rc.CoMatched == 0
+		if rc.Dead {
+			r.DeadRules = append(r.DeadRules, rc.Name)
+		}
+		if rc.AlwaysLosing {
+			r.AlwaysLosingRules = append(r.AlwaysLosingRules, rc.Name)
+		}
+	}
+	if r.Nodes > 0 {
+		r.AccessibleFraction = float64(r.AllowedNodes) / float64(r.Nodes)
+	}
+}
+
+// SemanticsMix aggregates the allow/deny node mix of every cohort running
+// under one Table 2 semantics pair.
+type SemanticsMix struct {
+	Semantics    string `json:"semantics"`
+	Cohorts      int    `json:"cohorts"`
+	Users        int    `json:"users"`
+	AllowedNodes int    `json:"allowed_nodes"`
+	DeniedNodes  int    `json:"denied_nodes"`
+	DeadRules    int    `json:"dead_rules"`
+	AlwaysLosing int    `json:"always_losing_rules"`
+}
+
+// CoverageRollup condenses per-cohort coverage reports into the
+// per-semantics allow/deny mix an operator scans first.
+type CoverageRollup struct {
+	Cohorts     int             `json:"cohorts"`
+	Users       int             `json:"users"`
+	BySemantics []*SemanticsMix `json:"by_semantics"`
+}
+
+// RollupCoverage aggregates cohort coverage reports (keyed by cohort id)
+// into a per-semantics rollup, ordered by semantics label.
+func RollupCoverage(cohorts map[string]*CoverageReport) *CoverageRollup {
+	roll := &CoverageRollup{}
+	mix := map[string]*SemanticsMix{}
+	for _, rep := range cohorts {
+		members := rep.Members
+		if members <= 0 {
+			members = 1
+		}
+		roll.Cohorts++
+		roll.Users += members
+		m := mix[rep.Semantics]
+		if m == nil {
+			m = &SemanticsMix{Semantics: rep.Semantics}
+			mix[rep.Semantics] = m
+		}
+		m.Cohorts++
+		m.Users += members
+		m.AllowedNodes += rep.AllowedNodes
+		m.DeniedNodes += rep.DeniedNodes
+		m.DeadRules += len(rep.DeadRules)
+		m.AlwaysLosing += len(rep.AlwaysLosingRules)
+	}
+	keys := make([]string, 0, len(mix))
+	for k := range mix {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		roll.BySemantics = append(roll.BySemantics, mix[k])
+	}
+	return roll
+}

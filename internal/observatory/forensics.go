@@ -1,0 +1,261 @@
+package observatory
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"xmlac/internal/audit"
+)
+
+// DefaultWindows are the tumbling-window sizes of a Forensics built with
+// no explicit windows: one minute, five minutes, one hour.
+var DefaultWindows = []time.Duration{time.Minute, 5 * time.Minute, time.Hour}
+
+// DefaultTopK is how many entries each dimension's top list reports.
+const DefaultTopK = 5
+
+// historyCap bounds the per-window ring of completed-window totals; older
+// totals are evicted (counted per window).
+const historyCap = 12
+
+// forensic dimensions, in report order.
+var dimensions = []string{"user", "doc", "rule", "backend", "shard"}
+
+// Forensics aggregates denial events into tumbling time windows, keyed
+// by subject, document, deciding rule, backend and shard. Each window
+// size keeps the in-progress window, the last completed window (for
+// rate-of-change) and a short ring of completed totals (for sparkline
+// trends). Windows are aligned to wall-clock multiples of their size, so
+// an event stamped exactly on a window edge opens the new window — the
+// edge belongs to the interval it starts.
+type Forensics struct {
+	mu      sync.Mutex
+	now     func() time.Time
+	topK    int
+	shardOf func(doc string) string
+	windows []*fwindow
+}
+
+type fwindow struct {
+	size  time.Duration
+	start time.Time // current window start; zero until the first event
+	cur   *fbucket
+	prev  *fbucket
+
+	hist     [historyCap]int64 // completed-window totals, ring
+	histLen  int
+	histNext int
+	evicted  uint64
+}
+
+type fbucket struct {
+	total int64
+	dims  map[string]map[string]int64 // dimension -> key -> denials
+}
+
+func newFbucket() *fbucket {
+	return &fbucket{dims: map[string]map[string]int64{}}
+}
+
+func (b *fbucket) add(dim, key string) {
+	if key == "" {
+		return
+	}
+	m := b.dims[dim]
+	if m == nil {
+		m = map[string]int64{}
+		b.dims[dim] = m
+	}
+	m[key]++
+}
+
+// NewForensics builds a denial aggregator over the given window sizes
+// (DefaultWindows when none), reporting topK entries per dimension
+// (DefaultTopK when <= 0). now and shardOf may be nil: the wall clock
+// and an absent shard dimension, respectively.
+func NewForensics(windows []time.Duration, topK int, now func() time.Time, shardOf func(string) string) *Forensics {
+	if len(windows) == 0 {
+		windows = DefaultWindows
+	}
+	if topK <= 0 {
+		topK = DefaultTopK
+	}
+	if now == nil {
+		now = time.Now
+	}
+	f := &Forensics{now: now, topK: topK, shardOf: shardOf}
+	for _, size := range windows {
+		if size > 0 {
+			f.windows = append(f.windows, &fwindow{size: size, cur: newFbucket(), prev: newFbucket()})
+		}
+	}
+	return f
+}
+
+// Observe ingests one denial event. Events of any other outcome are
+// ignored, so Observe can be fed the raw audit stream.
+func (f *Forensics) Observe(e audit.Event) {
+	if f == nil || e.Outcome != audit.OutcomeDeny {
+		return
+	}
+	t := e.Time
+	if t.IsZero() {
+		t = f.now()
+	}
+	rule := ""
+	if len(e.Rules) > 0 {
+		rule = e.Rules[0]
+	}
+	shard := ""
+	if f.shardOf != nil && e.Doc != "" {
+		shard = f.shardOf(e.Doc)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, w := range f.windows {
+		w.roll(t)
+		w.cur.total++
+		w.cur.add("user", e.User)
+		w.cur.add("doc", e.Doc)
+		w.cur.add("rule", rule)
+		w.cur.add("backend", e.Backend)
+		w.cur.add("shard", shard)
+	}
+}
+
+// roll advances the window so that t falls inside the current interval,
+// completing (and recording) any intervals that ended before t.
+func (w *fwindow) roll(t time.Time) {
+	if w.start.IsZero() {
+		w.start = t.Truncate(w.size)
+		return
+	}
+	if t.Before(w.start.Add(w.size)) {
+		return
+	}
+	// Close the in-progress window.
+	w.pushHist(w.cur.total)
+	w.prev, w.cur = w.cur, newFbucket()
+	w.start = w.start.Add(w.size)
+	if t.Before(w.start.Add(w.size)) {
+		return
+	}
+	// A gap longer than one window: everything between was empty. Record
+	// one zero interval (the one adjacent to the data we had), drop the
+	// rest, and jump — a week-long idle gap must not loop 10k times.
+	w.pushHist(0)
+	w.prev = newFbucket()
+	w.start = t.Truncate(w.size)
+}
+
+func (w *fwindow) pushHist(total int64) {
+	if w.histLen < historyCap {
+		w.hist[(w.histNext+w.histLen)%historyCap] = total
+		w.histLen++
+		return
+	}
+	w.hist[w.histNext] = total
+	w.histNext = (w.histNext + 1) % historyCap
+	w.evicted++
+}
+
+// TopEntry is one key's denial count within a window, with the previous
+// completed window's count and the extrapolated rate-of-change.
+type TopEntry struct {
+	Key   string `json:"key"`
+	Count int64  `json:"count"`
+	Prev  int64  `json:"prev"`
+	// Change is the current count extrapolated to a full window, divided
+	// by the previous window's count (0 when there is no previous data).
+	// 2.0 reads "denials for this key are doubling".
+	Change float64 `json:"change,omitempty"`
+}
+
+// WindowReport is the denial forensics of one tumbling window size.
+type WindowReport struct {
+	Window string    `json:"window"`
+	Start  time.Time `json:"start"`
+	// Count is the in-progress window's denials; Prev the last completed
+	// window's.
+	Count int64 `json:"count"`
+	Prev  int64 `json:"prev"`
+	// Rate is denials per second over the elapsed part of the window;
+	// Change the extrapolated full-window count over Prev (0 without
+	// previous data).
+	Rate   float64 `json:"rate"`
+	Change float64 `json:"change,omitempty"`
+	// History holds up to 12 completed-window totals, oldest first;
+	// Evicted counts totals the ring dropped.
+	History []int64 `json:"history,omitempty"`
+	Evicted uint64  `json:"evicted,omitempty"`
+	// Top maps dimension (user, doc, rule, backend, shard) to its top-K
+	// keys by denial count.
+	Top map[string][]TopEntry `json:"top"`
+}
+
+// Report rolls every window forward to now and returns one report per
+// window size, smallest first.
+func (f *Forensics) Report() []WindowReport {
+	if f == nil {
+		return nil
+	}
+	now := f.now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]WindowReport, 0, len(f.windows))
+	for _, w := range f.windows {
+		if !w.start.IsZero() {
+			w.roll(now)
+		}
+		rep := WindowReport{
+			Window:  w.size.String(),
+			Start:   w.start,
+			Count:   w.cur.total,
+			Prev:    w.prev.total,
+			Evicted: w.evicted,
+			Top:     map[string][]TopEntry{},
+		}
+		elapsed := now.Sub(w.start).Seconds()
+		if w.start.IsZero() || elapsed <= 0 {
+			elapsed = w.size.Seconds()
+		}
+		if elapsed > w.size.Seconds() {
+			elapsed = w.size.Seconds()
+		}
+		rep.Rate = float64(w.cur.total) / elapsed
+		scale := w.size.Seconds() / elapsed
+		if w.prev.total > 0 {
+			rep.Change = float64(w.cur.total) * scale / float64(w.prev.total)
+		}
+		for i := 0; i < w.histLen; i++ {
+			rep.History = append(rep.History, w.hist[(w.histNext+i)%historyCap])
+		}
+		for _, dim := range dimensions {
+			cur := w.cur.dims[dim]
+			if len(cur) == 0 {
+				continue
+			}
+			entries := make([]TopEntry, 0, len(cur))
+			for k, n := range cur {
+				e := TopEntry{Key: k, Count: n, Prev: w.prev.dims[dim][k]}
+				if e.Prev > 0 {
+					e.Change = float64(e.Count) * scale / float64(e.Prev)
+				}
+				entries = append(entries, e)
+			}
+			sort.Slice(entries, func(i, j int) bool {
+				if entries[i].Count != entries[j].Count {
+					return entries[i].Count > entries[j].Count
+				}
+				return entries[i].Key < entries[j].Key
+			})
+			if len(entries) > f.topK {
+				entries = entries[:f.topK]
+			}
+			rep.Top[dim] = entries
+		}
+		out = append(out, rep)
+	}
+	return out
+}

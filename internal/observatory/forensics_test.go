@@ -1,0 +1,155 @@
+package observatory
+
+import (
+	"testing"
+	"time"
+
+	"xmlac/internal/audit"
+)
+
+func deny(t time.Time, user, doc, rule string) audit.Event {
+	return audit.Event{
+		Kind: "request", Outcome: audit.OutcomeDeny, Time: t,
+		User: user, Doc: doc, Rules: []string{rule},
+	}
+}
+
+// fixed test clock origin, aligned to a minute boundary.
+var t0 = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+func TestForensicsWindowEdge(t *testing.T) {
+	now := t0
+	f := NewForensics([]time.Duration{time.Minute}, 0, func() time.Time { return now }, nil)
+
+	f.Observe(deny(t0.Add(10*time.Second), "alice", "d1", "R1"))
+	f.Observe(deny(t0.Add(59*time.Second), "alice", "d1", "R1"))
+	// Exactly on the boundary: the event opens the NEXT window — a
+	// tumbling window is half-open [start, start+size).
+	f.Observe(deny(t0.Add(time.Minute), "bob", "d2", "R2"))
+
+	now = t0.Add(90 * time.Second)
+	rep := f.Report()[0]
+	if rep.Count != 1 || rep.Prev != 2 {
+		t.Fatalf("count/prev = %d/%d, want 1/2 (boundary event in the new window)", rep.Count, rep.Prev)
+	}
+	if got := rep.Start; !got.Equal(t0.Add(time.Minute)) {
+		t.Fatalf("window start = %v, want the boundary instant", got)
+	}
+	if len(rep.History) != 1 || rep.History[0] != 2 {
+		t.Fatalf("history = %v, want [2]", rep.History)
+	}
+	if tops := rep.Top["user"]; len(tops) != 1 || tops[0].Key != "bob" {
+		t.Fatalf("current-window top users = %+v, want bob only", tops)
+	}
+}
+
+func TestForensicsGapSkipsEmptyWindows(t *testing.T) {
+	now := t0
+	f := NewForensics([]time.Duration{time.Minute}, 0, func() time.Time { return now }, nil)
+	f.Observe(deny(t0.Add(time.Second), "alice", "d1", "R1"))
+	// A week-long quiet gap: one zero history entry is recorded (the
+	// interval adjacent to the data), the rest are dropped, not looped.
+	f.Observe(deny(t0.Add(7*24*time.Hour), "alice", "d1", "R1"))
+
+	now = t0.Add(7*24*time.Hour + time.Second)
+	rep := f.Report()[0]
+	if len(rep.History) != 2 || rep.History[0] != 1 || rep.History[1] != 0 {
+		t.Fatalf("history after gap = %v, want [1 0]", rep.History)
+	}
+	if rep.Count != 1 || rep.Prev != 0 {
+		t.Fatalf("count/prev after gap = %d/%d, want 1/0", rep.Count, rep.Prev)
+	}
+}
+
+func TestForensicsHistoryRingEviction(t *testing.T) {
+	now := t0
+	f := NewForensics([]time.Duration{time.Minute}, 0, func() time.Time { return now }, nil)
+	// 15 consecutive windows, one denial each; the 12-slot ring keeps the
+	// newest 12 completed windows (minus the still-open one) and counts
+	// what fell off.
+	for i := 0; i < 15; i++ {
+		f.Observe(deny(t0.Add(time.Duration(i)*time.Minute), "alice", "d1", "R1"))
+	}
+	now = t0.Add(15 * time.Minute)
+	rep := f.Report()[0]
+	if len(rep.History) != historyCap {
+		t.Fatalf("history length = %d, want the %d-slot cap", len(rep.History), historyCap)
+	}
+	// Windows 0..14 completed (the roll to now closes window 14); 15
+	// totals pushed, 12 kept, 3 evicted.
+	if rep.Evicted != 3 {
+		t.Fatalf("evicted = %d, want 3", rep.Evicted)
+	}
+	for i, h := range rep.History {
+		if h != 1 {
+			t.Fatalf("history[%d] = %d, want 1 denial per window", i, h)
+		}
+	}
+}
+
+func TestForensicsTopKAndChange(t *testing.T) {
+	now := t0
+	shardOf := func(doc string) string { return "shard-" + doc }
+	f := NewForensics([]time.Duration{time.Minute}, 2, func() time.Time { return now }, shardOf)
+
+	// Previous window: alice denied twice, bob once.
+	f.Observe(deny(t0.Add(1*time.Second), "alice", "d1", "R1"))
+	f.Observe(deny(t0.Add(2*time.Second), "alice", "d1", "R1"))
+	f.Observe(deny(t0.Add(3*time.Second), "bob", "d2", "R2"))
+	// Current window (half elapsed): alice twice again, carol & bob once.
+	for _, e := range []audit.Event{
+		deny(t0.Add(61*time.Second), "alice", "d1", "R1"),
+		deny(t0.Add(62*time.Second), "alice", "d1", "R1"),
+		deny(t0.Add(63*time.Second), "bob", "d2", "R2"),
+		deny(t0.Add(64*time.Second), "carol", "d3", "R3"),
+	} {
+		f.Observe(e)
+	}
+
+	now = t0.Add(90 * time.Second) // half of the current window elapsed
+	rep := f.Report()[0]
+	users := rep.Top["user"]
+	if len(users) != 2 { // topK=2 truncates carol/bob ties deterministically
+		t.Fatalf("top users = %+v, want 2 entries", users)
+	}
+	if users[0].Key != "alice" || users[0].Count != 2 || users[0].Prev != 2 {
+		t.Fatalf("top user = %+v, want alice 2 (prev 2)", users[0])
+	}
+	// Ties break lexicographically: bob before carol.
+	if users[1].Key != "bob" {
+		t.Fatalf("second user = %+v, want bob (tie broken by key)", users[1])
+	}
+	// Rate-of-change extrapolates the half-elapsed window to full size:
+	// alice is on pace for 4 against 2 last window -> 2x.
+	if users[0].Change < 1.9 || users[0].Change > 2.1 {
+		t.Fatalf("alice change = %v, want ~2x", users[0].Change)
+	}
+	if rep.Change < 8.0/3-0.1 || rep.Change > 8.0/3+0.1 {
+		t.Fatalf("window change = %v, want ~%v (4 on pace for 8 vs 3)", rep.Change, 8.0/3)
+	}
+	// The shard dimension rides on the resolver.
+	if shards := rep.Top["shard"]; len(shards) == 0 || shards[0].Key != "shard-d1" {
+		t.Fatalf("top shards = %+v", shards)
+	}
+	// Rate: 4 denials over 30 elapsed seconds.
+	if rep.Rate < 0.13 || rep.Rate > 0.14 {
+		t.Fatalf("rate = %v, want ~0.133/s", rep.Rate)
+	}
+}
+
+func TestForensicsIgnoresNonDenials(t *testing.T) {
+	f := NewForensics(nil, 0, func() time.Time { return t0 }, nil)
+	f.Observe(audit.Event{Kind: "request", Outcome: audit.OutcomeGrant, Time: t0})
+	f.Observe(audit.Event{Kind: "request", Outcome: audit.OutcomeError, Time: t0})
+	for _, rep := range f.Report() {
+		if rep.Count != 0 {
+			t.Fatalf("window %s counted a non-denial: %+v", rep.Window, rep)
+		}
+	}
+	// Nil receivers no-op.
+	var nilF *Forensics
+	nilF.Observe(deny(t0, "a", "d", "R"))
+	if nilF.Report() != nil {
+		t.Fatal("nil forensics reported windows")
+	}
+}

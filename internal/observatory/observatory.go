@@ -1,0 +1,166 @@
+package observatory
+
+import (
+	"sync"
+	"time"
+
+	"xmlac/internal/audit"
+	"xmlac/internal/obs"
+)
+
+// Options configures an Observatory.
+type Options struct {
+	// Metrics receives the observatory_* series (nil for none).
+	Metrics *obs.Registry
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+	// Windows are the forensics tumbling-window sizes (DefaultWindows
+	// when empty); TopK the per-dimension top-list length (DefaultTopK
+	// when <= 0).
+	Windows []time.Duration
+	TopK    int
+	// ShardOf resolves a document name to its catalog shard for the
+	// forensics shard dimension (nil on single-document systems).
+	ShardOf func(doc string) string
+	// StreamQueue is the per-subscriber live-stream queue depth
+	// (DefaultStreamQueue when <= 0).
+	StreamQueue int
+}
+
+// Observatory is the assembled analytics engine: it listens on the audit
+// log, feeds denial forensics and the live stream, and (once EnableSLOs
+// is called) drives the burn-rate alert state machines. All methods are
+// safe for concurrent use; a nil *Observatory no-ops on Observe so
+// wiring needs no enabled-checks.
+type Observatory struct {
+	reg       *obs.Registry
+	now       func() time.Time
+	forensics *Forensics
+	stream    *Stream
+
+	mu  sync.Mutex
+	slo *SLOEngine
+
+	byOutcome map[audit.Outcome]*obs.Counter
+	other     *obs.Counter
+}
+
+// New builds an Observatory. SLOs are off until EnableSLOs.
+func New(opts Options) *Observatory {
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	reg := opts.Metrics
+	o := &Observatory{
+		reg:       reg,
+		now:       now,
+		forensics: NewForensics(opts.Windows, opts.TopK, now, opts.ShardOf),
+		stream:    NewStream(opts.StreamQueue, reg),
+		other:     reg.Counter("observatory_events_total"),
+	}
+	o.byOutcome = map[audit.Outcome]*obs.Counter{}
+	for _, out := range []audit.Outcome{audit.OutcomeGrant, audit.OutcomeDeny, audit.OutcomeError, audit.OutcomeOK} {
+		o.byOutcome[out] = reg.Counter(`observatory_events_total{outcome="` + string(out) + `"}`)
+	}
+	return o
+}
+
+// Attach subscribes the observatory to every event l records.
+func (o *Observatory) Attach(l *audit.Log) {
+	if o == nil || l == nil {
+		return
+	}
+	l.Listen(o.Observe)
+}
+
+// Observe ingests one audit event: it is counted, streamed to live
+// subscribers, and — when it is a denial — aggregated into the
+// forensics windows. This is the per-decision hot path; everything here
+// is O(subscribers + windows).
+func (o *Observatory) Observe(e audit.Event) {
+	if o == nil {
+		return
+	}
+	if c := o.byOutcome[e.Outcome]; c != nil {
+		c.Inc()
+	} else {
+		o.other.Inc()
+	}
+	if e.Outcome == audit.OutcomeDeny {
+		o.forensics.Observe(e)
+	}
+	ev := e
+	o.stream.Publish(StreamEvent{Type: "audit", Time: e.Time, Audit: &ev})
+}
+
+// Forensics returns the denial aggregator.
+func (o *Observatory) Forensics() *Forensics {
+	if o == nil {
+		return nil
+	}
+	return o.forensics
+}
+
+// Stream returns the live-stream hub.
+func (o *Observatory) Stream() *Stream {
+	if o == nil {
+		return nil
+	}
+	return o.stream
+}
+
+// SLO returns the burn-rate engine (nil until EnableSLOs).
+func (o *Observatory) SLO() *SLOEngine {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.slo
+}
+
+// EnableSLOs parses spec (see ParseObjectives) and installs the burn-
+// rate engine with the given fast/slow windows (defaults when <= 0),
+// replacing any previous engine.
+func (o *Observatory) EnableSLOs(spec string, fast, slow time.Duration) error {
+	objectives, err := ParseObjectives(spec)
+	if err != nil {
+		return err
+	}
+	e := NewSLOEngine(objectives, o.reg, fast, slow, o.now, o.stream)
+	o.mu.Lock()
+	o.slo = e
+	o.mu.Unlock()
+	return nil
+}
+
+// SetInject forwards the fault-injection burn multiplier to the SLO
+// engine (no-op while SLOs are off).
+func (o *Observatory) SetInject(f float64) {
+	o.SLO().SetInject(f)
+}
+
+// Tick re-evaluates the SLO engine once (no-op without one), returning
+// any alert transitions.
+func (o *Observatory) Tick() []AlertTransition {
+	return o.SLO().Tick()
+}
+
+// Run ticks the SLO engine every interval (1s when <= 0) until stop is
+// closed. Call in a goroutine; returns when stop closes.
+func (o *Observatory) Run(stop <-chan struct{}, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			o.Tick()
+		}
+	}
+}

@@ -1,0 +1,481 @@
+package observatory
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"xmlac/internal/obs"
+)
+
+// DefaultFastWindow and DefaultSlowWindow are the multi-window burn-rate
+// horizons: the fast window fires quickly on a sharp burst, the slow
+// window keeps a brief blip from paging anyone. The pairing and the
+// burn-rate framing follow the SRE-workbook alerting recipe.
+const (
+	DefaultFastWindow = 5 * time.Minute
+	DefaultSlowWindow = time.Hour
+)
+
+// transitionCap bounds the retained alert-transition ring.
+const transitionCap = 64
+
+// ObjectiveKind distinguishes latency objectives (a quantile must stay
+// under a duration) from ratio objectives (a bad-outcome fraction must
+// stay under a budget).
+type ObjectiveKind int
+
+const (
+	// KindLatency is request_pNN < duration.
+	KindLatency ObjectiveKind = iota
+	// KindRatio is error_rate / deny_rate < fraction.
+	KindRatio
+)
+
+// Objective is one declarative service-level objective parsed from the
+// -slo flag syntax, e.g. `request_p99<5ms` or `error_rate<1%`.
+type Objective struct {
+	// Name is the objective's identifier: request_p50, request_p95,
+	// request_p99, error_rate or deny_rate. Raw is the flag text.
+	Name string        `json:"name"`
+	Raw  string        `json:"raw"`
+	Kind ObjectiveKind `json:"-"`
+	// Quantile is the latency quantile (0.99 for request_p99);
+	// Threshold the limit in seconds (latency) or as a fraction (ratio).
+	Quantile  float64 `json:"quantile,omitempty"`
+	Threshold float64 `json:"threshold"`
+	// Budget is the tolerated bad-event fraction the burn rate is
+	// measured against: 1-Quantile for latency, Threshold for ratios.
+	Budget float64 `json:"budget"`
+	// badOutcomes are the audit outcomes a ratio objective counts as bad.
+	badOutcomes []string
+}
+
+// ParseObjectives parses the comma-separated -slo flag syntax:
+// `request_p99<5ms,error_rate<1%`. Latency objectives (request_p50/p95/
+// p99) take a Go duration; ratio objectives (error_rate, deny_rate) take
+// a percentage (`1%`) or fraction (`0.01`).
+func ParseObjectives(spec string) ([]Objective, error) {
+	var out []Objective
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		i := strings.IndexByte(part, '<')
+		if i <= 0 || i == len(part)-1 {
+			return nil, fmt.Errorf("observatory: bad objective %q (want name<value)", part)
+		}
+		name, val := strings.TrimSpace(part[:i]), strings.TrimSpace(part[i+1:])
+		o := Objective{Name: name, Raw: part}
+		switch name {
+		case "request_p50", "request_p95", "request_p99":
+			o.Kind = KindLatency
+			q, _ := strconv.ParseFloat(name[len("request_p"):], 64)
+			o.Quantile = q / 100
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("observatory: bad latency threshold %q in %q", val, part)
+			}
+			o.Threshold = d.Seconds()
+			o.Budget = 1 - o.Quantile
+		case "error_rate", "deny_rate":
+			o.Kind = KindRatio
+			f, err := parseFraction(val)
+			if err != nil {
+				return nil, fmt.Errorf("observatory: bad rate threshold %q in %q: %v", val, part, err)
+			}
+			o.Threshold, o.Budget = f, f
+			if name == "error_rate" {
+				o.badOutcomes = []string{"error"}
+			} else {
+				o.badOutcomes = []string{"deny"}
+			}
+		default:
+			return nil, fmt.Errorf("observatory: unknown objective %q (want request_p50/p95/p99, error_rate, deny_rate)", name)
+		}
+		out = append(out, o)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("observatory: empty SLO spec")
+	}
+	return out, nil
+}
+
+func parseFraction(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	s = strings.TrimSuffix(s, "%")
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if pct {
+		f /= 100
+	}
+	if f <= 0 || f >= 1 {
+		return 0, fmt.Errorf("fraction out of (0,1)")
+	}
+	return f, nil
+}
+
+// AlertState is the current state of one objective's burn-rate state
+// machine, as served by /alerts.
+type AlertState struct {
+	SLO   string `json:"slo"`
+	Raw   string `json:"raw"`
+	State string `json:"state"` // "ok" | "firing"
+	// FastBurn and SlowBurn are the burn rates over the fast and slow
+	// windows: 1.0 means bad events arrive exactly at the budgeted rate,
+	// above 1.0 the budget is burning down.
+	FastBurn float64 `json:"fast_burn"`
+	SlowBurn float64 `json:"slow_burn"`
+	// Since is when the state was last entered; Transitions how many
+	// times the objective changed state.
+	Since       time.Time `json:"since,omitempty"`
+	Transitions int       `json:"transitions"`
+}
+
+// AlertTransition is one state-machine edge, kept in a bounded ring and
+// published to the live stream.
+type AlertTransition struct {
+	SLO      string    `json:"slo"`
+	Raw      string    `json:"raw"`
+	From     string    `json:"from"`
+	To       string    `json:"to"`
+	At       time.Time `json:"at"`
+	FastBurn float64   `json:"fast_burn"`
+	SlowBurn float64   `json:"slow_burn"`
+}
+
+// sloSample is one point-in-time reading of the request-path series:
+// merged cumulative latency buckets plus per-outcome totals.
+type sloSample struct {
+	t        time.Time
+	buckets  []obs.BucketCount
+	total    uint64
+	outcomes map[string]uint64
+}
+
+type sloState struct {
+	firing      bool
+	since       time.Time
+	fastBurn    float64
+	slowBurn    float64
+	transitions int
+}
+
+// SLOEngine evaluates declarative objectives over the metrics registry's
+// store_request_seconds{engine,outcome} series with a multi-window
+// burn-rate state machine: an objective fires when both the fast and the
+// slow window burn above 1x budget, and recovers as soon as the fast
+// window burns below it. Call Tick periodically (Observatory.Run does).
+type SLOEngine struct {
+	mu         sync.Mutex
+	reg        *obs.Registry
+	now        func() time.Time
+	objectives []Objective
+	fast, slow time.Duration
+	inject     float64
+
+	samples     []sloSample
+	states      []sloState
+	transitions []AlertTransition
+	totalTrans  int
+	stream      *Stream
+
+	firingGauge []*obs.Gauge
+	fastGauge   []*obs.Gauge
+	slowGauge   []*obs.Gauge
+	transTotal  *obs.Counter
+}
+
+// NewSLOEngine builds an engine for the given objectives over reg.
+// fast/slow <= 0 default to DefaultFastWindow/DefaultSlowWindow; now may
+// be nil (wall clock); stream may be nil (transitions are still kept in
+// the ring).
+func NewSLOEngine(objectives []Objective, reg *obs.Registry, fast, slow time.Duration, now func() time.Time, stream *Stream) *SLOEngine {
+	if fast <= 0 {
+		fast = DefaultFastWindow
+	}
+	if slow <= 0 {
+		slow = DefaultSlowWindow
+	}
+	if slow < fast {
+		slow = fast
+	}
+	if now == nil {
+		now = time.Now
+	}
+	e := &SLOEngine{
+		reg:        reg,
+		now:        now,
+		objectives: objectives,
+		fast:       fast,
+		slow:       slow,
+		states:     make([]sloState, len(objectives)),
+		stream:     stream,
+		transTotal: reg.Counter("observatory_slo_transitions_total"),
+	}
+	for _, o := range objectives {
+		e.firingGauge = append(e.firingGauge, reg.Gauge(fmt.Sprintf("observatory_slo_firing{slo=%q}", o.Name)))
+		e.fastGauge = append(e.fastGauge, reg.Gauge(fmt.Sprintf("observatory_slo_burn{slo=%q,window=%q}", o.Name, "fast")))
+		e.slowGauge = append(e.slowGauge, reg.Gauge(fmt.Sprintf("observatory_slo_burn{slo=%q,window=%q}", o.Name, "slow")))
+	}
+	return e
+}
+
+// Objectives returns the parsed objectives.
+func (e *SLOEngine) Objectives() []Objective {
+	if e == nil {
+		return nil
+	}
+	return e.objectives
+}
+
+// SetInject scales every computed burn rate by f — the fault-injection
+// knob behind BENCH_INJECT, used by CI to prove the firing->ok round
+// trip without waiting for a real outage. f <= 0 or 1 disables.
+func (e *SLOEngine) SetInject(f float64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.inject = f
+	e.mu.Unlock()
+}
+
+// Tick takes a fresh sample of the request series, re-evaluates every
+// objective's burn-rate state machine, updates the observatory_slo_*
+// gauges and returns (and stream-publishes) any state transitions.
+func (e *SLOEngine) Tick() []AlertTransition {
+	if e == nil {
+		return nil
+	}
+	now := e.now()
+	snap := e.reg.Snapshot()
+	e.mu.Lock()
+	cur := sampleRequestSeries(snap, now)
+	e.samples = append(e.samples, cur)
+	// Keep one sample older than the slow window as the baseline; prune
+	// the rest.
+	horizon := now.Add(-e.slow - e.fast)
+	for len(e.samples) > 2 && e.samples[1].t.Before(horizon) {
+		e.samples = e.samples[1:]
+	}
+	var fired []AlertTransition
+	for i := range e.objectives {
+		o := &e.objectives[i]
+		st := &e.states[i]
+		st.fastBurn = e.burnLocked(o, now, e.fast)
+		st.slowBurn = e.burnLocked(o, now, e.slow)
+		e.fastGauge[i].Set(st.fastBurn)
+		e.slowGauge[i].Set(st.slowBurn)
+		var to string
+		if !st.firing && st.fastBurn >= 1 && st.slowBurn >= 1 {
+			st.firing, to = true, "firing"
+		} else if st.firing && st.fastBurn < 1 {
+			st.firing, to = false, "ok"
+		}
+		if to != "" {
+			from := "firing"
+			if to == "firing" {
+				from = "ok"
+			}
+			st.since = now
+			st.transitions++
+			tr := AlertTransition{SLO: o.Name, Raw: o.Raw, From: from, To: to, At: now,
+				FastBurn: st.fastBurn, SlowBurn: st.slowBurn}
+			e.transitions = append(e.transitions, tr)
+			if len(e.transitions) > transitionCap {
+				e.transitions = e.transitions[len(e.transitions)-transitionCap:]
+			}
+			e.totalTrans++
+			fired = append(fired, tr)
+		}
+		if st.firing {
+			e.firingGauge[i].Set(1)
+		} else {
+			e.firingGauge[i].Set(0)
+		}
+	}
+	stream := e.stream
+	e.mu.Unlock()
+	e.transTotal.Add(int64(len(fired)))
+	for _, tr := range fired {
+		trCopy := tr
+		stream.Publish(StreamEvent{Type: "alert", Time: tr.At, Alert: &trCopy})
+	}
+	return fired
+}
+
+// burnLocked computes an objective's burn rate over the trailing window
+// ending now: the bad-event fraction within the window divided by the
+// budget. A window with no traffic burns 0.
+func (e *SLOEngine) burnLocked(o *Objective, now time.Time, window time.Duration) float64 {
+	cur := e.samples[len(e.samples)-1]
+	base := baselineSample(e.samples, now.Add(-window))
+	total := cur.total - base.total
+	if total == 0 {
+		return 0
+	}
+	var badFrac float64
+	switch o.Kind {
+	case KindLatency:
+		badFrac = 1 - fractionAtMost(cur.buckets, base.buckets, total, o.Threshold)
+	case KindRatio:
+		var bad uint64
+		for _, out := range o.badOutcomes {
+			bad += cur.outcomes[out] - base.outcomes[out]
+		}
+		badFrac = float64(bad) / float64(total)
+	}
+	burn := badFrac / o.Budget
+	if e.inject > 0 && e.inject != 1 {
+		burn *= e.inject
+	}
+	return burn
+}
+
+// baselineSample returns the newest sample at or before t (a zero sample
+// when every reading is newer — the window then spans from process
+// start, which over-reports nothing since counters started at zero).
+func baselineSample(samples []sloSample, t time.Time) sloSample {
+	base := sloSample{outcomes: map[string]uint64{}}
+	for i := len(samples) - 1; i >= 0; i-- {
+		if !samples[i].t.After(t) {
+			return samples[i]
+		}
+	}
+	return base
+}
+
+// Alerts returns the current state of every objective.
+func (e *SLOEngine) Alerts() []AlertState {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]AlertState, 0, len(e.objectives))
+	for i, o := range e.objectives {
+		st := e.states[i]
+		state := "ok"
+		if st.firing {
+			state = "firing"
+		}
+		out = append(out, AlertState{SLO: o.Name, Raw: o.Raw, State: state,
+			FastBurn: st.fastBurn, SlowBurn: st.slowBurn, Since: st.since, Transitions: st.transitions})
+	}
+	return out
+}
+
+// Transitions returns the retained transition history, oldest first.
+func (e *SLOEngine) Transitions() []AlertTransition {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]AlertTransition(nil), e.transitions...)
+}
+
+// Windows returns the configured fast and slow burn windows.
+func (e *SLOEngine) Windows() (fast, slow time.Duration) {
+	if e == nil {
+		return 0, 0
+	}
+	return e.fast, e.slow
+}
+
+// sampleRequestSeries merges every store_request_seconds{engine,outcome}
+// histogram in the snapshot into one cumulative bucket set plus
+// per-outcome totals. The registry encodes labels inline in the metric
+// name, so series enumeration is a prefix scan.
+func sampleRequestSeries(snap obs.Snapshot, now time.Time) sloSample {
+	s := sloSample{t: now, outcomes: map[string]uint64{}}
+	merged := map[float64]uint64{}
+	for name, h := range snap.Histograms {
+		base, labels := splitName(name)
+		if base != "store_request_seconds" {
+			continue
+		}
+		s.total += h.Count
+		if out := labels["outcome"]; out != "" {
+			s.outcomes[out] += h.Count
+		}
+		for _, b := range h.Buckets {
+			merged[b.UpperBound] += b.Count
+		}
+	}
+	bounds := make([]float64, 0, len(merged))
+	for ub := range merged {
+		bounds = append(bounds, ub)
+	}
+	sort.Float64s(bounds)
+	for _, ub := range bounds {
+		s.buckets = append(s.buckets, obs.BucketCount{UpperBound: ub, Count: merged[ub]})
+	}
+	return s
+}
+
+// splitName splits an inline-labeled metric name into base and parsed
+// labels: `x{a="b",c="d"}` -> ("x", {a:b, c:d}).
+func splitName(name string) (string, map[string]string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	labels := map[string]string{}
+	for _, kv := range strings.Split(name[i+1:len(name)-1], ",") {
+		j := strings.IndexByte(kv, '=')
+		if j < 0 {
+			continue
+		}
+		k := strings.TrimSpace(kv[:j])
+		v := strings.Trim(strings.TrimSpace(kv[j+1:]), `"`)
+		labels[k] = v
+	}
+	return name[:i], labels
+}
+
+// fractionAtMost estimates, by linear interpolation inside the bucket
+// containing v, which fraction of the windowed samples (cur minus base,
+// total > 0) lie at or below v.
+func fractionAtMost(cur, base []obs.BucketCount, total uint64, v float64) float64 {
+	baseAt := func(ub float64) uint64 {
+		for _, b := range base {
+			if b.UpperBound == ub {
+				return b.Count
+			}
+		}
+		return 0
+	}
+	var prevCum uint64
+	lower := 0.0
+	for i, b := range cur {
+		cum := b.Count - baseAt(b.UpperBound)
+		if i > 0 {
+			lower = cur[i-1].UpperBound
+		}
+		if v <= b.UpperBound || math.IsInf(b.UpperBound, 1) {
+			in := cum - prevCum
+			if in == 0 || math.IsInf(b.UpperBound, 1) {
+				return float64(prevCum) / float64(total)
+			}
+			frac := (v - lower) / (b.UpperBound - lower)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return (float64(prevCum) + frac*float64(in)) / float64(total)
+		}
+		prevCum = cum
+	}
+	return 1
+}

@@ -1,0 +1,213 @@
+package observatory
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"xmlac/internal/obs"
+)
+
+func TestParseObjectives(t *testing.T) {
+	objs, err := ParseObjectives("request_p99<5ms, error_rate<1%,deny_rate<0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 3 {
+		t.Fatalf("parsed %d objectives, want 3", len(objs))
+	}
+	p99 := objs[0]
+	if p99.Kind != KindLatency || p99.Quantile != 0.99 || p99.Threshold != 0.005 {
+		t.Fatalf("request_p99 = %+v", p99)
+	}
+	if math.Abs(p99.Budget-0.01) > 1e-12 {
+		t.Fatalf("latency budget = %v, want 1-quantile", p99.Budget)
+	}
+	er := objs[1]
+	if er.Kind != KindRatio || er.Threshold != 0.01 || er.Budget != 0.01 || er.badOutcomes[0] != "error" {
+		t.Fatalf("error_rate = %+v", er)
+	}
+	dr := objs[2]
+	if dr.Threshold != 0.02 || dr.badOutcomes[0] != "deny" {
+		t.Fatalf("deny_rate = %+v", dr)
+	}
+
+	for _, bad := range []string{
+		"", "request_p99", "request_p99<", "<5ms", "latency<5ms",
+		"request_p99<fast", "error_rate<5", "error_rate<0", "deny_rate<150%",
+	} {
+		if _, err := ParseObjectives(bad); err == nil {
+			t.Errorf("ParseObjectives(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFractionAtMost(t *testing.T) {
+	cur := []obs.BucketCount{
+		{UpperBound: 0.001, Count: 4},
+		{UpperBound: 0.01, Count: 8},
+		{UpperBound: math.Inf(1), Count: 10},
+	}
+	// No baseline: 4 of 10 at <= 1ms, interpolate halfway into the next
+	// bucket at 5.5ms -> (4 + 0.5*4)/10.
+	if got := fractionAtMost(cur, nil, 10, 0.0055); math.Abs(got-0.6) > 1e-9 {
+		t.Fatalf("fractionAtMost mid-bucket = %v, want 0.6", got)
+	}
+	// Beyond the highest finite bound only the +Inf bucket remains.
+	if got := fractionAtMost(cur, nil, 10, 5); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("fractionAtMost(+Inf region) = %v, want 0.8", got)
+	}
+	// A baseline subtracts the pre-window population.
+	base := []obs.BucketCount{
+		{UpperBound: 0.001, Count: 4},
+		{UpperBound: 0.01, Count: 4},
+		{UpperBound: math.Inf(1), Count: 4},
+	}
+	// Windowed: 0 at <=1ms, 4 in (1ms,10ms], 2 beyond. At 10ms: 4 of 6.
+	if got := fractionAtMost(cur, base, 6, 0.01); math.Abs(got-4.0/6) > 1e-9 {
+		t.Fatalf("windowed fractionAtMost = %v, want %v", got, 4.0/6)
+	}
+}
+
+// sloFixture builds an engine over a registry with a fake clock.
+func sloFixture(t *testing.T, spec string) (*SLOEngine, *obs.Registry, *time.Time) {
+	t.Helper()
+	objs, err := ParseObjectives(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	now := t0
+	e := NewSLOEngine(objs, reg, time.Minute, 10*time.Minute, func() time.Time { return now }, nil)
+	return e, reg, &now
+}
+
+func observeRequests(reg *obs.Registry, outcome string, n int, latency float64) {
+	h := reg.Histogram(`store_request_seconds{engine="native",outcome="`+outcome+`"}`, obs.DefaultLatencyBuckets...)
+	for i := 0; i < n; i++ {
+		h.Observe(latency)
+	}
+}
+
+// TestSLORatioFireAndRecover is the golden state-machine walk: a denial
+// burst fires deny_rate within one fast window, a quiet fast window
+// recovers it even though the burst is still inside the slow window.
+func TestSLORatioFireAndRecover(t *testing.T) {
+	e, reg, now := sloFixture(t, "deny_rate<1%")
+
+	// Baseline tick with healthy traffic.
+	observeRequests(reg, "grant", 100, 0.001)
+	if trans := e.Tick(); len(trans) != 0 {
+		t.Fatalf("healthy baseline transitioned: %+v", trans)
+	}
+
+	// Burst: 50 denials against 100 grants, far over the 1% budget.
+	observeRequests(reg, "deny", 50, 0.001)
+	*now = now.Add(time.Minute)
+	trans := e.Tick()
+	if len(trans) != 1 || trans[0].To != "firing" || trans[0].From != "ok" {
+		t.Fatalf("burst transitions = %+v, want ok->firing", trans)
+	}
+	if a := e.Alerts()[0]; a.State != "firing" || a.FastBurn < 1 || a.SlowBurn < 1 {
+		t.Fatalf("alert during burst = %+v", a)
+	}
+	snap := reg.Snapshot()
+	if snap.Gauges[`observatory_slo_firing{slo="deny_rate"}`] != 1 {
+		t.Fatal("firing gauge not set")
+	}
+	if snap.Gauges[`observatory_slo_burn{slo="deny_rate",window="fast"}`] < 1 {
+		t.Fatal("fast burn gauge not set")
+	}
+
+	// Still firing while the fast window covers the burst.
+	if trans := e.Tick(); len(trans) != 0 {
+		t.Fatalf("re-tick transitioned: %+v", trans)
+	}
+
+	// A quiet fast window recovers, slow-window residue notwithstanding.
+	observeRequests(reg, "grant", 100, 0.001)
+	*now = now.Add(2 * time.Minute)
+	trans = e.Tick()
+	if len(trans) != 1 || trans[0].To != "ok" {
+		t.Fatalf("recovery transitions = %+v, want firing->ok", trans)
+	}
+	if a := e.Alerts()[0]; a.State != "ok" || a.Transitions != 2 {
+		t.Fatalf("alert after recovery = %+v", a)
+	}
+	if reg.Snapshot().Gauges[`observatory_slo_firing{slo="deny_rate"}`] != 0 {
+		t.Fatal("firing gauge not cleared")
+	}
+	if got := len(e.Transitions()); got != 2 {
+		t.Fatalf("transition history = %d entries, want 2", got)
+	}
+	if reg.Snapshot().Counters["observatory_slo_transitions_total"] != 2 {
+		t.Fatal("transition counter != 2")
+	}
+}
+
+// TestSLOLatencyObjective: a latency regression burns request_p99 while
+// fast traffic does not.
+func TestSLOLatencyObjective(t *testing.T) {
+	e, reg, now := sloFixture(t, "request_p99<5ms")
+
+	observeRequests(reg, "grant", 100, 0.001) // all well under 5ms
+	e.Tick()
+	*now = now.Add(30 * time.Second)
+	observeRequests(reg, "grant", 100, 0.001)
+	if e.Tick(); e.Alerts()[0].FastBurn >= 1 {
+		t.Fatalf("fast traffic burns: %+v", e.Alerts()[0])
+	}
+
+	// Half the new window's requests take 50ms: bad fraction ~0.5 against
+	// a 1% budget -> burn ~50.
+	observeRequests(reg, "grant", 100, 0.05)
+	*now = now.Add(time.Minute)
+	trans := e.Tick()
+	if len(trans) != 1 || trans[0].To != "firing" {
+		t.Fatalf("latency regression transitions = %+v", trans)
+	}
+	if b := e.Alerts()[0].FastBurn; b < 10 {
+		t.Fatalf("fast burn = %v, want ~50", b)
+	}
+}
+
+// TestSLOInjection: the BENCH_INJECT multiplier turns a sub-budget burn
+// into a firing one — and 0/1 disable it.
+func TestSLOInjection(t *testing.T) {
+	e, reg, now := sloFixture(t, "deny_rate<10%")
+
+	observeRequests(reg, "grant", 995, 0.001)
+	observeRequests(reg, "deny", 5, 0.001) // 0.5% denies, budget 10%
+	*now = now.Add(time.Minute)
+	if e.Tick(); e.Alerts()[0].FastBurn >= 1 {
+		t.Fatalf("un-injected burn = %+v, want < 1", e.Alerts()[0])
+	}
+
+	e.SetInject(25)
+	*now = now.Add(time.Second)
+	trans := e.Tick()
+	if len(trans) != 1 || trans[0].To != "firing" {
+		t.Fatalf("injected transitions = %+v, want firing", trans)
+	}
+	if b := e.Alerts()[0].FastBurn; b < 1 {
+		t.Fatalf("injected fast burn = %v, want >= 1", b)
+	}
+	var nilEngine *SLOEngine
+	nilEngine.SetInject(25) // must not panic
+	if nilEngine.Tick() != nil {
+		t.Fatal("nil engine ticked")
+	}
+}
+
+// TestSLONoTraffic: an empty window burns zero, not NaN.
+func TestSLONoTraffic(t *testing.T) {
+	e, _, now := sloFixture(t, "error_rate<1%,request_p99<5ms")
+	e.Tick()
+	*now = now.Add(time.Minute)
+	e.Tick()
+	for _, a := range e.Alerts() {
+		if a.FastBurn != 0 || a.SlowBurn != 0 || a.State != "ok" {
+			t.Fatalf("idle alert = %+v, want 0-burn ok", a)
+		}
+	}
+}

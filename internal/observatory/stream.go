@@ -1,0 +1,128 @@
+package observatory
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xmlac/internal/audit"
+	"xmlac/internal/obs"
+)
+
+// DefaultStreamQueue is the per-subscriber event queue depth of a Stream
+// built with queue <= 0.
+const DefaultStreamQueue = 64
+
+// StreamEvent is one frame of the live decision stream: an audit event
+// or an SLO alert transition.
+type StreamEvent struct {
+	Seq  uint64    `json:"seq"`
+	Type string    `json:"type"` // "audit" | "alert"
+	Time time.Time `json:"time"`
+
+	Audit *audit.Event     `json:"audit,omitempty"`
+	Alert *AlertTransition `json:"alert,omitempty"`
+}
+
+// Stream fans decision events out to live subscribers (the SSE /stream
+// route). Publishing never blocks: a subscriber whose bounded queue is
+// full loses the event, and both the subscriber and the stream count the
+// drop — the same discipline as the audit JSONL sink.
+type Stream struct {
+	mu    sync.Mutex
+	subs  map[*StreamSub]struct{}
+	seq   uint64
+	queue int
+
+	published  *obs.Counter
+	dropped    *obs.Counter
+	subscriber *obs.Gauge
+}
+
+// NewStream builds a stream hub with the given per-subscriber queue
+// depth (DefaultStreamQueue when <= 0), exporting observatory_stream_*
+// metrics to reg (nil for none).
+func NewStream(queue int, reg *obs.Registry) *Stream {
+	if queue <= 0 {
+		queue = DefaultStreamQueue
+	}
+	return &Stream{
+		subs:       map[*StreamSub]struct{}{},
+		queue:      queue,
+		published:  reg.Counter("observatory_stream_events_total"),
+		dropped:    reg.Counter("observatory_stream_dropped_total"),
+		subscriber: reg.Gauge("observatory_stream_subscribers"),
+	}
+}
+
+// StreamSub is one live subscription. Receive from C; call Close when
+// done (always, or the hub leaks the queue).
+type StreamSub struct {
+	s       *Stream
+	ch      chan StreamEvent
+	dropped atomic.Uint64
+	once    sync.Once
+}
+
+// C is the subscription's event channel. It is never closed by the hub;
+// select against your cancellation signal.
+func (s *StreamSub) C() <-chan StreamEvent { return s.ch }
+
+// Dropped returns how many events this subscriber's full queue lost.
+func (s *StreamSub) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscription from the hub.
+func (s *StreamSub) Close() {
+	s.once.Do(func() {
+		s.s.mu.Lock()
+		delete(s.s.subs, s)
+		n := len(s.s.subs)
+		s.s.mu.Unlock()
+		s.s.subscriber.Set(float64(n))
+	})
+}
+
+// Subscribe registers a new live subscriber.
+func (s *Stream) Subscribe() *StreamSub {
+	sub := &StreamSub{s: s, ch: make(chan StreamEvent, s.queue)}
+	s.mu.Lock()
+	s.subs[sub] = struct{}{}
+	n := len(s.subs)
+	s.mu.Unlock()
+	s.subscriber.Set(float64(n))
+	return sub
+}
+
+// Subscribers returns the current subscriber count.
+func (s *Stream) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// Dropped returns the total events lost across all subscribers.
+func (s *Stream) Dropped() int64 { return s.dropped.Value() }
+
+// Publish stamps e with the next sequence number and time (when zero)
+// and offers it to every subscriber without blocking.
+func (s *Stream) Publish(e StreamEvent) {
+	if s == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	s.mu.Lock()
+	s.seq++
+	e.Seq = s.seq
+	for sub := range s.subs {
+		select {
+		case sub.ch <- e:
+		default:
+			sub.dropped.Add(1)
+			s.dropped.Inc()
+		}
+	}
+	s.mu.Unlock()
+	s.published.Inc()
+}

@@ -1,0 +1,114 @@
+package observatory
+
+import (
+	"testing"
+	"time"
+
+	"xmlac/internal/audit"
+	"xmlac/internal/obs"
+)
+
+func TestStreamFanOutAndSequence(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewStream(4, reg)
+	a, b := s.Subscribe(), s.Subscribe()
+	defer a.Close()
+	defer b.Close()
+	if s.Subscribers() != 2 {
+		t.Fatalf("subscribers = %d, want 2", s.Subscribers())
+	}
+
+	ev := audit.Event{Kind: "request", Outcome: audit.OutcomeDeny, Time: t0}
+	s.Publish(StreamEvent{Type: "audit", Time: t0, Audit: &ev})
+	s.Publish(StreamEvent{Type: "audit", Time: t0, Audit: &ev})
+	for _, sub := range []*StreamSub{a, b} {
+		first, second := <-sub.C(), <-sub.C()
+		if first.Seq != 1 || second.Seq != 2 || first.Type != "audit" {
+			t.Fatalf("frames = %+v, %+v", first, second)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["observatory_stream_events_total"] != 2 {
+		t.Fatalf("published counter = %d", snap.Counters["observatory_stream_events_total"])
+	}
+	if snap.Gauges["observatory_stream_subscribers"] != 2 {
+		t.Fatal("subscriber gauge != 2")
+	}
+}
+
+// TestStreamSlowSubscriberDrops: a full bounded queue loses events and
+// counts them, without blocking the publisher or other subscribers.
+func TestStreamSlowSubscriberDrops(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewStream(2, reg)
+	slow := s.Subscribe() // never drains
+	defer slow.Close()
+
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10; i++ {
+			s.Publish(StreamEvent{Type: "alert", Time: t0})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Publish blocked on a full subscriber queue")
+	}
+	if got := slow.Dropped(); got != 8 {
+		t.Fatalf("subscriber dropped = %d, want 8 (queue 2 of 10)", got)
+	}
+	if s.Dropped() != 8 {
+		t.Fatalf("stream dropped = %d, want 8", s.Dropped())
+	}
+	if reg.Snapshot().Counters["observatory_stream_dropped_total"] != 8 {
+		t.Fatal("drop counter != 8")
+	}
+
+	// Close is idempotent and detaches from the hub.
+	slow.Close()
+	slow.Close()
+	if s.Subscribers() != 0 {
+		t.Fatal("closed subscriber still attached")
+	}
+	s.Publish(StreamEvent{Type: "alert"}) // no subscribers: no panic
+	var nilStream *Stream
+	nilStream.Publish(StreamEvent{}) // nil hub no-ops
+}
+
+func TestRollupCoverage(t *testing.T) {
+	mk := func(sem string, members, allowed, denied int, dead, losing []string) *CoverageReport {
+		return &CoverageReport{
+			Semantics: sem, Members: members,
+			AllowedNodes: allowed, DeniedNodes: denied,
+			DeadRules: dead, AlwaysLosingRules: losing,
+		}
+	}
+	rollup := RollupCoverage(map[string]*CoverageReport{
+		"c1": mk("default deny, conflict deny", 2, 10, 90, []string{"X"}, nil),
+		"c2": mk("default deny, conflict deny", 1, 30, 70, nil, []string{"Y"}),
+		"c3": mk("default allow, conflict allow", 0, 80, 20, nil, nil), // members 0 counts as 1
+	})
+	if rollup.Cohorts != 3 || rollup.Users != 4 {
+		t.Fatalf("rollup totals = %+v", rollup)
+	}
+	if len(rollup.BySemantics) != 2 {
+		t.Fatalf("semantics mixes = %+v", rollup.BySemantics)
+	}
+	// Sorted by label: "default allow..." first.
+	aa, dd := rollup.BySemantics[0], rollup.BySemantics[1]
+	if aa.Semantics != "default allow, conflict allow" || aa.Users != 1 || aa.Cohorts != 1 {
+		t.Fatalf("allow mix = %+v", aa)
+	}
+	if dd.Users != 3 || dd.Cohorts != 2 || dd.DeadRules != 1 || dd.AlwaysLosing != 1 {
+		t.Fatalf("deny mix = %+v", dd)
+	}
+	// Node tallies sum across cohorts (each evaluates the same document).
+	if dd.AllowedNodes != 10+30 || dd.DeniedNodes != 90+70 {
+		t.Fatalf("deny mix nodes = %+v", dd)
+	}
+	if RollupCoverage(nil) == nil {
+		t.Fatal("empty rollup should still allocate")
+	}
+}

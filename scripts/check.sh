@@ -67,6 +67,16 @@ if command -v curl >/dev/null 2>&1; then
 		|| { echo "check.sh: /dashboard did not render" >&2; exit 1; }
 	curl -sf "http://127.0.0.1:$serve_port/multiuser" | grep -q '"cohorts": 3' \
 		|| { echo "check.sh: /multiuser missing the demo cohorts" >&2; exit 1; }
+	curl -sf "http://127.0.0.1:$serve_port/alerts" | grep -q '"enabled": true' \
+		|| { echo "check.sh: /alerts missing the default SLO objectives" >&2; exit 1; }
+	curl -sf "http://127.0.0.1:$serve_port/coverage" | grep -q '"rollup"' \
+		|| { echo "check.sh: /coverage missing the cohort rollup" >&2; exit 1; }
+	curl -sf "http://127.0.0.1:$serve_port/forensics" | grep -q '"windows"' \
+		|| { echo "check.sh: /forensics did not report windows" >&2; exit 1; }
+	# The SSE stream opens with a hello frame; grab the first frame only.
+	frame=$(curl -sN --max-time 2 "http://127.0.0.1:$serve_port/stream" | head -c 300 || true)
+	echo "$frame" | grep -q 'event: hello' \
+		|| { echo "check.sh: /stream did not emit a hello frame" >&2; exit 1; }
 	kill $serve_pid 2>/dev/null || true
 	wait $serve_pid 2>/dev/null || true
 	trap - EXIT

@@ -41,6 +41,7 @@ import (
 	"xmlac/internal/core"
 	"xmlac/internal/dtd"
 	"xmlac/internal/obs"
+	"xmlac/internal/observatory"
 	"xmlac/internal/pattern"
 	"xmlac/internal/policy"
 	"xmlac/internal/xmark"
@@ -49,7 +50,7 @@ import (
 )
 
 // Version identifies this release of the library and its commands.
-const Version = "0.6.0"
+const Version = "0.7.0"
 
 // Core model types, re-exported for the public API. See the internal
 // packages for full method documentation.
@@ -136,6 +137,49 @@ type (
 	WhyDecision = core.WhyDecision
 	// RuleRef names one policy rule inside a WhyDecision.
 	RuleRef = core.RuleRef
+	// AuditRotatingFile is a JSONL audit writer with size-based rotation
+	// (path -> path.1 -> path.2, bounded file count); open one with
+	// OpenRotatingAuditFile and pass it to AuditLog.AttachJSONL.
+	AuditRotatingFile = audit.RotatingFile
+	// Observatory is the decision-analytics engine: denial forensics,
+	// SLO burn-rate alerting and live decision streaming over an
+	// AuditLog + MetricsRegistry pair.
+	Observatory = observatory.Observatory
+	// ObservatoryOptions configures NewObservatory.
+	ObservatoryOptions = observatory.Options
+	// CoverageReport joins a loaded policy against the annotated
+	// document: per-rule fire counts, dead and always-losing rules, the
+	// allow/deny node mix. Returned by System.PolicyCoverage and
+	// MultiUser.CoverageByCohort.
+	CoverageReport = observatory.CoverageReport
+	// RuleCoverage is one rule's row in a CoverageReport.
+	RuleCoverage = observatory.RuleCoverage
+	// CoverageRollup condenses per-cohort CoverageReports into a
+	// per-semantics allow/deny mix; build one with RollupCoverage.
+	CoverageRollup = observatory.CoverageRollup
+	// DenialForensics aggregates denials into tumbling time windows by
+	// subject, doc, rule, backend and shard.
+	DenialForensics = observatory.Forensics
+	// ForensicsWindow is one window's denial report with top-K
+	// dimensions and rate-of-change.
+	ForensicsWindow = observatory.WindowReport
+	// SLOEngine evaluates declarative objectives with multi-window
+	// burn-rate state machines; reach it via Observatory.SLO.
+	SLOEngine = observatory.SLOEngine
+	// SLOObjective is one parsed objective (e.g. request_p99<5ms).
+	SLOObjective = observatory.Objective
+	// AlertState is one objective's current burn-rate state.
+	AlertState = observatory.AlertState
+	// AlertTransition is one ok<->firing state-machine edge.
+	AlertTransition = observatory.AlertTransition
+	// DecisionStream fans audit events and alert transitions out to live
+	// subscribers with bounded per-subscriber queues (the SSE /stream
+	// hub).
+	DecisionStream = observatory.Stream
+	// StreamEvent is one frame of the decision stream.
+	StreamEvent = observatory.StreamEvent
+	// StreamSub is one live subscription to a DecisionStream.
+	StreamSub = observatory.StreamSub
 )
 
 // Audit outcomes.
@@ -221,6 +265,34 @@ func RenderTraceSink(w io.Writer) TraceSink { return &obs.RenderSink{W: w} }
 // events (a package default when capacity <= 0). Attach it via
 // Config.Audit; mirror events to a writer with AuditLog.AttachJSONL.
 func NewAuditLog(capacity int) *AuditLog { return audit.NewLog(capacity) }
+
+// OpenRotatingAuditFile opens a size-rotated JSONL audit file: once the
+// live file would exceed maxBytes (a package default when <= 0) it is
+// renamed path.1 (shifting older generations up) and a fresh file is
+// opened; at most maxFiles files are kept. Pass the result to
+// AuditLog.AttachJSONL and export rotations via
+// AuditRotatingFile.OnRotate.
+func OpenRotatingAuditFile(path string, maxBytes int64, maxFiles int) (*AuditRotatingFile, error) {
+	return audit.OpenRotatingFile(path, maxBytes, maxFiles)
+}
+
+// NewObservatory assembles the analytics engine. Attach it to an audit
+// log with Observatory.Attach, enable burn-rate alerting with
+// Observatory.EnableSLOs, and drive it with Observatory.Run (or Tick).
+func NewObservatory(opts ObservatoryOptions) *Observatory { return observatory.New(opts) }
+
+// ParseSLOs parses the -slo flag syntax, e.g.
+// `request_p99<5ms,error_rate<1%`. Supported objectives: request_p50,
+// request_p95, request_p99 (duration thresholds over the request-path
+// latency series) and error_rate, deny_rate (fraction or percentage of
+// requests).
+func ParseSLOs(spec string) ([]SLOObjective, error) { return observatory.ParseObjectives(spec) }
+
+// RollupCoverage aggregates MultiUser.CoverageByCohort output into the
+// per-semantics allow/deny mix.
+func RollupCoverage(cohorts map[string]*CoverageReport) *CoverageRollup {
+	return observatory.RollupCoverage(cohorts)
+}
 
 // NewTraceCollector returns a bounded trace collector retaining the most
 // recent capacity root spans (a package default when capacity <= 0). Use
