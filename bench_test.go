@@ -204,6 +204,100 @@ func BenchmarkFig10_RequestMonetSQL(b *testing.B) { benchRequestPair(b, xmlac.Ba
 func BenchmarkFig10_RequestMonetCol(b *testing.B) { benchRequestPair(b, xmlac.BackendVector) }
 func BenchmarkFig10_RequestPostgres(b *testing.B) { benchRequestPair(b, xmlac.BackendRow) }
 
+// BenchmarkFig10_RequestRewrite pits the two enforcement strategies
+// against each other on the column store: reference is the fully
+// optimized materialized path (signs + pushdown + CAM cache, the
+// "optimized" side of the pairs above), optimized is the rewriting
+// enforcer over the *unannotated* store — no signs exist, so the system
+// never paid the annotation either (the setup cost outside the timer is
+// Load alone).
+func BenchmarkFig10_RequestRewrite(b *testing.B) {
+	run := func(b *testing.B, mode core.EnforceMode) {
+		cfg := core.Config{
+			Schema:   xmark.Schema(),
+			Policy:   bench.MidPolicy().Clone(),
+			Backend:  xmlac.BackendColumn,
+			Optimize: true,
+			Enforce:  mode,
+		}
+		if mode == core.EnforceSigns {
+			cfg.PushdownSigns = true
+			cfg.QueryCache = true
+		}
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		doc := xmark.Generate(xmark.Options{Factor: requestBenchFactor(), Seed: 1})
+		if err := sys.Load(doc); err != nil {
+			b.Fatal(err)
+		}
+		if mode == core.EnforceSigns {
+			if _, err := sys.Annotate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		queries := bench.Queries()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			_, _ = sys.Request(q) // denials are expected outcomes, not errors
+		}
+	}
+	b.Run("reference", func(b *testing.B) { run(b, core.EnforceSigns) })
+	b.Run("optimized", func(b *testing.B) { run(b, core.EnforceRewrite) })
+}
+
+// BenchmarkHotWrite_SignsVsRewrite measures the same delete workload
+// under each enforcement mode. The signs run pays Trigger plus partial
+// re-annotation after every write; the rewrite run applies the delete
+// and stops — the reannotated_nodes/op metric records the re-annotation
+// work and must be exactly zero in rewrite mode (EXPERIMENTS.md keeps
+// the before/after table).
+func BenchmarkHotWrite_SignsVsRewrite(b *testing.B) {
+	run := func(b *testing.B, mode core.EnforceMode) {
+		doc := benchDoc(b)
+		updates := bench.Updates()
+		var reannotated int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			// Fresh system per iteration: updates are destructive.
+			sys, err := core.NewSystem(core.Config{
+				Schema:   xmark.Schema(),
+				Policy:   bench.MidPolicy().Clone(),
+				Backend:  xmlac.BackendColumn,
+				Optimize: true,
+				Enforce:  mode,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.Load(doc.Clone()); err != nil {
+				b.Fatal(err)
+			}
+			if mode == core.EnforceSigns {
+				if _, err := sys.Annotate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			u := updates[i%len(updates)]
+			b.StartTimer()
+			rep, err := sys.DeleteAndReannotate(u)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reannotated += rep.Stats.Updated + rep.Stats.Reset
+		}
+		if mode == core.EnforceRewrite && reannotated != 0 {
+			b.Fatalf("rewrite mode re-annotated %d nodes, want 0", reannotated)
+		}
+		b.ReportMetric(float64(reannotated)/float64(b.N), "reannotated_nodes/op")
+	}
+	b.Run("signs", func(b *testing.B) { run(b, core.EnforceSigns) })
+	b.Run("rewrite", func(b *testing.B) { run(b, core.EnforceRewrite) })
+}
+
 // BenchmarkRequest_AuditOverhead measures what the audit trail costs the
 // Figure 10 request path: the same optimized MonetSQL workload with no
 // audit log versus a ring-only log (the default deployment; the JSONL

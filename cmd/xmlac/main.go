@@ -5,7 +5,7 @@
 // Usage:
 //
 //	xmlac [-dtd file] [-policy file] [-doc file] [-backend xquery|monetsql|monetcol|postgres]
-//	      [-trace] [-explain] [-slowquery dur] [-pushdown] [-qcache]
+//	      [-trace] [-explain] [-slowquery dur] [-pushdown] [-qcache] [-enforce auto|signs|rewrite]
 //	      [-audit file] [-audit-max-bytes n] [-audit-max-files n]
 //	      [-serve addr] [-slo spec] [-users list|demo] [-version] op...
 //
@@ -30,9 +30,11 @@
 //
 // Operations (executed left to right):
 //
-//	annotate            full annotation (implied before the first query)
+//	annotate            full annotation (implied before the first query;
+//	                    skipped under rewrite enforcement, which needs none)
 //	dump                print the annotated document
 //	policy              print the optimized policy
+//	plan                print the enforcement plan (mode, reason, rewriter)
 //	coverage            print the accessible fraction
 //	query=<xpath>       all-or-nothing request
 //	filter=<xpath>      filtering request (accessible matches only)
@@ -72,6 +74,7 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "annotation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		pushdown   = flag.Bool("pushdown", false, "fold the sign check into translated queries (relational backends)")
 		qcache     = flag.Bool("qcache", false, "serve request access checks from a compressed accessibility map")
+		enforce    = flag.String("enforce", "auto", "enforcement strategy: auto (planner decides), signs (materialized annotations) or rewrite (policy composed into each query)")
 		auditFile  = flag.String("audit", "", "append audit events as JSON lines to this file")
 		auditMaxB  = flag.Int64("audit-max-bytes", 0, "rotate the -audit file once it would exceed this size (0 = never rotate)")
 		auditMaxF  = flag.Int("audit-max-files", 0, "rotated -audit generations to keep, including the live file (0 = package default)")
@@ -126,9 +129,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	mode, err := xmlac.ParseEnforceMode(*enforce)
+	if err != nil {
+		fail(err)
+	}
 	cfg := xmlac.Config{
 		Schema: schema, Policy: pol, Backend: be, Optimize: *optimize,
-		PushdownSigns: *pushdown, QueryCache: *qcache,
+		PushdownSigns: *pushdown, QueryCache: *qcache, Enforce: mode,
 	}.WithParallelism(*parallel)
 	reg := xmlac.NewMetricsRegistry()
 	cfg.Metrics = reg
@@ -203,6 +210,13 @@ func main() {
 		if annotated {
 			return
 		}
+		if sys.ActiveMode() == xmlac.EnforceRewrite {
+			// Rewriting enforcement composes the policy into each query;
+			// no signs are materialized and there is nothing to annotate.
+			fmt.Println("annotate: skipped (rewrite enforcement reads the unannotated store)")
+			annotated = true
+			return
+		}
 		stats, err := sys.Annotate()
 		took := stats.Duration
 		if err != nil {
@@ -224,6 +238,14 @@ func main() {
 			fmt.Print(sys.Policy().String())
 			for _, r := range sys.RemovedRules() {
 				fmt.Printf("# removed as redundant: %s\n", r.String())
+			}
+		case op == "plan":
+			p := sys.Plan()
+			fmt.Printf("plan: requested=%s mode=%s active=%s recursive=%v raw_capable=%v\n",
+				p.Requested, p.Mode, sys.ActiveMode(), p.Recursive, p.RawCapable)
+			fmt.Printf("  reason: %s\n", p.Reason)
+			if rw := sys.Rewriter(); rw != nil {
+				fmt.Printf("  accessible set: %s\n", rw.AccessExpr())
 			}
 		case op == "coverage":
 			ensureAnnotated()

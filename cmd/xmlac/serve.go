@@ -27,6 +27,10 @@
 //	                    firing state and recent transitions (JSON)
 //	GET /stream         live decision stream (SSE): every audit event
 //	                    and alert transition as it happens
+//	GET /plan           the enforcement plan: planner verdict, active
+//	                    mode and planner-decision counters; ?q= adds the
+//	                    query's static verdict and its rewritten (safe)
+//	                    form (JSON; single-document mode only)
 //	GET /catalog        shard placement and per-document state (JSON;
 //	                    catalog mode only)
 //	GET /multiuser      policy-cohort statistics: users, cohorts, dedup
@@ -35,7 +39,9 @@
 //	GET /request?q=     run an all-or-nothing request (&doc= selects the
 //	                    document in catalog mode; without doc the query
 //	                    broadcasts to every document as one trace;
-//	                    &user= requests as a -users subject)
+//	                    &user= requests as a -users subject; &enforce=
+//	                    signs|rewrite overrides the enforcement mode for
+//	                    this one request)
 //	GET /why?q=         per-node rule attribution for the matched nodes
 //	                    (&doc= in catalog mode)
 //	GET /debug/pprof/   the Go runtime profiler
@@ -76,7 +82,7 @@ func serve(addr string, sys *xmlac.System, mu *xmlac.MultiUser, obsy *xmlac.Obse
 	if mu != nil {
 		extra = " /multiuser"
 	}
-	fmt.Printf("serving on %s (/healthz /metrics /dashboard /audit /traces /coverage /forensics /alerts /stream%s /request /why /debug/pprof/)\n", addr, extra)
+	fmt.Printf("serving on %s (/healthz /metrics /dashboard /audit /traces /coverage /forensics /alerts /stream /plan%s /request /why /debug/pprof/)\n", addr, extra)
 	return http.ListenAndServe(addr, newServeMux(sys, mu, obsy, reg, aud, col))
 }
 
@@ -260,6 +266,7 @@ func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, mu *xmlac.MultiUser, obsy 
 			return
 		}
 		out["system"] = rep
+		out["enforcement"] = sys.EnforcementStats()
 		if mu != nil {
 			cohorts, err := mu.CoverageByCohort()
 			if err != nil {
@@ -291,14 +298,52 @@ func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, mu *xmlac.MultiUser, obsy 
 		})
 	}))
 	mux.HandleFunc("/stream", route("/stream", streamHandler(obsy)))
+	if cat == nil {
+		mux.HandleFunc("/plan", route("/plan", func(w http.ResponseWriter, r *http.Request) {
+			out := map[string]any{
+				"plan":        sys.Plan(),
+				"active_mode": sys.ActiveMode(),
+				"enforcement": sys.EnforcementStats(),
+			}
+			if rw := sys.Rewriter(); rw != nil {
+				out["accessible_set"] = rw.AccessExpr()
+			}
+			if s := r.URL.Query().Get("q"); s != "" {
+				q, err := xmlac.ParseXPath(s)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				out["query"] = q.String()
+				out["static_verdict"] = sys.ClassifyQuery(q).String()
+				if rw := sys.Rewriter(); rw != nil {
+					out["rewritten"] = rw.Rewrite(q)
+				}
+			}
+			writeJSON(w, out)
+		}))
+	}
 	mux.HandleFunc("/request", route("/request", func(w http.ResponseWriter, r *http.Request) {
 		q, ok := parseQueryParam(w, r)
 		if !ok {
 			return
 		}
+		mode := xmlac.EnforceAuto
+		if s := r.URL.Query().Get("enforce"); s != "" {
+			m, err := xmlac.ParseEnforceMode(s)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			mode = m
+		}
 		// A user parameter routes the request through the multi-user layer
 		// as that subject (its own audit event, stamped with the user).
 		if user := r.URL.Query().Get("user"); user != "" {
+			if mode != xmlac.EnforceAuto {
+				http.Error(w, "enforce parameter applies to system requests, not -users subjects", http.StatusBadRequest)
+				return
+			}
 			if mu == nil {
 				http.Error(w, "user parameter requires -users mode", http.StatusBadRequest)
 				return
@@ -322,6 +367,10 @@ func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, mu *xmlac.MultiUser, obsy 
 		// Catalog mode without a doc parameter broadcasts the query to
 		// every document — one trace covering the whole fan-out.
 		if cat != nil && r.URL.Query().Get("doc") == "" {
+			if mode != xmlac.EnforceAuto {
+				http.Error(w, "enforce parameter requires a doc parameter in catalog mode", http.StatusBadRequest)
+				return
+			}
 			results, errs := cat.RequestAll(q)
 			granted := map[string]any{}
 			for doc, res := range results {
@@ -347,8 +396,11 @@ func newOpsMux(sys *xmlac.System, cat *xmlac.Catalog, mu *xmlac.MultiUser, obsy 
 		if !ok {
 			return
 		}
-		res, err := s.Request(q)
+		res, err := s.RequestMode(q, mode)
 		out := map[string]any{"query": q.String()}
+		if mode != xmlac.EnforceAuto {
+			out["enforce"] = mode
+		}
 		if cat != nil {
 			out["doc"] = r.URL.Query().Get("doc")
 		}

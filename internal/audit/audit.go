@@ -73,6 +73,12 @@ type Event struct {
 	// CacheHit reports whether the decision was served from the
 	// CAM-backed query cache.
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// Mode names the enforcement strategy that produced a request
+	// decision: "signs" (materialized annotations), "rewrite" (policy
+	// composed into the query over the unannotated store) or
+	// "static-deny" (refused from query shape alone, no store touched).
+	// Empty on non-request events and on logs predating the enforcer seam.
+	Mode string `json:"mode,omitempty"`
 	// Duration is the operation's wall-clock time.
 	Duration time.Duration `json:"duration_ns"`
 	// Rules are the attributing rule ids: the deciding rule of a denial,

@@ -34,12 +34,12 @@ type RequestResult = store.RequestResult
 // rule ids land on the event. The request span's trace id is stamped on
 // the event so /audit entries join /traces output. Callers hold at least
 // s.mu.RLock.
-func (s *System) auditRequest(q *xpath.Path, res *RequestResult, cacheHit bool, d time.Duration, sp *obs.Span, err error) {
+func (s *System) auditRequest(q *xpath.Path, res *RequestResult, cacheHit bool, d time.Duration, sp *obs.Span, mode string, err error) {
 	if s.aud == nil {
 		return
 	}
 	e := audit.Event{Kind: "request", Query: q.String(), CacheHit: cacheHit,
-		Duration: d, Trace: sp.TraceID().String()}
+		Mode: mode, Duration: d, Trace: sp.TraceID().String()}
 	var denied *DeniedError
 	switch {
 	case err == nil:

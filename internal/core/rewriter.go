@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"xmlac/internal/obs"
+	"xmlac/internal/policy"
+	"xmlac/internal/store"
+	"xmlac/internal/xpath"
+)
+
+// rewriteEnforcer enforces by query rewriting: the user query is
+// evaluated raw (store.RawQuerier — no sign consultation) and each match
+// is decided by the Table 2 membership algebra over the policy's allow
+// and deny scope unions, themselves evaluated over the unannotated store
+// through the engine's EvalScope. Signs are never written and writes
+// never re-annotate; the scope sets are cached per store version exactly
+// like the CAM query cache, so a read-mostly workload pays the two scope
+// evaluations once per write.
+type rewriteEnforcer struct {
+	s  *System
+	rw *xpath.Rewriter
+
+	mu    sync.Mutex
+	built uint64 // System version the scope sets reflect; 0 = never
+	allow map[int64]bool
+	deny  map[int64]bool
+
+	rebuilds *obs.Counter // nil when metrics are off
+}
+
+func newRewriteEnforcer(s *System) *rewriteEnforcer {
+	e := &rewriteEnforcer{s: s, rw: NewRewriter(s.policy)}
+	if s.cfg.Metrics != nil {
+		e.rebuilds = s.cfg.Metrics.Counter("core_rewrite_scope_rebuilds_total")
+	}
+	return e
+}
+
+// NewRewriter compiles a read policy for rewriting enforcement.
+func NewRewriter(p *policy.Policy) *xpath.Rewriter {
+	rw := &xpath.Rewriter{
+		DefaultAllow:  p.Default == policy.Allow,
+		ConflictAllow: p.Conflict == policy.Allow,
+	}
+	for _, r := range p.Allows() {
+		rw.Allow = append(rw.Allow, r.Resource)
+	}
+	for _, r := range p.Denies() {
+		rw.Deny = append(rw.Deny, r.Resource)
+	}
+	return rw
+}
+
+func (e *rewriteEnforcer) Mode() EnforceMode    { return EnforceRewrite }
+func (e *rewriteEnforcer) MaintainsSigns() bool { return false }
+
+// scopeUnion folds rule resources into one engine set expression.
+func scopeUnion(paths []*xpath.Path) *store.SetExpr {
+	leaves := make([]*store.SetExpr, len(paths))
+	for i, p := range paths {
+		leaves[i] = store.PathLeaf(p)
+	}
+	return store.Combine(store.OpUnion, leaves...)
+}
+
+// scopes returns the allow/deny scope sets for the current store version,
+// re-evaluating them through the engine when stale. Callers hold at least
+// s.mu.RLock (version and store are stable); concurrent readers serialize
+// on e.mu and all but the first rebuilder see a hit.
+func (e *rewriteEnforcer) scopes() (allow, deny map[int64]bool, hit bool, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.built == e.s.version && e.allow != nil {
+		return e.allow, e.deny, true, nil
+	}
+	if e.rebuilds != nil {
+		e.rebuilds.Inc()
+	}
+	allow, err = e.s.engine.EvalScope(scopeUnion(e.rw.Allow))
+	if err != nil {
+		return nil, nil, false, err
+	}
+	deny, err = e.s.engine.EvalScope(scopeUnion(e.rw.Deny))
+	if err != nil {
+		return nil, nil, false, err
+	}
+	e.allow, e.deny, e.built = allow, deny, e.s.version
+	return allow, deny, false, nil
+}
+
+// Request evaluates q raw and applies the all-or-nothing check against
+// the membership algebra. Result shapes and denial texts mirror the
+// materialized paths exactly: Nodes in evaluation order with a labeled
+// first-denial on the tree store, deduplicated ascending IDs with an
+// id-only denial on the relational ones.
+func (e *rewriteEnforcer) Request(ctx context.Context, q *xpath.Path, parent *obs.Span) (*RequestResult, bool, error) {
+	raw, ok := e.s.engine.(store.RawQuerier)
+	if !ok {
+		return nil, false, fmt.Errorf("core: backend %s cannot evaluate unannotated queries", e.s.cfg.Backend)
+	}
+	allow, deny, hit, err := e.scopes()
+	if err != nil {
+		return nil, hit, err
+	}
+	res, err := raw.RawQuery(obs.ContextWithSpan(ctx, parent), q)
+	if err != nil {
+		return nil, hit, err
+	}
+	sp := obs.Start(parent, "check-access")
+	defer sp.Finish()
+	sp.SetAttr("mode", "rewrite")
+	if !e.s.engine.Relational() {
+		for _, n := range res.Nodes {
+			if !e.rw.Accessible(allow[n.ID], deny[n.ID]) {
+				sp.SetAttr("outcome", "denied")
+				return nil, hit, &DeniedError{ID: n.ID, Label: n.Label}
+			}
+		}
+		sp.SetAttr("outcome", "granted")
+		return res, hit, nil
+	}
+	for _, id := range res.IDs {
+		if !e.rw.Accessible(allow[id], deny[id]) {
+			sp.SetAttr("outcome", "denied")
+			return nil, hit, &DeniedError{ID: id}
+		}
+	}
+	sp.SetAttr("outcome", "granted")
+	return res, hit, nil
+}
+
+// accessibleIDs derives the accessible element set from the scope sets —
+// the rewriting counterpart of reading materialized signs back, serving
+// AccessibleIDs, Coverage and view export when no signs exist.
+func (e *rewriteEnforcer) accessibleIDs() (map[int64]bool, error) {
+	allow, deny, _, err := e.scopes()
+	if err != nil {
+		return nil, err
+	}
+	out := map[int64]bool{}
+	for _, n := range e.s.Document().Elements() {
+		if e.rw.Accessible(allow[n.ID], deny[n.ID]) {
+			out[n.ID] = true
+		}
+	}
+	return out, nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xmlac/internal/audit"
@@ -105,6 +106,12 @@ type Config struct {
 	// mapping. Routing is on by default because each universal id lives in
 	// exactly one table.
 	NoIDRouting bool
+	// Enforce selects the enforcement strategy: EnforceSigns is the
+	// paper's materialized pipeline, EnforceRewrite composes the policy
+	// into each query over the unannotated store, and EnforceAuto (the
+	// zero value) lets the planner pick — signs where the pipeline
+	// applies, rewriting where it cannot (recursive schemas).
+	Enforce EnforceMode
 	// Audit receives one structured event per request, write-access check
 	// and (re-)annotation run — the decision-level audit trail. nil
 	// disables auditing; the hot path then pays only a nil check.
@@ -153,6 +160,21 @@ type System struct {
 	// store_annotate_seconds{engine}; nil without Config.Metrics.
 	reqHist [3]*obs.Histogram
 	annHist *obs.Histogram
+	// Enforcement seam: plan is the planner's construction-time verdict;
+	// enf the active strategy (guarded by mu); signsEnf/rewriteEnf the
+	// built strategies (rewriteEnf nil on engines without RawQuery);
+	// static the per-query enforceability memo; contains the containment
+	// oracle kept for late reannotator builds at mode flips.
+	plan       EnforcePlan
+	enf        Enforcer
+	signsEnf   *materializedEnforcer
+	rewriteEnf *rewriteEnforcer
+	static     *staticChecker
+	contains   ContainFunc
+	// enfCounts mirror core_enforcer_requests_total{mode,outcome} for the
+	// planner-decision coverage report (live even without metrics).
+	enfCounts   [encModes][3]atomic.Uint64
+	enfCounters [encModes][3]*obs.Counter
 }
 
 // reqHist outcome indexes.
@@ -196,14 +218,10 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.SchemaAware {
 		contains = SchemaContainFunc(cfg.Schema)
 	}
+	s.contains = contains
 	if cfg.Optimize {
 		s.policy, s.removed = RemoveRedundantWith(s.policy, contains)
 	}
-	reann, err := NewReannotatorWith(s.policy, cfg.Schema, contains)
-	if err != nil {
-		return nil, err
-	}
-	s.reann = reann
 	eng, err := store.Open(cfg.Backend.String(), store.Options{
 		DocName:       cfg.DocName,
 		Schema:        cfg.Schema,
@@ -217,6 +235,31 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s.engine = eng
+	// The enforcement plan decides whether the sign machinery is built at
+	// all: rewriting enforcement never materializes signs, so the
+	// reannotator — whose schema-aware expansion rejects recursive DTDs —
+	// is only constructed when the plan maintains signs.
+	s.plan, err = planEnforcement(cfg.Enforce, s.policy, cfg.Schema, eng)
+	if err != nil {
+		return nil, err
+	}
+	if s.plan.Mode == EnforceSigns {
+		reann, err := NewReannotatorWith(s.policy, cfg.Schema, contains)
+		if err != nil {
+			return nil, err
+		}
+		s.reann = reann
+	}
+	s.signsEnf = &materializedEnforcer{s: s}
+	if s.plan.RawCapable {
+		s.rewriteEnf = newRewriteEnforcer(s)
+	}
+	if s.plan.Mode == EnforceRewrite {
+		s.enf = s.rewriteEnf
+	} else {
+		s.enf = s.signsEnf
+	}
+	s.static = newStaticChecker(s.policy, cfg.Schema)
 	if cfg.Metrics != nil {
 		lbl := store.EngineLabel(eng)
 		for i, outcome := range []string{"grant", "deny", "error"} {
@@ -224,6 +267,12 @@ func NewSystem(cfg Config) (*System, error) {
 				fmt.Sprintf("store_request_seconds{engine=%q,outcome=%q}", lbl, outcome))
 		}
 		s.annHist = cfg.Metrics.Histogram(fmt.Sprintf("store_annotate_seconds{engine=%q}", lbl))
+		for m := 0; m < encModes; m++ {
+			for o, outcome := range encOutcomeNames {
+				s.enfCounters[m][o] = cfg.Metrics.Counter(
+					fmt.Sprintf("core_enforcer_requests_total{mode=%q,outcome=%q}", encModeNames[m], outcome))
+			}
+		}
 	}
 	return s, nil
 }
@@ -473,6 +522,12 @@ func (s *System) deleteAndReannotate(u *xpath.Path) (*UpdateReport, error) {
 	if err := s.checkWriteDelete(u); err != nil {
 		return nil, err
 	}
+	if !s.enf.MaintainsSigns() {
+		// Rewriting enforcement: no signs exist, so there is nothing to
+		// re-annotate — the delete applies and the version bump
+		// invalidates the rewriter's scope cache.
+		return s.deleteNoSignsLocked(u)
+	}
 	rep := &UpdateReport{}
 	root := s.tracer.Start("delete-reannotate").SetAttr("update", u.String())
 	defer root.Finish()
@@ -516,6 +571,34 @@ func (s *System) deleteAndReannotate(u *xpath.Path) (*UpdateReport, error) {
 	return rep, nil
 }
 
+// deleteNoSignsLocked applies a delete without any sign maintenance —
+// the write path of rewriting enforcement, where annotations are never
+// materialized. Callers hold s.mu exclusively and have already checked
+// write access.
+func (s *System) deleteNoSignsLocked(u *xpath.Path) (*UpdateReport, error) {
+	rep := &UpdateReport{}
+	root := s.tracer.Start("delete-reannotate").SetAttr("update", u.String()).SetAttr("enforce", "rewrite")
+	defer root.Finish()
+	rep.TraceID = root.TraceID().String()
+	if err := s.engine.Begin(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	sp := obs.Start(root, "apply-delete")
+	_, total, err := s.applyDelete(u)
+	sp.Finish()
+	if err != nil {
+		return nil, s.abortEngine(err)
+	}
+	rep.DeletedNodes = total
+	rep.UpdateTime = time.Since(start)
+	if err := s.engine.Commit(); err != nil {
+		return nil, err
+	}
+	rep.finishPhases()
+	return rep, nil
+}
+
 // abortEngine rolls the engine back after a mid-update failure; the error
 // is returned enriched if the rollback itself fails.
 func (s *System) abortEngine(err error) error {
@@ -538,6 +621,9 @@ func (s *System) deleteAndFullAnnotate(u *xpath.Path) (*UpdateReport, error) {
 	}
 	if err := s.checkWriteDelete(u); err != nil {
 		return nil, err
+	}
+	if !s.enf.MaintainsSigns() {
+		return s.deleteNoSignsLocked(u)
 	}
 	if err := s.engine.Begin(); err != nil {
 		return nil, err
@@ -619,12 +705,22 @@ func (s *System) insertAndReannotate(parentPath *xpath.Path, tmpl *xmltree.Node)
 	defer root.Finish()
 	rep.TraceID = root.TraceID().String()
 
+	// Under rewriting enforcement no signs exist: the trigger-selection
+	// and scope-observation phases are skipped entirely and the version
+	// bump below invalidates the rewriter's scope cache instead.
+	maintain := s.enf.MaintainsSigns()
+	var prep *Reannotation
+	var err error
 	start := time.Now()
-	prep, err := prepareReannotation(s.engine, s.reann, root, us...)
-	if err != nil {
-		return nil, err
+	if maintain {
+		prep, err = prepareReannotation(s.engine, s.reann, root, us...)
+		if err != nil {
+			return nil, err
+		}
+		rep.Triggered = s.reann.RuleNames(prep.Triggered)
+	} else {
+		root.SetAttr("enforce", "rewrite")
 	}
-	rep.Triggered = s.reann.RuleNames(prep.Triggered)
 	rep.PrepareTime = time.Since(start)
 
 	start = time.Now()
@@ -657,11 +753,13 @@ func (s *System) insertAndReannotate(parentPath *xpath.Path, tmpl *xmltree.Node)
 	sp.Finish()
 	rep.UpdateTime = time.Since(start)
 
-	start = time.Now()
-	rep.Stats, err = prep.complete(doc, s.engine, root)
-	rep.ReannotateTime = time.Since(start)
-	if err != nil {
-		return nil, s.abortEngine(err)
+	if maintain {
+		start = time.Now()
+		rep.Stats, err = prep.complete(doc, s.engine, root)
+		rep.ReannotateTime = time.Since(start)
+		if err != nil {
+			return nil, s.abortEngine(err)
+		}
 	}
 	if err := s.engine.Commit(); err != nil {
 		return nil, err
@@ -708,28 +806,179 @@ func (s *System) Request(q *xpath.Path) (*RequestResult, error) {
 // parents the request span (a catalog broadcast's shard span, say), so
 // cross-document fan-outs trace as one connected tree.
 func (s *System) RequestCtx(ctx context.Context, q *xpath.Path) (*RequestResult, error) {
+	return s.requestEnforced(ctx, q, EnforceAuto)
+}
+
+// RequestMode evaluates one request under an explicit enforcement mode,
+// overriding the active strategy for this call only. Requesting signs
+// while the system runs rewriting is refused (no signs are materialized
+// to check against); requesting rewriting works whenever the backend can
+// evaluate unannotated queries.
+func (s *System) RequestMode(q *xpath.Path, mode EnforceMode) (*RequestResult, error) {
+	return s.RequestModeCtx(context.Background(), q, mode)
+}
+
+// RequestModeCtx is RequestMode under a caller's context.
+func (s *System) RequestModeCtx(ctx context.Context, q *xpath.Path, mode EnforceMode) (*RequestResult, error) {
+	return s.requestEnforced(ctx, q, mode)
+}
+
+// requestEnforced is the request path behind Request and RequestMode.
+func (s *System) requestEnforced(ctx context.Context, q *xpath.Path, mode EnforceMode) (*RequestResult, error) {
+	start := time.Now()
+	// Instant refusal: a query the enforceability checker proves denied
+	// from its shape alone is rejected before the system lock, before any
+	// span, and before any store is touched.
+	if s.static.classify(q) == pattern.StaticDeny {
+		err := &DeniedError{Query: q.String()}
+		d := time.Since(start)
+		s.observeRequest(d, err)
+		s.countEnforced(encStatic, err)
+		s.auditStaticDeny(q, d, err)
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if !s.loaded {
 		return nil, fmt.Errorf("core: no document loaded")
 	}
-	start := time.Now()
-	sp := s.startSpan(ctx, "request").SetAttr("query", q.String()).SetAttr("backend", s.cfg.Backend.String())
-	defer sp.Finish()
-	var (
-		res *RequestResult
-		hit bool
-		err error
-	)
-	if s.qc != nil {
-		res, hit, err = s.requestCached(q, sp)
-	} else {
-		res, err = s.engine.Request(obs.ContextWithSpan(ctx, sp), q)
+	enf, err := s.enforcerForLocked(mode)
+	if err != nil {
+		return nil, err
 	}
+	sp := s.startSpan(ctx, "request").SetAttr("query", q.String()).
+		SetAttr("backend", s.cfg.Backend.String()).SetAttr("enforce", enf.Mode().String())
+	defer sp.Finish()
+	res, hit, err := enf.Request(ctx, q, sp)
 	d := time.Since(start)
 	s.observeRequest(d, err)
-	s.auditRequest(q, res, hit, d, sp, err)
+	s.countEnforced(modeIndex(enf.Mode()), err)
+	s.auditRequest(q, res, hit, d, sp, enf.Mode().String(), err)
 	return res, err
+}
+
+// enforcerForLocked resolves a per-request mode override against the
+// active strategy. Callers hold at least s.mu.RLock.
+func (s *System) enforcerForLocked(mode EnforceMode) (Enforcer, error) {
+	switch mode {
+	case EnforceSigns:
+		if !s.enf.MaintainsSigns() {
+			return nil, fmt.Errorf("core: signs are not materialized under the active rewrite mode; switch with SetEnforceMode first")
+		}
+		return s.signsEnf, nil
+	case EnforceRewrite:
+		if s.rewriteEnf == nil {
+			return nil, fmt.Errorf("core: backend %s cannot evaluate unannotated queries (no RawQuery)", s.cfg.Backend)
+		}
+		return s.rewriteEnf, nil
+	default:
+		return s.enf, nil
+	}
+}
+
+// modeIndex maps an enforcement mode to its enfCounts row.
+func modeIndex(m EnforceMode) int {
+	if m == EnforceRewrite {
+		return encRewrite
+	}
+	return encSigns
+}
+
+// countEnforced feeds the per-mode decision counters (and their metric
+// series when attached).
+func (s *System) countEnforced(mode int, err error) {
+	var denied *DeniedError
+	o := outGrant
+	switch {
+	case err == nil:
+	case errors.As(err, &denied):
+		o = outDeny
+	default:
+		o = outError
+	}
+	s.enfCounts[mode][o].Add(1)
+	if c := s.enfCounters[mode][o]; c != nil {
+		c.Inc()
+	}
+}
+
+// auditStaticDeny records an instant refusal: Mode "static-deny", no
+// trace (no spans ran) and no node attribution (no node was identified).
+func (s *System) auditStaticDeny(q *xpath.Path, d time.Duration, err error) {
+	if s.aud == nil {
+		return
+	}
+	s.auditRecord(audit.Event{Kind: "request", Query: q.String(), Outcome: audit.OutcomeDeny,
+		Mode: "static-deny", Duration: d, Err: err.Error()})
+}
+
+// Plan returns the enforcement planner's construction-time verdict.
+func (s *System) Plan() EnforcePlan { return s.plan }
+
+// ActiveMode returns the enforcement strategy currently serving requests
+// (the plan's mode until SetEnforceMode changes it).
+func (s *System) ActiveMode() EnforceMode {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.enf.Mode()
+}
+
+// Rewriter returns the compiled policy rewriter (nil on backends that
+// cannot evaluate unannotated queries). Plans and tooling render the
+// composed safe query with it.
+func (s *System) Rewriter() *xpath.Rewriter {
+	if s.rewriteEnf == nil {
+		return nil
+	}
+	return s.rewriteEnf.rw
+}
+
+// ClassifyQuery returns the static enforceability verdict for q under
+// the active policy and schema.
+func (s *System) ClassifyQuery(q *xpath.Path) pattern.StaticVerdict {
+	return s.static.classify(q)
+}
+
+// SetEnforceMode switches the enforcement strategy at runtime.
+// Switching to signs on a system that ran rewriting re-annotates first
+// (signs were not maintained meanwhile); EnforceAuto restores the plan's
+// choice. Requests observe the flip atomically — they either hold the
+// read lock and finish under the old strategy, or start under the new.
+func (s *System) SetEnforceMode(mode EnforceMode) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resolved := mode
+	if mode == EnforceAuto {
+		resolved = s.plan.Mode
+	}
+	switch resolved {
+	case EnforceSigns:
+		if s.plan.Recursive {
+			return fmt.Errorf("core: signs enforcement cannot serve recursive schema (cycle %v)", s.plan.Cycle)
+		}
+		if s.reann == nil {
+			reann, err := NewReannotatorWith(s.policy, s.cfg.Schema, s.contains)
+			if err != nil {
+				return err
+			}
+			s.reann = reann
+		}
+		if s.enf.MaintainsSigns() {
+			return nil
+		}
+		s.enf = s.signsEnf
+		if s.loaded {
+			if _, err := s.annotateLocked(context.Background()); err != nil {
+				return err
+			}
+		}
+	case EnforceRewrite:
+		if s.rewriteEnf == nil {
+			return fmt.Errorf("core: backend %s cannot evaluate unannotated queries (no RawQuery)", s.cfg.Backend)
+		}
+		s.enf = s.rewriteEnf
+	}
+	return nil
 }
 
 // observeRequest feeds the request's latency into the histogram of its
@@ -774,6 +1023,11 @@ func (s *System) AccessibleIDs() (map[int64]bool, error) {
 func (s *System) accessibleIDsLocked() (map[int64]bool, error) {
 	if !s.loaded {
 		return nil, fmt.Errorf("core: no document loaded")
+	}
+	if !s.enf.MaintainsSigns() {
+		// No signs are materialized under rewriting enforcement; the
+		// accessible set is derived from the rewriter's scope sets.
+		return s.rewriteEnf.accessibleIDs()
 	}
 	if s.qc != nil {
 		// Expanding the cached compressed map reproduces the backend's

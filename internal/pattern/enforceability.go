@@ -1,0 +1,265 @@
+package pattern
+
+import (
+	"xmlac/internal/dtd"
+	"xmlac/internal/xpath"
+)
+
+// Static enforceability (after Cheney, "Static Enforceability of
+// XPath-Based Access Control Policies", arXiv:1308.0502): some requests
+// can be decided from the *shape* of the query and the policy alone,
+// without evaluating either against a document. Under the paper's
+// all-or-nothing semantics a request is granted iff every matched node is
+// accessible, so
+//
+//   - a query whose result provably lies inside the accessible set of
+//     every schema-valid document is statically GRANTED, and
+//   - a query that provably matches at least one node and whose result
+//     provably lies entirely outside the accessible set is statically
+//     DENIED — the request can be refused without touching a store.
+//
+// The analysis is sound, never complete: StaticUnknown means "evaluate",
+// not "denied". It composes the machinery already in this package —
+// homomorphism containment (Contains), schema-aware containment
+// (ContainsUnderSchema) and schema-aware label disjointness
+// (DisjointUnderSchema) — all of which are themselves sound on
+// schema-valid documents, and DisjointUnderSchema stays decidable on
+// recursive schemas (it reasons over reachable label sets, not
+// enumerated paths).
+
+// PolicyShape is the read policy's statically analyzable form: the allow
+// and deny resource paths plus the Table 2 default-semantics and
+// conflict-resolution effects. Callers project it from a policy.Policy;
+// keeping the type here leaves package pattern policy-free.
+type PolicyShape struct {
+	// Allow and Deny are the resources of the positive and negative read
+	// rules.
+	Allow, Deny []*xpath.Path
+	// DefaultAllow is ds = "+": nodes outside every rule scope are
+	// accessible.
+	DefaultAllow bool
+	// ConflictAllow is cr = "+": a node in both an allow and a deny scope
+	// is accessible.
+	ConflictAllow bool
+}
+
+// StaticVerdict is the outcome of classifying one query against a policy
+// shape.
+type StaticVerdict uint8
+
+const (
+	// StaticUnknown means the query's outcome depends on the document;
+	// the request must be evaluated.
+	StaticUnknown StaticVerdict = iota
+	// StaticGrant means every node the query can match on a schema-valid
+	// document is accessible: the all-or-nothing check cannot fail.
+	StaticGrant
+	// StaticDeny means the query is guaranteed to match at least one node
+	// on every schema-valid document and every node it can match is
+	// inaccessible: the request can be refused without evaluation.
+	StaticDeny
+)
+
+// String names the verdict for plans, logs and metrics labels.
+func (v StaticVerdict) String() string {
+	switch v {
+	case StaticGrant:
+		return "grant"
+	case StaticDeny:
+		return "deny"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifyQuery decides a query statically against the policy shape under
+// the schema. The verdict is sound for every schema-valid document; a
+// query the analysis cannot decide returns StaticUnknown.
+//
+// The per-semantics reasoning follows Table 2's accessible sets. Writing
+// A for the union of allow scopes and D for the union of deny scopes:
+//
+//	ds=+ cr=+  accessible = U − (D − A): inaccessible iff in D and not in A
+//	ds=− cr=+  accessible = A
+//	ds=+ cr=−  accessible = U − D
+//	ds=− cr=−  accessible = A − D
+//
+// "q ⊑ some allow" proves every match is in A; "q disjoint from every
+// deny" proves no match is in D; and dually for the other directions.
+// StaticDeny additionally requires GuaranteedNonEmpty: the paper's
+// all-or-nothing check grants a query with zero matches, so refusing
+// without evaluation is only sound when at least one match is certain.
+func ClassifyQuery(q *xpath.Path, ps PolicyShape, schema *dtd.Schema) StaticVerdict {
+	if q == nil || !q.Absolute {
+		return StaticUnknown
+	}
+	inSomeAllow := containedInAny(q, ps.Allow, schema)
+	outsideAllDeny := disjointFromAll(q, ps.Deny, schema)
+
+	// Grant: every possible match accessible.
+	switch {
+	case ps.DefaultAllow && ps.ConflictAllow:
+		// Inaccessible needs D-membership without A-membership.
+		if outsideAllDeny || inSomeAllow {
+			return StaticGrant
+		}
+	case !ps.DefaultAllow && ps.ConflictAllow:
+		if inSomeAllow {
+			return StaticGrant
+		}
+	case ps.DefaultAllow && !ps.ConflictAllow:
+		if outsideAllDeny {
+			return StaticGrant
+		}
+	default: // ds=− cr=−
+		if inSomeAllow && outsideAllDeny {
+			return StaticGrant
+		}
+	}
+
+	if !GuaranteedNonEmpty(q, schema) {
+		return StaticUnknown
+	}
+	inSomeDeny := containedInAny(q, ps.Deny, schema)
+	outsideAllAllow := disjointFromAll(q, ps.Allow, schema)
+
+	// Deny: at least one match certain (checked above) and every possible
+	// match inaccessible.
+	switch {
+	case ps.DefaultAllow && ps.ConflictAllow:
+		if inSomeDeny && outsideAllAllow {
+			return StaticDeny
+		}
+	case !ps.DefaultAllow && ps.ConflictAllow:
+		if outsideAllAllow {
+			return StaticDeny
+		}
+	case ps.DefaultAllow && !ps.ConflictAllow:
+		if inSomeDeny {
+			return StaticDeny
+		}
+	default: // ds=− cr=−
+		if outsideAllAllow || inSomeDeny {
+			return StaticDeny
+		}
+	}
+	return StaticUnknown
+}
+
+// containedInAny reports q ⊑ some rule resource — every node q matches on
+// a schema-valid document is in that rule's scope (hence in the effect
+// class's union). Single-rule containment is incomplete against a union
+// but sound.
+func containedInAny(q *xpath.Path, rules []*xpath.Path, schema *dtd.Schema) bool {
+	for _, r := range rules {
+		if Contains(q, r) || ContainsUnderSchema(q, r, schema) {
+			return true
+		}
+	}
+	return false
+}
+
+// disjointFromAll reports that q shares no possible node with any rule
+// resource on schema-valid documents. Vacuously true for an empty rule
+// set (an empty D means nothing is denied).
+func disjointFromAll(q *xpath.Path, rules []*xpath.Path, schema *dtd.Schema) bool {
+	for _, r := range rules {
+		if !DisjointUnderSchema(q, r, schema) {
+			return false
+		}
+	}
+	return true
+}
+
+// GuaranteedNonEmpty reports whether q matches at least one node on
+// *every* schema-valid document. Sound and deliberately narrow: the query
+// must be a predicate-free absolute chain of child steps over concrete
+// labels, rooted at the schema root, in which every step's element is
+// required (ChildBounds Min ≥ 1) by its parent. Anything else — a
+// descendant axis, a wildcard, a qualifier, an optional child — returns
+// false, which only costs completeness (the request falls back to
+// evaluation), never soundness.
+func GuaranteedNonEmpty(q *xpath.Path, schema *dtd.Schema) bool {
+	if q == nil || !q.Absolute || len(q.Steps) == 0 || schema == nil {
+		return false
+	}
+	first := q.Steps[0]
+	if first.Axis != xpath.Child || first.Test != schema.Root || len(first.Preds) > 0 {
+		return false
+	}
+	parent := schema.Root
+	for _, s := range q.Steps[1:] {
+		if s.Axis != xpath.Child || s.Test == xpath.Wildcard || len(s.Preds) > 0 {
+			return false
+		}
+		b, ok := schema.ChildBounds(parent)[s.Test]
+		if !ok || b.Min < 1 {
+			return false
+		}
+		parent = s.Test
+	}
+	return true
+}
+
+// PolicyAnalysis summarizes the static properties of a policy under a
+// schema that the enforcement planner keys its mode decision on.
+type PolicyAnalysis struct {
+	// Recursive reports a recursive schema — the workload the sign
+	// pipeline structurally cannot serve (schema-aware path expansion
+	// never terminates), and the rewriting enforcer's home turf.
+	Recursive bool `json:"recursive"`
+	// Cycle is one recursion witness (element labels) when Recursive.
+	Cycle []string `json:"cycle,omitempty"`
+	// ValueDependent reports rules carrying value comparisons: their
+	// scopes shift with document *content*, not just structure, so every
+	// write potentially re-scopes them — the workload where materialized
+	// signs pay the most re-annotation.
+	ValueDependent bool `json:"value_dependent"`
+}
+
+// Analyze computes the planner-facing static properties of a policy
+// shape under a schema.
+func Analyze(ps PolicyShape, schema *dtd.Schema) PolicyAnalysis {
+	a := PolicyAnalysis{}
+	if schema != nil {
+		rec, cyc := schema.IsRecursive()
+		a.Recursive, a.Cycle = rec, cyc
+	}
+	for _, set := range [][]*xpath.Path{ps.Allow, ps.Deny} {
+		for _, p := range set {
+			if pathHasCmp(p) {
+				a.ValueDependent = true
+				return a
+			}
+		}
+	}
+	return a
+}
+
+// pathHasCmp reports whether any qualifier of the path (at any nesting
+// depth) compares a text value.
+func pathHasCmp(p *xpath.Path) bool {
+	if p == nil {
+		return false
+	}
+	for _, s := range p.Steps {
+		for _, q := range s.Preds {
+			if predHasCmp(q) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func predHasCmp(q *xpath.Pred) bool {
+	switch q.Kind {
+	case xpath.Cmp:
+		return true
+	case xpath.Exists:
+		return pathHasCmp(q.Path)
+	case xpath.And, xpath.Or:
+		return predHasCmp(q.Left) || predHasCmp(q.Right)
+	}
+	return false
+}

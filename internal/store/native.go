@@ -30,7 +30,10 @@ type nativeEngine struct {
 }
 
 // Compile-time interface compliance, checked by go vet and the CI gate.
-var _ Engine = (*nativeEngine)(nil)
+var (
+	_ Engine     = (*nativeEngine)(nil)
+	_ RawQuerier = (*nativeEngine)(nil)
+)
 
 func openNative(o Options) (Engine, error) {
 	e := &nativeEngine{st: nativedb.OpenStore(), docName: o.DocName, def: o.Default, pl: o.Pool}
@@ -168,6 +171,19 @@ func (e *nativeEngine) Request(ctx context.Context, q *xpath.Path) (*RequestResu
 		}
 	}
 	sp.SetAttr("outcome", "granted")
+	return &RequestResult{Nodes: nodes, Checked: len(nodes)}, nil
+}
+
+// RawQuery evaluates a query over the tree with no access checking —
+// the rewriting enforcer's matched-set probe (store.RawQuerier).
+func (e *nativeEngine) RawQuery(ctx context.Context, q *xpath.Path) (*RequestResult, error) {
+	parent := obs.FromContext(ctx)
+	sp := obs.Start(parent, "eval-query")
+	nodes, err := xpath.Eval(q, e.doc)
+	sp.SetAttr("matched", len(nodes)).Finish()
+	if err != nil {
+		return nil, err
+	}
 	return &RequestResult{Nodes: nodes, Checked: len(nodes)}, nil
 }
 

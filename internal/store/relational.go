@@ -44,6 +44,7 @@ type relationalEngine struct {
 var (
 	_ Engine     = (*relationalEngine)(nil)
 	_ Relational = (*relationalEngine)(nil)
+	_ RawQuerier = (*relationalEngine)(nil)
 )
 
 func openerFor(kind sqldb.Engine) Opener {
@@ -413,6 +414,32 @@ func (e *relationalEngine) Request(ctx context.Context, q *xpath.Path) (*Request
 		}
 	}
 	sp.SetAttr("outcome", "granted")
+	return &RequestResult{IDs: idList, Checked: len(ids)}, nil
+}
+
+// RawQuery evaluates a query against the shredded tables with no sign
+// probing — the rewriting enforcer's matched-set probe (store.RawQuerier).
+// The result shape matches Request's relational family: deduplicated
+// universal ids, ascending.
+func (e *relationalEngine) RawQuery(ctx context.Context, q *xpath.Path) (*RequestResult, error) {
+	parent := obs.FromContext(ctx)
+	sp := obs.Start(parent, "translate-sql")
+	sqlText, err := shred.Translate(e.m, q)
+	sp.Finish()
+	if err != nil {
+		return nil, err
+	}
+	sp = obs.Start(parent, "eval-query")
+	ids, err := e.queryIDs(sqlText)
+	sp.SetAttr("matched", len(ids)).Finish()
+	if err != nil {
+		return nil, err
+	}
+	idList := make([]int64, 0, len(ids))
+	for id := range ids {
+		idList = append(idList, id)
+	}
+	slices.Sort(idList)
 	return &RequestResult{IDs: idList, Checked: len(ids)}, nil
 }
 

@@ -24,11 +24,20 @@ type DeniedError struct {
 	// where the store only knows the id (matching the paper's
 	// universal-identifier iteration).
 	Label string
+	// Query is set instead of ID/Label when the denial was decided
+	// statically — the enforceability checker refused the query from its
+	// shape alone, so no concrete node was ever identified (and no store
+	// was touched).
+	Query string
 }
 
 // Error reproduces the exact denial texts the request paths have always
 // emitted — the golden reference-equivalence tests compare them verbatim.
+// Static denials carry the refused query instead of a node.
 func (e *DeniedError) Error() string {
+	if e.Query != "" {
+		return fmt.Sprintf("%v: query %s is statically denied by the policy", ErrAccessDenied, e.Query)
+	}
 	if e.Label != "" {
 		return fmt.Sprintf("%v: node %d (%s) is not accessible", ErrAccessDenied, e.ID, e.Label)
 	}

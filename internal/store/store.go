@@ -104,6 +104,19 @@ type Engine interface {
 	SetSlowQueryLog(w io.Writer, threshold time.Duration)
 }
 
+// RawQuerier is the optional capability the rewriting enforcer probes
+// for: evaluating a user query over the *unannotated* store — no sign
+// checks, no access decision — returning the raw match set in the
+// engine family's native result shape (Nodes in evaluation order for the
+// tree store, deduplicated ascending IDs for the relational ones).
+// Engines that cannot evaluate without consulting signs simply do not
+// implement it, and the planner refuses rewriting enforcement on them.
+type RawQuerier interface {
+	// RawQuery evaluates q with no access checking. A span in ctx parents
+	// the evaluation's phase spans, exactly as in Request.
+	RawQuery(ctx context.Context, q *xpath.Path) (*RequestResult, error)
+}
+
 // Relational is the optional interface of SQL-backed engines, exposing
 // the concrete database and shredding mapping for tools and tests that
 // need to inspect the tables directly. Assert it on an Engine:

@@ -10,7 +10,10 @@
 # read path: sign-predicate pushdown + id routing + query cache, XMark
 # f = 0.1) and records both sides to BENCH_request.json, plus the
 # MonetColVsMonetSQL/reference case: row versus vectorized executor on the
-# unoptimized request path, where database work dominates.
+# unoptimized request path, where database work dominates. The Rewrite
+# case compares the enforcement strategies on the column store: the
+# optimized signs pipeline (reference) versus rewriting enforcement over
+# the unannotated store (optimized).
 #
 # The `diff` mode is the perf-regression observatory: it runs the same
 # benchmarks, compares each case against the recorded baselines via
@@ -40,7 +43,7 @@ if [ "${1:-}" = "diff" ]; then
 	trap 'rm -f "$tmp"' EXIT
 	go test -bench 'BenchmarkFig11_Annotation(MonetSQL|Postgres|MonetCol)' \
 		-benchtime 30x -run '^$' . | tee "$tmp"
-	go test -bench 'BenchmarkFig10_Request(MonetSQL|Postgres|MonetCol)' \
+	go test -bench 'BenchmarkFig10_Request(MonetSQL|Postgres|MonetCol|Rewrite)' \
 		-benchtime 110x -run '^$' . | tee -a "$tmp"
 	go test -bench 'BenchmarkMultiUser(Rebuild|Request)' \
 		-benchtime 3x -run '^$' . | tee -a "$tmp"
@@ -158,7 +161,7 @@ END {
 
 echo "bench.sh: wrote $out"
 
-go test -bench 'BenchmarkFig10_Request(MonetSQL|Postgres|MonetCol)' \
+go test -bench 'BenchmarkFig10_Request(MonetSQL|Postgres|MonetCol|Rewrite)' \
 	-benchtime 110x -run '^$' . | tee "$tmp"
 
 awk '
@@ -175,7 +178,7 @@ BEGIN { n = 0 }
 }
 END {
 	if (n == 0) { print "bench.sh: no request benchmark output parsed" > "/dev/stderr"; exit 1 }
-	printf "{\n  \"benchmark\": \"BenchmarkFig10_Request{MonetSQL,Postgres,MonetCol}/{reference,optimized}\",\n"
+	printf "{\n  \"benchmark\": \"BenchmarkFig10_Request{MonetSQL,Postgres,MonetCol,Rewrite}/{reference,optimized}\",\n"
 	printf "  \"benchtime\": \"110x\",\n  \"unit\": \"ns/op\",\n  \"cases\": [\n"
 	for (i = 0; i < n; i++) {
 		b = before[key[i]]; a = after[key[i]]

@@ -20,20 +20,39 @@ if grep -rn '"xmlac/internal/sqldb"\|"xmlac/internal/nativedb"' internal/core/*.
 	exit 1
 fi
 
+# The enforcer seam is load-bearing too: the rewriting layer (planner,
+# rewrite enforcer, policy rewriter) must never touch sign internals —
+# the CAM package, annotation-query construction, sign application or
+# the reannotator. Only the materialized enforcer's side of the seam may.
+if grep -n 'xmlac/internal/cam\|BuildAnnotationQuery\|AnnotationQuery\|ApplySigns\|xmltree\.Sign\|Reannotat\|\.Sign\b' \
+	internal/core/rewriter.go internal/core/planner.go internal/xpath/rewrite.go; then
+	echo "check.sh: the rewriting enforcement layer must not reference sign internals" >&2
+	exit 1
+fi
+
 go vet ./...
 go build ./...
 go test ./...
 go test -race ./...
 
+# Cross-mode golden equivalence: the rewriting enforcer must answer
+# byte-identically to the materialized signs pipeline on every backend,
+# every Table 2 semantics and both fixtures — the refactor's safety net.
+# `go test ./...` above runs it; this standalone form is what CI's
+# blocking cross-mode job calls.
+go test -run 'TestCrossModeEquivalence|TestRecursiveSchemaOnlyRewrite|TestStaticDenyFastPath' ./internal/core
+
 # Differential fuzzing: replay generated statement scripts against the row,
-# column and vectorized engines and require identical results and errors.
-# `go test ./...` above runs the full version; this keeps the -short form
+# column and vectorized engines and require identical results and errors;
+# the mode fuzzer does the same one layer up across enforcement modes.
+# `go test ./...` above runs the full versions; this keeps the -short form
 # exercised so CI can call it standalone.
-go test -short -run TestDifferentialEngines ./internal/sqldb
+go test -short -run 'TestDifferentialEngines|TestModeDifferentialFuzz' ./internal/sqldb
 
 # Smoke the benchmark harness itself (tiny -short documents, one iteration):
 # a broken bench is otherwise only caught when scripts/bench.sh runs.
-go test -short -bench 'BenchmarkFig10_Request(MonetSQL|Postgres|MonetCol)' -benchtime 1x -run '^$' .
+go test -short -bench 'BenchmarkFig10_Request(MonetSQL|Postgres|MonetCol|Rewrite)' -benchtime 1x -run '^$' .
+go test -short -bench 'BenchmarkHotWrite_SignsVsRewrite' -benchtime 1x -run '^$' .
 
 # Smoke the multi-user cohort scale benchmarks (-short population: 200
 # users over 10 distinct policies; the million-subject register skips).
@@ -73,6 +92,10 @@ if command -v curl >/dev/null 2>&1; then
 		|| { echo "check.sh: /coverage missing the cohort rollup" >&2; exit 1; }
 	curl -sf "http://127.0.0.1:$serve_port/forensics" | grep -q '"windows"' \
 		|| { echo "check.sh: /forensics did not report windows" >&2; exit 1; }
+	curl -sf "http://127.0.0.1:$serve_port/plan" | grep -q '"active_mode": "signs"' \
+		|| { echo "check.sh: /plan missing the active enforcement mode" >&2; exit 1; }
+	curl -sf "http://127.0.0.1:$serve_port/request?q=//name&enforce=rewrite" | grep -q '"outcome"' \
+		|| { echo "check.sh: /request?enforce=rewrite did not answer" >&2; exit 1; }
 	# The SSE stream opens with a hello frame; grab the first frame only.
 	frame=$(curl -sN --max-time 2 "http://127.0.0.1:$serve_port/stream" | head -c 300 || true)
 	echo "$frame" | grep -q 'event: hello' \

@@ -50,7 +50,7 @@ import (
 )
 
 // Version identifies this release of the library and its commands.
-const Version = "0.7.0"
+const Version = "0.8.0"
 
 // Core model types, re-exported for the public API. See the internal
 // packages for full method documentation.
@@ -99,6 +99,23 @@ type (
 	MultiUserStats = core.MultiUserStats
 	// CohortInfo is one cohort's entry in MultiUserStats.
 	CohortInfo = core.CohortInfo
+	// EnforceMode selects the enforcement strategy of a System or a
+	// single request: materialized signs, query rewriting, or the
+	// planner's automatic choice.
+	EnforceMode = core.EnforceMode
+	// EnforcePlan is the enforcement planner's verdict for one System:
+	// the resolved mode and why, plus the schema and backend facts
+	// (recursion, raw-query capability) it rested on.
+	EnforcePlan = core.EnforcePlan
+	// EnforcementStats is the planner-decision coverage block: static
+	// classifications and per-mode decision counts.
+	EnforcementStats = core.EnforcementStats
+	// StaticVerdict is the static enforceability checker's answer for one
+	// query (grant, deny or unknown).
+	StaticVerdict = pattern.StaticVerdict
+	// Rewriter is one policy compiled for rewriting enforcement; reach a
+	// System's via System.Rewriter to render composed safe queries.
+	Rewriter = xpath.Rewriter
 	// XMarkOptions scales the bundled XMark-like document generator.
 	XMarkOptions = xmark.Options
 	// Tracer creates trace spans; attach one via Config.Tracer to see a
@@ -204,6 +221,30 @@ const (
 	ViewPromote = core.ViewPromote
 )
 
+// Enforcement modes.
+const (
+	// EnforceAuto lets the planner decide: signs where the materialized
+	// pipeline applies, rewriting where it cannot (recursive schemas).
+	EnforceAuto = core.EnforceAuto
+	// EnforceSigns is the paper's materialized pipeline.
+	EnforceSigns = core.EnforceSigns
+	// EnforceRewrite composes the policy into each query over the
+	// unannotated store: annotation-free reads, re-annotation-free writes.
+	EnforceRewrite = core.EnforceRewrite
+)
+
+// Static enforceability verdicts.
+const (
+	// StaticUnknown means the checker could not decide from shapes alone.
+	StaticUnknown = pattern.StaticUnknown
+	// StaticGrant means every possible match is provably accessible.
+	StaticGrant = pattern.StaticGrant
+	// StaticDeny means the query is provably non-empty and every match
+	// provably inaccessible — requests are refused without touching a
+	// store.
+	StaticDeny = pattern.StaticDeny
+)
+
 // Backends.
 const (
 	// BackendNative stores annotations on the XML tree itself (the paper's
@@ -252,6 +293,10 @@ var ErrUpdateDenied = core.ErrUpdateDenied
 // backend choice. With Config.Optimize set, redundant rules are eliminated
 // first (Section 5.1 of the paper).
 func New(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// ParseEnforceMode parses "auto", "signs" or "rewrite" (the -enforce
+// flag values).
+func ParseEnforceMode(s string) (EnforceMode, error) { return core.ParseEnforceMode(s) }
 
 // NewTracer returns a tracer delivering finished root spans to sink.
 // Use a RenderTraceSink to print span trees as they finish.
